@@ -1,0 +1,103 @@
+"""Ablations over the design choices the paper calls out.
+
+- orientation bins: 9 unsigned vs 18 signed;
+- voting: magnitude-weighted vs count;
+- orientation interpolation (aliasing mitigation) on/off;
+- block normalisation on/off;
+- NApprox input precision (spike window).
+
+Each ablation trains a small SVM on window features and reports held-out
+window classification accuracy — a fast, detection-correlated probe of
+feature quality.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_sig, format_table
+from repro.datasets import SyntheticPersonDataset
+from repro.hog import HogConfig, HogDescriptor
+from repro.napprox import NApproxConfig, NApproxDescriptor
+from repro.svm import LinearSVM
+
+
+@pytest.fixture(scope="module")
+def windows():
+    train = SyntheticPersonDataset(rng=21)
+    test = SyntheticPersonDataset(rng=22)
+    return (
+        train.positive_windows(80),
+        train.negative_windows(160),
+        test.positive_windows(40),
+        test.negative_windows(80),
+    )
+
+
+def _probe_accuracy(extractor, windows):
+    pos_tr, neg_tr, pos_te, neg_te = windows
+    features = lambda batch: np.stack([extractor.compute(w) for w in batch])
+    x_train = np.vstack([features(pos_tr), features(neg_tr)])
+    y_train = np.concatenate([np.ones(len(pos_tr)), -np.ones(len(neg_tr))])
+    model = LinearSVM(C=0.1, epochs=15, rng=0).fit(x_train, y_train)
+    x_test = np.vstack([features(pos_te), features(neg_te)])
+    y_test = np.concatenate([np.ones(len(pos_te)), -np.ones(len(neg_te))])
+    return float((model.predict(x_test) == y_test).mean())
+
+
+def test_bench_hog_ablations(benchmark, windows, capsys):
+    variants = {
+        "9 bins, magnitude, interp, l2 (Dalal-Triggs)": HogDescriptor(HogConfig()),
+        "18 bins signed, count, no interp, l2 (NApprox-fp)": HogDescriptor(
+            HogConfig(n_bins=18, signed=True, voting="count", interpolate=False)
+        ),
+        "9 bins, magnitude, NO interp": HogDescriptor(
+            HogConfig(interpolate=False)
+        ),
+        "9 bins, count voting": HogDescriptor(
+            HogConfig(voting="count", interpolate=False)
+        ),
+        "18 bins signed, magnitude": HogDescriptor(
+            HogConfig(n_bins=18, signed=True)
+        ),
+        "no block normalisation": HogDescriptor(HogConfig(normalization="none")),
+    }
+
+    def run():
+        return {name: _probe_accuracy(ext, windows) for name, ext in variants.items()}
+
+    scores = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("Ablation: HoG design choices (held-out window accuracy)")
+    print(
+        format_table(
+            ["variant", "accuracy"],
+            [[name, format_sig(score)] for name, score in scores.items()],
+        )
+    )
+    assert all(score > 0.8 for score in scores.values()), scores
+
+
+def test_bench_napprox_precision_ablation(benchmark, windows, capsys):
+    precisions = [8, 16, 32, 64, 128]
+
+    def run():
+        return {
+            window: _probe_accuracy(
+                NApproxDescriptor(NApproxConfig(quantized=True, window=window)),
+                windows,
+            )
+            for window in precisions
+        }
+
+    scores = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("Ablation: NApprox input precision (held-out window accuracy)")
+    print(
+        format_table(
+            ["spike window", "accuracy"],
+            [[f"{w}-spike", format_sig(scores[w])] for w in precisions],
+        )
+    )
+    # Precision should not hurt: the finest window at least matches the
+    # coarsest.
+    assert scores[128] >= scores[8] - 0.05

@@ -1,0 +1,25 @@
+"""Section 5.1: the Absorbed approach's convergence failure.
+
+The monolithic pixels-to-decision network, trained on the same (small)
+window set that suffices for the HoG-feature classifiers, must exhibit
+the paper's failure mode: blind or near-chance decisions on held-out
+data. The sweep also shows the paper's diagnosis — more data helps a
+network sized for 64x128-pixel inputs.
+"""
+
+from repro.experiments import absorbed_exp
+
+
+def test_bench_absorbed_convergence(benchmark, capsys):
+    study = benchmark.pedantic(
+        lambda: absorbed_exp.run(sizes=(100, 300), n_test=120, rng=0),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(absorbed_exp.format_report(study))
+
+    small = study.outcomes[0]
+    # The paper's failure mode at the HoG-classifier-sized training set:
+    # blind decisions or no generalisation.
+    assert small.blind or small.test_accuracy < 0.65

@@ -1,0 +1,34 @@
+"""Figure 6: parrot quality versus input representation (32 -> 1 spikes).
+
+The printed table reports, per precision, the validation classifier
+accuracy, histogram correlation, miss-rate proxy, and the per-module
+throughput that drives the Table 2 power model.
+"""
+
+import numpy as np
+
+from repro.experiments import fig6
+
+
+def test_bench_fig6_precision_sweep(benchmark, capsys):
+    result = benchmark.pedantic(
+        lambda: fig6.run(spike_windows=(32, 16, 8, 4, 2, 1), rng=0),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(fig6.format_report(result))
+
+    correlations = [point.histogram_correlation for point in result.points]
+    throughputs = [point.throughput_cells_per_second for point in result.points]
+    # Quality degrades (weakly) as precision drops...
+    assert correlations[0] > correlations[-1]
+    spearman = np.corrcoef(
+        np.argsort(np.argsort(correlations)), np.arange(len(correlations))[::-1]
+    )[0, 1]
+    assert spearman > 0.5
+    # ...while throughput rises from 31 to 1000 cells/s (paper numbers).
+    assert throughputs[0] == 31
+    assert throughputs[-1] == 1000
+    # Analog reference upper-bounds the spiking points.
+    assert result.analog_reference.histogram_correlation >= correlations[0] - 0.05

@@ -1,0 +1,25 @@
+"""Section 3.1: NApprox corelet-on-simulator vs software-model correlation.
+
+The paper reports ">99.5% correlation" over a thousand INRIA training
+cells at equal quantisation width. The tick-level simulation dominates
+runtime, so the bench uses a reduced cell count; the per-cell timing is
+the benchmark value.
+"""
+
+from repro.napprox import correlate_corelet_vs_software
+
+
+def test_bench_hw_sw_correlation(benchmark, capsys):
+    report = benchmark.pedantic(
+        lambda: correlate_corelet_vs_software(n_cells=40, window=64, rng=42),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("Section 3.1 reproduction: corelet vs software model")
+    print(f"  cells compared:        {report.n_cells} (paper: 1000)")
+    print(f"  correlation:           {report.correlation:.4f} (paper: >0.995)")
+    print(f"  mean |error| (votes):  {report.mean_absolute_error:.3f}")
+    print(f"  exact-match fraction:  {report.exact_match_fraction:.3f}")
+
+    assert report.correlation > 0.995

@@ -1,0 +1,60 @@
+"""Future-work bench: Parrot compression for better power efficiency.
+
+The paper's conclusion flags "optimization of the combined Parrot HoG and
+Eedn network designs for better power efficiency" as future work. This
+bench quantifies the frontier: structured pruning of the parrot's hidden
+units versus histogram fidelity, per-cell cores, and full-HD extraction
+power (at 32-spike coding).
+"""
+
+from repro.analysis import format_sig, format_table
+from repro.parrot import (
+    ParrotExtractor,
+    parrot_fidelity,
+    prune_hidden_units,
+    train_parrot,
+)
+from repro.power import parrot_estimate
+
+
+def test_bench_parrot_compression(benchmark, capsys):
+    network, _, _ = benchmark.pedantic(
+        lambda: train_parrot(rng=0), rounds=1, iterations=1
+    )
+
+    rows = []
+    frontier = []
+    for keep in (512, 256, 128, 64, 32):
+        result = prune_hidden_units(network, keep=keep)
+        extractor = ParrotExtractor(result.network)
+        fidelity = parrot_fidelity(extractor, n_cells=200, rng=99)
+        estimate = parrot_estimate(
+            window=32, cores_per_module=result.cores_per_cell
+        )
+        rows.append(
+            [
+                str(keep),
+                str(result.cores_per_cell),
+                format_sig(fidelity.correlation),
+                format_sig(fidelity.dominant_bin_agreement),
+                f"{estimate.power_watts:.2f} W",
+            ]
+        )
+        frontier.append((result.cores_per_cell, fidelity.correlation))
+
+    print()
+    print("Future work: parrot hidden-width compression (32-spike power)")
+    print(
+        format_table(
+            ["hidden units", "cores/cell", "histogram corr",
+             "dominant-bin agree", "full-HD@26fps"],
+            rows,
+        )
+    )
+
+    cores = [c for c, _ in frontier]
+    correlations = [corr for _, corr in frontier]
+    # Pruning must actually buy cores...
+    assert cores[-1] < cores[0]
+    # ...and the full-width model must stay competitive with the best.
+    assert correlations[0] >= max(correlations) - 0.1

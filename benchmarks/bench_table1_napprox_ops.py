@@ -1,0 +1,88 @@
+"""Table 1: conventional HoG operations vs their TrueNorth approximations.
+
+For each row of the paper's Table 1, measure the agreement between the
+original computation and the neuromorphic-primitive version on random
+gradients, and benchmark the full NApprox cell-grid extraction.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_sig, format_table
+from repro.hog.gradients import gradient_angle, gradient_magnitude
+from repro.napprox import NApproxConfig, NApproxDescriptor
+from repro.napprox.software import direction_tables, winner_votes
+
+
+def _random_gradients(n=20000, seed=0):
+    rng = np.random.default_rng(seed)
+    ix = rng.integers(-64, 65, n).astype(np.float64)
+    iy = rng.integers(-64, 65, n).astype(np.float64)
+    nonzero = (ix != 0) | (iy != 0)
+    return ix[nonzero], iy[nonzero]
+
+
+def test_table1_component_agreement(benchmark, capsys):
+    """Print per-component agreement between the two Table 1 columns."""
+    ix, iy = benchmark.pedantic(_random_gradients, rounds=1, iterations=1)
+    theta = np.radians(np.arange(18) * 20 + 10)
+    projections = ix[:, None] * np.cos(theta) + iy[:, None] * np.sin(theta)
+
+    # Gradient angle: arctan vs argmax of the directional projection.
+    reference_bins = (gradient_angle(ix, iy, signed=True) // 20).astype(int)
+    votes = winner_votes(np.maximum(projections, 0.0))
+    approx_bins = votes.argmax(axis=1)
+    voted = votes.any(axis=1)
+    angle_agreement = float(
+        (approx_bins[voted] == reference_bins[voted]).mean()
+    )
+
+    # Gradient magnitude: sqrt(Ix^2 + Iy^2) vs max projection.
+    reference_mag = gradient_magnitude(ix, iy)
+    approx_mag = projections.max(axis=1)
+    magnitude_correlation = float(np.corrcoef(reference_mag, approx_mag)[0, 1])
+    worst_ratio = float((approx_mag / reference_mag).min())
+
+    # Pattern-matching gradients: (Ix, -Ix) rectified pair reconstructs Ix.
+    reconstructed = np.maximum(ix, 0) - np.maximum(-ix, 0)
+    gradient_exact = bool(np.array_equal(reconstructed, ix))
+
+    # Integer direction tables vs exact cos/sin.
+    cx, cy = direction_tables(16)
+    table_error = float(
+        np.abs(cx / 16.0 - np.cos(theta)).max()
+        + np.abs(cy / 16.0 - np.sin(theta)).max()
+    )
+
+    print()
+    print("Table 1 reproduction: conventional vs TrueNorth computation")
+    print(
+        format_table(
+            ["operation", "metric", "value"],
+            [
+                ["gradient vector (pattern matching)", "exact reconstruction",
+                 str(gradient_exact)],
+                ["gradient angle (comparison)", "bin agreement",
+                 format_sig(angle_agreement)],
+                ["gradient magnitude (inner product)", "correlation",
+                 format_sig(magnitude_correlation)],
+                ["gradient magnitude (inner product)", "worst ratio to true",
+                 format_sig(worst_ratio)],
+                ["direction tables Q=16", "max abs error", format_sig(table_error)],
+            ],
+        )
+    )
+
+    assert gradient_exact
+    assert angle_agreement > 0.99
+    assert magnitude_correlation > 0.999
+    assert worst_ratio > np.cos(np.radians(10)) - 0.01  # bin-center bound
+
+
+@pytest.mark.parametrize("quantized", [False, True], ids=["fp", "quantized"])
+def test_bench_napprox_cell_grid(benchmark, quantized):
+    """Throughput of the NApprox software model on a 64x128 window."""
+    descriptor = NApproxDescriptor(NApproxConfig(quantized=quantized))
+    image = np.random.default_rng(0).random((128, 64))
+    grid = benchmark(descriptor.cell_grid, image)
+    assert grid.shape == (16, 8, 18)

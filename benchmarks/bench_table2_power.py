@@ -1,0 +1,28 @@
+"""Table 2: estimated power for the HoG feature-extraction approaches.
+
+The benchmark times the analytical model (trivially fast); the value is
+the printed paper-vs-model table, whose rows must reproduce the paper's
+numbers: FPGA 1.12/8.6 W, NApprox ~40 W (~650 chips), Parrot 6.15 W /
+768 mW / 192 mW, ratios 6.5x-208x.
+"""
+
+import pytest
+
+from repro.experiments import table2
+
+
+def test_bench_table2_power(benchmark, capsys):
+    result = benchmark.pedantic(
+        lambda: table2.run(measure_corelet=True), rounds=1, iterations=1
+    )
+    print()
+    print(table2.format_report(result))
+
+    watts = {row.signal_resolution: row.power_watts for row in result.rows}
+    assert watts["64-spike (6-bit)"] == pytest.approx(40.0, rel=0.08)
+    assert watts["32-spike (5-bit)"] == pytest.approx(6.15, rel=0.02)
+    assert watts["4-spike (2-bit)"] == pytest.approx(0.768, rel=0.01)
+    assert watts["1-spike (1-bit)"] == pytest.approx(0.192, rel=0.01)
+    assert result.ratio_32 == pytest.approx(6.5, rel=0.1)
+    assert result.ratio_1 == pytest.approx(208, rel=0.1)
+    assert result.measured_napprox_cores == 22

@@ -1,0 +1,69 @@
+"""Section 5.2 throughput anchors and simulator performance.
+
+Checks the paper's per-module throughputs (15/31/1000 cells/s), the
+full-HD workload arithmetic (57,749 cells per frame, ~1.5M cells/s at
+26 fps), and benchmarks the tick-level simulator on one NApprox cell.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.detection.pyramid import FULL_HD_CELL_GRIDS, full_hd_cell_count
+from repro.napprox import NApproxCellRunner
+from repro.napprox.validation import random_cell_patch
+from repro.power import (
+    module_throughput_cells_per_second,
+    modules_required,
+    system_cell_rate,
+)
+
+
+def test_throughput_anchors(benchmark, capsys):
+    benchmark.pedantic(full_hd_cell_count, rounds=1, iterations=1)
+    print()
+    print("Section 5.2 reproduction: throughput arithmetic")
+    rows = [
+        [f"{w}-spike module", f"{module_throughput_cells_per_second(w)} cells/s",
+         f"paper: {p}"]
+        for w, p in [(64, 15), (32, 31), (4, 250), (1, 1000)]
+    ]
+    rows.append(
+        ["full-HD cells/frame", str(full_hd_cell_count()), "paper: 57749"]
+    )
+    rows.append(
+        ["cells/s @26fps", f"{system_cell_rate(26.0):.3g}", "paper: ~1.5M"]
+    )
+    rows.append(
+        ["NApprox modules @26fps", str(modules_required(64)), "paper: ~100k"]
+    )
+    print(format_table(["quantity", "value", "reference"], rows))
+
+    assert module_throughput_cells_per_second(64) == 15
+    assert module_throughput_cells_per_second(32) == 31
+    assert module_throughput_cells_per_second(1) == 1000
+    assert full_hd_cell_count() == 57749
+    layer_sizes = [w * h for w, h in FULL_HD_CELL_GRIDS]
+    assert layer_sizes[0] == 240 * 135
+
+
+def test_bench_simulated_cell(benchmark):
+    """Wall-clock cost of one NApprox cell on the tick-level simulator."""
+    runner = NApproxCellRunner(window=32, rng=0)
+    patch = random_cell_patch(np.random.default_rng(1))
+    histogram = benchmark(runner.extract, patch)
+    assert histogram.shape == (18,)
+
+
+def test_bench_simulator_tick_rate(benchmark):
+    """Raw core-tick throughput of the simulator (22-core system)."""
+    runner = NApproxCellRunner(window=32, rng=0)
+    raster = np.zeros((50, 100), dtype=bool)
+    raster[::2, ::3] = True
+    gate = np.zeros((50, 1), dtype=bool)
+
+    def run():
+        return runner._simulator.run(50, {"pixels": raster, "gate": gate})
+
+    result = benchmark(run)
+    assert result.ticks == 50

@@ -1,0 +1,18 @@
+"""Benchmark-suite fixtures: shared small-scale experiment data."""
+
+import pytest
+
+from repro.experiments.setup import make_experiment_data
+
+
+@pytest.fixture(scope="session")
+def bench_data():
+    """The standard split used by the figure-reproduction benches."""
+    return make_experiment_data(
+        n_positive=120,
+        n_negative=240,
+        n_negative_images=6,
+        n_test_scenes=15,
+        scene_shape=(200, 260),
+        rng=7,
+    )

@@ -1,0 +1,56 @@
+"""Explore the Table 2 deployment power model beyond the paper's points.
+
+Sweeps frame rate and module implementations, answering questions such
+as: what does 60 fps full HD cost? how much does this repo's 22-core
+NApprox corelet (vs the paper's 26) save? where is the FPGA/TrueNorth
+break-even?
+
+Run:  python examples/power_exploration.py
+"""
+
+from repro.analysis import format_sig, format_table
+from repro.experiments import table2
+from repro.power import (
+    FPGA_SYSTEM_WATTS,
+    napprox_estimate,
+    parrot_estimate,
+)
+
+
+def main() -> None:
+    # The paper's Table 2, with measured corelet size annotated.
+    print(table2.format_report(table2.run(measure_corelet=True)))
+
+    # Frame-rate sweep for the parrot 1-spike design.
+    print("\nFrame-rate sweep (Parrot, 1-spike):")
+    rows = []
+    for fps in (13, 26, 60, 120):
+        estimate = parrot_estimate(window=1, frames_per_second=fps)
+        rows.append(
+            [f"{fps} fps", str(estimate.total_cores), str(estimate.chips),
+             f"{estimate.power_watts * 1000:.0f} mW"]
+        )
+    print(format_table(["target", "cores", "chips", "power"], rows))
+
+    # Paper-vs-measured NApprox module size.
+    print("\nNApprox module size sensitivity (full-HD @ 26 fps):")
+    rows = []
+    for cores, label in ((26, "paper's module"), (22, "this repo's corelet")):
+        estimate = napprox_estimate(cores_per_module=cores)
+        rows.append(
+            [label, str(cores), str(estimate.chips),
+             format_sig(estimate.power_watts) + " W"]
+        )
+    print(format_table(["implementation", "cores/module", "chips", "power"], rows))
+
+    # Where does the parrot beat the FPGA *system* power?
+    print("\nFPGA system power is "
+          f"{FPGA_SYSTEM_WATTS} W; parrot beats it at every precision:")
+    for spikes in (32, 4, 1):
+        estimate = parrot_estimate(window=spikes)
+        print(f"  {spikes:>2}-spike parrot: {estimate.power_watts:.3f} W "
+              f"({FPGA_SYSTEM_WATTS / estimate.power_watts:.1f}x less)")
+
+
+if __name__ == "__main__":
+    main()

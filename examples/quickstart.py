@@ -1,0 +1,53 @@
+"""Quickstart: HoG feature extraction on simulated neuromorphic hardware.
+
+Builds the NApprox HoG cell module (Table 1 of the paper) out of
+neurosynaptic cores, runs one 10x10 pixel patch through the tick-level
+TrueNorth simulator, and compares the spiking histogram against the
+quantised software model and the conventional floating-point HoG.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.napprox import NApproxCellRunner, NApproxConfig, NApproxDescriptor
+from repro.napprox.validation import random_cell_patch
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    patch = random_cell_patch(rng)  # a 10x10 oriented-ramp test cell
+
+    # 1. The corelet implementation: 22 neurosynaptic cores, rate-coded
+    # 64-spike inputs, histogram read out as spike counts.
+    runner = NApproxCellRunner(window=64, rng=0)
+    print(f"NApprox cell module: {runner.core_count} cores "
+          f"(paper reports 26), {runner.ticks_per_cell} ticks/cell "
+          f"=> {1000 // runner.ticks_per_cell} cells/s pipelined")
+    hardware = runner.extract(patch)
+
+    # 2. The equivalent software model at the same quantisation width.
+    software = NApproxDescriptor(NApproxConfig(quantized=True, window=64))
+    model = software.cell_histogram(patch)
+
+    # 3. The full-precision NApprox(fp) reference.
+    reference = NApproxDescriptor(NApproxConfig(quantized=False))
+    exact = reference.cell_histogram(patch)
+
+    rows = [
+        [f"{bin_index * 20 + 10} deg", f"{hardware[bin_index]:.0f}",
+         f"{model[bin_index]:.0f}", f"{exact[bin_index]:.0f}"]
+        for bin_index in range(18)
+    ]
+    print()
+    print(format_table(["orientation", "simulated HW", "software model", "fp"], rows))
+
+    correlation = np.corrcoef(hardware, model)[0, 1]
+    print()
+    print(f"hardware-vs-software correlation on this cell: {correlation:.4f} "
+          "(paper: >0.995 over 1000 cells)")
+
+
+if __name__ == "__main__":
+    main()

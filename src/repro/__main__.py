@@ -1,0 +1,105 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro table2            # Table 2 power model (fast)
+    python -m repro table1            # Table 1 operation agreement (fast)
+    python -m repro validate          # corelet vs software correlation
+    python -m repro fig4 [--small]    # Figure 4 SVM curves
+    python -m repro fig5 [--small]    # Figure 5 Eedn curves
+    python -m repro fig6              # Figure 6 precision sweep
+    python -m repro absorbed          # Section 5.1 convergence study
+
+``--small`` shrinks the data split for a faster (noisier) run.
+"""
+
+import argparse
+import sys
+
+
+def _data(small: bool):
+    from repro.experiments.setup import make_experiment_data
+
+    if small:
+        return make_experiment_data(
+            n_positive=40,
+            n_negative=80,
+            n_negative_images=3,
+            n_test_scenes=8,
+            rng=7,
+        )
+    return make_experiment_data(
+        n_positive=120,
+        n_negative=240,
+        n_negative_images=6,
+        n_test_scenes=15,
+        rng=7,
+    )
+
+
+def main(argv=None) -> int:
+    """Parse the experiment name and print its report."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate tables and figures of the DAC'17 paper.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=["table1", "table2", "validate", "fig4", "fig5", "fig6", "absorbed"],
+        help="which artifact to regenerate",
+    )
+    parser.add_argument(
+        "--small", action="store_true", help="use a smaller, faster data split"
+    )
+    parser.add_argument(
+        "--cells", type=int, default=25, help="cells for the validate run"
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "table2":
+        from repro.experiments import table2
+
+        print(table2.format_report(table2.run()))
+    elif args.experiment == "table1":
+        import numpy as np
+
+        from repro.napprox import NApproxConfig, NApproxDescriptor
+
+        for name, quantized in (("NApprox(fp)", False), ("NApprox", True)):
+            descriptor = NApproxDescriptor(NApproxConfig(quantized=quantized))
+            image = np.tile(np.linspace(0, 1, 64), (64, 1))
+            grid = descriptor.cell_grid(image)
+            print(f"{name}: horizontal-ramp dominant bin = "
+                  f"{grid[3, 3].argmax()} (expected 0), "
+                  f"votes/cell = {grid[3, 3].sum():.0f}")
+        print("Run `pytest benchmarks/bench_table1_napprox_ops.py -s` for the "
+              "full component-agreement table.")
+    elif args.experiment == "validate":
+        from repro.napprox import correlate_corelet_vs_software
+
+        report = correlate_corelet_vs_software(n_cells=args.cells, rng=42)
+        print(f"corelet vs software over {report.n_cells} cells: "
+              f"correlation {report.correlation:.4f} (paper: >0.995), "
+              f"mean |error| {report.mean_absolute_error:.3f} votes")
+    elif args.experiment == "fig4":
+        from repro.experiments import fig4
+
+        print(fig4.format_report(fig4.run(_data(args.small))))
+    elif args.experiment == "fig5":
+        from repro.experiments import fig5
+
+        print(fig5.format_report(fig5.run(_data(args.small))))
+    elif args.experiment == "fig6":
+        from repro.experiments import fig6
+
+        print(fig6.format_report(fig6.run()))
+    elif args.experiment == "absorbed":
+        from repro.experiments import absorbed_exp
+
+        sizes = (60, 150) if args.small else (100, 300)
+        print(absorbed_exp.format_report(absorbed_exp.run(sizes=sizes)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

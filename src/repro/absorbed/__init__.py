@@ -1,0 +1,30 @@
+"""The Absorbed approach: feature extraction folded into classification.
+
+The paper's final comparison point is "a raw-image to classification
+system that doesn't impose particular feature extraction semantics",
+given the combined resource budget of extractor + classifier (3,888
+cores) and the same training set (Section 3.3). Its reported outcome:
+"the resultant network always makes blind decisions (all-positive or
+all-negative), meaning that this combination of network configuration and
+training set do not converge to a useful learned response" —
+over-fitting suspected because the training set is insufficient for the
+network size needed to process 64x128-pixel inputs (Section 5.1).
+
+:mod:`repro.absorbed.monolithic` builds the monolithic pixels-to-decision
+Eedn network and runs the convergence experiment, including the
+training-set-size sweep behind that diagnosis.
+"""
+
+from repro.absorbed.monolithic import (
+    AbsorbedOutcome,
+    build_absorbed_network,
+    run_absorbed_experiment,
+    training_size_sweep,
+)
+
+__all__ = [
+    "AbsorbedOutcome",
+    "build_absorbed_network",
+    "run_absorbed_experiment",
+    "training_size_sweep",
+]

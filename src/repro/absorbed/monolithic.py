@@ -1,0 +1,180 @@
+"""Monolithic pixels-to-decision Eedn networks and their failure modes."""
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.eedn.layers import ThresholdActivation, TrinaryDense
+from repro.eedn.mapping import core_count
+from repro.eedn.network import EednNetwork
+from repro.eedn.train import TrainConfig, TrainResult, train_network
+from repro.utils.rng import RngLike, resolve_rng
+
+INPUT_PIXELS = 128 * 64
+"""A raw 64x128 window flattened (the monolithic network's input)."""
+
+
+def build_absorbed_network(
+    hidden: Tuple[int, ...] = (1024, 256),
+    rng: RngLike = None,
+) -> EednNetwork:
+    """The monolithic raw-pixels classifier.
+
+    The default widths give a core footprint in the same regime as the
+    paper's combined 3,888-core budget under the standard mapping (the
+    8192-line input alone forces a large partial-sum tree).
+
+    Args:
+        hidden: hidden-layer widths.
+        rng: initialisation randomness.
+
+    Returns:
+        An untrained network ``8192 -> hidden... -> 2``.
+    """
+    generator = resolve_rng(rng)
+    layers: List = []
+    previous = INPUT_PIXELS
+    for width in hidden:
+        layers.append(TrinaryDense(previous, width, rng=generator))
+        layers.append(ThresholdActivation(0.0, ste_window=4.0))
+        previous = width
+    layers.append(TrinaryDense(previous, 2, rng=generator))
+    return EednNetwork(layers)
+
+
+@dataclass
+class AbsorbedOutcome:
+    """Result of one absorbed-training experiment.
+
+    Attributes:
+        train_result: the raw training history (including the blind
+            flag computed on the training set).
+        test_accuracy: accuracy on held-out windows.
+        test_majority_fraction: fraction of test predictions in the most
+            common class — near 1.0 means blind decisions.
+        blind: the paper's failure mode — (almost) every test prediction
+            is the same class.
+        useful: learned something: not blind AND meaningfully above
+            chance on the test set.
+        cores: estimated TrueNorth cores of the network.
+        n_train: training windows used.
+    """
+
+    train_result: TrainResult
+    test_accuracy: float
+    test_majority_fraction: float
+    blind: bool
+    useful: bool
+    cores: int
+    n_train: int
+
+
+def run_absorbed_experiment(
+    train_windows: np.ndarray,
+    train_labels: np.ndarray,
+    test_windows: np.ndarray,
+    test_labels: np.ndarray,
+    network: Optional[EednNetwork] = None,
+    config: Optional[TrainConfig] = None,
+    rng: RngLike = 0,
+    blind_threshold: float = 0.9,
+) -> AbsorbedOutcome:
+    """Train a monolithic network on raw windows and diagnose the result.
+
+    Args:
+        train_windows: ``(n, 128, 64)`` or ``(n, 8192)`` raw pixels.
+        train_labels: ``(n,)`` 0/1 labels.
+        test_windows: held-out windows.
+        test_labels: held-out labels.
+        network: the monolithic network (default
+            :func:`build_absorbed_network`).
+        config: training hyperparameters (defaults mirror the HoG
+            classifier training, per the paper's iso-setup comparison).
+        rng: randomness.
+        blind_threshold: majority fraction above which predictions count
+            as blind.
+
+    Returns:
+        An :class:`AbsorbedOutcome`.
+    """
+    generator = resolve_rng(rng)
+    x_train = np.asarray(train_windows, dtype=np.float64).reshape(
+        len(train_windows), -1
+    )
+    x_test = np.asarray(test_windows, dtype=np.float64).reshape(len(test_windows), -1)
+    y_train = np.asarray(train_labels, dtype=np.int64)
+    y_test = np.asarray(test_labels, dtype=np.int64)
+    if network is None:
+        network = build_absorbed_network(rng=generator)
+    if config is None:
+        config = TrainConfig(epochs=15, learning_rate=0.01, logit_scale=8.0)
+
+    result = train_network(
+        network, x_train, y_train, config, rng=generator, blind_threshold=blind_threshold
+    )
+    predictions = network.predict(x_test)
+    accuracy = float((predictions == y_test).mean())
+    majority = float(np.bincount(predictions, minlength=2).max() / len(predictions))
+    blind = majority >= blind_threshold
+    cores, _ = core_count(network, (x_train.shape[1],))
+    return AbsorbedOutcome(
+        train_result=result,
+        test_accuracy=accuracy,
+        test_majority_fraction=majority,
+        blind=blind,
+        useful=(not blind) and accuracy >= 0.65,
+        cores=cores,
+        n_train=len(x_train),
+    )
+
+
+def training_size_sweep(
+    windows: np.ndarray,
+    labels: np.ndarray,
+    test_windows: np.ndarray,
+    test_labels: np.ndarray,
+    sizes: Tuple[int, ...] = (100, 300, 1000),
+    rng: RngLike = 0,
+) -> List[AbsorbedOutcome]:
+    """The paper's diagnosis, quantified: blind/chance behaviour at small
+    training sets, improving as data grows.
+
+    Args:
+        windows: pool of labelled training windows (both classes).
+        labels: matching 0/1 labels.
+        test_windows: held-out windows.
+        test_labels: held-out labels.
+        sizes: training subset sizes to sweep.
+        rng: randomness (subset sampling, init, shuffling).
+
+    Returns:
+        One :class:`AbsorbedOutcome` per size, in order.
+    """
+    generator = resolve_rng(rng)
+    pool = np.asarray(windows, dtype=np.float64).reshape(len(windows), -1)
+    y = np.asarray(labels, dtype=np.int64)
+    outcomes = []
+    for size in sizes:
+        if size > len(pool):
+            raise ValueError(f"requested {size} windows but pool has {len(pool)}")
+        subset = generator.choice(len(pool), size=size, replace=False)
+        outcomes.append(
+            run_absorbed_experiment(
+                pool[subset],
+                y[subset],
+                test_windows,
+                test_labels,
+                rng=generator,
+            )
+        )
+    return outcomes
+
+
+__all__ = [
+    "AbsorbedOutcome",
+    "INPUT_PIXELS",
+    "build_absorbed_network",
+    "run_absorbed_experiment",
+    "training_size_sweep",
+]

@@ -1,0 +1,5 @@
+"""Reporting helpers: ASCII tables and curve summaries for the benches."""
+
+from repro.analysis.report import format_table, format_curve_table, format_sig
+
+__all__ = ["format_curve_table", "format_sig", "format_table"]

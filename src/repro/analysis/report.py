@@ -1,0 +1,88 @@
+"""Plain-text rendering of experiment results.
+
+Every bench prints its table/figure through these helpers so the output
+format stays uniform and diffable across runs.
+"""
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+
+def format_sig(value: float, digits: int = 3) -> str:
+    """A float at ``digits`` significant figures, compact."""
+    if value == 0:
+        return "0"
+    if not np.isfinite(value):
+        return str(value)
+    magnitude = int(np.floor(np.log10(abs(value))))
+    decimals = max(0, digits - 1 - magnitude)
+    return f"{value:.{decimals}f}"
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Render an ASCII table with padded columns.
+
+    Args:
+        headers: column titles.
+        rows: row cells; non-strings are ``str()``-ed.
+
+    Returns:
+        A multi-line string (no trailing newline).
+    """
+    cells = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    lines.extend(
+        "  ".join(cell.ljust(w) for cell, w in zip(row, widths)) for row in cells
+    )
+    return "\n".join(lines)
+
+
+def format_curve_table(
+    curves: Dict[str, Tuple[np.ndarray, np.ndarray]],
+    x_name: str = "fppi",
+    y_name: str = "miss rate",
+    x_samples: Sequence[float] = (0.01, 0.03, 0.1, 0.3, 1.0),
+) -> str:
+    """Tabulate several (x, y) trade-off curves at shared x samples.
+
+    For each named curve, the reported y at a sample is the minimum y
+    among points with x at or below the sample (the standard convention
+    for monotone trade-off curves).
+
+    Args:
+        curves: name -> ``(x_values, y_values)``.
+        x_name: label of the x quantity.
+        y_name: label of the y quantity.
+        x_samples: sample positions.
+
+    Returns:
+        A multi-line ASCII table: one row per sample, one column per
+        curve.
+    """
+    headers = [f"{x_name}"] + [f"{name} {y_name}" for name in curves]
+    rows: List[List[str]] = []
+    for sample in x_samples:
+        row = [format_sig(sample)]
+        for name, (xs, ys) in curves.items():
+            xs = np.asarray(xs, dtype=np.float64)
+            ys = np.asarray(ys, dtype=np.float64)
+            eligible = xs <= sample
+            row.append(format_sig(float(ys[eligible].min())) if eligible.any() else "1")
+            del name
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+__all__ = ["format_curve_table", "format_sig", "format_table"]

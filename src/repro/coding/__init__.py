@@ -1,0 +1,49 @@
+"""Spike-coding schemes for presenting scalar data to TrueNorth.
+
+The paper's designs exchange values as spike counts inside a fixed window
+of ticks: the NApprox HoG uses a 64-spike (6-bit) representation, and the
+Parrot HoG explores stochastic codings from 32 spikes down to a single
+spike per value (Figure 6, Table 2).
+
+Three families are provided:
+
+- :class:`RateEncoder` — deterministic, evenly spaced spikes; lowest
+  decode variance for a given window;
+- :class:`StochasticEncoder` — independent Bernoulli spikes with firing
+  probability proportional to the value, matching the paper's
+  "stochastic coding representation";
+- :class:`BurstEncoder` — all spikes up front, useful for latency-
+  sensitive pipelines.
+
+All encoders share the window-based interface: ``encode`` maps values in
+``[0, 1]`` to a boolean raster of shape ``(ticks, n_values)`` and
+``decode`` maps rasters back to value estimates.
+"""
+
+from repro.coding.base import SpikeEncoder, precision_bits, spikes_for_bits
+from repro.coding.rate import RateEncoder
+from repro.coding.stochastic import StochasticEncoder
+from repro.coding.burst import BurstEncoder
+from repro.coding.quantize import dequantize_counts, quantize_to_counts, quantize_uniform
+from repro.coding.analysis import (
+    CodingNoiseReport,
+    measure_decode_noise,
+    rate_decode_bound,
+    stochastic_decode_std,
+)
+
+__all__ = [
+    "BurstEncoder",
+    "CodingNoiseReport",
+    "RateEncoder",
+    "SpikeEncoder",
+    "StochasticEncoder",
+    "dequantize_counts",
+    "measure_decode_noise",
+    "precision_bits",
+    "quantize_to_counts",
+    "quantize_uniform",
+    "rate_decode_bound",
+    "spikes_for_bits",
+    "stochastic_decode_std",
+]

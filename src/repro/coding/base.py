@@ -1,0 +1,81 @@
+"""Shared interface for window-based spike encoders."""
+
+import abc
+import math
+
+import numpy as np
+
+from repro.utils.rng import RngLike
+
+
+def precision_bits(n_spikes: int) -> int:
+    """Equivalent fixed-point resolution of an ``n_spikes`` window.
+
+    The paper labels the 64-spike representation 6-bit, 32-spike 5-bit,
+    4-spike 2-bit and 1-spike 1-bit, i.e. ``log2(n)`` clamped to >= 1.
+    """
+    if n_spikes < 1:
+        raise ValueError(f"n_spikes must be >= 1, got {n_spikes}")
+    return max(1, int(round(math.log2(n_spikes))))
+
+
+def spikes_for_bits(bits: int) -> int:
+    """Window length that provides ``bits`` bits of resolution (2**bits)."""
+    if bits < 1:
+        raise ValueError(f"bits must be >= 1, got {bits}")
+    return 2**bits
+
+
+class SpikeEncoder(abc.ABC):
+    """A value <-> spike-raster codec over a fixed window of ticks.
+
+    Args:
+        ticks: window length; the "N-spike representation" of the paper.
+    """
+
+    def __init__(self, ticks: int) -> None:
+        if ticks < 1:
+            raise ValueError(f"ticks must be >= 1, got {ticks}")
+        self.ticks = ticks
+
+    @property
+    def bits(self) -> int:
+        """Equivalent fixed-point resolution of the window."""
+        return precision_bits(self.ticks)
+
+    @abc.abstractmethod
+    def encode(self, values: np.ndarray, rng: RngLike = None) -> np.ndarray:
+        """Encode ``values`` (each in ``[0, 1]``) into a spike raster.
+
+        Args:
+            values: 1-D array of n values.
+            rng: randomness source (ignored by deterministic encoders).
+
+        Returns:
+            Boolean raster of shape ``(ticks, n)``.
+        """
+
+    def decode(self, raster: np.ndarray) -> np.ndarray:
+        """Estimate values from a raster: spike count / window length."""
+        arr = np.asarray(raster)
+        if arr.ndim != 2 or arr.shape[0] != self.ticks:
+            raise ValueError(
+                f"raster must be ({self.ticks}, n), got {arr.shape}"
+            )
+        return arr.astype(np.float64).sum(axis=0) / float(self.ticks)
+
+    def _validate(self, values: np.ndarray) -> np.ndarray:
+        arr = np.asarray(values, dtype=np.float64)
+        if arr.ndim != 1:
+            raise ValueError(f"values must be 1-D, got shape {arr.shape}")
+        if arr.size and (arr.min() < -1e-9 or arr.max() > 1 + 1e-9):
+            raise ValueError(
+                f"values must lie in [0, 1], got range [{arr.min()}, {arr.max()}]"
+            )
+        return np.clip(arr, 0.0, 1.0)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(ticks={self.ticks})"
+
+
+__all__ = ["SpikeEncoder", "precision_bits", "spikes_for_bits"]

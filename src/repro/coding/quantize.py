@@ -1,0 +1,63 @@
+"""Quantisation helpers shared by the fixed-point and spiking pipelines."""
+
+import numpy as np
+
+
+def quantize_uniform(values: np.ndarray, levels: int) -> np.ndarray:
+    """Quantise values in ``[0, 1]`` onto ``levels`` evenly spaced levels.
+
+    Args:
+        values: array of values in ``[0, 1]``.
+        levels: number of representable levels (>= 2); level spacing is
+            ``1 / (levels - 1)``.
+
+    Returns:
+        Array of the same shape, with every entry snapped to a level.
+    """
+    if levels < 2:
+        raise ValueError(f"levels must be >= 2, got {levels}")
+    arr = np.clip(np.asarray(values, dtype=np.float64), 0.0, 1.0)
+    return np.round(arr * (levels - 1)) / (levels - 1)
+
+
+def quantize_to_counts(values: np.ndarray, window: int) -> np.ndarray:
+    """Map values in ``[0, 1]`` to integer spike counts in ``[0, window]``."""
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    arr = np.clip(np.asarray(values, dtype=np.float64), 0.0, 1.0)
+    return np.round(arr * window).astype(np.int64)
+
+
+def dequantize_counts(counts: np.ndarray, window: int) -> np.ndarray:
+    """Invert :func:`quantize_to_counts` (count / window)."""
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    arr = np.asarray(counts, dtype=np.float64)
+    if arr.size and (arr.min() < 0 or arr.max() > window):
+        raise ValueError(f"counts must lie in [0, {window}]")
+    return arr / float(window)
+
+
+def to_fixed_point(values: np.ndarray, fractional_bits: int) -> np.ndarray:
+    """Convert floats to signed fixed point with ``fractional_bits`` bits."""
+    if fractional_bits < 0:
+        raise ValueError(f"fractional_bits must be >= 0, got {fractional_bits}")
+    scale = float(1 << fractional_bits)
+    return np.round(np.asarray(values, dtype=np.float64) * scale).astype(np.int64)
+
+
+def from_fixed_point(values: np.ndarray, fractional_bits: int) -> np.ndarray:
+    """Invert :func:`to_fixed_point`."""
+    if fractional_bits < 0:
+        raise ValueError(f"fractional_bits must be >= 0, got {fractional_bits}")
+    scale = float(1 << fractional_bits)
+    return np.asarray(values, dtype=np.float64) / scale
+
+
+__all__ = [
+    "dequantize_counts",
+    "from_fixed_point",
+    "quantize_to_counts",
+    "quantize_uniform",
+    "to_fixed_point",
+]

@@ -1,0 +1,34 @@
+"""Deterministic rate coding: spikes spread evenly across the window."""
+
+import numpy as np
+
+from repro.coding.base import SpikeEncoder
+from repro.utils.rng import RngLike
+
+
+class RateEncoder(SpikeEncoder):
+    """Encode each value as ``round(value * ticks)`` evenly spaced spikes.
+
+    Even spacing (a Bresenham-style accumulator) keeps instantaneous rates
+    close to the target value throughout the window, which matters when
+    downstream neurons integrate over sub-windows.
+    """
+
+    def encode(self, values: np.ndarray, rng: RngLike = None) -> np.ndarray:
+        """See :meth:`SpikeEncoder.encode`; ``rng`` is ignored."""
+        arr = self._validate(values)
+        counts = np.round(arr * self.ticks).astype(np.int64)
+        raster = np.zeros((self.ticks, arr.size), dtype=bool)
+        ticks = np.arange(self.ticks)
+        for column, count in enumerate(counts):
+            if count <= 0:
+                continue
+            # Place spike k at floor(k * ticks / count): even spacing, first
+            # spike at tick 0, never two spikes on the same tick.
+            positions = (np.arange(count) * self.ticks) // count
+            raster[positions, column] = True
+        del ticks
+        return raster
+
+
+__all__ = ["RateEncoder"]

@@ -1,0 +1,32 @@
+"""Stochastic (Bernoulli) coding, the paper's low-power representation.
+
+"Parrot HoG operates with stochastic input signals ... the representation
+of the signals and features can be as simple as 1-spike with the
+probability proportional to the value" (paper, Section 1). With a window
+of N ticks the decoded value is a binomial estimate with standard error
+``sqrt(v * (1 - v) / N)``.
+"""
+
+import numpy as np
+
+from repro.coding.base import SpikeEncoder
+from repro.utils.rng import RngLike, resolve_rng
+
+
+class StochasticEncoder(SpikeEncoder):
+    """Each tick fires independently with probability equal to the value."""
+
+    def encode(self, values: np.ndarray, rng: RngLike = None) -> np.ndarray:
+        """See :meth:`SpikeEncoder.encode`.
+
+        Args:
+            values: 1-D array in ``[0, 1]``.
+            rng: randomness source; pass a seed for reproducibility.
+        """
+        arr = self._validate(values)
+        generator = resolve_rng(rng)
+        draws = generator.random((self.ticks, arr.size))
+        return draws < arr[None, :]
+
+
+__all__ = ["StochasticEncoder"]

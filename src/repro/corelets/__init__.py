@@ -1,0 +1,33 @@
+"""Corelet layer: composable builders of neurosynaptic-core programs.
+
+Corelets (Amir et al. 2013) abstract TrueNorth configuration: each corelet
+encapsulates the cores, neuron/axon types and connectivity of one piece of
+functionality and exposes named input/output pins. Corelets compose
+hierarchically; a main corelet consists of subcorelets that perform small
+portions of the overall operation (paper, Section 2.2).
+
+In this package a :class:`~repro.corelets.corelet.Corelet` is a *builder*:
+:meth:`~repro.corelets.corelet.Corelet.build` allocates cores inside a
+:class:`~repro.truenorth.system.NeurosynapticSystem` and returns a
+:class:`~repro.corelets.corelet.BuiltCorelet` that names the concrete
+input axons and output neurons. :func:`~repro.corelets.compiler.compile_corelet`
+wraps a corelet with system input ports and output probes so it can be
+simulated directly.
+
+The :mod:`repro.corelets.library` package provides the reusable operators
+the paper's designs are assembled from: splitters (fan-out), rectified
+weighted sums (pattern matching / inner products), comparators and gated
+logic (the "comparison" primitive of Table 1), accumulators, and max
+pooling.
+"""
+
+from repro.corelets.corelet import BuiltCorelet, Corelet
+from repro.corelets.compiler import CompiledProgram, compile_corelet, connect
+
+__all__ = [
+    "BuiltCorelet",
+    "CompiledProgram",
+    "Corelet",
+    "compile_corelet",
+    "connect",
+]

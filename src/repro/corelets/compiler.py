@@ -1,0 +1,97 @@
+"""Compile corelets into simulatable programs and wire corelets together."""
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.errors import CompilationError
+from repro.corelets.corelet import BuiltCorelet, Corelet
+from repro.truenorth.system import NeurosynapticSystem
+
+
+@dataclass
+class CompiledProgram:
+    """A corelet attached to a system with named I/O.
+
+    Attributes:
+        system: the system holding the built cores.
+        built: the corelet footprint.
+        input_port: name of the system input port feeding the corelet.
+        output_probe: name of the probe observing the corelet outputs.
+    """
+
+    system: NeurosynapticSystem
+    built: BuiltCorelet
+    input_port: str
+    output_probe: str
+
+    @property
+    def core_count(self) -> int:
+        """Cores allocated by the compiled corelet."""
+        return self.built.core_count
+
+
+def compile_corelet(
+    corelet: Corelet,
+    system: Optional[NeurosynapticSystem] = None,
+    input_port: str = "in",
+    output_probe: str = "out",
+) -> CompiledProgram:
+    """Build ``corelet`` and expose its pins as system I/O.
+
+    Args:
+        corelet: the corelet to build.
+        system: target system; a fresh one is created when omitted.
+        input_port: name for the created input port (one line per input pin).
+        output_probe: name for the created output probe (one line per
+            output pin).
+
+    Returns:
+        A :class:`CompiledProgram` ready for
+        :class:`repro.truenorth.simulator.Simulator`.
+    """
+    target = system if system is not None else NeurosynapticSystem(corelet.name)
+    built = corelet.build(target)
+    target.add_input_port(input_port, [[ref] for ref in built.inputs])
+    target.add_output_probe(output_probe, list(built.outputs))
+    return CompiledProgram(target, built, input_port, output_probe)
+
+
+def connect(
+    system: NeurosynapticSystem,
+    upstream: BuiltCorelet,
+    downstream: BuiltCorelet,
+    output_pins: Optional[Sequence[int]] = None,
+    input_pins: Optional[Sequence[int]] = None,
+    delay: int = 1,
+) -> None:
+    """Route upstream output pins to downstream input pins one-to-one.
+
+    Args:
+        system: the system both corelets were built into.
+        upstream: source corelet.
+        downstream: destination corelet.
+        output_pins: which upstream pins to connect (default: all).
+        input_pins: which downstream pins to connect (default: all).
+        delay: delivery delay in ticks for every created route.
+
+    Raises:
+        CompilationError: when pin selections have different lengths.
+    """
+    outs = list(output_pins) if output_pins is not None else list(
+        range(upstream.output_width)
+    )
+    ins = list(input_pins) if input_pins is not None else list(
+        range(downstream.input_width)
+    )
+    if len(outs) != len(ins):
+        raise CompilationError(
+            f"cannot connect {len(outs)} outputs of {upstream.name} to "
+            f"{len(ins)} inputs of {downstream.name}"
+        )
+    for out_pin, in_pin in zip(outs, ins):
+        src_core, src_neuron = upstream.outputs[out_pin]
+        dst_core, dst_axon = downstream.inputs[in_pin]
+        system.add_route(src_core, src_neuron, dst_core, dst_axon, delay=delay)
+
+
+__all__ = ["CompiledProgram", "compile_corelet", "connect"]

@@ -1,0 +1,110 @@
+"""Corelet and BuiltCorelet: the builder abstraction."""
+
+import abc
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.truenorth.system import NeurosynapticSystem
+
+AxonRef = Tuple[int, int]
+"""``(core_id, axon)`` — a concrete input line."""
+
+NeuronRef = Tuple[int, int]
+"""``(core_id, neuron)`` — a concrete output line."""
+
+
+@dataclass(frozen=True)
+class BuiltCorelet:
+    """The concrete footprint of a corelet inside a system.
+
+    Attributes:
+        name: the corelet's label.
+        inputs: input pins, in pin order, as ``(core_id, axon)``.
+        outputs: output pins, in pin order, as ``(core_id, neuron)``.
+        core_ids: ids of every core the corelet allocated (including
+            subcorelets), used for resource accounting.
+    """
+
+    name: str
+    inputs: Tuple[AxonRef, ...]
+    outputs: Tuple[NeuronRef, ...]
+    core_ids: Tuple[int, ...]
+
+    @property
+    def input_width(self) -> int:
+        """Number of input pins."""
+        return len(self.inputs)
+
+    @property
+    def output_width(self) -> int:
+        """Number of output pins."""
+        return len(self.outputs)
+
+    @property
+    def core_count(self) -> int:
+        """Number of cores consumed (the paper's resource metric)."""
+        return len(self.core_ids)
+
+
+class Corelet(abc.ABC):
+    """A reusable builder of neurosynaptic-core functionality.
+
+    Subclasses declare their pin widths and implement :meth:`build`, which
+    allocates cores inside the given system and wires internal routes.
+    Corelets are stateless descriptions: one corelet instance can be built
+    into several systems (or several times into one system).
+
+    Args:
+        name: label used for allocated cores and error messages.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    @property
+    @abc.abstractmethod
+    def input_width(self) -> int:
+        """Number of input pins the built corelet exposes."""
+
+    @property
+    @abc.abstractmethod
+    def output_width(self) -> int:
+        """Number of output pins the built corelet exposes."""
+
+    @abc.abstractmethod
+    def build(self, system: NeurosynapticSystem) -> BuiltCorelet:
+        """Allocate cores and internal routes; return the footprint."""
+
+    def _collect(
+        self,
+        inputs: List[AxonRef],
+        outputs: List[NeuronRef],
+        core_ids: List[int],
+    ) -> BuiltCorelet:
+        """Assemble and sanity-check a :class:`BuiltCorelet`."""
+        built = BuiltCorelet(
+            name=self.name,
+            inputs=tuple(inputs),
+            outputs=tuple(outputs),
+            core_ids=tuple(core_ids),
+        )
+        if built.input_width != self.input_width:
+            raise AssertionError(
+                f"{self.name}: declared input_width {self.input_width} but "
+                f"built {built.input_width}"
+            )
+        if built.output_width != self.output_width:
+            raise AssertionError(
+                f"{self.name}: declared output_width {self.output_width} but "
+                f"built {built.output_width}"
+            )
+        return built
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(name={self.name!r}, "
+            f"in={self.input_width}, out={self.output_width})"
+        )
+
+
+__all__ = ["AxonRef", "BuiltCorelet", "Corelet", "NeuronRef"]

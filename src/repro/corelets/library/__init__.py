@@ -1,0 +1,34 @@
+"""Reusable corelets: the operator vocabulary of the paper's designs.
+
+Every operator in Table 1 of the paper maps onto one of these:
+
+- **pattern matching** (gradient filters) —
+  :class:`~repro.corelets.library.pattern_match.PatternMatchCorelet`;
+- **inner product** (directional magnitude, histogram voting) —
+  :class:`~repro.corelets.library.weighted_sum.WeightedSumCorelet`;
+- **comparison** (gradient angle argmax) —
+  :class:`~repro.corelets.library.comparator.ComparatorCorelet` combined
+  with :class:`~repro.corelets.library.logic.GatedLogicCorelet`;
+- fan-out plumbing — :class:`~repro.corelets.library.splitter.SplitterCorelet`;
+- count aggregation — :class:`~repro.corelets.library.accumulator.AccumulatorCorelet`;
+- **max pooling** — :class:`~repro.corelets.library.pooling.MaxPoolCorelet`.
+"""
+
+from repro.corelets.library.splitter import SplitterCorelet
+from repro.corelets.library.weighted_sum import NeuronMode, WeightedSumCorelet
+from repro.corelets.library.comparator import ComparatorCorelet
+from repro.corelets.library.logic import GatedLogicCorelet
+from repro.corelets.library.accumulator import AccumulatorCorelet
+from repro.corelets.library.pooling import MaxPoolCorelet
+from repro.corelets.library.pattern_match import PatternMatchCorelet
+
+__all__ = [
+    "AccumulatorCorelet",
+    "ComparatorCorelet",
+    "GatedLogicCorelet",
+    "MaxPoolCorelet",
+    "NeuronMode",
+    "PatternMatchCorelet",
+    "SplitterCorelet",
+    "WeightedSumCorelet",
+]

@@ -1,0 +1,61 @@
+"""Accumulator corelets: rate-coded addition of spike counts."""
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.corelets.corelet import BuiltCorelet, Corelet
+from repro.corelets.library.weighted_sum import NeuronMode, WeightedSumCorelet
+from repro.truenorth.system import NeurosynapticSystem
+
+
+class AccumulatorCorelet(Corelet):
+    """Sum the spike counts of groups of input lines.
+
+    Output ``g`` emits one spike per ``threshold`` accumulated input
+    spikes from its group (linear reset), so over a long enough drain
+    window the output count equals ``floor(group count / threshold)``.
+    Because a neuron fires at most once per tick, bursts larger than one
+    spike per tick are smeared over subsequent ticks rather than lost —
+    give the system a drain phase of at least the maximum expected count.
+
+    Args:
+        group_sizes: number of consecutive input lines in each group.
+        threshold: input spikes consumed per output spike (default 1).
+        name: corelet label.
+    """
+
+    def __init__(
+        self, group_sizes: Sequence[int], threshold: int = 1, name: str = "acc"
+    ) -> None:
+        super().__init__(name)
+        sizes = [int(s) for s in group_sizes]
+        if not sizes or any(s < 1 for s in sizes):
+            raise ValueError(f"group_sizes must be positive, got {group_sizes}")
+        n_in = sum(sizes)
+        weights = np.zeros((n_in, len(sizes)), dtype=np.int64)
+        cursor = 0
+        for group, size in enumerate(sizes):
+            weights[cursor : cursor + size, group] = 1
+            cursor += size
+        self._inner = WeightedSumCorelet(
+            weights, threshold=threshold, mode=NeuronMode.RECT_RATE, name=name
+        )
+        self._n_in = n_in
+        self._n_out = len(sizes)
+
+    @property
+    def input_width(self) -> int:
+        return self._n_in
+
+    @property
+    def output_width(self) -> int:
+        return self._n_out
+
+    def build(self, system: NeurosynapticSystem) -> BuiltCorelet:
+        """Delegate to the underlying weighted sum."""
+        built = self._inner.build(system)
+        return self._collect(list(built.inputs), list(built.outputs), list(built.core_ids))
+
+
+__all__ = ["AccumulatorCorelet"]

@@ -1,0 +1,59 @@
+"""Comparator corelets: the "comparison" primitive of Table 1.
+
+A comparator neuron integrates ``count(a) - count(b)`` with no reset, so
+once both streams have been presented it fires on every tick while the
+running difference is at least one — a persistent ``a > b`` indicator
+that downstream gated logic samples during a readout phase.
+"""
+
+import numpy as np
+
+from repro.corelets.corelet import BuiltCorelet, Corelet
+from repro.corelets.library.weighted_sum import NeuronMode, WeightedSumCorelet
+from repro.truenorth.system import NeurosynapticSystem
+
+
+class ComparatorCorelet(Corelet):
+    """``n_pairs`` spike-count comparisons, each ``a_i > b_i``.
+
+    Input pins are interleaved: pin ``2i`` is ``a_i``, pin ``2i + 1`` is
+    ``b_i``. Output pin ``i`` fires on each tick where the cumulative
+    count of ``a_i`` exceeds that of ``b_i`` by at least ``margin``.
+
+    Args:
+        n_pairs: number of independent comparisons.
+        margin: required count difference (default 1, i.e. strict ``>``).
+        name: corelet label.
+    """
+
+    def __init__(self, n_pairs: int, margin: int = 1, name: str = "cmp") -> None:
+        super().__init__(name)
+        if n_pairs < 1:
+            raise ValueError(f"n_pairs must be >= 1, got {n_pairs}")
+        if margin < 1:
+            raise ValueError(f"margin must be >= 1, got {margin}")
+        self.n_pairs = n_pairs
+        self.margin = margin
+        weights = np.zeros((2 * n_pairs, n_pairs), dtype=np.int64)
+        for pair in range(n_pairs):
+            weights[2 * pair, pair] = 1
+            weights[2 * pair + 1, pair] = -1
+        self._inner = WeightedSumCorelet(
+            weights, threshold=margin, mode=NeuronMode.INDICATOR, name=name
+        )
+
+    @property
+    def input_width(self) -> int:
+        return 2 * self.n_pairs
+
+    @property
+    def output_width(self) -> int:
+        return self.n_pairs
+
+    def build(self, system: NeurosynapticSystem) -> BuiltCorelet:
+        """Delegate to the underlying weighted sum."""
+        built = self._inner.build(system)
+        return self._collect(list(built.inputs), list(built.outputs), list(built.core_ids))
+
+
+__all__ = ["ComparatorCorelet"]

@@ -1,0 +1,128 @@
+"""Gated threshold logic built from pulse and one-shot neurons.
+
+These corelets combine persistent indicator lines (from
+:class:`~repro.corelets.library.comparator.ComparatorCorelet`) with a gate
+line that marks the readout phase, producing clean decisions unaffected by
+transient indicator firings earlier in the window.
+"""
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.corelets.corelet import BuiltCorelet, Corelet
+from repro.corelets.library.weighted_sum import NeuronMode, WeightedSumCorelet
+from repro.truenorth.system import NeurosynapticSystem
+
+
+class GatedLogicCorelet(Corelet):
+    """``n_out`` gated threshold-logic decisions over shared data lines.
+
+    Each output ``j`` evaluates, on every tick, whether
+    ``sum_i weights[i, j] * data_i(t) >= threshold`` *and* the gate line
+    spiked this tick, where ``data_i(t)`` are this-tick spikes. The
+    evaluation is memoryless: a leak equal to the firing threshold wipes
+    any partial charge between ticks, so indicator transients before the
+    readout phase cannot accumulate.
+
+    With ``one_shot=True`` a follower stage of deep-reset neurons limits
+    each output to a single spike per window (one extra core).
+
+    The gate is input pin 0; data lines follow in order.
+
+    Args:
+        weights: integer matrix ``(n_data, n_out)`` over the data lines.
+        threshold: required weighted data sum (the gate contributes on top).
+        one_shot: when ``True`` each output fires at most once per window.
+        name: corelet label.
+    """
+
+    def __init__(
+        self,
+        weights: np.ndarray,
+        threshold: int = 1,
+        one_shot: bool = True,
+        name: str = "logic",
+    ) -> None:
+        super().__init__(name)
+        matrix = np.asarray(weights, dtype=np.int64)
+        if matrix.ndim != 2:
+            raise ValueError(f"weights must be 2-D, got {matrix.shape}")
+        n_data, n_out = matrix.shape
+        # Prepend the gate row. The gate weight dominates so nothing can
+        # fire while the gate is silent: the largest achievable data sum
+        # stays below threshold + gate_weight.
+        gate_weight = int(np.maximum(matrix, 0).sum(axis=0).max()) + int(threshold) + 1
+        full = np.zeros((n_data + 1, n_out), dtype=np.int64)
+        full[0, :] = gate_weight
+        full[1:, :] = matrix
+        required = int(threshold) + gate_weight
+        # Fire iff this tick's weighted sum s >= required, with no memory:
+        # with firing threshold 1 and leak -(required - 1), the potential
+        # after an update is s - required + 1, which reaches 1 exactly when
+        # s >= required; any sub-threshold residue is negative and the
+        # PULSE zero floor wipes it.
+        self._inner = WeightedSumCorelet(
+            full,
+            threshold=1,
+            mode=NeuronMode.PULSE,
+            leak=-(required - 1),
+            name=f"{name}.eval",
+        )
+        self.one_shot = one_shot
+        if one_shot:
+            self._follower = WeightedSumCorelet(
+                np.eye(n_out, dtype=np.int64),
+                threshold=1,
+                mode=NeuronMode.ONE_SHOT,
+                name=f"{name}.once",
+            )
+        self.n_data = n_data
+        self.n_out = n_out
+
+    @property
+    def input_width(self) -> int:
+        return self.n_data + 1
+
+    @property
+    def output_width(self) -> int:
+        return self.n_out
+
+    def build(self, system: NeurosynapticSystem) -> BuiltCorelet:
+        """Build the evaluator and, for one-shot mode, the follower stage."""
+        evaluator = self._inner.build(system)
+        core_ids: List[int] = list(evaluator.core_ids)
+        outputs = list(evaluator.outputs)
+        if self.one_shot:
+            follower = self._follower.build(system)
+            core_ids.extend(follower.core_ids)
+            for pin in range(self.n_out):
+                src_core, src_neuron = evaluator.outputs[pin]
+                dst_core, dst_axon = follower.inputs[pin]
+                system.add_route(src_core, src_neuron, dst_core, dst_axon)
+            outputs = list(follower.outputs)
+        return self._collect(list(evaluator.inputs), outputs, core_ids)
+
+
+def and_gate_weights(
+    inputs_per_gate: Sequence[Sequence[int]], n_data: int
+) -> np.ndarray:
+    """Weight matrix for per-output AND over selected data lines.
+
+    Args:
+        inputs_per_gate: for each gate, the data-line indices it requires.
+        n_data: total number of data lines.
+
+    Returns:
+        Integer matrix ``(n_data, len(inputs_per_gate))`` suitable for
+        :class:`GatedLogicCorelet` with ``threshold`` equal to the gate
+        arity (uniform arities assumed by the shared threshold).
+    """
+    weights = np.zeros((n_data, len(inputs_per_gate)), dtype=np.int64)
+    for gate, lines in enumerate(inputs_per_gate):
+        for line in lines:
+            weights[line, gate] = 1
+    return weights
+
+
+__all__ = ["GatedLogicCorelet", "and_gate_weights"]

@@ -1,0 +1,77 @@
+"""Pattern-matching corelets: low-precision template correlation.
+
+The paper's NApprox HoG finds gradient vectors "by performing low
+precision pattern matching" with the filters (-1 0 1), (1 0 -1) and their
+transposes (Table 1). A pattern matcher is a rectified weighted sum whose
+weights are the template: the output spike count measures how strongly
+the (rate-coded) input matches the template, with anti-matches clipped at
+zero by the rectifier.
+"""
+
+import numpy as np
+
+from repro.corelets.corelet import BuiltCorelet, Corelet
+from repro.corelets.library.weighted_sum import NeuronMode, WeightedSumCorelet
+from repro.truenorth.system import NeurosynapticSystem
+
+
+class PatternMatchCorelet(Corelet):
+    """Rectified correlation of the input lines against signed templates.
+
+    Args:
+        templates: integer matrix ``(n_in, n_templates)``; column ``t`` is
+            template ``t`` over the input lines.
+        threshold: spikes of matched evidence per output spike (sets the
+            output scale; default 1 = raw rectified correlation counts).
+        name: corelet label.
+    """
+
+    def __init__(
+        self, templates: np.ndarray, threshold: int = 1, name: str = "match"
+    ) -> None:
+        super().__init__(name)
+        matrix = np.asarray(templates, dtype=np.int64)
+        if matrix.ndim != 2:
+            raise ValueError(f"templates must be 2-D, got {matrix.shape}")
+        self._inner = WeightedSumCorelet(
+            matrix, threshold=threshold, mode=NeuronMode.RECT_RATE, name=name
+        )
+        self._shape = matrix.shape
+
+    @property
+    def input_width(self) -> int:
+        return self._shape[0]
+
+    @property
+    def output_width(self) -> int:
+        return self._shape[1]
+
+    def build(self, system: NeurosynapticSystem) -> BuiltCorelet:
+        """Delegate to the underlying weighted sum."""
+        built = self._inner.build(system)
+        return self._collect(list(built.inputs), list(built.outputs), list(built.core_ids))
+
+
+def gradient_templates() -> np.ndarray:
+    """The four NApprox gradient templates over a pixel's 3x3 neighbourhood.
+
+    Input line order is row-major over the 3x3 patch (pixel indices 0..8 as
+    in Figure 2 of the paper). Columns are ``Ix``, ``-Ix``, ``Iy``, ``-Iy``:
+    ``Ix = Pixel5 - Pixel3`` and ``Iy = Pixel1 - Pixel7``.
+
+    Returns:
+        Integer matrix of shape ``(9, 4)``.
+    """
+    templates = np.zeros((9, 4), dtype=np.int64)
+    templates[5, 0] = 1   # Ix   = P5 - P3
+    templates[3, 0] = -1
+    templates[3, 1] = 1   # -Ix  = P3 - P5
+    templates[5, 1] = -1
+    templates[1, 2] = 1   # Iy   = P1 - P7
+    templates[7, 2] = -1
+    templates[7, 3] = 1   # -Iy  = P7 - P1
+    templates[1, 3] = -1
+    return templates
+
+
+__all__ = ["PatternMatchCorelet", "gradient_templates"]

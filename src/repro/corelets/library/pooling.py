@@ -1,0 +1,64 @@
+"""Max-pooling corelets.
+
+Under rate or stochastic coding, a per-tick OR of a group of lines
+approximates the maximum of their values: the OR's firing probability is
+``1 - prod(1 - p_i)``, which is dominated by (and lower-bounded by) the
+largest ``p_i``. This is the standard TrueNorth pooling idiom and the
+"max pooling" block of the paper's NApprox flow (Figure 1).
+"""
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.corelets.corelet import BuiltCorelet, Corelet
+from repro.corelets.library.weighted_sum import NeuronMode, WeightedSumCorelet
+from repro.truenorth.system import NeurosynapticSystem
+
+
+class MaxPoolCorelet(Corelet):
+    """Per-tick OR over groups of input lines (rate-domain max).
+
+    Args:
+        group_sizes: number of consecutive input lines in each group.
+        name: corelet label.
+    """
+
+    def __init__(self, group_sizes: Sequence[int], name: str = "maxpool") -> None:
+        super().__init__(name)
+        sizes = [int(s) for s in group_sizes]
+        if not sizes or any(s < 1 for s in sizes):
+            raise ValueError(f"group_sizes must be positive, got {group_sizes}")
+        n_in = sum(sizes)
+        weights = np.zeros((n_in, len(sizes)), dtype=np.int64)
+        cursor = 0
+        for group, size in enumerate(sizes):
+            weights[cursor : cursor + size, group] = 1
+            cursor += size
+        # PULSE with threshold 1 is already memoryless: any tick with at
+        # least one input spike fires and resets to zero, and a tick with
+        # none leaves the potential at zero, so no leak is needed.
+        self._inner = WeightedSumCorelet(
+            weights,
+            threshold=1,
+            mode=NeuronMode.PULSE,
+            name=name,
+        )
+        self._n_in = n_in
+        self._n_out = len(sizes)
+
+    @property
+    def input_width(self) -> int:
+        return self._n_in
+
+    @property
+    def output_width(self) -> int:
+        return self._n_out
+
+    def build(self, system: NeurosynapticSystem) -> BuiltCorelet:
+        """Delegate to the underlying weighted sum."""
+        built = self._inner.build(system)
+        return self._collect(list(built.inputs), list(built.outputs), list(built.core_ids))
+
+
+__all__ = ["MaxPoolCorelet"]

@@ -1,0 +1,110 @@
+"""Splitter corelets: fan a spike line out to several copies.
+
+TrueNorth neurons target exactly one axon, so fan-out is built from
+splitter cores: each input axon connects across the crossbar to several
+identity neurons (+1 weight, threshold 1, reset), each of which can then
+be routed to a different destination.
+"""
+
+from typing import List, Sequence, Union
+
+from repro.errors import CompilationError
+from repro.corelets.corelet import BuiltCorelet, Corelet
+from repro.truenorth.system import NeurosynapticSystem
+from repro.truenorth.types import CORE_AXONS, CORE_NEURONS, NeuronParameters, ResetMode
+
+_IDENTITY = NeuronParameters(weights=(1, 0, 0, 0), threshold=1, reset_mode=ResetMode.RESET)
+
+
+class SplitterCorelet(Corelet):
+    """Copy each input line ``fanout`` times.
+
+    Output pin ordering is copy-major: pin ``c * width + i`` carries copy
+    ``c`` of input line ``i``. Per-line fan-outs may differ by passing a
+    sequence; then output pins are line-major (all copies of line 0 first).
+
+    Args:
+        width: number of input lines.
+        fanout: copies per line — an int (uniform) or per-line sequence.
+        name: corelet label.
+    """
+
+    def __init__(
+        self, width: int, fanout: Union[int, Sequence[int]], name: str = "split"
+    ) -> None:
+        super().__init__(name)
+        if width < 1:
+            raise ValueError(f"width must be >= 1, got {width}")
+        if isinstance(fanout, int):
+            fanouts = [fanout] * width
+            self._uniform = True
+        else:
+            fanouts = list(fanout)
+            self._uniform = False
+        if len(fanouts) != width:
+            raise ValueError(
+                f"fanout sequence length {len(fanouts)} != width {width}"
+            )
+        if any(f < 1 for f in fanouts):
+            raise ValueError("every fanout must be >= 1")
+        self.width = width
+        self.fanouts = fanouts
+
+    @property
+    def input_width(self) -> int:
+        return self.width
+
+    @property
+    def output_width(self) -> int:
+        return sum(self.fanouts)
+
+    def build(self, system: NeurosynapticSystem) -> BuiltCorelet:
+        """Allocate splitter cores, packing lines greedily."""
+        # Assign lines to cores: a line's copies must share its core.
+        assignments: List[List[int]] = [[]]
+        axons_used = 0
+        neurons_used = 0
+        for line in range(self.width):
+            copies = self.fanouts[line]
+            if copies > CORE_NEURONS:
+                raise CompilationError(
+                    f"{self.name}: line {line} needs {copies} copies, more "
+                    f"than one core's {CORE_NEURONS} neurons; cascade splitters"
+                )
+            if axons_used + 1 > CORE_AXONS or neurons_used + copies > CORE_NEURONS:
+                assignments.append([])
+                axons_used = 0
+                neurons_used = 0
+            assignments[-1].append(line)
+            axons_used += 1
+            neurons_used += copies
+
+        inputs = [None] * self.width  # type: List
+        copies_by_line: List[List] = [[] for _ in range(self.width)]
+        core_ids = []
+        for chunk_index, lines in enumerate(assignments):
+            core = system.new_core(f"{self.name}.{chunk_index}")
+            core_ids.append(core.core_id)
+            neuron_cursor = 0
+            for axon, line in enumerate(lines):
+                core.set_axon_type(axon, 0)
+                inputs[line] = (core.core_id, axon)
+                for _ in range(self.fanouts[line]):
+                    core.set_neuron(neuron_cursor, _IDENTITY)
+                    core.connect(axon, neuron_cursor)
+                    copies_by_line[line].append((core.core_id, neuron_cursor))
+                    neuron_cursor += 1
+
+        if self._uniform:
+            fanout = self.fanouts[0]
+            outputs = [
+                copies_by_line[line][copy]
+                for copy in range(fanout)
+                for line in range(self.width)
+            ]
+        else:
+            outputs = [ref for line in copies_by_line for ref in line]
+        return self._collect(list(inputs), outputs, core_ids)
+
+
+__all__ = ["SplitterCorelet"]

@@ -1,0 +1,259 @@
+"""Weighted-sum corelets: TrueNorth's inner-product primitive.
+
+A weighted sum with arbitrary signed integer weights is realised by
+replicating each input line onto several axons (via an internal splitter
+stage when needed): positive replicas carry axon type 0 (+1 in every
+neuron's LUT) and negative replicas type 1 (-1), so a neuron that needs
+weight ``w`` on a line simply connects to ``|w|`` replicas of the matching
+sign. This is the standard TrueNorth weight-decomposition idiom.
+"""
+
+import enum
+from typing import List, Sequence, Union
+
+import numpy as np
+
+from repro.errors import CompilationError
+from repro.corelets.corelet import BuiltCorelet, Corelet
+from repro.corelets.library.splitter import SplitterCorelet
+from repro.truenorth.system import NeurosynapticSystem
+from repro.truenorth.types import (
+    CORE_AXONS,
+    CORE_NEURONS,
+    NeuronParameters,
+    ResetMode,
+)
+
+_DEEP_FLOOR = 2**18
+_DEEP_RESET = -(2**18)
+
+
+class NeuronMode(enum.Enum):
+    """Output-neuron behaviour of a weighted-sum corelet.
+
+    Attributes:
+        RECT_RATE: linear reset with a deep negative floor; the output
+            spike count approximates ``max(0, sum) / threshold`` — a
+            rectified, rate-coded inner product (the rectification is the
+            running prefix-max, so inhibition is never forgotten).
+        INDICATOR: no reset, deep negative floor; the neuron fires on every
+            tick its running potential is at or above threshold — a
+            persistent comparator.
+        ONE_SHOT: fires at most once per window (reset to a deep negative
+            potential) — used for single-vote decisions.
+        PULSE: hard reset to zero after each fire — a per-tick threshold
+            gate with no memory of past excess.
+    """
+
+    RECT_RATE = "rect_rate"
+    INDICATOR = "indicator"
+    ONE_SHOT = "one_shot"
+    PULSE = "pulse"
+
+
+def _neuron_params(mode: NeuronMode, threshold: int, leak: int) -> NeuronParameters:
+    if mode is NeuronMode.RECT_RATE:
+        # Deep negative floor: inhibitory spikes must be remembered, not
+        # clipped per tick, or interleaved +/- streams overcount. The
+        # output count is then the running prefix-max of the net input,
+        # which matches max(0, net) for evenly spread rate codes.
+        return NeuronParameters(
+            weights=(1, -1, 0, 0),
+            threshold=threshold,
+            leak=leak,
+            reset_mode=ResetMode.LINEAR,
+            floor=_DEEP_FLOOR,
+        )
+    if mode is NeuronMode.INDICATOR:
+        return NeuronParameters(
+            weights=(1, -1, 0, 0),
+            threshold=threshold,
+            leak=leak,
+            reset_mode=ResetMode.NONE,
+            floor=_DEEP_FLOOR,
+        )
+    if mode is NeuronMode.ONE_SHOT:
+        return NeuronParameters(
+            weights=(1, -1, 0, 0),
+            threshold=threshold,
+            leak=leak,
+            reset_mode=ResetMode.RESET,
+            reset_potential=_DEEP_RESET,
+            floor=_DEEP_FLOOR,
+        )
+    if mode is NeuronMode.PULSE:
+        return NeuronParameters(
+            weights=(1, -1, 0, 0),
+            threshold=threshold,
+            leak=leak,
+            reset_mode=ResetMode.RESET,
+            reset_potential=0,
+            floor=0,
+        )
+    raise ValueError(f"unknown mode {mode!r}")
+
+
+class WeightedSumCorelet(Corelet):
+    """Compute ``n_out`` signed-integer weighted sums of ``n_in`` lines.
+
+    Args:
+        weights: integer matrix of shape ``(n_in, n_out)``.
+        threshold: firing threshold; scalar or per-output sequence.
+        mode: output-neuron behaviour (see :class:`NeuronMode`).
+        leak: signed leak applied to every output neuron each tick; a
+            leak of ``-threshold`` combined with :attr:`NeuronMode.PULSE`
+            gives memoryless per-tick threshold logic.
+        name: corelet label.
+
+    Raises:
+        CompilationError: if the replica axons required by the weight
+            magnitudes exceed one core's 256 axons. Restructure into
+            partial sums (see :class:`~repro.corelets.library.accumulator.AccumulatorCorelet`).
+    """
+
+    def __init__(
+        self,
+        weights: np.ndarray,
+        threshold: Union[int, Sequence[int]] = 1,
+        mode: NeuronMode = NeuronMode.RECT_RATE,
+        leak: Union[int, Sequence[int]] = 0,
+        name: str = "wsum",
+    ) -> None:
+        super().__init__(name)
+        matrix = np.asarray(weights)
+        if matrix.ndim != 2:
+            raise ValueError(f"weights must be 2-D (n_in, n_out), got {matrix.shape}")
+        if not np.issubdtype(matrix.dtype, np.integer):
+            if not np.allclose(matrix, np.round(matrix)):
+                raise ValueError("weights must be integers")
+            matrix = np.round(matrix).astype(np.int64)
+        self.weights = matrix.astype(np.int64)
+        self.mode = mode
+        n_out = self.weights.shape[1]
+        if isinstance(threshold, (int, np.integer)):
+            self.thresholds = [int(threshold)] * n_out
+        else:
+            self.thresholds = [int(t) for t in threshold]
+        if len(self.thresholds) != n_out:
+            raise ValueError(
+                f"need {n_out} thresholds, got {len(self.thresholds)}"
+            )
+        if any(t < 1 for t in self.thresholds):
+            raise ValueError("thresholds must be >= 1")
+        if isinstance(leak, (int, np.integer)):
+            self.leaks = [int(leak)] * n_out
+        else:
+            self.leaks = [int(value) for value in leak]
+        if len(self.leaks) != n_out:
+            raise ValueError(f"need {n_out} leaks, got {len(self.leaks)}")
+
+        # Replicas per line: enough +1 axons for the largest positive
+        # weight and enough -1 axons for the largest negative weight.
+        self._pos = np.maximum(self.weights, 0).max(axis=1)
+        self._neg = np.maximum(-self.weights, 0).max(axis=1)
+
+    @property
+    def input_width(self) -> int:
+        return self.weights.shape[0]
+
+    @property
+    def output_width(self) -> int:
+        return self.weights.shape[1]
+
+    def replica_count(self) -> int:
+        """Axons the sum core needs (>=1 per line even if unused)."""
+        return int(np.maximum(self._pos + self._neg, 1).sum())
+
+    def build(self, system: NeurosynapticSystem) -> BuiltCorelet:
+        """Allocate the (optional) splitter stage and the sum core(s)."""
+        n_in, n_out = self.weights.shape
+        replicas = self.replica_count()
+        if replicas > CORE_AXONS:
+            raise CompilationError(
+                f"{self.name}: weight magnitudes need {replicas} replica "
+                f"axons > {CORE_AXONS}; split into partial sums"
+            )
+        n_sum_cores = -(-n_out // CORE_NEURONS)  # ceil division
+
+        per_line = np.maximum(self._pos + self._neg, 1)
+        needs_splitter = n_sum_cores > 1 or bool((per_line > 1).any())
+
+        core_ids: List[int] = []
+        if needs_splitter:
+            fanouts = [int(f) * n_sum_cores for f in per_line]
+            splitter = SplitterCorelet(n_in, fanouts, name=f"{self.name}.split")
+            built_split = splitter.build(system)
+            core_ids.extend(built_split.core_ids)
+            inputs = list(built_split.inputs)
+            # Line-major copies: per line, n_sum_cores consecutive replica sets.
+            copy_refs: List[List] = []
+            cursor = 0
+            for line in range(n_in):
+                count = fanouts[line]
+                copy_refs.append(list(built_split.outputs[cursor : cursor + count]))
+                cursor += count
+        else:
+            inputs = []
+            copy_refs = []
+
+        outputs: List = []
+        for sum_index in range(n_sum_cores):
+            sum_core = system.new_core(f"{self.name}.sum{sum_index}")
+            core_ids.append(sum_core.core_id)
+            neuron_slice = range(
+                sum_index * CORE_NEURONS, min((sum_index + 1) * CORE_NEURONS, n_out)
+            )
+
+            # Lay out replica axons line by line: positives then negatives.
+            axon_cursor = 0
+            pos_axons: List[List[int]] = []
+            neg_axons: List[List[int]] = []
+            for line in range(n_in):
+                pos = [axon_cursor + k for k in range(int(self._pos[line]))]
+                axon_cursor += len(pos)
+                neg = [axon_cursor + k for k in range(int(self._neg[line]))]
+                axon_cursor += len(neg)
+                if not pos and not neg:  # keep an axon so the pin exists
+                    pos = [axon_cursor]
+                    axon_cursor += 1
+                for axon in pos:
+                    sum_core.set_axon_type(axon, 0)
+                for axon in neg:
+                    sum_core.set_axon_type(axon, 1)
+                pos_axons.append(pos)
+                neg_axons.append(neg)
+
+                if needs_splitter:
+                    refs = copy_refs[line]
+                    per_core = len(refs) // n_sum_cores
+                    chunk = refs[sum_index * per_core : (sum_index + 1) * per_core]
+                    for (src_core, src_neuron), axon in zip(chunk, pos + neg):
+                        system.add_route(src_core, src_neuron, sum_core.core_id, axon)
+                elif sum_index == 0:
+                    inputs.append((sum_core.core_id, pos[0] if pos else neg[0]))
+
+            for local, neuron_index in enumerate(neuron_slice):
+                local_neuron = neuron_index - sum_index * CORE_NEURONS
+                sum_core.set_neuron(
+                    local_neuron,
+                    _neuron_params(
+                        self.mode,
+                        self.thresholds[neuron_index],
+                        self.leaks[neuron_index],
+                    ),
+                )
+                for line in range(n_in):
+                    w = int(self.weights[line, neuron_index])
+                    if w > 0:
+                        for axon in pos_axons[line][:w]:
+                            sum_core.connect(axon, local_neuron)
+                    elif w < 0:
+                        for axon in neg_axons[line][: -w]:
+                            sum_core.connect(axon, local_neuron)
+                outputs.append((sum_core.core_id, local_neuron))
+                del local
+
+        return self._collect(inputs, outputs, core_ids)
+
+
+__all__ = ["NeuronMode", "WeightedSumCorelet"]

@@ -1,0 +1,24 @@
+"""Synthetic pedestrian data standing in for the INRIA Person dataset.
+
+The paper trains and evaluates on INRIA Person (2,416 positive person
+images and 12,180 negatives for training). That data cannot ship here, so
+:mod:`repro.datasets.synthetic_person` procedurally renders scenes with
+the gradient statistics the experiments exercise: articulated person
+silhouettes (head / shoulders / torso / legs, either polarity of
+contrast) over textured backgrounds with pole- and blob-shaped clutter —
+the classic sources of HoG false positives.
+
+Every generator takes a seed, so train/test splits are reproducible. See
+DESIGN.md for the substitution rationale: the experiments compare feature
+*extractors* on a fixed detection task, and any dataset where oriented
+gradients separate people from clutter exercises identical code paths.
+"""
+
+from repro.datasets.synthetic_person import (
+    Annotation,
+    DatasetConfig,
+    Scene,
+    SyntheticPersonDataset,
+)
+
+__all__ = ["Annotation", "DatasetConfig", "Scene", "SyntheticPersonDataset"]

@@ -1,0 +1,369 @@
+"""Procedural pedestrian scenes with exact ground truth."""
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.rng import RngLike, resolve_rng
+
+WINDOW_HEIGHT = 128
+WINDOW_WIDTH = 64
+"""The detection window is 64x128 pixels, as in the paper."""
+
+_PERSON_WINDOW_FILL = 0.75
+"""Fraction of the window height a normalised training person occupies."""
+
+
+@dataclass(frozen=True)
+class Annotation:
+    """A ground-truth person box in pixel coordinates.
+
+    Attributes:
+        x: left edge.
+        y: top edge.
+        width: box width.
+        height: box height.
+    """
+
+    x: float
+    y: float
+    width: float
+    height: float
+
+    def as_array(self) -> np.ndarray:
+        """``[x, y, width, height]`` as floats."""
+        return np.array([self.x, self.y, self.width, self.height], dtype=np.float64)
+
+
+@dataclass
+class Scene:
+    """An image plus its person annotations.
+
+    Attributes:
+        image: grayscale float image in ``[0, 1]``.
+        annotations: ground-truth boxes (empty for negative scenes).
+    """
+
+    image: np.ndarray
+    annotations: List[Annotation] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class DatasetConfig:
+    """Knobs of the synthetic generator.
+
+    Attributes:
+        person_contrast: minimum |person - background| intensity gap.
+        noise_sigma: additive Gaussian pixel noise.
+        clutter_poles: mean number of vertical pole distractors per scene.
+        clutter_blobs: mean number of soft blob distractors per scene.
+        blur_radius: box-blur radius applied to rendered scenes.
+    """
+
+    person_contrast: float = 0.3
+    noise_sigma: float = 0.03
+    clutter_poles: float = 2.0
+    clutter_blobs: float = 3.0
+    blur_radius: int = 1
+
+
+def _box_blur(image: np.ndarray, radius: int) -> np.ndarray:
+    """Separable box blur; radius 0 is the identity."""
+    if radius <= 0:
+        return image
+    kernel = np.ones(2 * radius + 1) / (2 * radius + 1)
+    padded = np.pad(image, radius, mode="edge")
+    blurred = np.apply_along_axis(
+        lambda row: np.convolve(row, kernel, mode="valid"), 1, padded
+    )
+    blurred = np.apply_along_axis(
+        lambda col: np.convolve(col, kernel, mode="valid"), 0, blurred
+    )
+    return blurred
+
+
+def _person_mask(height: int, rng: np.random.Generator) -> np.ndarray:
+    """A soft [0, 1] silhouette of an upright person, ``height`` px tall.
+
+    Anatomy is parametric with per-sample jitter: circular head, trapezoid
+    torso tapering from shoulders to waist, two legs with a walking
+    stance, and thin arms. Width is ~0.42 of the height.
+    """
+    width = max(8, int(round(0.42 * height)))
+    ys, xs = np.mgrid[0:height, 0:width].astype(np.float64)
+    ys /= height
+    xs = (xs - width / 2.0) / height  # centered, in person-height units
+    mask = np.zeros((height, width), dtype=np.float64)
+
+    lean = rng.uniform(-0.02, 0.02)
+    xs = xs - lean * (ys - 0.5)
+
+    # Head.
+    head_r = rng.uniform(0.065, 0.085)
+    head_y = 0.02 + head_r
+    mask = np.maximum(mask, ((xs**2 + (ys - head_y) ** 2) < head_r**2).astype(float))
+
+    # Torso: shoulders to waist.
+    shoulder_y = head_y + head_r + rng.uniform(0.0, 0.02)
+    waist_y = rng.uniform(0.50, 0.56)
+    shoulder_w = rng.uniform(0.13, 0.17)
+    waist_w = rng.uniform(0.085, 0.11)
+    span = np.clip((ys - shoulder_y) / max(waist_y - shoulder_y, 1e-6), 0.0, 1.0)
+    torso_half = shoulder_w * (1 - span) + waist_w * span
+    torso = (ys >= shoulder_y) & (ys <= waist_y) & (np.abs(xs) <= torso_half)
+    mask = np.maximum(mask, torso.astype(float))
+
+    # Legs: from the waist to the feet, with a stance angle.
+    stance = rng.uniform(0.01, 0.07)
+    leg_w = rng.uniform(0.035, 0.05)
+    for side in (-1.0, 1.0):
+        progress = np.clip((ys - waist_y) / max(1.0 - waist_y, 1e-6), 0.0, 1.0)
+        center = side * (0.045 + stance * progress)
+        leg = (ys > waist_y) & (ys <= 0.99) & (np.abs(xs - center) <= leg_w)
+        mask = np.maximum(mask, leg.astype(float))
+
+    # Arms: thin limbs from the shoulders, slightly away from the torso.
+    arm_w = rng.uniform(0.02, 0.03)
+    arm_end = rng.uniform(0.45, 0.55)
+    swing = rng.uniform(0.0, 0.05)
+    for side in (-1.0, 1.0):
+        progress = np.clip(
+            (ys - shoulder_y) / max(arm_end - shoulder_y, 1e-6), 0.0, 1.0
+        )
+        center = side * (shoulder_w + arm_w + swing * progress)
+        arm = (ys >= shoulder_y) & (ys <= arm_end) & (np.abs(xs - center) <= arm_w)
+        mask = np.maximum(mask, arm.astype(float))
+
+    return mask
+
+
+def _textured_background(
+    shape: Tuple[int, int], config: DatasetConfig, rng: np.random.Generator
+) -> np.ndarray:
+    """Low-frequency texture plus clutter distractors."""
+    height, width = shape
+    base = rng.uniform(0.25, 0.75)
+    image = np.full(shape, base, dtype=np.float64)
+
+    # Smooth illumination gradient.
+    angle = rng.uniform(0.0, 2 * np.pi)
+    ys, xs = np.mgrid[0:height, 0:width].astype(np.float64)
+    ramp = (np.cos(angle) * xs / max(width, 1) - np.sin(angle) * ys / max(height, 1))
+    image += rng.uniform(0.0, 0.25) * ramp
+
+    # Soft blobs (bushes, shadows).
+    for _ in range(rng.poisson(config.clutter_blobs)):
+        cy = rng.uniform(0, height)
+        cx = rng.uniform(0, width)
+        radius = rng.uniform(0.05, 0.25) * max(height, width)
+        amplitude = rng.uniform(-0.25, 0.25)
+        image += amplitude * np.exp(-(((ys - cy) ** 2 + (xs - cx) ** 2) / radius**2))
+
+    # Vertical poles (lamp posts, trunks) - classic HoG false positives.
+    for _ in range(rng.poisson(config.clutter_poles)):
+        x0 = rng.integers(0, max(width - 3, 1))
+        pole_w = int(rng.integers(2, 6))
+        y0 = rng.integers(0, max(height // 3, 1))
+        y1 = rng.integers(min(y0 + height // 3, height - 1), height)
+        amplitude = rng.uniform(-0.35, 0.35)
+        image[y0:y1, x0 : min(x0 + pole_w, width)] += amplitude
+
+    image += rng.normal(0.0, 0.04, size=shape)
+    return np.clip(image, 0.0, 1.0)
+
+
+class SyntheticPersonDataset:
+    """Reproducible generator of INRIA-like training and test material.
+
+    Args:
+        config: rendering knobs.
+        rng: master seed/generator; every method draws from it, so call
+            order matters for exact reproduction — construct one dataset
+            per experiment with a fixed seed.
+    """
+
+    def __init__(
+        self, config: DatasetConfig = DatasetConfig(), rng: RngLike = 0
+    ) -> None:
+        self.config = config
+        self._rng = resolve_rng(rng)
+
+    # ------------------------------------------------------------------
+    def positive_window(self) -> np.ndarray:
+        """One 128x64 window with a centered person (~96 px tall)."""
+        scene = self._render_window_scene()
+        return scene.image
+
+    def positive_windows(self, count: int) -> np.ndarray:
+        """``(count, 128, 64)`` stacked positive windows."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        return np.stack([self.positive_window() for _ in range(count)]) if count else (
+            np.zeros((0, WINDOW_HEIGHT, WINDOW_WIDTH))
+        )
+
+    def negative_image(self, shape: Tuple[int, int] = (240, 320)) -> np.ndarray:
+        """A person-free textured scene."""
+        return _box_blur(
+            _textured_background(shape, self.config, self._rng),
+            self.config.blur_radius,
+        )
+
+    def negative_images(
+        self, count: int, shape: Tuple[int, int] = (240, 320)
+    ) -> List[np.ndarray]:
+        """``count`` person-free scenes."""
+        return [self.negative_image(shape) for _ in range(count)]
+
+    def negative_windows(self, count: int) -> np.ndarray:
+        """``(count, 128, 64)`` windows cropped from negative scenes."""
+        windows = []
+        while len(windows) < count:
+            image = self.negative_image((WINDOW_HEIGHT * 2, WINDOW_WIDTH * 4))
+            for _ in range(4):
+                if len(windows) >= count:
+                    break
+                y = int(self._rng.integers(0, image.shape[0] - WINDOW_HEIGHT + 1))
+                x = int(self._rng.integers(0, image.shape[1] - WINDOW_WIDTH + 1))
+                windows.append(
+                    image[y : y + WINDOW_HEIGHT, x : x + WINDOW_WIDTH].copy()
+                )
+        return np.stack(windows) if windows else np.zeros(
+            (0, WINDOW_HEIGHT, WINDOW_WIDTH)
+        )
+
+    def test_scene(
+        self,
+        shape: Tuple[int, int] = (240, 320),
+        max_people: int = 2,
+    ) -> Scene:
+        """A scene with 0..max_people persons and exact annotations."""
+        if max_people < 0:
+            raise ValueError(f"max_people must be >= 0, got {max_people}")
+        rng = self._rng
+        image = _textured_background(shape, self.config, rng)
+        annotations: List[Annotation] = []
+        n_people = int(rng.integers(0, max_people + 1))
+        for _ in range(n_people):
+            # Keep the window-aligned annotation (person / 0.75) inside
+            # the detector's pyramid reach: at least one window (>= 128 px
+            # after inflation) and at most ~90% of the scene height.
+            smallest = int(_PERSON_WINDOW_FILL * WINDOW_HEIGHT * 0.95)
+            largest = max(smallest + 1, int(0.68 * shape[0]))
+            person_h = int(rng.uniform(smallest, largest))
+            annotation = self._paste_person(image, person_h, rng, annotations)
+            if annotation is not None:
+                annotations.append(annotation)
+        image = _box_blur(image, self.config.blur_radius)
+        image = np.clip(
+            image + rng.normal(0.0, self.config.noise_sigma, size=shape), 0.0, 1.0
+        )
+        return Scene(image=image, annotations=annotations)
+
+    def test_scenes(
+        self,
+        count: int,
+        shape: Tuple[int, int] = (240, 320),
+        max_people: int = 2,
+    ) -> List[Scene]:
+        """``count`` annotated test scenes."""
+        return [self.test_scene(shape, max_people) for _ in range(count)]
+
+    # ------------------------------------------------------------------
+    def _render_window_scene(self) -> Scene:
+        """A normalised positive window, INRIA-crop style."""
+        rng = self._rng
+        image = _textured_background(
+            (WINDOW_HEIGHT, WINDOW_WIDTH), self.config, rng
+        )
+        person_h = int(rng.uniform(0.70, 0.80) * WINDOW_HEIGHT)
+        annotation = self._paste_person(image, person_h, rng, [], centered=True)
+        image = _box_blur(image, self.config.blur_radius)
+        image = np.clip(
+            image + rng.normal(0.0, self.config.noise_sigma, size=image.shape),
+            0.0,
+            1.0,
+        )
+        annotations = [annotation] if annotation is not None else []
+        return Scene(image=image, annotations=annotations)
+
+    def _paste_person(
+        self,
+        image: np.ndarray,
+        person_h: int,
+        rng: np.random.Generator,
+        existing: List[Annotation],
+        centered: bool = False,
+    ) -> Optional[Annotation]:
+        """Blend a person silhouette into ``image``; returns its box."""
+        mask = _person_mask(person_h, rng)
+        mh, mw = mask.shape
+        height, width = image.shape
+        if mh >= height or mw >= width:
+            return None
+        if centered:
+            top = (height - mh) // 2
+            left = (width - mw) // 2
+        else:
+            placed = False
+            for _ in range(8):  # rejection-sample a spot away from others
+                top = int(rng.integers(0, height - mh))
+                left = int(rng.integers(0, width - mw))
+                candidate = (left, top, mw, mh)
+                if all(
+                    _overlap(candidate, (a.x, a.y, a.width, a.height)) < 0.3
+                    for a in existing
+                ):
+                    placed = True
+                    break
+            if not placed:
+                return None
+
+        region = image[top : top + mh, left : left + mw]
+        background_level = float(region.mean())
+        polarity = 1.0 if rng.random() < 0.5 else -1.0
+        person_level = np.clip(
+            background_level
+            + polarity * (self.config.person_contrast + rng.uniform(0.0, 0.25)),
+            0.02,
+            0.98,
+        )
+        texture = rng.normal(0.0, 0.02, size=mask.shape)
+        region[...] = region * (1.0 - mask) + (person_level + texture) * mask
+
+        # Annotations are window-aligned, INRIA-style: the box a perfect
+        # 64x128 detector would output, i.e. the silhouette inflated to
+        # the training-crop proportions (person ~75% of window height,
+        # 1:2 aspect) and centered on the person.
+        box_h = mh / _PERSON_WINDOW_FILL
+        box_w = box_h * (WINDOW_WIDTH / WINDOW_HEIGHT)
+        center_x = left + mw / 2.0
+        center_y = top + mh / 2.0
+        return Annotation(
+            x=float(center_x - box_w / 2.0),
+            y=float(center_y - box_h / 2.0),
+            width=float(box_w),
+            height=float(box_h),
+        )
+
+
+def _overlap(a: Tuple[float, float, float, float], b: Tuple[float, float, float, float]) -> float:
+    """Intersection-over-union of two (x, y, w, h) boxes."""
+    ax, ay, aw, ah = a
+    bx, by, bw, bh = b
+    ix = max(0.0, min(ax + aw, bx + bw) - max(ax, bx))
+    iy = max(0.0, min(ay + ah, by + bh) - max(ay, by))
+    intersection = ix * iy
+    union = aw * ah + bw * bh - intersection
+    return intersection / union if union > 0 else 0.0
+
+
+__all__ = [
+    "Annotation",
+    "DatasetConfig",
+    "Scene",
+    "SyntheticPersonDataset",
+    "WINDOW_HEIGHT",
+    "WINDOW_WIDTH",
+]

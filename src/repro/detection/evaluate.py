@@ -1,0 +1,177 @@
+"""Miss rate versus false-positives-per-image evaluation.
+
+"Detection candidates are evaluated as a function of false positives per
+image versus miss rate as proposed by Dollar et al, which is a proxy for
+precision-recall curves. In determining true positives, the ratio of a
+detection's overlapped region to ground truth images has to be larger
+than or equal to 0.5" (paper, Section 4).
+"""
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.detection.nms import box_iou
+
+MATCH_IOU = 0.5
+"""Minimum IoU for a detection to count as a true positive."""
+
+
+@dataclass
+class DetectionCurve:
+    """A miss-rate / FPPI trade-off curve.
+
+    Attributes:
+        fppi: false positives per image at each operating point
+            (descending score thresholds).
+        miss_rate: miss rate (1 - recall) at each operating point.
+        thresholds: score thresholds producing each point.
+        n_images: images evaluated.
+        n_ground_truth: total annotated persons.
+    """
+
+    fppi: np.ndarray
+    miss_rate: np.ndarray
+    thresholds: np.ndarray
+    n_images: int
+    n_ground_truth: int
+
+    def log_average_miss_rate(self) -> float:
+        """Summary score; see :func:`log_average_miss_rate`."""
+        return log_average_miss_rate(self.fppi, self.miss_rate)
+
+    def miss_rate_at(self, fppi_target: float) -> float:
+        """Miss rate at the largest FPPI not exceeding the target."""
+        eligible = self.fppi <= fppi_target
+        if not eligible.any():
+            return 1.0
+        return float(self.miss_rate[eligible].min())
+
+
+def _match_image(
+    boxes: np.ndarray, scores: np.ndarray, truth: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Greedy score-ordered matching within one image.
+
+    Returns per-detection ``is_true_positive`` flags and the count of
+    matched ground-truth boxes.
+    """
+    n = boxes.shape[0]
+    tp = np.zeros(n, dtype=bool)
+    if n == 0 or truth.shape[0] == 0:
+        return tp, np.zeros(truth.shape[0], dtype=bool)
+    iou = box_iou(boxes, truth)
+    taken = np.zeros(truth.shape[0], dtype=bool)
+    for det in np.argsort(scores)[::-1]:
+        candidates = np.where(~taken & (iou[det] >= MATCH_IOU))[0]
+        if candidates.size:
+            best = candidates[np.argmax(iou[det][candidates])]
+            taken[best] = True
+            tp[det] = True
+    return tp, taken
+
+
+def evaluate_detections(
+    detections_per_image: Sequence[Tuple[np.ndarray, np.ndarray]],
+    ground_truth_per_image: Sequence[np.ndarray],
+) -> DetectionCurve:
+    """Build the miss-rate / FPPI curve for a set of evaluated images.
+
+    Args:
+        detections_per_image: per image, ``(boxes, scores)`` with boxes
+            ``(n, 4)`` as ``(x, y, w, h)``; pass empty arrays for images
+            with no detections.
+        ground_truth_per_image: per image, ``(m, 4)`` annotation boxes.
+
+    Returns:
+        A :class:`DetectionCurve` swept over all observed scores.
+    """
+    if len(detections_per_image) != len(ground_truth_per_image):
+        raise ValueError(
+            f"{len(detections_per_image)} detection lists but "
+            f"{len(ground_truth_per_image)} ground-truth lists"
+        )
+    n_images = len(detections_per_image)
+    if n_images == 0:
+        raise ValueError("need at least one image")
+
+    all_scores: List[np.ndarray] = []
+    all_tp: List[np.ndarray] = []
+    n_truth = 0
+    for (boxes, scores), truth in zip(detections_per_image, ground_truth_per_image):
+        boxes = np.asarray(boxes, dtype=np.float64).reshape(-1, 4)
+        scores = np.asarray(scores, dtype=np.float64).reshape(-1)
+        truth = np.asarray(truth, dtype=np.float64).reshape(-1, 4)
+        n_truth += truth.shape[0]
+        tp, _ = _match_image(boxes, scores, truth)
+        all_scores.append(scores)
+        all_tp.append(tp)
+
+    scores = np.concatenate(all_scores) if all_scores else np.zeros(0)
+    tp = np.concatenate(all_tp) if all_tp else np.zeros(0, dtype=bool)
+
+    order = np.argsort(scores)[::-1]
+    scores = scores[order]
+    tp = tp[order]
+    cum_tp = np.cumsum(tp)
+    cum_fp = np.cumsum(~tp)
+
+    if n_truth == 0:
+        raise ValueError("no ground-truth boxes; the miss rate is undefined")
+    if scores.size == 0:
+        return DetectionCurve(
+            fppi=np.array([0.0]),
+            miss_rate=np.array([1.0]),
+            thresholds=np.array([np.inf]),
+            n_images=n_images,
+            n_ground_truth=n_truth,
+        )
+
+    fppi = cum_fp / n_images
+    miss_rate = 1.0 - cum_tp / n_truth
+    return DetectionCurve(
+        fppi=fppi,
+        miss_rate=miss_rate,
+        thresholds=scores,
+        n_images=n_images,
+        n_ground_truth=n_truth,
+    )
+
+
+def log_average_miss_rate(
+    fppi: np.ndarray, miss_rate: np.ndarray, points: int = 9
+) -> float:
+    """Dollar et al.'s summary: geometric mean of the miss rate sampled
+    at ``points`` log-spaced FPPI values in [1e-2, 1e0].
+
+    Curve points below the smallest achieved FPPI contribute the curve's
+    first (worst) miss rate, the standard convention.
+
+    Args:
+        fppi: FPPI values (ascending with cumulative detections).
+        miss_rate: matching miss rates.
+        points: sample count (9 in the reference protocol).
+
+    Returns:
+        The log-average miss rate in [0, 1]; lower is better.
+    """
+    f = np.asarray(fppi, dtype=np.float64)
+    m = np.asarray(miss_rate, dtype=np.float64)
+    if f.shape != m.shape or f.ndim != 1 or f.size == 0:
+        raise ValueError("fppi and miss_rate must be equal-length 1-D arrays")
+    samples = np.logspace(-2.0, 0.0, points)
+    values = []
+    for target in samples:
+        eligible = f <= target
+        values.append(m[eligible].min() if eligible.any() else 1.0)
+    values = np.maximum(np.asarray(values), 1e-10)
+    return float(np.exp(np.mean(np.log(values))))
+
+
+__all__ = [
+    "DetectionCurve",
+    "MATCH_IOU",
+    "evaluate_detections",
+    "log_average_miss_rate",
+]

@@ -1,0 +1,315 @@
+"""The end-to-end detector: extractor x classifier over a pyramid."""
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.detection.nms import non_maximum_suppression
+from repro.detection.pyramid import ImagePyramid
+from repro.eedn.network import EednNetwork
+from repro.eedn.spiking import SpikingEvaluator
+from repro.hog.blocks import normalize_blocks
+
+
+@dataclass(frozen=True)
+class Detection:
+    """One detector output.
+
+    Attributes:
+        x: left edge in original-image pixels.
+        y: top edge.
+        width: box width.
+        height: box height.
+        score: classifier margin (higher = more confident).
+    """
+
+    x: float
+    y: float
+    width: float
+    height: float
+    score: float
+
+    def as_box(self) -> np.ndarray:
+        """``[x, y, w, h]``."""
+        return np.array([self.x, self.y, self.width, self.height])
+
+
+class EednBinaryScorer:
+    """Adapt a 2-class Eedn network to the scorer protocol.
+
+    The score is the logit margin ``logit[positive] - logit[negative]``.
+
+    Args:
+        network: trained 2-output network.
+        positive_class: index of the "person" output.
+    """
+
+    def __init__(self, network: EednNetwork, positive_class: int = 1) -> None:
+        self.network = network
+        self.positive_class = positive_class
+
+    def decision_function(self, features: np.ndarray) -> np.ndarray:
+        """Margins for a ``(n, f)`` feature matrix."""
+        logits = self.network.forward(np.asarray(features, dtype=np.float64))
+        negative = 1 - self.positive_class
+        return logits[:, self.positive_class] - logits[:, negative]
+
+
+class SpikingBinaryScorer:
+    """Scorer running the Eedn classifier in spiking operation mode.
+
+    The score is the spike-count margin across the evaluation window,
+    matching how a deployed TrueNorth classifier would be read out.
+
+    Args:
+        evaluator: a configured :class:`~repro.eedn.spiking.SpikingEvaluator`.
+        positive_class: index of the "person" output.
+    """
+
+    def __init__(self, evaluator: SpikingEvaluator, positive_class: int = 1) -> None:
+        self.evaluator = evaluator
+        self.positive_class = positive_class
+
+    def decision_function(self, features: np.ndarray) -> np.ndarray:
+        """Spike-count margins for a ``(n, f)`` feature matrix in [0, 1]."""
+        result = self.evaluator.evaluate(np.clip(features, 0.0, 1.0))
+        negative = 1 - self.positive_class
+        return (
+            result.counts[:, self.positive_class] - result.counts[:, negative]
+        ).astype(np.float64)
+
+
+class SlidingWindowDetector:
+    """Multi-scale sliding-window detector.
+
+    The extractor computes one cell-histogram grid per pyramid level;
+    windows are slid at cell granularity (8 px at scale 1). Features are
+    either normalised block descriptors (``feature_mode="blocks"``, the
+    SVM pipelines of Figure 4) or raw cell histograms
+    (``feature_mode="cells"``, the normalisation-free neuromorphic
+    pipelines of Figure 5).
+
+    Args:
+        extractor: any object exposing ``cell_grid(image)`` and a
+            ``config`` with ``cell_size``/``block_size``/``block_stride``/
+            ``normalization`` attributes (all descriptors in this package
+            qualify).
+        scorer: object exposing ``decision_function((n, f)) -> (n,)``.
+        feature_mode: ``"blocks"`` or ``"cells"``.
+        window_shape: detection window in pixels.
+        scale_factor: pyramid step.
+        max_levels: pyramid depth cap (15 in the paper).
+        score_threshold: minimum margin to emit a detection.
+        nms_epsilon: NMS overlap threshold (0.2 in the paper).
+        cell_scale: multiplier applied to cell histograms in ``"cells"``
+            mode (use ``1/64`` to map count histograms into [0, 1] for
+            spiking classifiers).
+        chunk_size: windows scored per classifier call.
+    """
+
+    def __init__(
+        self,
+        extractor,
+        scorer,
+        feature_mode: str = "blocks",
+        window_shape: Tuple[int, int] = (128, 64),
+        scale_factor: float = 1.1,
+        max_levels: int = 15,
+        score_threshold: float = 0.0,
+        nms_epsilon: float = 0.2,
+        cell_scale: float = 1.0,
+        chunk_size: int = 1024,
+    ) -> None:
+        if feature_mode not in ("blocks", "cells"):
+            raise ValueError(
+                f"feature_mode must be 'blocks' or 'cells', got {feature_mode!r}"
+            )
+        self.extractor = extractor
+        self.scorer = scorer
+        self.feature_mode = feature_mode
+        self.window_shape = window_shape
+        self.scale_factor = scale_factor
+        self.max_levels = max_levels
+        self.score_threshold = score_threshold
+        self.nms_epsilon = nms_epsilon
+        self.cell_scale = cell_scale
+        self.chunk_size = chunk_size
+
+        config = extractor.config
+        self.cell_size = int(config.cell_size)
+        self.block_size = int(getattr(config, "block_size", 2))
+        self.block_stride = int(getattr(config, "block_stride", 1))
+        self.normalization = str(getattr(config, "normalization", "none"))
+        self.window_cells = (
+            window_shape[0] // self.cell_size,
+            window_shape[1] // self.cell_size,
+        )
+
+    # ------------------------------------------------------------------
+    def detect(self, image: np.ndarray) -> List[Detection]:
+        """All surviving detections in ``image``, NMS applied."""
+        boxes, scores, _ = self._scan(image, collect_features=False)
+        if boxes.shape[0] == 0:
+            return []
+        kept = non_maximum_suppression(boxes, scores, epsilon=self.nms_epsilon)
+        return [
+            Detection(
+                x=float(boxes[i, 0]),
+                y=float(boxes[i, 1]),
+                width=float(boxes[i, 2]),
+                height=float(boxes[i, 3]),
+                score=float(scores[i]),
+            )
+            for i in kept
+        ]
+
+    def detect_boxes(self, image: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Detections as ``(boxes (n, 4), scores (n,))`` arrays."""
+        detections = self.detect(image)
+        if not detections:
+            return np.zeros((0, 4)), np.zeros(0)
+        boxes = np.stack([d.as_box() for d in detections])
+        scores = np.array([d.score for d in detections])
+        return boxes, scores
+
+    def hard_negative_features(
+        self, images: Sequence[np.ndarray], per_image_cap: int = 64
+    ) -> np.ndarray:
+        """Features of windows wrongly scored positive on negative images.
+
+        Used as the scanner of
+        :class:`repro.svm.mining.HardNegativeMiner`.
+
+        Args:
+            images: person-free images.
+            per_image_cap: keep at most this many top-scoring windows per
+                image.
+
+        Returns:
+            ``(n, f)`` feature matrix (possibly empty).
+        """
+        collected: List[np.ndarray] = []
+        for image in images:
+            _, scores, features = self._scan(image, collect_features=True)
+            if scores.size == 0:
+                continue
+            order = np.argsort(scores)[::-1][:per_image_cap]
+            collected.append(features[order])
+        if not collected:
+            return np.zeros((0, self._feature_length()))
+        return np.vstack(collected)
+
+    def window_features(self, window: np.ndarray) -> np.ndarray:
+        """The feature vector of one full window image (training path)."""
+        grid = self.extractor.cell_grid(window)
+        return self._grid_features(grid)[0][0]
+
+    # ------------------------------------------------------------------
+    def _feature_length(self) -> int:
+        wy, wx = self.window_cells
+        bins = self._n_bins()
+        if self.feature_mode == "cells":
+            return wy * wx * bins
+        nby = (wy - self.block_size) // self.block_stride + 1
+        nbx = (wx - self.block_size) // self.block_stride + 1
+        return nby * nbx * self.block_size**2 * bins
+
+    def _n_bins(self) -> int:
+        config = self.extractor.config
+        return int(getattr(config, "n_bins", 18))
+
+    def _grid_features(
+        self, cell_grid: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Window features and window cell-positions for one level.
+
+        Returns ``(features (n, f), positions (n, 2))`` where positions
+        are (cell_y, cell_x) of each window's top-left cell.
+        """
+        wy, wx = self.window_cells
+        if self.feature_mode == "cells":
+            source = cell_grid * self.cell_scale
+            win_y, win_x = wy, wx
+        else:
+            source = normalize_blocks(
+                cell_grid,
+                block_size=self.block_size,
+                stride=self.block_stride,
+                method=self.normalization,
+            )
+            win_y = (wy - self.block_size) // self.block_stride + 1
+            win_x = (wx - self.block_size) // self.block_stride + 1
+
+        gy, gx = source.shape[:2]
+        ny = gy - win_y + 1
+        nx = gx - win_x + 1
+        if ny < 1 or nx < 1:
+            return np.zeros((0, self._feature_length())), np.zeros((0, 2), dtype=int)
+
+        view = np.lib.stride_tricks.sliding_window_view(source, (win_y, win_x), axis=(0, 1))
+        # view: (ny, nx, F, win_y, win_x) -> (ny, nx, win_y, win_x, F)
+        features = np.ascontiguousarray(np.moveaxis(view, 2, -1)).reshape(
+            ny * nx, -1
+        )
+        ys, xs = np.meshgrid(np.arange(ny), np.arange(nx), indexing="ij")
+        positions = np.stack([ys.ravel(), xs.ravel()], axis=1)
+        return features, positions
+
+    def _scan(
+        self, image: np.ndarray, collect_features: bool
+    ) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
+        """Score every window of every level; threshold and gather."""
+        boxes: List[np.ndarray] = []
+        scores: List[float] = []
+        feature_rows: List[np.ndarray] = []
+        pyramid = ImagePyramid(
+            image,
+            window_shape=self.window_shape,
+            scale_factor=self.scale_factor,
+            max_levels=self.max_levels,
+        )
+        window_h, window_w = self.window_shape
+        for level in pyramid.levels():
+            grid = self.extractor.cell_grid(level.image)
+            features, positions = self._grid_features(grid)
+            if features.shape[0] == 0:
+                continue
+            level_scores = np.empty(features.shape[0])
+            for start in range(0, features.shape[0], self.chunk_size):
+                chunk = features[start : start + self.chunk_size]
+                level_scores[start : start + self.chunk_size] = (
+                    self.scorer.decision_function(chunk)
+                )
+            hits = np.where(level_scores > self.score_threshold)[0]
+            for index in hits:
+                cy, cx = positions[index]
+                boxes.append(
+                    np.array(
+                        [
+                            cx * self.cell_size * level.scale,
+                            cy * self.cell_size * level.scale,
+                            window_w * level.scale,
+                            window_h * level.scale,
+                        ]
+                    )
+                )
+                scores.append(float(level_scores[index]))
+                if collect_features:
+                    feature_rows.append(features[index])
+        box_arr = np.stack(boxes) if boxes else np.zeros((0, 4))
+        score_arr = np.asarray(scores)
+        feature_arr = (
+            np.stack(feature_rows)
+            if collect_features and feature_rows
+            else (np.zeros((0, self._feature_length())) if collect_features else None)
+        )
+        return box_arr, score_arr, feature_arr
+
+
+__all__ = [
+    "Detection",
+    "EednBinaryScorer",
+    "SlidingWindowDetector",
+    "SpikingBinaryScorer",
+]

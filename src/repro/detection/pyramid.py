@@ -1,0 +1,120 @@
+"""Image pyramids and the paper's full-HD cell arithmetic."""
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from repro.utils.images import resize_bilinear
+
+FULL_HD_CELL_GRIDS: Tuple[Tuple[int, int], ...] = (
+    (240, 135),
+    (160, 90),
+    (106, 60),
+    (71, 40),
+    (47, 26),
+    (31, 17),
+)
+"""Cells (width x height) per scaling layer for a full-HD frame.
+
+Section 5.2: "the number of cells in each layer being {240x135, 160x90,
+106x60, 71x40, 47x26, 31x17}, a total of 57749 cells per image."
+"""
+
+
+def full_hd_cell_count() -> int:
+    """Total cells per full-HD frame over the six scaling layers (57,749)."""
+    return sum(w * h for w, h in FULL_HD_CELL_GRIDS)
+
+
+def cells_per_second(frames_per_second: float = 26.0) -> float:
+    """System cell throughput needed at a given frame rate.
+
+    The paper's target of 26 fps full HD yields ~1.5M cells/second.
+    """
+    if frames_per_second <= 0:
+        raise ValueError(f"frames_per_second must be positive, got {frames_per_second}")
+    return full_hd_cell_count() * frames_per_second
+
+
+@dataclass(frozen=True)
+class PyramidLevel:
+    """One level of an image pyramid.
+
+    Attributes:
+        image: the rescaled image.
+        scale: detector-to-original scale factor — a box found at
+            ``(x, y, w, h)`` in this level maps to
+            ``(x * scale, y * scale, w * scale, h * scale)`` in the
+            original image.
+    """
+
+    image: np.ndarray
+    scale: float
+
+
+class ImagePyramid:
+    """Downscale an image by repeated 1/1.1 steps until the window no
+    longer fits.
+
+    "Each SVM model infers person detection from 15 HoG windows, where
+    each window size increases by 1.1x" (paper, Section 4) — growing the
+    window is equivalent to shrinking the image.
+
+    Args:
+        image: 2-D grayscale image.
+        window_shape: ``(height, width)`` of the detection window.
+        scale_factor: per-level factor (> 1).
+        max_levels: cap on levels (15 in the paper; ``None`` = until the
+            window stops fitting).
+    """
+
+    def __init__(
+        self,
+        image: np.ndarray,
+        window_shape: Tuple[int, int] = (128, 64),
+        scale_factor: float = 1.1,
+        max_levels: int = 15,
+    ) -> None:
+        if scale_factor <= 1.0:
+            raise ValueError(f"scale_factor must be > 1, got {scale_factor}")
+        arr = np.asarray(image, dtype=np.float64)
+        if arr.ndim != 2:
+            raise ValueError(f"expected 2-D grayscale image, got {arr.shape}")
+        self.image = arr
+        self.window_shape = window_shape
+        self.scale_factor = float(scale_factor)
+        self.max_levels = max_levels
+
+    def levels(self) -> List[PyramidLevel]:
+        """All pyramid levels, finest (scale 1) first."""
+        result: List[PyramidLevel] = []
+        scale = 1.0
+        height, width = self.image.shape
+        wh, ww = self.window_shape
+        while (
+            (self.max_levels is None or len(result) < self.max_levels)
+            and height >= wh
+            and width >= ww
+        ):
+            if scale == 1.0:
+                level_image = self.image
+            else:
+                level_image = resize_bilinear(self.image, (height, width))
+            result.append(PyramidLevel(image=level_image, scale=scale))
+            scale *= self.scale_factor
+            height = int(round(self.image.shape[0] / scale))
+            width = int(round(self.image.shape[1] / scale))
+        return result
+
+    def __iter__(self) -> Iterator[PyramidLevel]:
+        return iter(self.levels())
+
+
+__all__ = [
+    "FULL_HD_CELL_GRIDS",
+    "ImagePyramid",
+    "PyramidLevel",
+    "cells_per_second",
+    "full_hd_cell_count",
+]

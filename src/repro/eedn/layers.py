@@ -1,0 +1,375 @@
+"""Eedn layers: trinary-weight linear maps and threshold activations.
+
+Shadow weights are float; the forward pass always uses their trinarised
+projection, and gradients flow to the shadow values through a
+straight-through estimator — exactly the "high precision hidden value
+during training ... mapped to one of the trinary weights (-1, 0, 1)
+during network operation" scheme the paper describes.
+"""
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.rng import RngLike, resolve_rng
+
+TRINARY_FRACTION = 0.7
+"""Shadow weights within ``TRINARY_FRACTION * mean|W|`` of zero map to 0."""
+
+STE_WINDOW = 1.0
+"""Half-width of the straight-through gradient window around the threshold."""
+
+
+def trinarize(weights: np.ndarray) -> np.ndarray:
+    """Map shadow weights to {-1, 0, +1}.
+
+    The dead zone is ``TRINARY_FRACTION`` times the mean absolute shadow
+    weight (per tensor), the standard ternary-connect heuristic: weights
+    whose magnitude carries little signal become 0 (no synapse).
+
+    Args:
+        weights: float shadow weights, any shape.
+
+    Returns:
+        Array of the same shape with values in {-1.0, 0.0, +1.0}.
+    """
+    arr = np.asarray(weights, dtype=np.float64)
+    delta = TRINARY_FRACTION * np.mean(np.abs(arr)) if arr.size else 0.0
+    return np.sign(arr) * (np.abs(arr) > delta)
+
+
+class Layer:
+    """Base class: forward / backward with a parameter dictionary."""
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        """Compute outputs; cache what backward needs when ``training``."""
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Propagate gradients; accumulate parameter gradients."""
+        raise NotImplementedError
+
+    def params(self) -> Dict[str, np.ndarray]:
+        """Trainable parameter arrays by name (shared references)."""
+        return {}
+
+    def grads(self) -> Dict[str, np.ndarray]:
+        """Gradient arrays matching :meth:`params`."""
+        return {}
+
+
+class ThresholdActivation(Layer):
+    """Spiking threshold neuron: ``a = 1 if z >= threshold else 0``.
+
+    The derivative of the step is approximated by a box around the
+    threshold (straight-through estimator): gradients pass where
+    ``|z - threshold| <= ste_window`` and are zero elsewhere.
+
+    Args:
+        threshold: firing threshold applied elementwise.
+        ste_window: half-width of the gradient pass-band; scale it with
+            the expected pre-activation spread (roughly the square root
+            of the fan-in) or most units never receive gradient.
+    """
+
+    def __init__(self, threshold: float = 0.0, ste_window: float = STE_WINDOW) -> None:
+        if ste_window <= 0:
+            raise ValueError(f"ste_window must be positive, got {ste_window}")
+        self.threshold = float(threshold)
+        self.ste_window = float(ste_window)
+        self._last_z: Optional[np.ndarray] = None
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        z = np.asarray(inputs, dtype=np.float64)
+        if training:
+            self._last_z = z
+        return (z >= self.threshold).astype(np.float64)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._last_z is None:
+            raise RuntimeError("backward called before a training forward pass")
+        window = np.abs(self._last_z - self.threshold) <= self.ste_window
+        return grad_output * window
+
+
+class TrinaryDense(Layer):
+    """Fully connected layer with trinary deployment weights.
+
+    Args:
+        n_in: input features.
+        n_out: output features.
+        rng: initialisation randomness.
+        weight_scale: std-dev of the Gaussian shadow initialisation;
+            defaults to ``1/sqrt(n_in)``.
+    """
+
+    def __init__(
+        self,
+        n_in: int,
+        n_out: int,
+        rng: RngLike = None,
+        weight_scale: Optional[float] = None,
+    ) -> None:
+        if n_in < 1 or n_out < 1:
+            raise ValueError(f"n_in and n_out must be >= 1, got {n_in}, {n_out}")
+        generator = resolve_rng(rng)
+        scale = weight_scale if weight_scale is not None else 1.0 / np.sqrt(n_in)
+        self.n_in = n_in
+        self.n_out = n_out
+        self.weights = generator.normal(0.0, scale, size=(n_in, n_out))
+        self.bias = np.zeros(n_out, dtype=np.float64)
+        self._grad_w = np.zeros_like(self.weights)
+        self._grad_b = np.zeros_like(self.bias)
+        self._last_input: Optional[np.ndarray] = None
+
+    def deployed_weights(self) -> np.ndarray:
+        """The trinary weights used at inference time."""
+        return trinarize(self.weights)
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(inputs, dtype=np.float64)
+        if x.ndim == 1:
+            x = x[None, :]
+        if x.shape[1] != self.n_in:
+            raise ValueError(f"expected {self.n_in} features, got {x.shape[1]}")
+        if training:
+            self._last_input = x
+        return x @ self.deployed_weights() + self.bias
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._last_input is None:
+            raise RuntimeError("backward called before a training forward pass")
+        grad = np.asarray(grad_output, dtype=np.float64)
+        # Straight-through: d(trinarize(w))/dw ~= 1, so shadow weights get
+        # the gradient of the trinary weights directly.
+        self._grad_w[...] = self._last_input.T @ grad
+        self._grad_b[...] = grad.sum(axis=0)
+        return grad @ self.deployed_weights().T
+
+    def params(self) -> Dict[str, np.ndarray]:
+        return {"weights": self.weights, "bias": self.bias}
+
+    def grads(self) -> Dict[str, np.ndarray]:
+        return {"weights": self._grad_w, "bias": self._grad_b}
+
+
+class TrinaryConv2D(Layer):
+    """Grouped 2-D convolution with trinary deployment weights.
+
+    Channel grouping keeps each filter's fan-in within the 256-axon
+    crossbar budget: with ``groups = g``, filter fan-in is
+    ``(in_channels / g) * ksize**2`` (see :mod:`repro.eedn.grouping`).
+
+    Input/output layout is ``(batch, channels, height, width)``.
+
+    Args:
+        in_channels: input channels (divisible by ``groups``).
+        out_channels: output channels (divisible by ``groups``).
+        ksize: square kernel edge.
+        stride: spatial stride.
+        padding: symmetric zero padding.
+        groups: channel groups.
+        rng: initialisation randomness.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        ksize: int = 3,
+        stride: int = 1,
+        padding: int = 0,
+        groups: int = 1,
+        rng: RngLike = None,
+    ) -> None:
+        if in_channels % groups or out_channels % groups:
+            raise ValueError(
+                f"channels ({in_channels}, {out_channels}) must divide groups {groups}"
+            )
+        if ksize < 1 or stride < 1 or padding < 0:
+            raise ValueError("ksize/stride must be >= 1 and padding >= 0")
+        generator = resolve_rng(rng)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.ksize = ksize
+        self.stride = stride
+        self.padding = padding
+        self.groups = groups
+        fan_in = (in_channels // groups) * ksize * ksize
+        self.weights = generator.normal(
+            0.0, 1.0 / np.sqrt(fan_in), size=(out_channels, in_channels // groups, ksize, ksize)
+        )
+        self.bias = np.zeros(out_channels, dtype=np.float64)
+        self._grad_w = np.zeros_like(self.weights)
+        self._grad_b = np.zeros_like(self.bias)
+        self._cache: Optional[Tuple] = None
+
+    def fan_in(self) -> int:
+        """Synapses per output neuron (must fit 256 axons on TrueNorth)."""
+        return (self.in_channels // self.groups) * self.ksize**2
+
+    def deployed_weights(self) -> np.ndarray:
+        """The trinary weights used at inference time."""
+        return trinarize(self.weights)
+
+    def _output_size(self, size: int) -> int:
+        return (size + 2 * self.padding - self.ksize) // self.stride + 1
+
+    def _im2col(self, x: np.ndarray) -> np.ndarray:
+        batch, channels, height, width = x.shape
+        k, s = self.ksize, self.stride
+        out_h, out_w = self._output_size(height), self._output_size(width)
+        if self.padding:
+            x = np.pad(
+                x,
+                ((0, 0), (0, 0), (self.padding,) * 2, (self.padding,) * 2),
+                mode="constant",
+            )
+        cols = np.empty((batch, channels, k, k, out_h, out_w), dtype=np.float64)
+        for dy in range(k):
+            y_end = dy + s * out_h
+            for dx in range(k):
+                x_end = dx + s * out_w
+                cols[:, :, dy, dx] = x[:, :, dy:y_end:s, dx:x_end:s]
+        return cols
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(inputs, dtype=np.float64)
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"expected (batch, {self.in_channels}, H, W), got {x.shape}"
+            )
+        batch = x.shape[0]
+        out_h = self._output_size(x.shape[2])
+        out_w = self._output_size(x.shape[3])
+        if out_h < 1 or out_w < 1:
+            raise ValueError(f"input {x.shape[2:]} too small for kernel {self.ksize}")
+        cols = self._im2col(x)  # (B, C, k, k, oh, ow)
+        wt = self.deployed_weights()
+        cin_g = self.in_channels // self.groups
+        cout_g = self.out_channels // self.groups
+        out = np.empty((batch, self.out_channels, out_h, out_w), dtype=np.float64)
+        for g in range(self.groups):
+            col_g = cols[:, g * cin_g : (g + 1) * cin_g].reshape(
+                batch, cin_g * self.ksize**2, out_h * out_w
+            )
+            w_g = wt[g * cout_g : (g + 1) * cout_g].reshape(cout_g, -1)
+            out[:, g * cout_g : (g + 1) * cout_g] = (
+                np.einsum("of,bfp->bop", w_g, col_g)
+            ).reshape(batch, cout_g, out_h, out_w)
+        out += self.bias[None, :, None, None]
+        if training:
+            self._cache = (x.shape, cols, out_h, out_w)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before a training forward pass")
+        x_shape, cols, out_h, out_w = self._cache
+        grad = np.asarray(grad_output, dtype=np.float64)
+        batch = grad.shape[0]
+        wt = self.deployed_weights()
+        cin_g = self.in_channels // self.groups
+        cout_g = self.out_channels // self.groups
+        k, s = self.ksize, self.stride
+
+        grad_cols = np.zeros_like(cols)
+        for g in range(self.groups):
+            col_g = cols[:, g * cin_g : (g + 1) * cin_g].reshape(
+                batch, cin_g * k * k, out_h * out_w
+            )
+            grad_g = grad[:, g * cout_g : (g + 1) * cout_g].reshape(
+                batch, cout_g, out_h * out_w
+            )
+            w_g = wt[g * cout_g : (g + 1) * cout_g].reshape(cout_g, -1)
+            grad_w = np.einsum("bop,bfp->of", grad_g, col_g)
+            self._grad_w[g * cout_g : (g + 1) * cout_g] = grad_w.reshape(
+                cout_g, cin_g, k, k
+            )
+            grad_cols[:, g * cin_g : (g + 1) * cin_g] = np.einsum(
+                "of,bop->bfp", w_g, grad_g
+            ).reshape(batch, cin_g, k, k, out_h, out_w)
+        self._grad_b[...] = grad.sum(axis=(0, 2, 3))
+
+        # Scatter column gradients back onto the (padded) input.
+        pad_h = x_shape[2] + 2 * self.padding
+        pad_w = x_shape[3] + 2 * self.padding
+        grad_x = np.zeros((batch, self.in_channels, pad_h, pad_w), dtype=np.float64)
+        for dy in range(k):
+            y_end = dy + s * out_h
+            for dx in range(k):
+                x_end = dx + s * out_w
+                grad_x[:, :, dy:y_end:s, dx:x_end:s] += grad_cols[:, :, dy, dx]
+        if self.padding:
+            grad_x = grad_x[
+                :, :, self.padding : -self.padding, self.padding : -self.padding
+            ]
+        return grad_x
+
+    def params(self) -> Dict[str, np.ndarray]:
+        return {"weights": self.weights, "bias": self.bias}
+
+    def grads(self) -> Dict[str, np.ndarray]:
+        return {"weights": self._grad_w, "bias": self._grad_b}
+
+
+class Flatten(Layer):
+    """Reshape ``(batch, ...)`` to ``(batch, features)``."""
+
+    def __init__(self) -> None:
+        self._shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(inputs, dtype=np.float64)
+        if training:
+            self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward called before a training forward pass")
+        return np.asarray(grad_output).reshape(self._shape)
+
+
+class AveragePool2D(Layer):
+    """Non-overlapping average pooling over ``(batch, C, H, W)``."""
+
+    def __init__(self, size: int = 2) -> None:
+        if size < 1:
+            raise ValueError(f"size must be >= 1, got {size}")
+        self.size = size
+        self._shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(inputs, dtype=np.float64)
+        b, c, h, w = x.shape
+        s = self.size
+        oh, ow = h // s, w // s
+        trimmed = x[:, :, : oh * s, : ow * s]
+        if training:
+            self._shape = x.shape
+        return trimmed.reshape(b, c, oh, s, ow, s).mean(axis=(3, 5))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward called before a training forward pass")
+        b, c, h, w = self._shape
+        s = self.size
+        grad = np.asarray(grad_output, dtype=np.float64) / (s * s)
+        up = np.repeat(np.repeat(grad, s, axis=2), s, axis=3)
+        out = np.zeros(self._shape, dtype=np.float64)
+        out[:, :, : up.shape[2], : up.shape[3]] = up
+        return out
+
+
+__all__ = [
+    "AveragePool2D",
+    "Flatten",
+    "Layer",
+    "STE_WINDOW",
+    "TRINARY_FRACTION",
+    "ThresholdActivation",
+    "TrinaryConv2D",
+    "TrinaryDense",
+    "trinarize",
+]

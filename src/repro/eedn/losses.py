@@ -1,0 +1,69 @@
+"""Losses for Eedn training."""
+
+from typing import Tuple
+
+import numpy as np
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray, targets: np.ndarray
+) -> Tuple[float, np.ndarray]:
+    """Mean softmax cross-entropy with soft or hard targets.
+
+    Args:
+        logits: ``(batch, classes)`` raw scores.
+        targets: either integer class labels ``(batch,)`` or a soft target
+            distribution ``(batch, classes)`` (rows need not be one-hot —
+            the Parrot trainer uses normalised HoG histograms as targets).
+
+    Returns:
+        ``(loss, grad)`` where ``grad`` is d loss / d logits, shape
+        ``(batch, classes)``.
+    """
+    z = np.asarray(logits, dtype=np.float64)
+    if z.ndim != 2:
+        raise ValueError(f"logits must be (batch, classes), got {z.shape}")
+    batch, classes = z.shape
+    t = np.asarray(targets)
+    if t.ndim == 1:
+        if t.shape[0] != batch:
+            raise ValueError(f"need {batch} labels, got {t.shape}")
+        one_hot = np.zeros((batch, classes), dtype=np.float64)
+        one_hot[np.arange(batch), t.astype(np.int64)] = 1.0
+        t = one_hot
+    elif t.shape != z.shape:
+        raise ValueError(f"soft targets must match logits shape {z.shape}, got {t.shape}")
+
+    shifted = z - z.max(axis=1, keepdims=True)
+    log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+    loss = float(-(t * log_probs).sum() / batch)
+    grad = (np.exp(log_probs) - t) / batch
+    return loss, grad
+
+
+def hinge_loss(scores: np.ndarray, labels: np.ndarray) -> Tuple[float, np.ndarray]:
+    """Mean binary hinge loss for +-1 labels on a single score column.
+
+    Args:
+        scores: ``(batch,)`` or ``(batch, 1)`` real-valued margins.
+        labels: ``(batch,)`` labels in {-1, +1}.
+
+    Returns:
+        ``(loss, grad)`` with ``grad`` shaped like ``scores``.
+    """
+    s = np.asarray(scores, dtype=np.float64)
+    squeeze = s.ndim == 2
+    flat = s.reshape(-1)
+    y = np.asarray(labels, dtype=np.float64).reshape(-1)
+    if flat.shape != y.shape:
+        raise ValueError(f"scores {flat.shape} and labels {y.shape} must match")
+    if not np.all(np.isin(y, (-1.0, 1.0))):
+        raise ValueError("labels must be in {-1, +1}")
+    margins = 1.0 - y * flat
+    active = margins > 0
+    loss = float(margins[active].sum() / flat.size) if active.any() else 0.0
+    grad = np.where(active, -y, 0.0) / flat.size
+    return loss, grad.reshape(s.shape) if squeeze else grad
+
+
+__all__ = ["hinge_loss", "softmax_cross_entropy"]

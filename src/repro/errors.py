@@ -1,0 +1,25 @@
+"""Exception hierarchy shared across the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """An object was configured with invalid or inconsistent parameters."""
+
+
+class ResourceBudgetError(ReproError):
+    """A design exceeds its neuromorphic resource budget (cores, axons...)."""
+
+
+class TrainingError(ReproError):
+    """A training run failed in a way the caller must handle."""
+
+
+class CompilationError(ReproError):
+    """A corelet tree could not be compiled onto neurosynaptic cores."""
+
+
+class RoutingError(ReproError):
+    """Spike routing between cores was configured inconsistently."""

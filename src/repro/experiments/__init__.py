@@ -1,0 +1,21 @@
+"""Experiment harnesses regenerating every table and figure of the paper.
+
+Each module exposes a ``run(...)`` returning structured results plus a
+``format_report(...)`` that renders the paper-vs-measured comparison; the
+``benchmarks/`` directory wraps these in pytest-benchmark entry points
+and EXPERIMENTS.md records representative outputs.
+
+- :mod:`repro.experiments.setup` — shared data splits and detector
+  training;
+- :mod:`repro.experiments.fig4` — SVM-classifier miss-rate/FPPI curves
+  (FPGA vs NApprox(fp) vs NApprox);
+- :mod:`repro.experiments.fig5` — Eedn-classifier curves (NApprox vs
+  Parrot, plus the Absorbed failure);
+- :mod:`repro.experiments.fig6` — Parrot input-precision sweep;
+- :mod:`repro.experiments.table2` — the deployment power model;
+- :mod:`repro.experiments.absorbed_exp` — the Absorbed convergence study.
+"""
+
+from repro.experiments.setup import ExperimentData, make_experiment_data
+
+__all__ = ["ExperimentData", "make_experiment_data"]

@@ -1,0 +1,171 @@
+"""Figure 6: Parrot input precision versus accuracy and miss rate.
+
+The paper sweeps the stochastic-coding representation from 32 spikes
+down to 1 and plots classifier accuracy and miss rate on the validation
+set of the parrot training data. Lower precision trades accuracy for
+throughput (and therefore power — Table 2).
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis import format_sig, format_table
+from repro.napprox.software import N_DIRECTIONS
+from repro.parrot import (
+    ParrotExtractor,
+    ParrotFeatureConfig,
+    generate_parrot_samples,
+    parrot_fidelity,
+    train_parrot,
+)
+from repro.power import module_throughput_cells_per_second
+from repro.utils.rng import RngLike, resolve_rng
+
+
+@dataclass
+class PrecisionPoint:
+    """One sweep point.
+
+    Attributes:
+        spikes: window length of the stochastic representation.
+        classifier_accuracy: dominant-orientation accuracy on held-out
+            validation cells (within one cyclic bin, the paper's
+            "classifier accuracy" proxy for the parrot-as-classifier).
+        histogram_correlation: parrot-vs-reference histogram correlation.
+        miss_rate_proxy: 1 - dominant-bin agreement on gradient-bearing
+            cells (rises as precision drops, like the paper's miss rate).
+        throughput_cells_per_second: per-module throughput at this
+            precision.
+    """
+
+    spikes: int
+    classifier_accuracy: float
+    histogram_correlation: float
+    miss_rate_proxy: float
+    throughput_cells_per_second: int
+
+
+@dataclass
+class Fig6Result:
+    """The full precision sweep.
+
+    Attributes:
+        points: one entry per precision, descending spikes.
+        analog_reference: the same metrics evaluated without spike coding.
+    """
+
+    points: List[PrecisionPoint]
+    analog_reference: PrecisionPoint
+
+
+def _evaluate(
+    extractor: ParrotExtractor,
+    validation_inputs: np.ndarray,
+    validation_labels: np.ndarray,
+    validation_mass: np.ndarray,
+    fidelity_rng: RngLike,
+    spikes_label: int,
+) -> PrecisionPoint:
+    histograms = extractor.cell_histograms_batch(validation_inputs)
+    edgy = validation_mass > 0.05
+    predictions = histograms.argmax(axis=1)
+    distance = np.minimum(
+        (predictions - validation_labels) % N_DIRECTIONS,
+        (validation_labels - predictions) % N_DIRECTIONS,
+    )
+    accuracy = float((distance[edgy] <= 1).mean()) if edgy.any() else 0.0
+    fidelity = parrot_fidelity(extractor, n_cells=200, rng=fidelity_rng)
+    return PrecisionPoint(
+        spikes=spikes_label,
+        classifier_accuracy=accuracy,
+        histogram_correlation=fidelity.correlation,
+        miss_rate_proxy=1.0 - fidelity.dominant_bin_agreement,
+        throughput_cells_per_second=module_throughput_cells_per_second(
+            max(spikes_label, 1)
+        ),
+    )
+
+
+def run(
+    spike_windows: Sequence[int] = (32, 16, 8, 4, 2, 1),
+    n_validation: int = 600,
+    rng: RngLike = 0,
+) -> Fig6Result:
+    """Train one parrot network and sweep its input representation.
+
+    Args:
+        spike_windows: precisions to evaluate (descending recommended).
+        n_validation: held-out validation cells.
+        rng: master randomness.
+
+    Returns:
+        A :class:`Fig6Result`.
+    """
+    generator = resolve_rng(rng)
+    network, _, _ = train_parrot(rng=generator)
+    validation = generate_parrot_samples(n_validation, rng=generator)
+    mass = validation.targets.sum(axis=1)
+
+    base = ParrotExtractor(network, ParrotFeatureConfig(), rng=generator)
+    analog = _evaluate(
+        base, validation.inputs, validation.angle_labels, mass, 99, spikes_label=1000
+    )
+    points = [
+        _evaluate(
+            base.with_spikes(spikes),
+            validation.inputs,
+            validation.angle_labels,
+            mass,
+            99,
+            spikes_label=spikes,
+        )
+        for spikes in spike_windows
+    ]
+    return Fig6Result(points=points, analog_reference=analog)
+
+
+def format_report(result: Fig6Result) -> str:
+    """Render the Figure 6 sweep as text."""
+    rows = [
+        [
+            "analog",
+            format_sig(result.analog_reference.classifier_accuracy),
+            format_sig(result.analog_reference.histogram_correlation),
+            format_sig(result.analog_reference.miss_rate_proxy),
+            "-",
+        ]
+    ]
+    rows.extend(
+        [
+            f"{point.spikes}-spike",
+            format_sig(point.classifier_accuracy),
+            format_sig(point.histogram_correlation),
+            format_sig(point.miss_rate_proxy),
+            str(point.throughput_cells_per_second),
+        ]
+        for point in result.points
+    )
+    return "\n".join(
+        [
+            "Figure 6 reproduction: parrot precision vs quality",
+            "",
+            format_table(
+                [
+                    "representation",
+                    "classifier accuracy",
+                    "histogram corr",
+                    "miss-rate proxy",
+                    "cells/s/module",
+                ],
+                rows,
+            ),
+            "",
+            "Paper's claim: quality degrades gracefully from 32-spike to",
+            "1-spike while throughput rises 31 -> 1000 cells/s/module.",
+        ]
+    )
+
+
+__all__ = ["Fig6Result", "PrecisionPoint", "format_report", "run"]

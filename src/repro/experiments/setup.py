@@ -1,0 +1,201 @@
+"""Shared experiment scaffolding: data splits and detector training."""
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets import Scene, SyntheticPersonDataset
+from repro.detection import (
+    DetectionCurve,
+    SlidingWindowDetector,
+    evaluate_detections,
+)
+from repro.eedn.layers import ThresholdActivation, TrinaryDense
+from repro.eedn.network import EednNetwork
+from repro.eedn.train import TrainConfig, TrainResult, train_network
+from repro.svm import HardNegativeMiner, LinearSVM
+from repro.utils.rng import RngLike, resolve_rng
+
+CELL_COUNT_SCALE = 1.0 / 64.0
+"""Maps count histograms (votes in [0, 64]) to [0, 1] for Eedn inputs."""
+
+
+@dataclass
+class ExperimentData:
+    """One reproducible train/test split.
+
+    Attributes:
+        positive_windows: ``(p, 128, 64)`` normalised person crops.
+        negative_windows: ``(n, 128, 64)`` person-free crops.
+        negative_images: person-free scenes for hard-negative mining.
+        test_scenes: annotated evaluation scenes.
+    """
+
+    positive_windows: np.ndarray
+    negative_windows: np.ndarray
+    negative_images: List[np.ndarray]
+    test_scenes: List[Scene]
+
+    def ground_truth(self) -> List[np.ndarray]:
+        """Per-scene ``(m, 4)`` annotation arrays."""
+        return [
+            np.stack([a.as_array() for a in scene.annotations])
+            if scene.annotations
+            else np.zeros((0, 4))
+            for scene in self.test_scenes
+        ]
+
+
+def make_experiment_data(
+    n_positive: int = 150,
+    n_negative: int = 300,
+    n_negative_images: int = 10,
+    n_test_scenes: int = 20,
+    scene_shape: Tuple[int, int] = (200, 260),
+    rng: RngLike = 7,
+) -> ExperimentData:
+    """Generate the standard split used by the figure reproductions.
+
+    The INRIA proportions (2,416 positives / 12,180 negatives) are scaled
+    down so the full pipeline runs in CI time; pass larger counts for a
+    closer reproduction.
+
+    Args:
+        n_positive: positive training windows.
+        n_negative: initial negative training windows.
+        n_negative_images: scenes reserved for hard-negative mining.
+        n_test_scenes: annotated evaluation scenes.
+        scene_shape: test/mining scene size.
+        rng: master seed.
+    """
+    dataset = SyntheticPersonDataset(rng=rng)
+    return ExperimentData(
+        positive_windows=dataset.positive_windows(n_positive),
+        negative_windows=dataset.negative_windows(n_negative),
+        negative_images=dataset.negative_images(n_negative_images, scene_shape),
+        test_scenes=dataset.test_scenes(n_test_scenes, scene_shape, max_people=2),
+    )
+
+
+def window_feature_matrix(
+    extractor, windows: np.ndarray, feature_mode: str = "blocks"
+) -> np.ndarray:
+    """Stack the descriptor of every window image."""
+    detector = SlidingWindowDetector(extractor, None, feature_mode=feature_mode)
+    return np.stack([detector.window_features(window) for window in windows])
+
+
+def train_svm_detector(
+    extractor,
+    data: ExperimentData,
+    C: float = 0.1,
+    mining_rounds: int = 1,
+    score_threshold: float = -1.0,
+    rng: RngLike = 0,
+) -> Tuple[SlidingWindowDetector, HardNegativeMiner]:
+    """Train an SVM with hard-negative mining for the given extractor.
+
+    Args:
+        extractor: any descriptor with the package extractor interface.
+        data: the experiment split.
+        C: SVM regularisation.
+        mining_rounds: bootstrapping rounds over the negative images.
+        score_threshold: detector operating threshold (low, so curves
+            sweep a wide FPPI range).
+        rng: SVM solver randomness.
+
+    Returns:
+        ``(detector, miner)`` — the miner carries the mining report.
+    """
+    positives = window_feature_matrix(extractor, data.positive_windows)
+    negatives = window_feature_matrix(extractor, data.negative_windows)
+    seed_rng = resolve_rng(rng)
+    seed = int(seed_rng.integers(0, 2**31 - 1))
+
+    def factory() -> LinearSVM:
+        return LinearSVM(C=C, epochs=20, rng=seed)
+
+    def scan(model: LinearSVM) -> np.ndarray:
+        scanner = SlidingWindowDetector(extractor, model, score_threshold=0.0)
+        return scanner.hard_negative_features(data.negative_images, per_image_cap=40)
+
+    miner = HardNegativeMiner(factory, rounds=mining_rounds)
+    model = miner.fit(positives, negatives, scan if mining_rounds else None)
+    detector = SlidingWindowDetector(
+        extractor, model, score_threshold=score_threshold
+    )
+    return detector, miner
+
+
+def train_eedn_classifier(
+    extractor,
+    data: ExperimentData,
+    hidden: int = 512,
+    epochs: int = 30,
+    learning_rate: float = 0.01,
+    rng: RngLike = 1,
+) -> Tuple[EednNetwork, TrainResult]:
+    """Train the Eedn pedestrian classifier on window cell features.
+
+    Features are the raw (unnormalised) cell histograms scaled to [0, 1]
+    — "the experiments elide block normalization when using the
+    neuromorphic classifier" (paper, Section 5).
+
+    Args:
+        extractor: feature extractor (NApprox or Parrot).
+        data: the experiment split.
+        hidden: hidden width of the classifier.
+        epochs: training epochs.
+        learning_rate: SGD step.
+        rng: randomness.
+
+    Returns:
+        ``(network, train_result)``.
+    """
+    generator = resolve_rng(rng)
+    positives = window_feature_matrix(extractor, data.positive_windows, "cells")
+    negatives = window_feature_matrix(extractor, data.negative_windows, "cells")
+    features = np.vstack([positives, negatives]) * CELL_COUNT_SCALE
+    labels = np.concatenate(
+        [np.ones(len(positives), dtype=np.int64), np.zeros(len(negatives), dtype=np.int64)]
+    )
+    network = EednNetwork(
+        [
+            TrinaryDense(features.shape[1], hidden, rng=generator),
+            ThresholdActivation(0.0, ste_window=2.0),
+            TrinaryDense(hidden, 2, rng=generator),
+        ]
+    )
+    result = train_network(
+        network,
+        features,
+        labels,
+        TrainConfig(
+            epochs=epochs,
+            learning_rate=learning_rate,
+            lr_decay=0.97,
+            logit_scale=8.0,
+        ),
+        rng=generator,
+    )
+    return network, result
+
+
+def detection_curve(
+    detector: SlidingWindowDetector, data: ExperimentData
+) -> DetectionCurve:
+    """Run the detector over the test scenes and build the curve."""
+    detections = [detector.detect_boxes(scene.image) for scene in data.test_scenes]
+    return evaluate_detections(detections, data.ground_truth())
+
+
+__all__ = [
+    "CELL_COUNT_SCALE",
+    "ExperimentData",
+    "detection_curve",
+    "make_experiment_data",
+    "train_eedn_classifier",
+    "train_svm_detector",
+    "window_feature_matrix",
+]

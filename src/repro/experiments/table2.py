@@ -1,0 +1,101 @@
+"""Table 2: estimated power of the feature-extraction approaches."""
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.analysis import format_sig, format_table
+from repro.power import (
+    PowerEstimate,
+    generate_table2,
+    power_ratio_parrot_vs_napprox,
+)
+
+PAPER_VALUES_WATTS: Dict[str, float] = {
+    "FPGA (logic only)": 1.12,
+    "FPGA (system)": 8.6,
+    "NApprox 64-spike": 40.0,
+    "Parrot 32-spike": 6.15,
+    "Parrot 4-spike": 0.768,
+    "Parrot 1-spike": 0.192,
+}
+"""The power numbers Table 2 of the paper reports."""
+
+
+@dataclass
+class Table2Result:
+    """Model rows plus the paper's headline ratios.
+
+    Attributes:
+        rows: computed estimates in the paper's row order.
+        ratio_32: NApprox/Parrot power ratio at 32 spikes (~6.5x).
+        ratio_1: NApprox/Parrot power ratio at 1 spike (~208x).
+        measured_napprox_cores: this repo's corelet module size, when
+            measured (None otherwise).
+    """
+
+    rows: List[PowerEstimate]
+    ratio_32: float
+    ratio_1: float
+    measured_napprox_cores: Optional[int] = None
+
+
+def run(measure_corelet: bool = True) -> Table2Result:
+    """Compute the Table 2 model (and optionally this repo's corelet size).
+
+    Args:
+        measure_corelet: also build the NApprox cell corelet and record
+            its actual core count.
+
+    Returns:
+        A :class:`Table2Result`.
+    """
+    measured = None
+    if measure_corelet:
+        from repro.napprox.corelet_impl import NApproxCellCorelet
+        from repro.truenorth.system import NeurosynapticSystem
+
+        measured = NApproxCellCorelet().build(NeurosynapticSystem("probe")).core_count
+    return Table2Result(
+        rows=generate_table2(),
+        ratio_32=power_ratio_parrot_vs_napprox(32),
+        ratio_1=power_ratio_parrot_vs_napprox(1),
+        measured_napprox_cores=measured,
+    )
+
+
+def format_report(result: Table2Result) -> str:
+    """Render the Table 2 comparison, paper vs model."""
+    paper = list(PAPER_VALUES_WATTS.values())
+    rows = []
+    for estimate, paper_watts in zip(result.rows, paper):
+        rows.append(
+            [
+                estimate.approach,
+                estimate.signal_resolution,
+                str(estimate.total_cores) if estimate.total_cores else "-",
+                str(estimate.chips) if estimate.chips else "-",
+                format_sig(estimate.power_watts),
+                format_sig(paper_watts),
+            ]
+        )
+    lines = [
+        "Table 2 reproduction: estimated power for HoG feature extraction",
+        "",
+        format_table(
+            ["approach", "signal", "cores", "chips", "model W", "paper W"],
+            rows,
+        ),
+        "",
+        f"Parrot vs NApprox power ratio: {format_sig(result.ratio_32)}x at "
+        f"32 spikes, {format_sig(result.ratio_1)}x at 1 spike "
+        "(paper: 6.5x-208x).",
+    ]
+    if result.measured_napprox_cores is not None:
+        lines.append(
+            f"This repo's NApprox corelet uses {result.measured_napprox_cores} "
+            "cores per cell module (paper: 26)."
+        )
+    return "\n".join(lines)
+
+
+__all__ = ["PAPER_VALUES_WATTS", "Table2Result", "format_report", "run"]

@@ -1,0 +1,87 @@
+"""Contrast normalisation over spatial blocks of cells.
+
+All HoGs in the paper "exploit contrast normalization over 2x2 cells in a
+block" with a one-cell stride in both directions, so blocks overlap and
+each interior cell contributes to four blocks (hence the x4 in the
+7,560 = 7 x 15 x 18 x 4 feature count). The neuromorphic classifier
+experiments elide normalisation ("performing normalization is costly on
+the TrueNorth platform", Section 5) — pass ``method="none"``.
+"""
+
+import numpy as np
+
+_EPSILON = 1e-8
+_L2HYS_CLIP = 0.2
+
+
+def normalize_blocks(
+    cells: np.ndarray,
+    block_size: int = 2,
+    stride: int = 1,
+    method: str = "l2",
+) -> np.ndarray:
+    """Group cells into overlapping blocks and normalise each block.
+
+    Args:
+        cells: histogram grid of shape ``(n_cells_y, n_cells_x, n_bins)``.
+        block_size: block edge in cells (2 in the paper).
+        stride: block stride in cells (1 in the paper).
+        method: ``"l2"`` (v / ||v||2), ``"l2hys"`` (L2, clip at 0.2,
+            renormalise), ``"l1"`` (v / ||v||1), or ``"none"`` (blocks are
+            concatenated unnormalised).
+
+    Returns:
+        Array of shape ``(n_blocks_y, n_blocks_x, block_size**2 * n_bins)``.
+
+    Raises:
+        ValueError: if the grid is smaller than one block.
+    """
+    grid = np.asarray(cells, dtype=np.float64)
+    if grid.ndim != 3:
+        raise ValueError(f"cells must be 3-D (y, x, bins), got {grid.shape}")
+    if method not in ("l2", "l2hys", "l1", "none"):
+        raise ValueError(f"unknown normalisation method {method!r}")
+    n_cells_y, n_cells_x, n_bins = grid.shape
+    if n_cells_y < block_size or n_cells_x < block_size:
+        raise ValueError(
+            f"cell grid {grid.shape[:2]} smaller than block of {block_size}"
+        )
+
+    n_blocks_y = (n_cells_y - block_size) // stride + 1
+    n_blocks_x = (n_cells_x - block_size) // stride + 1
+    block_len = block_size * block_size * n_bins
+    blocks = np.empty((n_blocks_y, n_blocks_x, block_len), dtype=np.float64)
+    for by in range(n_blocks_y):
+        for bx in range(n_blocks_x):
+            y0 = by * stride
+            x0 = bx * stride
+            vector = grid[y0 : y0 + block_size, x0 : x0 + block_size].ravel()
+            blocks[by, bx] = _normalize(vector, method)
+    return blocks
+
+
+def _normalize(vector: np.ndarray, method: str) -> np.ndarray:
+    if method == "none":
+        return vector
+    if method == "l1":
+        return vector / (np.abs(vector).sum() + _EPSILON)
+    normed = vector / (np.linalg.norm(vector) + _EPSILON)
+    if method == "l2hys":
+        normed = np.minimum(normed, _L2HYS_CLIP)
+        normed = normed / (np.linalg.norm(normed) + _EPSILON)
+    return normed
+
+
+def block_grid_shape(
+    n_cells_y: int, n_cells_x: int, block_size: int = 2, stride: int = 1
+) -> tuple:
+    """Shape ``(n_blocks_y, n_blocks_x)`` produced by :func:`normalize_blocks`."""
+    if n_cells_y < block_size or n_cells_x < block_size:
+        raise ValueError("cell grid smaller than one block")
+    return (
+        (n_cells_y - block_size) // stride + 1,
+        (n_cells_x - block_size) // stride + 1,
+    )
+
+
+__all__ = ["block_grid_shape", "normalize_blocks"]

@@ -1,0 +1,134 @@
+"""Orientation voting: from per-pixel gradients to per-cell histograms."""
+
+import numpy as np
+
+
+def cell_histograms(
+    magnitude: np.ndarray,
+    angle: np.ndarray,
+    cell_size: int = 8,
+    n_bins: int = 9,
+    signed: bool = False,
+    voting: str = "magnitude",
+    interpolate: bool = True,
+    count_threshold: float = 0.0,
+) -> np.ndarray:
+    """Vote pixel orientations into a grid of cell histograms.
+
+    Args:
+        magnitude: per-pixel gradient magnitudes, 2-D.
+        angle: per-pixel orientations in degrees, same shape; expected in
+            ``[0, 360)`` when ``signed`` else ``[0, 180)``.
+        cell_size: cell edge in pixels (8 in the paper).
+        n_bins: orientation bins (9 for Dalal-Triggs, 18 for NApprox).
+        signed: orientation range — ``True`` for 0-360, ``False`` for 0-180.
+        voting: ``"magnitude"`` (each pixel votes its gradient magnitude,
+            the conventional scheme) or ``"count"`` (each pixel with a
+            gradient above ``count_threshold`` votes 1, the NApprox scheme
+            of Table 1).
+        interpolate: bilinear interpolation between the two nearest bins
+            (mitigates orientation aliasing). The paper's approximation
+            designs ignore aliasing, i.e. pass ``False``.
+        count_threshold: minimum magnitude for a pixel to vote at all
+            under count voting (zero-gradient pixels never vote).
+
+    Returns:
+        Array of shape ``(n_cells_y, n_cells_x, n_bins)``. Pixels beyond
+        the last full cell are discarded.
+    """
+    mag = np.asarray(magnitude, dtype=np.float64)
+    ang = np.asarray(angle, dtype=np.float64)
+    if mag.shape != ang.shape or mag.ndim != 2:
+        raise ValueError(
+            f"magnitude {mag.shape} and angle {ang.shape} must be equal 2-D shapes"
+        )
+    if cell_size < 1:
+        raise ValueError(f"cell_size must be >= 1, got {cell_size}")
+    if n_bins < 2:
+        raise ValueError(f"n_bins must be >= 2, got {n_bins}")
+    if voting not in ("magnitude", "count"):
+        raise ValueError(f"voting must be 'magnitude' or 'count', got {voting!r}")
+
+    span = 360.0 if signed else 180.0
+    bin_width = span / n_bins
+    n_cells_y = mag.shape[0] // cell_size
+    n_cells_x = mag.shape[1] // cell_size
+    histograms = np.zeros((n_cells_y, n_cells_x, n_bins), dtype=np.float64)
+    if n_cells_y == 0 or n_cells_x == 0:
+        return histograms
+
+    height = n_cells_y * cell_size
+    width = n_cells_x * cell_size
+    mag = mag[:height, :width]
+    ang = np.mod(ang[:height, :width], span)
+
+    if voting == "count":
+        weights = (mag > count_threshold).astype(np.float64)
+    else:
+        weights = mag
+
+    cell_y = (np.arange(height) // cell_size)[:, None]
+    cell_x = (np.arange(width) // cell_size)[None, :]
+    cell_index = (cell_y * n_cells_x + cell_x).ravel()
+    flat_weights = weights.ravel()
+    n_cells = n_cells_y * n_cells_x
+
+    if interpolate:
+        # Distribute each vote between the two nearest bin centers.
+        position = ang.ravel() / bin_width - 0.5
+        lower = np.floor(position).astype(np.int64)
+        frac = position - lower
+        lower_bin = np.mod(lower, n_bins)
+        upper_bin = np.mod(lower + 1, n_bins)
+        flat = np.zeros(n_cells * n_bins, dtype=np.float64)
+        np.add.at(flat, cell_index * n_bins + lower_bin, flat_weights * (1.0 - frac))
+        np.add.at(flat, cell_index * n_bins + upper_bin, flat_weights * frac)
+    else:
+        bins = np.minimum((ang.ravel() / bin_width).astype(np.int64), n_bins - 1)
+        flat = np.zeros(n_cells * n_bins, dtype=np.float64)
+        np.add.at(flat, cell_index * n_bins + bins, flat_weights)
+
+    return flat.reshape(n_cells_y, n_cells_x, n_bins)
+
+
+def histogram_for_cell(
+    magnitude: np.ndarray,
+    angle: np.ndarray,
+    n_bins: int,
+    signed: bool,
+    voting: str = "magnitude",
+    interpolate: bool = True,
+    count_threshold: float = 0.0,
+) -> np.ndarray:
+    """Histogram of a single cell (the whole input is one cell).
+
+    Convenience wrapper over :func:`cell_histograms` used by the per-cell
+    extractors (Parrot training targets, corelet validation).
+    """
+    mag = np.asarray(magnitude, dtype=np.float64)
+    grid = cell_histograms(
+        mag,
+        angle,
+        cell_size=max(mag.shape),
+        n_bins=n_bins,
+        signed=signed,
+        voting=voting,
+        interpolate=interpolate,
+        count_threshold=count_threshold,
+    )
+    if grid.shape[:2] != (1, 1):
+        # Non-square cells: fall back to a single explicit accumulation.
+        grid = cell_histograms(
+            mag,
+            angle,
+            cell_size=1,
+            n_bins=n_bins,
+            signed=signed,
+            voting=voting,
+            interpolate=interpolate,
+            count_threshold=count_threshold,
+        ).sum(axis=(0, 1), keepdims=True)
+    return grid[0, 0]
+
+
+__all__ = ["cell_histograms", "histogram_for_cell"]

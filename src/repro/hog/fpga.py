@@ -1,0 +1,175 @@
+"""Fixed-point FPGA-style HoG (the paper's baseline feature extractor).
+
+Models the 16-bit datapath of the scalable FPGA object-detection
+architecture the paper compares against (Advani et al., FPL 2015):
+
+- pixels are 8-bit integers; gradients are 9-bit signed integers;
+- the gradient magnitude uses the alpha-max-beta-min approximation
+  ``max + 3/8 * min`` (two shifts and an add in hardware);
+- the orientation bin is found without any division or arctangent by
+  comparing ``|Iy| * 2^8`` against ``|Ix| * round(tan(boundary) * 2^8)``
+  for the bin boundaries, then unfolding the quadrant;
+- votes are magnitude-weighted integer accumulations with no orientation
+  interpolation (single-bin voting, typical for the embedded datapath).
+
+Block normalisation operates on the integer cell histograms in floating
+point, standing in for the downstream classifier-side arithmetic.
+"""
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.hog.blocks import block_grid_shape, normalize_blocks
+from repro.utils.images import rgb_to_grayscale, to_float_image, to_uint8_image
+
+_TAN_SCALE_BITS = 8
+
+
+@dataclass(frozen=True)
+class FpgaHogConfig:
+    """Configuration of the fixed-point FPGA HoG.
+
+    Attributes:
+        cell_size: cell edge in pixels.
+        block_size: block edge in cells.
+        block_stride: block stride in cells.
+        n_bins: orientation bins over 0-180 (9 in the paper).
+        normalization: block normalisation applied to the integer cell
+            histograms (``"l2"`` in Figure 4; ``"none"`` available).
+    """
+
+    cell_size: int = 8
+    block_size: int = 2
+    block_stride: int = 1
+    n_bins: int = 9
+    normalization: str = "l2"
+
+    def feature_length(self, window_shape: Tuple[int, int]) -> int:
+        """Descriptor length for a ``(height, width)`` pixel window."""
+        n_cells_y = window_shape[0] // self.cell_size
+        n_cells_x = window_shape[1] // self.cell_size
+        n_blocks_y, n_blocks_x = block_grid_shape(
+            n_cells_y, n_cells_x, self.block_size, self.block_stride
+        )
+        return n_blocks_y * n_blocks_x * self.block_size**2 * self.n_bins
+
+
+class FpgaHogDescriptor:
+    """Fixed-point HoG with the same interface as :class:`HogDescriptor`.
+
+    Args:
+        config: datapath configuration.
+    """
+
+    def __init__(self, config: FpgaHogConfig = FpgaHogConfig()) -> None:
+        if config.n_bins < 2:
+            raise ValueError(f"n_bins must be >= 2, got {config.n_bins}")
+        self.config = config
+        # Fixed-point tangents of the interior bin boundaries over (0, 90].
+        # Boundary angles are multiples of the bin width; tan(90) is handled
+        # by comparing against "infinity" (the x == 0 case).
+        bin_width = 180.0 / config.n_bins
+        boundaries = np.arange(1, config.n_bins + 1) * bin_width
+        self._boundaries_deg = boundaries
+        self._tan_fixed = np.round(
+            np.tan(np.radians(np.minimum(boundaries, 89.999999)))
+            * (1 << _TAN_SCALE_BITS)
+        ).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    def cell_grid(self, image: np.ndarray) -> np.ndarray:
+        """Integer cell histograms of shape ``(cy, cx, n_bins)``."""
+        gray = to_uint8_image(rgb_to_grayscale(to_float_image(image))).astype(np.int64)
+
+        padded = np.pad(gray, 1, mode="edge")
+        ix = padded[1:-1, 2:] - padded[1:-1, :-2]
+        iy = padded[:-2, 1:-1] - padded[2:, 1:-1]
+
+        magnitude = _alpha_max_beta_min(ix, iy)
+        bins = self._orientation_bin(ix, iy)
+
+        cs = self.config.cell_size
+        n_cells_y = gray.shape[0] // cs
+        n_cells_x = gray.shape[1] // cs
+        grid = np.zeros((n_cells_y, n_cells_x, self.config.n_bins), dtype=np.float64)
+        if n_cells_y == 0 or n_cells_x == 0:
+            return grid
+        height, width = n_cells_y * cs, n_cells_x * cs
+        cell_y = (np.arange(height) // cs)[:, None]
+        cell_x = (np.arange(width) // cs)[None, :]
+        flat_index = (
+            (cell_y * n_cells_x + cell_x) * self.config.n_bins
+            + bins[:height, :width]
+        ).ravel()
+        flat = np.zeros(n_cells_y * n_cells_x * self.config.n_bins, dtype=np.int64)
+        np.add.at(flat, flat_index, magnitude[:height, :width].ravel())
+        return flat.reshape(grid.shape).astype(np.float64)
+
+    def from_cells(self, cells: np.ndarray) -> np.ndarray:
+        """Assemble the flat descriptor from a per-cell histogram grid."""
+        blocks = normalize_blocks(
+            cells,
+            block_size=self.config.block_size,
+            stride=self.config.block_stride,
+            method=self.config.normalization,
+        )
+        return blocks.ravel()
+
+    def compute(self, image: np.ndarray) -> np.ndarray:
+        """The flat descriptor of a whole image treated as one window."""
+        return self.from_cells(self.cell_grid(image))
+
+    def feature_length(self, window_shape: Tuple[int, int]) -> int:
+        """Descriptor length for a pixel window of ``window_shape``."""
+        return self.config.feature_length(window_shape)
+
+    # ------------------------------------------------------------------
+    def _orientation_bin(self, ix: np.ndarray, iy: np.ndarray) -> np.ndarray:
+        """Quadrant-folded LUT binning: integer compares only.
+
+        Unsigned orientation: fold (ix, iy) so the reference angle lies in
+        [0, 90], find the sub-bin by comparing ``|iy| << 8`` to
+        ``|ix| * tan_fixed``, then mirror for angles in (90, 180).
+        """
+        abs_x = np.abs(ix).astype(np.int64)
+        abs_y = np.abs(iy).astype(np.int64)
+        lhs = abs_y << _TAN_SCALE_BITS
+
+        n_bins = self.config.n_bins
+        # Number of boundaries strictly below 90 degrees.
+        first_quadrant = self._boundaries_deg < 90.0
+        acute_bin = np.zeros(ix.shape, dtype=np.int64)
+        for tan_fixed in self._tan_fixed[first_quadrant]:
+            acute_bin += (lhs >= abs_x * tan_fixed).astype(np.int64)
+        # Vertical gradients (ix == 0, iy != 0) land at exactly 90 degrees.
+        vertical = (abs_x == 0) & (abs_y > 0)
+        acute_bin = np.where(vertical, n_bins // 2, acute_bin)
+        acute_bin = np.minimum(acute_bin, n_bins - 1)
+
+        # Unsigned folding: the orientation is in the second half (90, 180)
+        # when ix and iy have opposite signs (negative slope).
+        opposite = ((ix > 0) & (iy < 0)) | ((ix < 0) & (iy > 0))
+        mirrored = n_bins - 1 - acute_bin
+        bins = np.where(opposite, mirrored, acute_bin)
+        bins = np.where((abs_x == 0) & (abs_y == 0), 0, bins)
+        return bins.astype(np.int64)
+
+    def __repr__(self) -> str:
+        return (
+            f"FpgaHogDescriptor(bins={self.config.n_bins}, "
+            f"norm={self.config.normalization!r}, 16-bit fixed point)"
+        )
+
+
+def _alpha_max_beta_min(ix: np.ndarray, iy: np.ndarray) -> np.ndarray:
+    """``max + 3/8 min``: the shift-and-add magnitude of embedded HoG."""
+    abs_x = np.abs(ix).astype(np.int64)
+    abs_y = np.abs(iy).astype(np.int64)
+    larger = np.maximum(abs_x, abs_y)
+    smaller = np.minimum(abs_x, abs_y)
+    return larger + (smaller >> 2) + (smaller >> 3)
+
+
+__all__ = ["FpgaHogConfig", "FpgaHogDescriptor"]

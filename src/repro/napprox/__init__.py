@@ -1,0 +1,34 @@
+"""NApprox: HoG approximated with TrueNorth primitives (paper Section 3.1).
+
+Table 1 of the paper maps each HoG component onto a neuromorphic
+primitive:
+
+- gradient vector -> pattern matching with the filters (-1 0 1),
+  (1 0 -1) and transposes, producing the rectified pair
+  ``Ix, -Ix, Iy, -Iy``;
+- gradient angle -> comparison: the direction ``theta`` for which
+  ``Ix cos(theta) + Iy sin(theta)`` is maximum;
+- gradient magnitude -> inner product ``Ix cos(theta) + Iy sin(theta)``;
+- histogram -> binned by count, 18 bins over 0-360.
+
+Two software models (:mod:`repro.napprox.software`) mirror the paper's
+methodology: ``NApprox(fp)`` evaluates the mapping in floating point and
+``NApprox`` applies TrueNorth-compatible quantisation (64-spike / 6-bit
+inputs, integer direction tables). :mod:`repro.napprox.corelet_impl`
+builds the same pipeline out of neurosynaptic cores and
+:mod:`repro.napprox.validation` reproduces the paper's >=99.5 %
+hardware-vs-software correlation check.
+"""
+
+from repro.napprox.software import NApproxConfig, NApproxDescriptor
+from repro.napprox.corelet_impl import NApproxCellCorelet, NApproxCellRunner
+from repro.napprox.validation import CorrelationReport, correlate_corelet_vs_software
+
+__all__ = [
+    "CorrelationReport",
+    "NApproxCellCorelet",
+    "NApproxCellRunner",
+    "NApproxConfig",
+    "NApproxDescriptor",
+    "correlate_corelet_vs_software",
+]

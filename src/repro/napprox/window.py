@@ -1,0 +1,96 @@
+"""Window-scale NApprox deployments: many cell modules in one system.
+
+A 64x128 detection window holds 8 x 16 = 128 cells; at 22 cores per cell
+module the extractor occupies 2,816 cores (the paper's figure, at its 26
+cores per module, is 3,328 for a window — 1 chip either way). This
+module assembles any number of cell modules into one
+:class:`~repro.truenorth.system.NeurosynapticSystem` and reports the
+chip placement, making the Table 2 resource arithmetic inspectable on
+real (simulated) hardware structures rather than just closed-form.
+"""
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.napprox.corelet_impl import NApproxCellCorelet, NApproxFootprint
+from repro.truenorth.placement import PlacementReport, grouped_placement
+from repro.truenorth.power import CHIP_CORES
+from repro.truenorth.system import NeurosynapticSystem
+
+WINDOW_CELLS = 128
+"""Cells in a 64x128 detection window (8 x 16)."""
+
+
+@dataclass
+class WindowDeployment:
+    """A multi-cell NApprox deployment.
+
+    Attributes:
+        system: the system holding every module's cores.
+        footprints: one per cell module, in build order.
+        placement: chip placement keeping each module co-resident.
+    """
+
+    system: NeurosynapticSystem
+    footprints: List[NApproxFootprint]
+    placement: PlacementReport
+
+    @property
+    def total_cores(self) -> int:
+        """Cores across all modules."""
+        return sum(fp.core_count for fp in self.footprints)
+
+    @property
+    def cores_per_cell(self) -> int:
+        """Cores of one module."""
+        return self.footprints[0].core_count if self.footprints else 0
+
+
+def build_window_deployment(
+    n_cells: int = WINDOW_CELLS,
+    direction_scale: int = 16,
+    magnitude_threshold: int = 4,
+    cores_per_chip: int = CHIP_CORES,
+) -> WindowDeployment:
+    """Instantiate ``n_cells`` NApprox cell modules in one system.
+
+    Args:
+        n_cells: modules to build (128 = one full window).
+        direction_scale: Q of the direction tables.
+        magnitude_threshold: T of the magnitude neurons.
+        cores_per_chip: chip capacity for the placement report.
+
+    Returns:
+        A :class:`WindowDeployment`. Because modules are independent, a
+        grouped placement never splits a module, so no intra-module route
+        crosses a chip boundary.
+    """
+    if n_cells < 1:
+        raise ValueError(f"n_cells must be >= 1, got {n_cells}")
+    system = NeurosynapticSystem("napprox-window")
+    footprints = []
+    for index in range(n_cells):
+        corelet = NApproxCellCorelet(
+            direction_scale, magnitude_threshold, name=f"cell{index}"
+        )
+        footprints.append(corelet.build(system))
+    placement = grouped_placement(
+        system,
+        groups=[fp.core_ids for fp in footprints],
+        cores_per_chip=cores_per_chip,
+    )
+    return WindowDeployment(system=system, footprints=footprints, placement=placement)
+
+
+def window_core_budget(
+    cores_per_cell: int, n_cells: int = WINDOW_CELLS
+) -> Tuple[int, int]:
+    """``(total_cores, chips)`` for a window-scale extractor."""
+    if cores_per_cell < 0 or n_cells < 0:
+        raise ValueError("counts must be non-negative")
+    total = cores_per_cell * n_cells
+    chips = -(-total // CHIP_CORES) if total else 0
+    return total, chips
+
+
+__all__ = ["WINDOW_CELLS", "WindowDeployment", "build_window_deployment", "window_core_budget"]

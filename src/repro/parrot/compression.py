@@ -1,0 +1,159 @@
+"""Structured compression of the Parrot network for power efficiency.
+
+The paper's stated future work is the "optimization of the combined
+Parrot HoG and Eedn network designs for better power efficiency". The
+dominant knob is the hidden width: every pruned hidden unit removes
+synapses from both layers, and once the width crosses a crossbar
+partial-sum boundary (multiples of 128 effective lines) whole cores
+disappear from each of the 57,749 replicated cell modules.
+
+:func:`prune_hidden_units` removes the least-important units (importance
+= the product of a unit's trinary input and output L1 masses, the
+standard structured-pruning saliency); :func:`compress_to_cores` searches
+for the widest network that fits a per-cell core budget.
+"""
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.eedn.layers import ThresholdActivation, TrinaryDense, trinarize
+from repro.eedn.mapping import core_count
+from repro.eedn.network import EednNetwork
+
+
+@dataclass(frozen=True)
+class CompressionResult:
+    """Outcome of one compression step.
+
+    Attributes:
+        network: the pruned network (fresh layers; the input network is
+            untouched).
+        kept_units: indices of the surviving hidden units, ascending.
+        cores_per_cell: TrueNorth cores of the pruned per-cell module.
+    """
+
+    network: EednNetwork
+    kept_units: Tuple[int, ...]
+    cores_per_cell: int
+
+
+def _split_dense(network: EednNetwork) -> Tuple[TrinaryDense, TrinaryDense]:
+    dense = [layer for layer in network.layers if isinstance(layer, TrinaryDense)]
+    if len(dense) != 2:
+        raise ValueError(
+            f"parrot compression expects a 2-dense-layer network, found {len(dense)}"
+        )
+    return dense[0], dense[1]
+
+
+def hidden_unit_importance(network: EednNetwork) -> np.ndarray:
+    """Saliency of each hidden unit.
+
+    A unit matters when it both *receives* signal (input trinary mass)
+    and *influences* outputs (output trinary mass); the saliency is the
+    product of the two L1 masses, with a small epsilon so dead inputs
+    rank below weakly connected ones deterministically.
+
+    Args:
+        network: a 2-dense-layer parrot-style network.
+
+    Returns:
+        ``(hidden,)`` non-negative saliencies.
+    """
+    first, second = _split_dense(network)
+    input_mass = np.abs(trinarize(first.weights)).sum(axis=0)
+    output_mass = np.abs(trinarize(second.weights)).sum(axis=1)
+    return (input_mass + 1e-6) * (output_mass + 1e-6)
+
+
+def prune_hidden_units(network: EednNetwork, keep: int) -> CompressionResult:
+    """Keep the ``keep`` most salient hidden units.
+
+    Args:
+        network: a 2-dense-layer network (dense, threshold, dense).
+        keep: surviving hidden width (>= 1).
+
+    Returns:
+        A :class:`CompressionResult` with a brand-new network.
+    """
+    first, second = _split_dense(network)
+    if not 1 <= keep <= first.n_out:
+        raise ValueError(f"keep must be in [1, {first.n_out}], got {keep}")
+    saliency = hidden_unit_importance(network)
+    kept = np.sort(np.argsort(saliency)[::-1][:keep])
+
+    threshold_layers = [
+        layer for layer in network.layers if isinstance(layer, ThresholdActivation)
+    ]
+    ste_window = threshold_layers[0].ste_window if threshold_layers else 1.0
+
+    pruned_first = TrinaryDense(first.n_in, keep, rng=0)
+    pruned_first.weights[...] = first.weights[:, kept]
+    pruned_first.bias[...] = first.bias[kept]
+    pruned_second = TrinaryDense(keep, second.n_out, rng=0)
+    pruned_second.weights[...] = second.weights[kept, :]
+    pruned_second.bias[...] = second.bias.copy()
+
+    pruned = EednNetwork(
+        [pruned_first, ThresholdActivation(0.0, ste_window=ste_window), pruned_second]
+    )
+    cores, _ = core_count(pruned, (first.n_in,))
+    return CompressionResult(
+        network=pruned, kept_units=tuple(int(k) for k in kept), cores_per_cell=cores
+    )
+
+
+def compress_to_cores(
+    network: EednNetwork, max_cores_per_cell: int
+) -> CompressionResult:
+    """The widest pruning of ``network`` within a per-cell core budget.
+
+    Args:
+        network: a 2-dense-layer network.
+        max_cores_per_cell: core budget for one cell module.
+
+    Returns:
+        A :class:`CompressionResult` whose ``cores_per_cell`` is within
+        budget.
+
+    Raises:
+        ValueError: when even a single hidden unit exceeds the budget.
+    """
+    first, _ = _split_dense(network)
+    low, high = 1, first.n_out
+    best: CompressionResult = prune_hidden_units(network, 1)
+    if best.cores_per_cell > max_cores_per_cell:
+        raise ValueError(
+            f"even one hidden unit needs {best.cores_per_cell} cores > "
+            f"budget {max_cores_per_cell}"
+        )
+    while low <= high:
+        mid = (low + high) // 2
+        candidate = prune_hidden_units(network, mid)
+        if candidate.cores_per_cell <= max_cores_per_cell:
+            best = candidate
+            low = mid + 1
+        else:
+            high = mid - 1
+    return best
+
+
+def power_per_window(
+    cores_per_cell: int, window_cells: int = 128, core_watts: float = 16e-6
+) -> float:
+    """Extraction power of one 64x128 window at a given module size."""
+    if cores_per_cell < 0 or window_cells < 0:
+        raise ValueError("core and cell counts must be non-negative")
+    return cores_per_cell * window_cells * core_watts
+
+
+__all__ = [
+    "CompressionResult",
+    "compress_to_cores",
+    "hidden_unit_importance",
+    "power_per_window",
+    "prune_hidden_units",
+]

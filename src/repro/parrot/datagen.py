@@ -1,0 +1,106 @@
+"""Randomly generated labelled training data for the Parrot extractor.
+
+Figure 3 of the paper shows the scheme: samples are oriented patterns
+labelled by angle class, generated "with different ratio of 1's and 0's
+so that the feature extractor can learn to deal with samples with
+offsets". Because HoG is a well-defined function of the pixels, every
+sample's exact target histogram is computed with the reference NApprox
+model — no manual labelling.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.napprox.software import NApproxConfig, NApproxDescriptor, N_DIRECTIONS
+from repro.utils.rng import RngLike, resolve_rng
+
+CELL_PIXELS = 64
+"""The parrot network sees all 8x8 pixels of a cell (paper, Section 3.2)."""
+
+
+@dataclass
+class ParrotDataset:
+    """Training material for the parrot network.
+
+    Attributes:
+        inputs: ``(n, 64)`` cell pixels in [0, 1].
+        angle_labels: ``(n,)`` dominant-orientation class (0..17), the
+            hard labels shown in Figure 3.
+        targets: ``(n, 18)`` soft targets — the cell's reference HoG
+            histogram scaled to [0, 1] (votes / 64).
+    """
+
+    inputs: np.ndarray
+    angle_labels: np.ndarray
+    targets: np.ndarray
+
+    def __len__(self) -> int:
+        return self.inputs.shape[0]
+
+
+def _oriented_pattern(rng: np.random.Generator) -> np.ndarray:
+    """One random oriented sample: an edge, stripe set, or offset fill."""
+    ys, xs = np.mgrid[0:8, 0:8] / 7.0
+    kind = rng.random()
+    angle = rng.uniform(0.0, 2.0 * np.pi)
+    ramp = np.cos(angle) * xs - np.sin(angle) * ys
+    if kind < 0.45:
+        # Step edge with random phase ("different ratios of 1s and 0s").
+        phase = rng.uniform(ramp.min(), ramp.max())
+        image = (ramp > phase).astype(np.float64)
+    elif kind < 0.80:
+        # Stripes of random frequency and phase.
+        freq = rng.uniform(1.5, 4.0)
+        phase = rng.uniform(0.0, 2.0 * np.pi)
+        image = (np.sin(freq * np.pi * ramp + phase) > 0).astype(np.float64)
+    elif kind < 0.92:
+        # Smooth ramp (soft gradient rather than a hard edge).
+        image = (ramp - ramp.min()) / max(float(ramp.max() - ramp.min()), 1e-9)
+    else:
+        # Near-flat fill: teaches the network that no gradient means no
+        # histogram mass.
+        image = np.full((8, 8), rng.uniform(0.0, 1.0))
+    # Contrast spans the full range detection cells exhibit (soft,
+    # blurred edges down to ~0.1) plus a density offset and light noise.
+    contrast = rng.uniform(0.1, 1.0)
+    offset = rng.uniform(0.0, 1.0 - contrast)
+    image = image * contrast + offset
+    image = image + rng.normal(0.0, 0.02, size=(8, 8))
+    return np.clip(image, 0.0, 1.0)
+
+
+def generate_parrot_samples(
+    count: int, rng: RngLike = None, quantized_reference: bool = False
+) -> ParrotDataset:
+    """Generate ``count`` labelled samples.
+
+    Args:
+        count: samples to generate.
+        rng: randomness source.
+        quantized_reference: compute targets with the quantised NApprox
+            model instead of the full-precision one.
+
+    Returns:
+        A :class:`ParrotDataset`.
+    """
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    generator = resolve_rng(rng)
+    reference = NApproxDescriptor(
+        NApproxConfig(quantized=quantized_reference, normalization="none")
+    )
+    inputs = np.empty((count, CELL_PIXELS), dtype=np.float64)
+    labels = np.empty(count, dtype=np.int64)
+    targets = np.empty((count, N_DIRECTIONS), dtype=np.float64)
+    for index in range(count):
+        image = _oriented_pattern(generator)
+        votes = reference.pixel_votes(image)
+        histogram = votes.reshape(-1, N_DIRECTIONS).sum(axis=0).astype(np.float64)
+        inputs[index] = image.ravel()
+        targets[index] = histogram / CELL_PIXELS
+        labels[index] = int(np.argmax(histogram)) if histogram.sum() else 0
+    return ParrotDataset(inputs=inputs, angle_labels=labels, targets=targets)
+
+
+__all__ = ["CELL_PIXELS", "ParrotDataset", "generate_parrot_samples"]

@@ -1,0 +1,172 @@
+"""The Parrot feature extractor: trained network, descriptor interface."""
+
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.eedn.network import EednNetwork
+from repro.eedn.mapping import core_count
+from repro.eedn.spiking import SpikingEvaluator
+from repro.hog.blocks import block_grid_shape, normalize_blocks
+from repro.napprox.software import N_DIRECTIONS
+from repro.parrot.trainer import sigmoid_rates
+from repro.utils.images import rgb_to_grayscale, to_float_image
+from repro.utils.rng import RngLike
+
+
+@dataclass(frozen=True)
+class ParrotFeatureConfig:
+    """Descriptor-side configuration of the parrot extractor.
+
+    Attributes:
+        cell_size: cell edge in pixels (the parrot network is per-cell).
+        block_size: block edge in cells (for optional normalisation).
+        block_stride: block stride in cells.
+        normalization: block normalisation; the neuromorphic experiments
+            use ``"none"`` (Section 5).
+        spikes: ``None`` for analog evaluation, or the stochastic-coding
+            window (1..64) of Figure 6.
+    """
+
+    cell_size: int = 8
+    block_size: int = 2
+    block_stride: int = 1
+    normalization: str = "none"
+    spikes: Optional[int] = None
+
+    @property
+    def n_bins(self) -> int:
+        """Histogram bins (18, matching NApprox)."""
+        return N_DIRECTIONS
+
+    def feature_length(self, window_shape: Tuple[int, int]) -> int:
+        """Descriptor length for a ``(height, width)`` pixel window."""
+        n_cells_y = window_shape[0] // self.cell_size
+        n_cells_x = window_shape[1] // self.cell_size
+        if self.normalization == "none" and self.block_size == 1:
+            return n_cells_y * n_cells_x * self.n_bins
+        n_blocks_y, n_blocks_x = block_grid_shape(
+            n_cells_y, n_cells_x, self.block_size, self.block_stride
+        )
+        return n_blocks_y * n_blocks_x * self.block_size**2 * self.n_bins
+
+
+class ParrotExtractor:
+    """Cell-wise HoG mimicry with the package-wide extractor interface.
+
+    Args:
+        network: the trained parrot network (64 -> hidden -> 18).
+        config: descriptor configuration; ``config.spikes`` selects the
+            input representation (``None`` = analog).
+        rng: randomness for stochastic spike coding.
+    """
+
+    def __init__(
+        self,
+        network: EednNetwork,
+        config: ParrotFeatureConfig = ParrotFeatureConfig(),
+        rng: RngLike = 0,
+    ) -> None:
+        self.network = network
+        self.config = config
+        self._rng = rng
+        self._evaluator: Optional[SpikingEvaluator] = None
+        if config.spikes is not None:
+            if config.spikes < 1:
+                raise ValueError(f"spikes must be >= 1, got {config.spikes}")
+            self._evaluator = SpikingEvaluator(network, ticks=config.spikes, rng=rng)
+
+    def with_normalization(self, method: str) -> "ParrotExtractor":
+        """A copy with a different block normalisation."""
+        return ParrotExtractor(
+            self.network, replace(self.config, normalization=method), rng=self._rng
+        )
+
+    def with_spikes(self, spikes: Optional[int]) -> "ParrotExtractor":
+        """A copy at a different input spike precision."""
+        return ParrotExtractor(
+            self.network, replace(self.config, spikes=spikes), rng=self._rng
+        )
+
+    # ------------------------------------------------------------------
+    def cell_histograms_batch(self, cells: np.ndarray) -> np.ndarray:
+        """Histogram estimates for ``(n, 64)`` flattened cells.
+
+        Returns vote-count estimates in ``[0, 64]`` per bin (rate x 64),
+        commensurate with the NApprox count histograms.
+        """
+        x = np.asarray(cells, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.config.cell_size**2:
+            raise ValueError(
+                f"cells must be (n, {self.config.cell_size ** 2}), got {x.shape}"
+            )
+        if self._evaluator is None:
+            logits = self.network.forward(x)
+            rates = sigmoid_rates(logits)
+        else:
+            rates = self._evaluator.evaluate(np.clip(x, 0.0, 1.0)).rates
+        return rates * float(self.config.cell_size**2)
+
+    def cell_grid(self, image: np.ndarray) -> np.ndarray:
+        """Per-cell histograms of shape ``(cy, cx, 18)``."""
+        gray = to_float_image(rgb_to_grayscale(to_float_image(image)))
+        cs = self.config.cell_size
+        cy = gray.shape[0] // cs
+        cx = gray.shape[1] // cs
+        if cy == 0 or cx == 0:
+            return np.zeros((cy, cx, N_DIRECTIONS))
+        trimmed = gray[: cy * cs, : cx * cs]
+        cells = (
+            trimmed.reshape(cy, cs, cx, cs)
+            .transpose(0, 2, 1, 3)
+            .reshape(cy * cx, cs * cs)
+        )
+        histograms = self.cell_histograms_batch(cells)
+        return histograms.reshape(cy, cx, N_DIRECTIONS)
+
+    def from_cells(self, cells: np.ndarray) -> np.ndarray:
+        """Assemble the flat descriptor from a per-cell histogram grid."""
+        blocks = normalize_blocks(
+            cells,
+            block_size=self.config.block_size,
+            stride=self.config.block_stride,
+            method=self.config.normalization,
+        )
+        return blocks.ravel()
+
+    def compute(self, image: np.ndarray) -> np.ndarray:
+        """The flat descriptor of a whole image treated as one window."""
+        return self.from_cells(self.cell_grid(image))
+
+    def feature_length(self, window_shape: Tuple[int, int]) -> int:
+        """Descriptor length for a pixel window of ``window_shape``."""
+        return self.config.feature_length(window_shape)
+
+    # ------------------------------------------------------------------
+    def cores_per_cell(self) -> int:
+        """TrueNorth cores per cell module under the standard mapping.
+
+        The paper reports 8 cores per 8x8 cell (1024 for a 64x128 window
+        of 128 cells).
+        """
+        total, _ = core_count(self.network, (self.config.cell_size**2,))
+        return total
+
+    def cores_per_window(self, window_shape: Tuple[int, int] = (128, 64)) -> int:
+        """Extractor cores for a full detection window."""
+        cells = (window_shape[0] // self.config.cell_size) * (
+            window_shape[1] // self.config.cell_size
+        )
+        return cells * self.cores_per_cell()
+
+    def __repr__(self) -> str:
+        mode = (
+            "analog"
+            if self.config.spikes is None
+            else f"{self.config.spikes}-spike stochastic"
+        )
+        return f"ParrotExtractor({mode}, norm={self.config.normalization!r})"
+
+
+__all__ = ["ParrotExtractor", "ParrotFeatureConfig"]

@@ -1,0 +1,91 @@
+"""How faithfully does the parrot mimic the reference extractor?"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.napprox.software import NApproxConfig, NApproxDescriptor, N_DIRECTIONS
+from repro.parrot.datagen import _oriented_pattern
+from repro.parrot.extractor import ParrotExtractor
+from repro.utils.rng import RngLike, resolve_rng
+
+
+@dataclass(frozen=True)
+class FidelityReport:
+    """Parrot-vs-reference histogram agreement.
+
+    Attributes:
+        correlation: Pearson correlation across all (cell, bin) values.
+        mean_absolute_error: mean |difference| in vote counts.
+        dominant_bin_agreement: fraction of gradient-bearing cells where
+            both sides agree on the strongest bin (within one bin,
+            cyclically).
+        n_cells: cells evaluated.
+    """
+
+    correlation: float
+    mean_absolute_error: float
+    dominant_bin_agreement: float
+    n_cells: int
+
+
+def parrot_fidelity(
+    extractor: ParrotExtractor,
+    n_cells: int = 400,
+    rng: RngLike = 0,
+) -> FidelityReport:
+    """Measure parrot fidelity on fresh oriented patterns.
+
+    Args:
+        extractor: the parrot extractor (analog or spiking).
+        n_cells: held-out cells to evaluate.
+        rng: pattern randomness (independent of training data when seeded
+            differently).
+
+    Returns:
+        A :class:`FidelityReport`.
+    """
+    if n_cells < 2:
+        raise ValueError(f"n_cells must be >= 2, got {n_cells}")
+    generator = resolve_rng(rng)
+    reference = NApproxDescriptor(NApproxConfig(quantized=False, normalization="none"))
+
+    cells = np.stack([_oriented_pattern(generator).ravel() for _ in range(n_cells)])
+    parrot_hist = extractor.cell_histograms_batch(cells)
+    reference_hist = np.stack(
+        [
+            reference.pixel_votes(cell.reshape(8, 8))
+            .reshape(-1, N_DIRECTIONS)
+            .sum(axis=0)
+            for cell in cells
+        ]
+    ).astype(np.float64)
+
+    flat_p = parrot_hist.ravel()
+    flat_r = reference_hist.ravel()
+    if flat_p.std() == 0.0 or flat_r.std() == 0.0:
+        correlation = 0.0
+    else:
+        correlation = float(np.corrcoef(flat_p, flat_r)[0, 1])
+
+    edgy = reference_hist.sum(axis=1) > 3.0
+    if edgy.any():
+        winners_p = parrot_hist[edgy].argmax(axis=1)
+        winners_r = reference_hist[edgy].argmax(axis=1)
+        distance = np.minimum(
+            (winners_p - winners_r) % N_DIRECTIONS,
+            (winners_r - winners_p) % N_DIRECTIONS,
+        )
+        agreement = float((distance <= 1).mean())
+    else:
+        agreement = 0.0
+
+    return FidelityReport(
+        correlation=correlation,
+        mean_absolute_error=float(np.abs(parrot_hist - reference_hist).mean()),
+        dominant_bin_agreement=agreement,
+        n_cells=n_cells,
+    )
+
+
+__all__ = ["FidelityReport", "parrot_fidelity"]

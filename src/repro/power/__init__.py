@@ -1,0 +1,46 @@
+"""Deployment power and throughput: the analytical model behind Table 2.
+
+The paper derives its power numbers from three ingredients, all
+reproduced here:
+
+- per-module throughput: one cell per spike window, at 1 ms per tick
+  (15 cells/s for the 64-spike NApprox module, 31 at 32 spikes, 1000 at
+  1 spike) — :mod:`repro.power.throughput`;
+- the full-HD workload: 57,749 cells per frame at 26 fps, about 1.5M
+  cells/s — :func:`repro.detection.pyramid.cells_per_second`;
+- TrueNorth core power (~16 uW) and chip capacity (4,096 cores) —
+  :mod:`repro.truenorth.power`.
+
+:func:`repro.power.model.generate_table2` combines them into the paper's
+Table 2 rows, alongside the FPGA baseline constants.
+"""
+
+from repro.power.model import (
+    FPGA_LOGIC_WATTS,
+    FPGA_SYSTEM_WATTS,
+    PowerEstimate,
+    fpga_estimate,
+    generate_table2,
+    napprox_estimate,
+    parrot_estimate,
+    power_ratio_parrot_vs_napprox,
+)
+from repro.power.throughput import (
+    module_throughput_cells_per_second,
+    modules_required,
+    system_cell_rate,
+)
+
+__all__ = [
+    "FPGA_LOGIC_WATTS",
+    "FPGA_SYSTEM_WATTS",
+    "PowerEstimate",
+    "fpga_estimate",
+    "generate_table2",
+    "module_throughput_cells_per_second",
+    "modules_required",
+    "napprox_estimate",
+    "parrot_estimate",
+    "power_ratio_parrot_vs_napprox",
+    "system_cell_rate",
+]

@@ -1,0 +1,48 @@
+"""Cell throughput arithmetic."""
+
+import math
+
+from repro.detection.pyramid import cells_per_second, full_hd_cell_count
+from repro.truenorth.power import TICK_SECONDS
+
+
+def module_throughput_cells_per_second(window_ticks: int) -> int:
+    """Cells per second of one pipelined extraction module.
+
+    A module accepts a new cell every ``window_ticks`` ticks of 1 ms, so
+    throughput is ``floor(1000 / window_ticks)`` — 15 cells/s at the
+    64-spike representation, 31 at 32 spikes, 1000 at 1 spike, matching
+    the paper's figures.
+
+    Args:
+        window_ticks: the spike window (N of the N-spike representation).
+    """
+    if window_ticks < 1:
+        raise ValueError(f"window_ticks must be >= 1, got {window_ticks}")
+    ticks_per_second = 1.0 / TICK_SECONDS
+    return int(ticks_per_second // window_ticks)
+
+
+def system_cell_rate(frames_per_second: float = 26.0) -> float:
+    """Required cells/second for full-HD at the given frame rate (~1.5M)."""
+    return cells_per_second(frames_per_second)
+
+
+def modules_required(
+    window_ticks: int, frames_per_second: float = 26.0
+) -> int:
+    """Extraction modules needed to sustain full-HD at the frame rate."""
+    throughput = module_throughput_cells_per_second(window_ticks)
+    if throughput == 0:
+        raise ValueError(
+            f"window of {window_ticks} ticks exceeds one second; no throughput"
+        )
+    return math.ceil(system_cell_rate(frames_per_second) / throughput)
+
+
+__all__ = [
+    "full_hd_cell_count",
+    "module_throughput_cells_per_second",
+    "modules_required",
+    "system_cell_rate",
+]

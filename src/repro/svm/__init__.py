@@ -1,0 +1,20 @@
+"""Linear support-vector machines with hard-negative mining.
+
+Replaces the paper's LIBSVM dependency (Chang & Lin 2011). Two solvers
+for the same L2-regularised hinge objective:
+
+- :class:`~repro.svm.linear.LinearSVM` with ``solver="dcd"`` — dual
+  coordinate descent (the LIBLINEAR algorithm), deterministic given a
+  seed and accurate at moderate data sizes;
+- ``solver="pegasos"`` — primal stochastic subgradient descent, cheaper
+  per epoch for very large mined training sets.
+
+:mod:`repro.svm.mining` implements the bootstrapping loop of the paper's
+Section 4: train, scan the negative training images for false positives,
+augment the training set with them, retrain.
+"""
+
+from repro.svm.linear import LinearSVM
+from repro.svm.mining import HardNegativeMiner, MiningReport
+
+__all__ = ["HardNegativeMiner", "LinearSVM", "MiningReport"]

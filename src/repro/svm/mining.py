@@ -1,0 +1,129 @@
+"""Hard-negative mining: the bootstrapping loop of the paper's Section 4.
+
+"After the training of an SVM model is completed, we go through negative
+training images to filter false positives, to augment the SVM model as
+negatives." The miner is decoupled from any particular detector: the
+caller supplies a function that, given the current model, returns the
+feature vectors of windows the model wrongly scores positive.
+"""
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.svm.linear import LinearSVM
+
+NegativeScanner = Callable[[LinearSVM], np.ndarray]
+"""Given the current model, return ``(n, f)`` hard-negative features."""
+
+
+@dataclass
+class MiningReport:
+    """History of a mining run.
+
+    Attributes:
+        rounds_run: bootstrapping rounds completed (initial fit excluded).
+        mined_per_round: hard negatives added in each round.
+        final_training_size: examples in the last fit.
+    """
+
+    rounds_run: int = 0
+    mined_per_round: List[int] = field(default_factory=list)
+    final_training_size: int = 0
+
+
+class HardNegativeMiner:
+    """Train a linear SVM with iterative hard-negative bootstrapping.
+
+    Args:
+        svm_factory: zero-argument callable building a fresh
+            :class:`LinearSVM` for each (re)fit, so solver state never
+            leaks across rounds.
+        rounds: maximum bootstrapping rounds after the initial fit.
+        max_new_per_round: cap on mined negatives added per round (the
+            highest-scoring are kept when the scanner returns more).
+        min_new_to_continue: stop early when a round mines fewer than
+            this many new negatives.
+    """
+
+    def __init__(
+        self,
+        svm_factory: Callable[[], LinearSVM],
+        rounds: int = 2,
+        max_new_per_round: int = 2000,
+        min_new_to_continue: int = 1,
+    ) -> None:
+        if rounds < 0:
+            raise ValueError(f"rounds must be >= 0, got {rounds}")
+        self.svm_factory = svm_factory
+        self.rounds = rounds
+        self.max_new_per_round = max_new_per_round
+        self.min_new_to_continue = min_new_to_continue
+        self.model: Optional[LinearSVM] = None
+        self.report = MiningReport()
+
+    def fit(
+        self,
+        positive_features: np.ndarray,
+        negative_features: np.ndarray,
+        scan_negatives: Optional[NegativeScanner] = None,
+    ) -> LinearSVM:
+        """Run the initial fit plus mining rounds.
+
+        Args:
+            positive_features: ``(p, f)`` positive window descriptors.
+            negative_features: ``(n, f)`` initial random negative window
+                descriptors.
+            scan_negatives: hard-negative source; when ``None`` only the
+                initial fit runs.
+
+        Returns:
+            The final trained model (also stored on :attr:`model`).
+        """
+        positives = np.asarray(positive_features, dtype=np.float64)
+        negatives = np.asarray(negative_features, dtype=np.float64)
+        if positives.ndim != 2 or negatives.ndim != 2:
+            raise ValueError("feature matrices must be 2-D")
+        if positives.shape[1] != negatives.shape[1]:
+            raise ValueError(
+                f"feature widths differ: {positives.shape[1]} vs {negatives.shape[1]}"
+            )
+
+        self.report = MiningReport()
+        model = self._fit_once(positives, negatives)
+        if scan_negatives is not None:
+            for _ in range(self.rounds):
+                mined = np.asarray(scan_negatives(model), dtype=np.float64)
+                if mined.size == 0:
+                    break
+                if mined.ndim != 2 or mined.shape[1] != positives.shape[1]:
+                    raise ValueError(
+                        f"scanner returned shape {mined.shape}, expected "
+                        f"(n, {positives.shape[1]})"
+                    )
+                if mined.shape[0] > self.max_new_per_round:
+                    scores = model.decision_function(mined)
+                    keep = np.argsort(scores)[::-1][: self.max_new_per_round]
+                    mined = mined[keep]
+                self.report.mined_per_round.append(mined.shape[0])
+                self.report.rounds_run += 1
+                negatives = np.vstack([negatives, mined])
+                model = self._fit_once(positives, negatives)
+                if mined.shape[0] < self.min_new_to_continue:
+                    break
+        self.report.final_training_size = positives.shape[0] + negatives.shape[0]
+        self.model = model
+        return model
+
+    def _fit_once(self, positives: np.ndarray, negatives: np.ndarray) -> LinearSVM:
+        features = np.vstack([positives, negatives])
+        labels = np.concatenate(
+            [np.ones(positives.shape[0]), -np.ones(negatives.shape[0])]
+        )
+        model = self.svm_factory()
+        model.fit(features, labels)
+        return model
+
+
+__all__ = ["HardNegativeMiner", "MiningReport", "NegativeScanner"]

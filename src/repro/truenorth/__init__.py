@@ -1,0 +1,78 @@
+"""Tick-accurate simulator of the IBM TrueNorth neurosynaptic architecture.
+
+The abstraction follows Section 2.2 of the paper and its references
+(Akopyan et al. 2015; Cassidy et al. 2013; Merolla et al. 2014):
+
+- a **neurosynaptic core** has 256 axons (inputs), 256 neurons (outputs)
+  and a 256x256 binary crossbar; the effective synaptic weight of a
+  crossbar point is the product of the 1-bit connectivity indicator and a
+  per-neuron 4-entry look-up table indexed by the axon's type
+  (:mod:`repro.truenorth.core`);
+- each neuron integrates the inner product of the input spike vector and
+  its effective weights into a membrane potential, applies a leak, and
+  fires when the potential exceeds a threshold (plus a random number when
+  stochastic mode is enabled) (:mod:`repro.truenorth.neuron`);
+- a neuron's output connects to exactly one axon, on the same or another
+  core, with a programmable delivery delay (:mod:`repro.truenorth.router`);
+- a chip holds 4096 cores and consumes ~66 mW (~16 uW per core)
+  (:mod:`repro.truenorth.power`).
+
+:class:`repro.truenorth.system.NeurosynapticSystem` assembles cores,
+routes, input ports, and output probes, and
+:class:`repro.truenorth.simulator.Simulator` advances the whole system one
+tick at a time.
+"""
+
+from repro.truenorth.types import (
+    CORE_AXONS,
+    CORE_NEURONS,
+    NUM_AXON_TYPES,
+    NeuronParameters,
+    ResetMode,
+)
+from repro.truenorth.core import NeurosynapticCore
+from repro.truenorth.router import Route, Router
+from repro.truenorth.system import InputPort, NeurosynapticSystem, OutputProbe
+from repro.truenorth.simulator import SimulationResult, Simulator
+from repro.truenorth.power import (
+    CHIP_CORES,
+    CHIP_POWER_WATTS,
+    CORE_POWER_WATTS,
+    chips_required,
+    system_power_watts,
+)
+from repro.truenorth.placement import (
+    PlacementReport,
+    best_placement,
+    grouped_placement,
+    sequential_placement,
+)
+from repro.truenorth.energy import EnergyEstimate, estimate_energy, nominal_energy
+
+__all__ = [
+    "CHIP_CORES",
+    "CHIP_POWER_WATTS",
+    "CORE_AXONS",
+    "CORE_NEURONS",
+    "CORE_POWER_WATTS",
+    "EnergyEstimate",
+    "InputPort",
+    "NUM_AXON_TYPES",
+    "NeuronParameters",
+    "NeurosynapticCore",
+    "NeurosynapticSystem",
+    "OutputProbe",
+    "PlacementReport",
+    "ResetMode",
+    "Route",
+    "Router",
+    "best_placement",
+    "grouped_placement",
+    "sequential_placement",
+    "SimulationResult",
+    "Simulator",
+    "chips_required",
+    "estimate_energy",
+    "nominal_energy",
+    "system_power_watts",
+]

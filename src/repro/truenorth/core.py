@@ -1,0 +1,211 @@
+"""The neurosynaptic core: 256 axons x 256 neurons joined by a crossbar."""
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.truenorth.types import (
+    CORE_AXONS,
+    CORE_NEURONS,
+    NUM_AXON_TYPES,
+    NeuronParameters,
+    POTENTIAL_MAX,
+    POTENTIAL_MIN,
+    ResetMode,
+)
+from repro.utils.rng import RngLike, resolve_rng
+
+_RESET_CODES = {ResetMode.RESET: 0, ResetMode.LINEAR: 1, ResetMode.NONE: 2}
+
+
+class NeurosynapticCore:
+    """One TrueNorth core with vectorised membrane dynamics.
+
+    The function of the crossbar is the inner product of the 256-element
+    binary input-spike vector and the effective weight matrix, where the
+    effective weight of crossbar point ``(axon, neuron)`` is the 1-bit
+    connectivity indicator times the neuron's 4-entry weight LUT entry for
+    the axon's type (paper, Section 2.2).
+
+    State mutates only through :meth:`tick` and :meth:`reset_state`;
+    configuration mutates through the ``set_*``/``connect`` methods, which
+    must be called before simulation starts.
+
+    Args:
+        core_id: identifier of this core within its system.
+        name: optional human-readable label used in error messages.
+    """
+
+    def __init__(self, core_id: int, name: str = "") -> None:
+        if core_id < 0:
+            raise ValueError(f"core_id must be >= 0, got {core_id}")
+        self.core_id = core_id
+        self.name = name or f"core{core_id}"
+
+        # Configuration (axon x neuron layout).
+        self._crossbar = np.zeros((CORE_AXONS, CORE_NEURONS), dtype=bool)
+        self._axon_types = np.zeros(CORE_AXONS, dtype=np.int64)
+        self._lut = np.zeros((CORE_NEURONS, NUM_AXON_TYPES), dtype=np.int64)
+        self._threshold = np.ones(CORE_NEURONS, dtype=np.int64)
+        self._leak = np.zeros(CORE_NEURONS, dtype=np.int64)
+        self._reset_code = np.zeros(CORE_NEURONS, dtype=np.int64)
+        self._reset_potential = np.zeros(CORE_NEURONS, dtype=np.int64)
+        self._floor = np.zeros(CORE_NEURONS, dtype=np.int64)
+        self._stochastic_bits = np.zeros(CORE_NEURONS, dtype=np.int64)
+
+        # Runtime state.
+        self._potential = np.zeros(CORE_NEURONS, dtype=np.int64)
+        self._effective = None  # type: Optional[np.ndarray]
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    def set_axon_type(self, axon: int, axon_type: int) -> None:
+        """Label ``axon`` with one of the four axon types."""
+        self._check_axon(axon)
+        if not 0 <= axon_type < NUM_AXON_TYPES:
+            raise ValueError(
+                f"axon_type must be in [0, {NUM_AXON_TYPES}), got {axon_type}"
+            )
+        self._axon_types[axon] = axon_type
+        self._effective = None
+
+    def set_axon_types(self, axon_types: Sequence[int]) -> None:
+        """Label all 256 axons at once."""
+        types = np.asarray(axon_types, dtype=np.int64)
+        if types.shape != (CORE_AXONS,):
+            raise ValueError(f"need {CORE_AXONS} axon types, got shape {types.shape}")
+        if types.min() < 0 or types.max() >= NUM_AXON_TYPES:
+            raise ValueError("axon types must be in [0, 4)")
+        self._axon_types = types.copy()
+        self._effective = None
+
+    def set_neuron(self, neuron: int, params: NeuronParameters) -> None:
+        """Configure one neuron from a :class:`NeuronParameters` record."""
+        self._check_neuron(neuron)
+        self._lut[neuron] = np.asarray(params.weights, dtype=np.int64)
+        self._threshold[neuron] = params.threshold
+        self._leak[neuron] = params.leak
+        self._reset_code[neuron] = _RESET_CODES[params.reset_mode]
+        self._reset_potential[neuron] = params.reset_potential
+        self._floor[neuron] = params.floor
+        self._stochastic_bits[neuron] = params.stochastic_threshold_bits
+        self._effective = None
+
+    def connect(self, axon: int, neuron: int, connected: bool = True) -> None:
+        """Set one crossbar point's 1-bit connectivity indicator."""
+        self._check_axon(axon)
+        self._check_neuron(neuron)
+        self._crossbar[axon, neuron] = connected
+        self._effective = None
+
+    def set_crossbar(self, crossbar: np.ndarray) -> None:
+        """Replace the full 256x256 connectivity matrix (axon-major)."""
+        arr = np.asarray(crossbar).astype(bool)
+        if arr.shape != (CORE_AXONS, CORE_NEURONS):
+            raise ValueError(
+                f"crossbar must be ({CORE_AXONS}, {CORE_NEURONS}), got {arr.shape}"
+            )
+        self._crossbar = arr.copy()
+        self._effective = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def potentials(self) -> np.ndarray:
+        """Copy of the 256 membrane potentials (test/probe hook)."""
+        return self._potential.copy()
+
+    @property
+    def crossbar(self) -> np.ndarray:
+        """Copy of the 256x256 boolean connectivity matrix."""
+        return self._crossbar.copy()
+
+    @property
+    def axon_types(self) -> np.ndarray:
+        """Copy of the 256 axon type labels."""
+        return self._axon_types.copy()
+
+    def effective_weights(self) -> np.ndarray:
+        """The ``(axon, neuron)`` effective synaptic weight matrix.
+
+        ``effective[a, n] = crossbar[a, n] * lut[n, axon_type[a]]``.
+        """
+        if self._effective is None:
+            per_axon = self._lut[:, self._axon_types].T  # (axon, neuron)
+            self._effective = np.where(self._crossbar, per_axon, 0)
+        return self._effective
+
+    # ------------------------------------------------------------------
+    # Dynamics
+    # ------------------------------------------------------------------
+    def tick(self, input_spikes: np.ndarray, rng: RngLike = None) -> np.ndarray:
+        """Advance the core by one tick.
+
+        Order of operations per the digital neuron model: synaptic
+        integration, leak, threshold comparison (with optional stochastic
+        offset), fire + reset, then saturation at the negative floor and
+        the potential register bounds.
+
+        Args:
+            input_spikes: 256-element binary vector of axon activity.
+            rng: randomness source for stochastic thresholds. Only consulted
+                when at least one neuron enables stochastic mode.
+
+        Returns:
+            256-element boolean vector; ``True`` where the neuron fired.
+        """
+        spikes = np.asarray(input_spikes)
+        if spikes.shape != (CORE_AXONS,):
+            raise ValueError(
+                f"input_spikes must have shape ({CORE_AXONS},), got {spikes.shape}"
+            )
+        active = spikes.astype(bool)
+
+        synaptic = self.effective_weights()[active].sum(axis=0) if active.any() else 0
+        self._potential = self._potential + synaptic + self._leak
+
+        threshold = self._threshold
+        stochastic = self._stochastic_bits > 0
+        if stochastic.any():
+            generator = resolve_rng(rng)
+            offsets = np.zeros(CORE_NEURONS, dtype=np.int64)
+            spans = (1 << self._stochastic_bits[stochastic]).astype(np.int64)
+            offsets[stochastic] = generator.integers(0, spans)
+            threshold = threshold + offsets
+
+        fired = self._potential >= threshold
+
+        hard_reset = fired & (self._reset_code == 0)
+        linear_reset = fired & (self._reset_code == 1)
+        self._potential = np.where(hard_reset, self._reset_potential, self._potential)
+        self._potential = np.where(
+            linear_reset, self._potential - self._threshold, self._potential
+        )
+
+        self._potential = np.maximum(self._potential, -self._floor)
+        np.clip(self._potential, POTENTIAL_MIN, POTENTIAL_MAX, out=self._potential)
+        return fired
+
+    def reset_state(self) -> None:
+        """Zero all membrane potentials (configuration is untouched)."""
+        self._potential = np.zeros(CORE_NEURONS, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    def _check_axon(self, axon: int) -> None:
+        if not 0 <= axon < CORE_AXONS:
+            raise ValueError(f"{self.name}: axon must be in [0, {CORE_AXONS}), got {axon}")
+
+    def _check_neuron(self, neuron: int) -> None:
+        if not 0 <= neuron < CORE_NEURONS:
+            raise ValueError(
+                f"{self.name}: neuron must be in [0, {CORE_NEURONS}), got {neuron}"
+            )
+
+    def __repr__(self) -> str:
+        used = int(self._crossbar.any(axis=0).sum())
+        return f"NeurosynapticCore(id={self.core_id}, name={self.name!r}, neurons_used={used})"
+
+
+__all__ = ["NeurosynapticCore"]

@@ -1,0 +1,71 @@
+"""TrueNorth power and capacity constants with deployment arithmetic.
+
+Numbers come from the paper (Section 2.2): a core consumes ~16 uW and a
+4096-core chip 66 mW at 0.8 V. :mod:`repro.power` builds the full Table 2
+model on top of these primitives.
+"""
+
+import math
+
+CORE_POWER_WATTS = 16e-6
+"""Nominal power of one active neurosynaptic core (~16 uW)."""
+
+CHIP_CORES = 4096
+"""Cores per TrueNorth chip."""
+
+CHIP_POWER_WATTS = 66e-3
+"""Measured whole-chip power at 0.8 V (66 mW for 4096 cores)."""
+
+CHIP_NEURONS = CHIP_CORES * 256
+"""1M neurons per chip."""
+
+CHIP_SYNAPSES = CHIP_CORES * 256 * 256
+"""256M synapses per chip."""
+
+TICK_SECONDS = 1e-3
+"""Duration of one synchronisation tick (1 ms)."""
+
+
+def chips_required(cores: int) -> int:
+    """Whole chips needed to host ``cores`` cores.
+
+    Args:
+        cores: total core count of the deployed design.
+
+    Returns:
+        ``ceil(cores / 4096)``; zero for a zero-core design.
+    """
+    if cores < 0:
+        raise ValueError(f"cores must be >= 0, got {cores}")
+    return math.ceil(cores / CHIP_CORES)
+
+
+def system_power_watts(cores: int, per_core: bool = True) -> float:
+    """Estimated power for a design occupying ``cores`` cores.
+
+    Args:
+        cores: total core count.
+        per_core: when ``True``, scale by active cores (16 uW each) — the
+            paper's convention for partially filled chips; when ``False``,
+            charge whole chips at 66 mW each.
+
+    Returns:
+        Power in watts.
+    """
+    if cores < 0:
+        raise ValueError(f"cores must be >= 0, got {cores}")
+    if per_core:
+        return cores * CORE_POWER_WATTS
+    return chips_required(cores) * CHIP_POWER_WATTS
+
+
+__all__ = [
+    "CHIP_CORES",
+    "CHIP_NEURONS",
+    "CHIP_POWER_WATTS",
+    "CHIP_SYNAPSES",
+    "CORE_POWER_WATTS",
+    "TICK_SECONDS",
+    "chips_required",
+    "system_power_watts",
+]

@@ -1,0 +1,127 @@
+"""Inter-core spike routing.
+
+On TrueNorth, each neuron's output is wired to exactly one axon — on the
+same core (local) or another core (long-distance) — with a programmable
+delivery delay. Fan-out greater than one is built from splitter cores (see
+:mod:`repro.corelets.library.splitter`), so the router enforces the
+one-target-per-neuron rule.
+"""
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+from repro.errors import RoutingError
+from repro.truenorth.types import CORE_AXONS, CORE_NEURONS, MAX_DELAY_TICKS
+
+
+@dataclass(frozen=True)
+class Route:
+    """A wire from one neuron output to one axon input.
+
+    Attributes:
+        src_core: core holding the source neuron.
+        src_neuron: source neuron index in ``[0, 256)``.
+        dst_core: core holding the destination axon.
+        dst_axon: destination axon index in ``[0, 256)``.
+        delay: delivery delay in ticks, ``1..15`` (1 = next tick).
+    """
+
+    src_core: int
+    src_neuron: int
+    dst_core: int
+    dst_axon: int
+    delay: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.src_neuron < CORE_NEURONS:
+            raise RoutingError(f"src_neuron out of range: {self.src_neuron}")
+        if not 0 <= self.dst_axon < CORE_AXONS:
+            raise RoutingError(f"dst_axon out of range: {self.dst_axon}")
+        if not 1 <= self.delay <= MAX_DELAY_TICKS:
+            raise RoutingError(
+                f"delay must be in [1, {MAX_DELAY_TICKS}], got {self.delay}"
+            )
+
+
+class Router:
+    """Delivers spikes along configured routes with per-route delays.
+
+    The router owns a time-indexed mailbox: spikes emitted at tick ``t``
+    along a route with delay ``d`` appear on the destination axon at tick
+    ``t + d``.
+    """
+
+    def __init__(self) -> None:
+        self._routes: Dict[Tuple[int, int], Route] = {}
+        # (core, neuron) -> route, keyed by source; enforces fan-out 1.
+        self._by_src_core: Dict[int, List[Route]] = defaultdict(list)
+        self._mailbox: Dict[int, Dict[int, np.ndarray]] = defaultdict(dict)
+
+    def add_route(self, route: Route) -> None:
+        """Register a route; raises if the source neuron is already wired."""
+        key = (route.src_core, route.src_neuron)
+        if key in self._routes:
+            raise RoutingError(
+                f"neuron {key} already routed to "
+                f"({self._routes[key].dst_core}, {self._routes[key].dst_axon}); "
+                "use a splitter corelet for fan-out"
+            )
+        self._routes[key] = route
+        self._by_src_core[route.src_core].append(route)
+
+    def add_routes(self, routes: Iterable[Route]) -> None:
+        """Register many routes."""
+        for route in routes:
+            self.add_route(route)
+
+    @property
+    def routes(self) -> Tuple[Route, ...]:
+        """All registered routes."""
+        return tuple(self._routes.values())
+
+    def route_for(self, src_core: int, src_neuron: int) -> Route:
+        """Return the route leaving ``(src_core, src_neuron)``.
+
+        Raises:
+            KeyError: if the neuron has no route.
+        """
+        return self._routes[(src_core, src_neuron)]
+
+    # ------------------------------------------------------------------
+    # Simulation-time interface
+    # ------------------------------------------------------------------
+    def submit(self, tick: int, src_core: int, fired: np.ndarray) -> None:
+        """Record the spikes ``fired`` emitted by ``src_core`` at ``tick``."""
+        if not fired.any():
+            return
+        indices = np.flatnonzero(fired)
+        for route in self._by_src_core.get(src_core, ()):
+            if fired[route.src_neuron]:
+                self._deposit(tick + route.delay, route.dst_core, route.dst_axon)
+        # Spikes from unrouted neurons fall on the floor by design: they are
+        # either probed externally or genuinely unused.
+        del indices
+
+    def _deposit(self, tick: int, core_id: int, axon: int) -> None:
+        slot = self._mailbox[tick]
+        if core_id not in slot:
+            slot[core_id] = np.zeros(CORE_AXONS, dtype=bool)
+        slot[core_id][axon] = True
+
+    def inject(self, tick: int, core_id: int, axon: int) -> None:
+        """Deposit an externally generated spike (input port delivery)."""
+        self._deposit(tick, core_id, axon)
+
+    def collect(self, tick: int) -> Dict[int, np.ndarray]:
+        """Pop and return the axon vectors due at ``tick``, keyed by core."""
+        return self._mailbox.pop(tick, {})
+
+    def clear(self) -> None:
+        """Drop all in-flight spikes (routes are kept)."""
+        self._mailbox.clear()
+
+
+__all__ = ["Route", "Router"]

@@ -1,0 +1,179 @@
+"""A system of neurosynaptic cores with named inputs and outputs."""
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError, RoutingError
+from repro.truenorth.core import NeurosynapticCore
+from repro.truenorth.router import Route, Router
+from repro.truenorth.types import CORE_AXONS, CORE_NEURONS
+
+
+@dataclass(frozen=True)
+class InputPort:
+    """A named external input: line ``i`` drives ``targets[i]`` axons.
+
+    External inputs originate off-chip and may fan out to several axons
+    without a splitter core (the merge/split constraint applies only to
+    on-chip neuron outputs).
+
+    Attributes:
+        name: port name used when scheduling input spikes.
+        targets: per-line list of ``(core_id, axon)`` destinations.
+    """
+
+    name: str
+    targets: Tuple[Tuple[Tuple[int, int], ...], ...]
+
+    @property
+    def width(self) -> int:
+        """Number of input lines on this port."""
+        return len(self.targets)
+
+
+@dataclass(frozen=True)
+class OutputProbe:
+    """A named readout: line ``i`` observes neuron ``sources[i]``.
+
+    Attributes:
+        name: probe name under which spikes are recorded.
+        sources: per-line ``(core_id, neuron)`` observed outputs.
+    """
+
+    name: str
+    sources: Tuple[Tuple[int, int], ...]
+
+    @property
+    def width(self) -> int:
+        """Number of observed neurons."""
+        return len(self.sources)
+
+
+class NeurosynapticSystem:
+    """Cores + routes + I/O ports: everything a simulation needs.
+
+    The typical flow is: create a system, allocate cores with
+    :meth:`new_core`, configure them, wire neuron outputs with
+    :meth:`add_route`, declare :meth:`add_input_port` /
+    :meth:`add_output_probe`, then hand the system to
+    :class:`repro.truenorth.simulator.Simulator`.
+    """
+
+    def __init__(self, name: str = "system") -> None:
+        self.name = name
+        self._cores: Dict[int, NeurosynapticCore] = {}
+        self.router = Router()
+        self._input_ports: Dict[str, InputPort] = {}
+        self._output_probes: Dict[str, OutputProbe] = {}
+        self._next_core_id = 0
+
+    # ------------------------------------------------------------------
+    # Cores
+    # ------------------------------------------------------------------
+    def new_core(self, name: str = "") -> NeurosynapticCore:
+        """Allocate, register, and return a fresh core."""
+        core = NeurosynapticCore(self._next_core_id, name=name)
+        self._cores[core.core_id] = core
+        self._next_core_id += 1
+        return core
+
+    def core(self, core_id: int) -> NeurosynapticCore:
+        """Look up a core by id."""
+        try:
+            return self._cores[core_id]
+        except KeyError:
+            raise ConfigurationError(f"no core with id {core_id}") from None
+
+    @property
+    def cores(self) -> Tuple[NeurosynapticCore, ...]:
+        """All cores in allocation order."""
+        return tuple(self._cores[cid] for cid in sorted(self._cores))
+
+    @property
+    def core_count(self) -> int:
+        """Number of allocated cores (the paper's resource metric)."""
+        return len(self._cores)
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def add_route(
+        self,
+        src_core: int,
+        src_neuron: int,
+        dst_core: int,
+        dst_axon: int,
+        delay: int = 1,
+    ) -> None:
+        """Wire a neuron output to an axon input."""
+        for cid, kind in ((src_core, "source"), (dst_core, "destination")):
+            if cid not in self._cores:
+                raise RoutingError(f"{kind} core {cid} does not exist")
+        self.router.add_route(Route(src_core, src_neuron, dst_core, dst_axon, delay))
+
+    def add_input_port(
+        self, name: str, targets: Sequence[Sequence[Tuple[int, int]]]
+    ) -> InputPort:
+        """Declare an external input port.
+
+        Args:
+            name: unique port name.
+            targets: ``targets[i]`` is the list of ``(core_id, axon)`` pairs
+                that line ``i`` drives.
+
+        Returns:
+            The registered :class:`InputPort`.
+        """
+        if name in self._input_ports:
+            raise ConfigurationError(f"input port {name!r} already exists")
+        frozen: List[Tuple[Tuple[int, int], ...]] = []
+        for line in targets:
+            for core_id, axon in line:
+                if core_id not in self._cores:
+                    raise RoutingError(f"input target core {core_id} does not exist")
+                if not 0 <= axon < CORE_AXONS:
+                    raise RoutingError(f"input target axon out of range: {axon}")
+            frozen.append(tuple((int(c), int(a)) for c, a in line))
+        port = InputPort(name, tuple(frozen))
+        self._input_ports[name] = port
+        return port
+
+    def add_output_probe(
+        self, name: str, sources: Sequence[Tuple[int, int]]
+    ) -> OutputProbe:
+        """Declare a named readout over neuron outputs."""
+        if name in self._output_probes:
+            raise ConfigurationError(f"output probe {name!r} already exists")
+        for core_id, neuron in sources:
+            if core_id not in self._cores:
+                raise RoutingError(f"probe source core {core_id} does not exist")
+            if not 0 <= neuron < CORE_NEURONS:
+                raise RoutingError(f"probe source neuron out of range: {neuron}")
+        probe = OutputProbe(name, tuple((int(c), int(n)) for c, n in sources))
+        self._output_probes[name] = probe
+        return probe
+
+    @property
+    def input_ports(self) -> Dict[str, InputPort]:
+        """Registered input ports by name."""
+        return dict(self._input_ports)
+
+    @property
+    def output_probes(self) -> Dict[str, OutputProbe]:
+        """Registered output probes by name."""
+        return dict(self._output_probes)
+
+    def reset_state(self) -> None:
+        """Zero every core's potentials and drop in-flight spikes."""
+        for core in self._cores.values():
+            core.reset_state()
+        self.router.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"NeurosynapticSystem(name={self.name!r}, cores={self.core_count}, "
+            f"routes={len(self.router.routes)})"
+        )
+
+
+__all__ = ["InputPort", "NeurosynapticSystem", "OutputProbe"]

@@ -1,0 +1,132 @@
+"""Architectural constants and per-neuron parameter records for TrueNorth."""
+
+import enum
+from dataclasses import dataclass, field
+from typing import Tuple
+
+CORE_AXONS = 256
+"""Number of axons (input lines) per neurosynaptic core."""
+
+CORE_NEURONS = 256
+"""Number of neurons (output lines) per neurosynaptic core."""
+
+NUM_AXON_TYPES = 4
+"""Each axon carries one of four types; each neuron holds a 4-entry weight LUT."""
+
+MAX_DELAY_TICKS = 15
+"""Maximum programmable spike delivery delay in ticks."""
+
+# The digital neuron stores its membrane potential in a bounded signed
+# register; 20 bits slightly exceeds the real hardware but keeps saturation
+# semantics observable in tests without ever mattering for valid programs.
+POTENTIAL_MIN = -(2**19)
+POTENTIAL_MAX = 2**19 - 1
+
+
+class ResetMode(enum.Enum):
+    """Post-fire membrane reset behaviour of the Cassidy digital neuron.
+
+    Attributes:
+        RESET: set the potential to the neuron's ``reset_potential``
+            ("normal" reset).
+        LINEAR: subtract the threshold from the potential, retaining any
+            excess charge (used for counting/accumulating neurons).
+        NONE: leave the potential unchanged after firing.
+    """
+
+    RESET = "reset"
+    LINEAR = "linear"
+    NONE = "none"
+
+
+@dataclass(frozen=True)
+class NeuronParameters:
+    """Configuration of a single TrueNorth neuron.
+
+    Attributes:
+        weights: 4-entry synaptic weight look-up table, indexed by the
+            incoming axon's type. Signed integers.
+        threshold: positive firing threshold (alpha). The neuron fires when
+            the membrane potential reaches or exceeds it.
+        leak: signed leak added to the potential every tick.
+        reset_mode: what happens to the potential after a fire.
+        reset_potential: target potential for :attr:`ResetMode.RESET`.
+        floor: negative floor (beta, stored as a non-negative magnitude);
+            the potential saturates at ``-floor`` after each update.
+        stochastic_threshold_bits: when positive, a uniform random value in
+            ``[0, 2**bits - 1]`` is added to the threshold each tick,
+            implementing the stochastic firing mode the paper mentions.
+    """
+
+    weights: Tuple[int, int, int, int] = (0, 0, 0, 0)
+    threshold: int = 1
+    leak: int = 0
+    reset_mode: ResetMode = ResetMode.RESET
+    reset_potential: int = 0
+    floor: int = 0
+    stochastic_threshold_bits: int = 0
+
+    def __post_init__(self) -> None:
+        if len(self.weights) != NUM_AXON_TYPES:
+            raise ValueError(
+                f"weights must have {NUM_AXON_TYPES} entries, got {len(self.weights)}"
+            )
+        if self.threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {self.threshold}")
+        if self.floor < 0:
+            raise ValueError(f"floor is a magnitude and must be >= 0, got {self.floor}")
+        if self.stochastic_threshold_bits < 0:
+            raise ValueError(
+                "stochastic_threshold_bits must be >= 0, got "
+                f"{self.stochastic_threshold_bits}"
+            )
+
+
+@dataclass(frozen=True)
+class CoreAddress:
+    """Identifies one core within a multi-core system."""
+
+    core_id: int
+
+    def __post_init__(self) -> None:
+        if self.core_id < 0:
+            raise ValueError(f"core_id must be >= 0, got {self.core_id}")
+
+
+@dataclass(frozen=True)
+class NeuronAddress:
+    """Identifies one neuron (output line) within a system."""
+
+    core_id: int
+    neuron: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.neuron < CORE_NEURONS:
+            raise ValueError(f"neuron must be in [0, {CORE_NEURONS}), got {self.neuron}")
+
+
+@dataclass(frozen=True)
+class AxonAddress:
+    """Identifies one axon (input line) within a system."""
+
+    core_id: int
+    axon: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.axon < CORE_AXONS:
+            raise ValueError(f"axon must be in [0, {CORE_AXONS}), got {self.axon}")
+
+
+__all__ = [
+    "AxonAddress",
+    "CORE_AXONS",
+    "CORE_NEURONS",
+    "CoreAddress",
+    "MAX_DELAY_TICKS",
+    "NUM_AXON_TYPES",
+    "NeuronAddress",
+    "NeuronParameters",
+    "POTENTIAL_MAX",
+    "POTENTIAL_MIN",
+    "ResetMode",
+]

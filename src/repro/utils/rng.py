@@ -1,0 +1,57 @@
+"""Random-number-generator plumbing.
+
+Every stochastic component in the package accepts either a seed or a
+:class:`numpy.random.Generator`, and resolves it through
+:func:`resolve_rng` so experiments are reproducible end to end.
+"""
+
+from typing import Optional, Union
+
+import numpy as np
+
+RngLike = Union[None, int, np.random.Generator]
+
+
+def resolve_rng(rng: RngLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``rng``.
+
+    Args:
+        rng: ``None`` for a fresh unseeded generator, an ``int`` seed, or an
+            existing generator (returned unchanged so state is shared).
+
+    Returns:
+        A ready-to-use generator.
+
+    Raises:
+        TypeError: if ``rng`` is of an unsupported type.
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    raise TypeError(
+        f"rng must be None, an int seed, or a numpy Generator, got {type(rng)!r}"
+    )
+
+
+def spawn_rng(rng: RngLike, index: int) -> np.random.Generator:
+    """Derive an independent child generator from ``rng``.
+
+    Useful when a parent experiment fans out into parallel sub-experiments
+    that must not share a random stream.
+
+    Args:
+        rng: parent seed/generator specification.
+        index: child index; distinct indices give independent streams.
+
+    Returns:
+        A generator seeded from the parent's bit stream and ``index``.
+    """
+    parent = resolve_rng(rng)
+    seed = int(parent.integers(0, 2**32 - 1)) + 7919 * int(index)
+    return np.random.default_rng(seed)
+
+
+__all__ = ["RngLike", "resolve_rng", "spawn_rng"]

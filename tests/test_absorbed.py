@@ -1,0 +1,69 @@
+"""Tests for the absorbed (monolithic) experiment scaffolding."""
+
+import numpy as np
+import pytest
+
+from repro.absorbed import build_absorbed_network, run_absorbed_experiment
+from repro.absorbed.monolithic import INPUT_PIXELS
+from repro.eedn import EednNetwork, core_count
+
+
+class TestNetwork:
+    def test_input_width(self):
+        network = build_absorbed_network(hidden=(32,), rng=0)
+        assert network.layers[0].n_in == INPUT_PIXELS == 8192
+
+    def test_outputs_binary(self):
+        network = build_absorbed_network(hidden=(32,), rng=0)
+        assert network.layers[-1].n_out == 2
+
+    def test_core_budget_substantial(self):
+        """The monolithic raw-pixel network costs far more cores than the
+        feature-based classifier (the paper's resource framing)."""
+        network = build_absorbed_network(hidden=(1024, 256), rng=0)
+        cores, _ = core_count(network, (INPUT_PIXELS,))
+        assert cores > 100
+
+
+class TestExperiment:
+    def _windows(self, n, seed):
+        rng = np.random.default_rng(seed)
+        # Raw noise windows: a task with no learnable structure, which
+        # must never be reported as "useful".
+        windows = rng.random((n, 128, 64))
+        labels = rng.integers(0, 2, n)
+        return windows, labels
+
+    def test_noise_task_is_not_useful(self):
+        train_w, train_l = self._windows(40, 0)
+        test_w, test_l = self._windows(30, 1)
+        network = build_absorbed_network(hidden=(64,), rng=0)
+        outcome = run_absorbed_experiment(
+            train_w, train_l, test_w, test_l, network=network, rng=2
+        )
+        assert not outcome.useful
+        assert outcome.n_train == 40
+        assert 0.0 <= outcome.test_accuracy <= 1.0
+
+    def test_blind_flag_consistency(self):
+        train_w, train_l = self._windows(30, 3)
+        test_w, test_l = self._windows(20, 4)
+        network = build_absorbed_network(hidden=(32,), rng=5)
+        outcome = run_absorbed_experiment(
+            train_w, train_l, test_w, test_l, network=network, rng=6
+        )
+        if outcome.blind:
+            assert outcome.test_majority_fraction >= 0.9
+
+    def test_flattened_input_accepted(self):
+        train_w, train_l = self._windows(20, 7)
+        network = build_absorbed_network(hidden=(32,), rng=8)
+        outcome = run_absorbed_experiment(
+            train_w.reshape(20, -1),
+            train_l,
+            train_w.reshape(20, -1),
+            train_l,
+            network=network,
+            rng=9,
+        )
+        assert outcome.cores > 0

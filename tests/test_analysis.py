@@ -1,0 +1,51 @@
+"""Tests for the report renderers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_curve_table, format_sig, format_table
+
+
+class TestFormatSig:
+    def test_three_significant_figures(self):
+        assert format_sig(0.123456) == "0.123"
+        assert format_sig(123.456) == "123"
+        assert format_sig(0.000123456) == "0.000123"
+
+    def test_zero(self):
+        assert format_sig(0.0) == "0"
+
+    def test_non_finite(self):
+        assert format_sig(float("inf")) == "inf"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(["name", "v"], [["a", 1], ["long-name", 22]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_cell_count_checked(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only one"]])
+
+    def test_values_stringified(self):
+        table = format_table(["x"], [[3.5]])
+        assert "3.5" in table
+
+
+class TestCurveTable:
+    def test_min_y_at_or_below_sample(self):
+        curves = {
+            "a": (np.array([0.05, 0.5, 2.0]), np.array([0.9, 0.5, 0.1])),
+        }
+        table = format_curve_table(curves, x_samples=(0.1, 1.0))
+        lines = table.splitlines()
+        assert "0.900" in lines[2]  # at fppi 0.1 only the first point qualifies
+        assert "0.500" in lines[3]
+
+    def test_unreached_sample_reports_one(self):
+        curves = {"a": (np.array([5.0]), np.array([0.2]))}
+        table = format_curve_table(curves, x_samples=(0.01,))
+        assert table.splitlines()[-1].split()[-1] == "1"

@@ -1,0 +1,32 @@
+"""Tests for the python -m repro command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2 reproduction" in out
+        assert "6.72x" in out or "6.7" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "dominant bin = 0" in out
+
+    def test_validate(self, capsys):
+        assert main(["validate", "--cells", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "correlation" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig7"])
+
+    def test_help_exits_cleanly(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0

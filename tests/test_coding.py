@@ -1,0 +1,148 @@
+"""Tests for the spike-coding schemes, including hypothesis properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding import (
+    BurstEncoder,
+    RateEncoder,
+    StochasticEncoder,
+    dequantize_counts,
+    precision_bits,
+    quantize_to_counts,
+    quantize_uniform,
+    spikes_for_bits,
+)
+
+
+class TestPrecisionBits:
+    def test_paper_labels(self):
+        # Paper: 64-spike = 6-bit, 32 = 5-bit, 4 = 2-bit, 1 = 1-bit.
+        assert precision_bits(64) == 6
+        assert precision_bits(32) == 5
+        assert precision_bits(4) == 2
+        assert precision_bits(1) == 1
+
+    def test_inverse(self):
+        assert spikes_for_bits(6) == 64
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            precision_bits(0)
+        with pytest.raises(ValueError):
+            spikes_for_bits(0)
+
+
+class TestRateEncoder:
+    def test_round_trip_exact_for_grid_values(self):
+        encoder = RateEncoder(16)
+        values = np.arange(17) / 16.0
+        decoded = encoder.decode(encoder.encode(values))
+        assert np.allclose(decoded, values)
+
+    def test_spikes_evenly_spread(self):
+        encoder = RateEncoder(16)
+        raster = encoder.encode(np.array([0.5]))
+        positions = np.flatnonzero(raster[:, 0])
+        gaps = np.diff(positions)
+        assert gaps.min() >= 1 and gaps.max() <= 3
+
+    def test_zero_and_one(self):
+        encoder = RateEncoder(8)
+        raster = encoder.encode(np.array([0.0, 1.0]))
+        assert raster[:, 0].sum() == 0
+        assert raster[:, 1].sum() == 8
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            RateEncoder(8).encode(np.array([1.5]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            RateEncoder(8).encode(np.zeros((2, 2)))
+
+    @given(st.lists(st.floats(0, 1), min_size=1, max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_decode_error_bounded(self, values):
+        encoder = RateEncoder(32)
+        decoded = encoder.decode(encoder.encode(np.array(values)))
+        assert np.abs(decoded - np.array(values)).max() <= 0.5 / 32 + 1e-12
+
+
+class TestBurstEncoder:
+    def test_prefix_property(self):
+        raster = BurstEncoder(10).encode(np.array([0.5]))
+        column = raster[:, 0]
+        # Once the burst ends, no further spikes.
+        first_gap = np.argmin(column) if not column.all() else len(column)
+        assert not column[first_gap:].any()
+
+    def test_count_matches_rate(self):
+        encoder = BurstEncoder(20)
+        raster = encoder.encode(np.array([0.35]))
+        assert raster[:, 0].sum() == 7
+
+
+class TestStochasticEncoder:
+    def test_deterministic_extremes(self):
+        encoder = StochasticEncoder(50)
+        raster = encoder.encode(np.array([0.0, 1.0]), rng=0)
+        assert raster[:, 0].sum() == 0
+        assert raster[:, 1].sum() == 50
+
+    def test_mean_rate_converges(self):
+        encoder = StochasticEncoder(2000)
+        decoded = encoder.decode(encoder.encode(np.array([0.3]), rng=1))
+        assert abs(decoded[0] - 0.3) < 0.05
+
+    def test_seeded_reproducibility(self):
+        encoder = StochasticEncoder(16)
+        a = encoder.encode(np.array([0.5]), rng=7)
+        b = encoder.encode(np.array([0.5]), rng=7)
+        assert np.array_equal(a, b)
+
+    def test_decode_shape_validated(self):
+        with pytest.raises(ValueError):
+            StochasticEncoder(8).decode(np.zeros((9, 2)))
+
+
+class TestQuantize:
+    def test_uniform_levels(self):
+        out = quantize_uniform(np.array([0.0, 0.49, 0.51, 1.0]), 3)
+        assert np.allclose(out, [0.0, 0.5, 0.5, 1.0])
+
+    def test_uniform_needs_two_levels(self):
+        with pytest.raises(ValueError):
+            quantize_uniform(np.array([0.5]), 1)
+
+    def test_counts_round_trip(self):
+        counts = quantize_to_counts(np.array([0.25, 0.75]), 64)
+        assert np.array_equal(counts, [16, 48])
+        assert np.allclose(dequantize_counts(counts, 64), [0.25, 0.75])
+
+    def test_dequantize_bounds(self):
+        with pytest.raises(ValueError):
+            dequantize_counts(np.array([65]), 64)
+
+    @given(
+        st.integers(min_value=1, max_value=128),
+        st.floats(min_value=0, max_value=1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_quantize_counts_error_bound(self, window, value):
+        counts = quantize_to_counts(np.array([value]), window)
+        recovered = dequantize_counts(counts, window)
+        assert abs(recovered[0] - value) <= 0.5 / window + 1e-12
+
+
+class TestEncoderValidation:
+    @pytest.mark.parametrize("encoder_cls", [RateEncoder, BurstEncoder, StochasticEncoder])
+    def test_window_must_be_positive(self, encoder_cls):
+        with pytest.raises(ValueError):
+            encoder_cls(0)
+
+    @pytest.mark.parametrize("encoder_cls", [RateEncoder, BurstEncoder, StochasticEncoder])
+    def test_bits_property(self, encoder_cls):
+        assert encoder_cls(64).bits == 6

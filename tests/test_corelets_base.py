@@ -1,0 +1,63 @@
+"""Tests for the corelet abstraction and compiler."""
+
+import numpy as np
+import pytest
+
+from repro.corelets import compile_corelet, connect
+from repro.corelets.library import SplitterCorelet
+from repro.errors import CompilationError
+from repro.truenorth import Simulator
+from repro.truenorth.system import NeurosynapticSystem
+
+
+class TestCompile:
+    def test_fresh_system_created(self):
+        program = compile_corelet(SplitterCorelet(2, 1))
+        assert program.system.core_count == program.core_count == 1
+        assert "in" in program.system.input_ports
+        assert "out" in program.system.output_probes
+
+    def test_existing_system_reused(self):
+        system = NeurosynapticSystem("shared")
+        program = compile_corelet(SplitterCorelet(2, 1), system=system)
+        assert program.system is system
+
+    def test_port_widths_match_pins(self):
+        program = compile_corelet(SplitterCorelet(3, 2))
+        assert program.system.input_ports["in"].width == 3
+        assert program.system.output_probes["out"].width == 6
+
+
+class TestConnect:
+    def test_one_to_one(self):
+        system = NeurosynapticSystem()
+        a = SplitterCorelet(2, 1, name="a").build(system)
+        b = SplitterCorelet(2, 1, name="b").build(system)
+        connect(system, a, b)
+        assert len(system.router.routes) == 2
+
+    def test_pin_subset(self):
+        system = NeurosynapticSystem()
+        a = SplitterCorelet(1, 3, name="a").build(system)
+        b = SplitterCorelet(2, 1, name="b").build(system)
+        connect(system, a, b, output_pins=[0, 1], input_pins=[0, 1])
+        assert len(system.router.routes) == 2
+
+    def test_mismatched_counts(self):
+        system = NeurosynapticSystem()
+        a = SplitterCorelet(2, 1, name="a").build(system)
+        b = SplitterCorelet(3, 1, name="b").build(system)
+        with pytest.raises(CompilationError):
+            connect(system, a, b)
+
+    def test_chained_corelets_relay(self):
+        system = NeurosynapticSystem()
+        a = SplitterCorelet(1, 1, name="a").build(system)
+        b = SplitterCorelet(1, 1, name="b").build(system)
+        connect(system, a, b)
+        system.add_input_port("in", [[ref] for ref in a.inputs])
+        system.add_output_probe("out", list(b.outputs))
+        raster = np.zeros((6, 1), dtype=bool)
+        raster[0, 0] = True
+        result = Simulator(system, rng=0).run(6, {"in": raster})
+        assert result.spike_counts("out")[0] == 1

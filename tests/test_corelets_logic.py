@@ -1,0 +1,187 @@
+"""Tests for comparator, gated logic, accumulator, pooling, pattern match."""
+
+import numpy as np
+import pytest
+
+from repro.coding import RateEncoder
+from repro.corelets import compile_corelet, connect
+from repro.corelets.library import (
+    AccumulatorCorelet,
+    ComparatorCorelet,
+    GatedLogicCorelet,
+    MaxPoolCorelet,
+    PatternMatchCorelet,
+)
+from repro.corelets.library.pattern_match import gradient_templates
+from repro.truenorth import Simulator
+from repro.truenorth.system import NeurosynapticSystem
+
+
+class TestComparator:
+    def _raster(self, a, b, window=16, extra=8):
+        raster = np.zeros((window + extra, 2), dtype=bool)
+        raster[:window] = RateEncoder(window).encode(np.array([a, b]))
+        return raster
+
+    def test_greater_fires(self):
+        program = compile_corelet(ComparatorCorelet(1))
+        result = Simulator(program.system, rng=0).run(
+            24, {"in": self._raster(0.75, 0.25)}
+        )
+        assert result.probe_spikes["out"][-3:, 0].all()
+
+    def test_less_silent(self):
+        program = compile_corelet(ComparatorCorelet(1))
+        result = Simulator(program.system, rng=0).run(
+            24, {"in": self._raster(0.25, 0.75)}
+        )
+        assert not result.probe_spikes["out"][-3:, 0].any()
+
+    def test_equal_silent_with_strict_margin(self):
+        program = compile_corelet(ComparatorCorelet(1))
+        result = Simulator(program.system, rng=0).run(
+            24, {"in": self._raster(0.5, 0.5)}
+        )
+        assert not result.probe_spikes["out"][-3:, 0].any()
+
+    def test_margin(self):
+        program = compile_corelet(ComparatorCorelet(1, margin=5))
+        result = Simulator(program.system, rng=0).run(
+            24, {"in": self._raster(0.625, 0.5)}  # diff = 2 < 5
+        )
+        assert not result.probe_spikes["out"][-3:, 0].any()
+
+    def test_multiple_pairs_independent(self):
+        program = compile_corelet(ComparatorCorelet(2))
+        window = 16
+        raster = np.zeros((24, 4), dtype=bool)
+        raster[:window] = RateEncoder(window).encode(np.array([0.8, 0.2, 0.2, 0.8]))
+        result = Simulator(program.system, rng=0).run(24, {"in": raster})
+        tail = result.probe_spikes["out"][-3:]
+        assert tail[:, 0].all() and not tail[:, 1].any()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ComparatorCorelet(0)
+        with pytest.raises(ValueError):
+            ComparatorCorelet(1, margin=0)
+
+
+class TestGatedLogic:
+    def _run(self, weights, threshold, one_shot, data_raster, gate_ticks, ticks):
+        corelet = GatedLogicCorelet(weights, threshold=threshold, one_shot=one_shot)
+        program = compile_corelet(corelet)
+        n_data = weights.shape[0]
+        raster = np.zeros((ticks, n_data + 1), dtype=bool)
+        raster[: data_raster.shape[0], 1:] = data_raster
+        for tick in gate_ticks:
+            raster[tick, 0] = True
+        result = Simulator(program.system, rng=0).run(ticks, {"in": raster})
+        return result
+
+    def test_gate_required(self):
+        weights = np.array([[1]])
+        data = np.ones((10, 1), dtype=bool)
+        result = self._run(weights, 1, False, data, gate_ticks=[], ticks=12)
+        assert result.spike_counts("out")[0] == 0
+
+    def test_fires_when_gated_and_true(self):
+        weights = np.array([[1]])
+        data = np.ones((10, 1), dtype=bool)
+        result = self._run(weights, 1, False, data, gate_ticks=[5], ticks=12)
+        assert result.spike_counts("out")[0] == 1
+
+    def test_one_shot_single_spike(self):
+        weights = np.array([[1]])
+        data = np.ones((10, 1), dtype=bool)
+        result = self._run(weights, 1, True, data, gate_ticks=[4, 5, 6], ticks=14)
+        assert result.spike_counts("out")[0] == 1
+
+    def test_and_not_semantics(self):
+        # out = a AND NOT b, evaluated at the gate tick.
+        weights = np.array([[1], [-1]])
+        data = np.zeros((10, 2), dtype=bool)
+        data[:, 0] = True  # a persistent, b silent
+        result = self._run(weights, 1, False, data, gate_ticks=[5], ticks=12)
+        assert result.spike_counts("out")[0] == 1
+        data[:, 1] = True  # now b blocks
+        result = self._run(weights, 1, False, data, gate_ticks=[5], ticks=12)
+        assert result.spike_counts("out")[0] == 0
+
+    def test_transients_do_not_accumulate(self):
+        # Data spikes before the gate must not charge the evaluator.
+        weights = np.array([[2]])
+        data = np.zeros((10, 1), dtype=bool)
+        data[:5, 0] = True  # transients while gate silent
+        result = self._run(weights, 2, False, data, gate_ticks=[8], ticks=12)
+        assert result.spike_counts("out")[0] == 0
+
+
+class TestAccumulator:
+    def test_group_sums(self):
+        corelet = AccumulatorCorelet([2, 1])
+        program = compile_corelet(corelet)
+        window = 8
+        raster = np.zeros((window + 16, 3), dtype=bool)
+        raster[:window] = RateEncoder(window).encode(np.array([0.5, 0.5, 1.0]))
+        result = Simulator(program.system, rng=0).run(window + 16, {"in": raster})
+        assert list(result.spike_counts("out")) == [8, 8]
+
+    def test_burst_drains(self):
+        # All group inputs spike the same tick; the count drains 1/tick.
+        corelet = AccumulatorCorelet([4])
+        program = compile_corelet(corelet)
+        raster = np.zeros((10, 4), dtype=bool)
+        raster[0, :] = True
+        result = Simulator(program.system, rng=0).run(10, {"in": raster})
+        assert result.spike_counts("out")[0] == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AccumulatorCorelet([])
+        with pytest.raises(ValueError):
+            AccumulatorCorelet([2, 0])
+
+
+class TestMaxPool:
+    def test_or_semantics(self):
+        corelet = MaxPoolCorelet([2])
+        program = compile_corelet(corelet)
+        raster = np.zeros((6, 2), dtype=bool)
+        raster[0, 0] = True
+        raster[0, 1] = True  # same tick: one output spike, not two
+        raster[2, 1] = True
+        result = Simulator(program.system, rng=0).run(6, {"in": raster})
+        assert result.spike_counts("out")[0] == 2
+
+    def test_approximates_max_of_rates(self):
+        corelet = MaxPoolCorelet([2])
+        program = compile_corelet(corelet)
+        window = 32
+        raster = np.zeros((window + 4, 2), dtype=bool)
+        raster[:window] = RateEncoder(window).encode(np.array([0.5, 0.125]))
+        result = Simulator(program.system, rng=0).run(window + 4, {"in": raster})
+        count = result.spike_counts("out")[0]
+        assert 16 <= count <= 20  # >= max, <= sum
+
+
+class TestPatternMatch:
+    def test_gradient_templates_shape(self):
+        templates = gradient_templates()
+        assert templates.shape == (9, 4)
+        # Ix = P5 - P3 (paper Figure 2).
+        assert templates[5, 0] == 1 and templates[3, 0] == -1
+
+    def test_matching_pattern_scores_high(self):
+        templates = gradient_templates()
+        corelet = PatternMatchCorelet(templates)
+        program = compile_corelet(corelet)
+        window = 16
+        values = np.zeros(9)
+        values[5] = 1.0  # bright right neighbour: strong +Ix
+        raster = np.zeros((window + 8, 9), dtype=bool)
+        raster[:window] = RateEncoder(window).encode(values)
+        result = Simulator(program.system, rng=0).run(window + 8, {"in": raster})
+        counts = result.spike_counts("out")
+        assert counts[0] == window  # Ix
+        assert counts[1] == 0  # -Ix rectified away

@@ -1,0 +1,73 @@
+"""Tests for SplitterCorelet."""
+
+import numpy as np
+import pytest
+
+from repro.corelets import compile_corelet
+from repro.corelets.library import SplitterCorelet
+from repro.errors import CompilationError
+from repro.truenorth import Simulator
+
+
+def _run(corelet, raster, ticks):
+    program = compile_corelet(corelet)
+    result = Simulator(program.system, rng=0).run(ticks, {"in": raster})
+    return result.spike_counts("out"), program
+
+
+class TestUniformFanout:
+    def test_copies_counts(self):
+        corelet = SplitterCorelet(2, 3)
+        raster = np.zeros((6, 2), dtype=bool)
+        raster[:4, 0] = True
+        raster[:2, 1] = True
+        counts, _ = _run(corelet, raster, 6)
+        # Copy-major: [line0_c0, line1_c0, line0_c1, line1_c1, ...]
+        assert list(counts) == [4, 2, 4, 2, 4, 2]
+
+    def test_latency_one_tick(self):
+        corelet = SplitterCorelet(1, 1)
+        program = compile_corelet(corelet)
+        raster = np.zeros((3, 1), dtype=bool)
+        raster[0, 0] = True
+        result = Simulator(program.system, rng=0).run(3, {"in": raster})
+        assert list(np.flatnonzero(result.probe_spikes["out"][:, 0])) == [0]
+
+
+class TestVariableFanout:
+    def test_line_major_outputs(self):
+        corelet = SplitterCorelet(2, [1, 3])
+        assert corelet.output_width == 4
+        raster = np.zeros((5, 2), dtype=bool)
+        raster[:4, 1] = True
+        counts, _ = _run(corelet, raster, 5)
+        assert list(counts) == [0, 4, 4, 4]
+
+
+class TestPacking:
+    def test_multi_core_when_neurons_exhausted(self):
+        corelet = SplitterCorelet(100, 4)  # 400 neurons > 256
+        program = compile_corelet(corelet)
+        assert program.core_count == 2
+
+    def test_single_core_when_fits(self):
+        program = compile_corelet(SplitterCorelet(64, 4))
+        assert program.core_count == 1
+
+    def test_rejects_impossible_line(self):
+        with pytest.raises(CompilationError):
+            compile_corelet(SplitterCorelet(1, 257))
+
+
+class TestValidation:
+    def test_bad_width(self):
+        with pytest.raises(ValueError):
+            SplitterCorelet(0, 2)
+
+    def test_bad_fanout(self):
+        with pytest.raises(ValueError):
+            SplitterCorelet(2, 0)
+        with pytest.raises(ValueError):
+            SplitterCorelet(2, [1])
+        with pytest.raises(ValueError):
+            SplitterCorelet(2, [1, 0])

@@ -1,0 +1,126 @@
+"""Tests for WeightedSumCorelet across modes and weight structures."""
+
+import numpy as np
+import pytest
+
+from repro.coding import RateEncoder
+from repro.corelets import compile_corelet
+from repro.corelets.library import NeuronMode, WeightedSumCorelet
+from repro.errors import CompilationError
+from repro.truenorth import Simulator
+
+
+def _run_counts(corelet, values, window=16, extra=24, seed=0):
+    program = compile_corelet(corelet)
+    encoder = RateEncoder(window)
+    raster = np.zeros((window + extra, len(values)), dtype=bool)
+    raster[:window] = encoder.encode(np.array(values))
+    result = Simulator(program.system, rng=seed).run(
+        window + extra, {"in": raster}
+    )
+    return result.spike_counts("out"), program
+
+
+class TestRectRate:
+    def test_identity_weight(self):
+        counts, program = _run_counts(WeightedSumCorelet(np.array([[1]])), [0.5])
+        assert counts[0] == 8
+        assert program.core_count == 1  # single line, |w| = 1: no splitter
+
+    def test_scaling_weight_uses_splitter(self):
+        counts, program = _run_counts(WeightedSumCorelet(np.array([[3]])), [0.25])
+        assert counts[0] == 12
+        assert program.core_count == 2  # splitter + sum
+
+    def test_rectified_difference(self):
+        weights = np.array([[1], [-1]])
+        counts, _ = _run_counts(WeightedSumCorelet(weights), [0.75, 0.25])
+        assert counts[0] == 8
+
+    def test_rectification_clips_negative(self):
+        weights = np.array([[1], [-1]])
+        counts, _ = _run_counts(WeightedSumCorelet(weights), [0.25, 0.75])
+        assert counts[0] <= 1  # small phase error allowed
+
+    def test_threshold_divides(self):
+        counts, _ = _run_counts(
+            WeightedSumCorelet(np.array([[1]]), threshold=4), [1.0]
+        )
+        assert counts[0] == 4  # 16 spikes / threshold 4
+
+    def test_multiple_outputs(self):
+        weights = np.array([[1, 2], [1, 0]])
+        counts, _ = _run_counts(WeightedSumCorelet(weights), [0.5, 0.5])
+        assert counts[0] == 16  # a + b
+        assert counts[1] == 16  # 2a
+
+    def test_many_outputs_split_across_cores(self):
+        weights = np.ones((2, 300), dtype=int)
+        program = compile_corelet(WeightedSumCorelet(weights))
+        # 300 neurons -> 2 sum cores; inputs copied to both via splitter.
+        assert program.core_count >= 3
+        assert program.built.output_width == 300
+
+
+class TestModes:
+    def test_indicator_persists(self):
+        corelet = WeightedSumCorelet(
+            np.array([[1], [-1]]), threshold=1, mode=NeuronMode.INDICATOR
+        )
+        program = compile_corelet(corelet)
+        window = 8
+        raster = np.zeros((window + 8, 2), dtype=bool)
+        raster[:window] = RateEncoder(window).encode(np.array([0.75, 0.25]))
+        result = Simulator(program.system, rng=0).run(window + 8, {"in": raster})
+        # After the data window the indicator keeps firing every tick.
+        assert result.probe_spikes["out"][-4:, 0].all()
+
+    def test_one_shot_fires_once(self):
+        corelet = WeightedSumCorelet(
+            np.array([[1]]), threshold=1, mode=NeuronMode.ONE_SHOT
+        )
+        counts, _ = _run_counts(corelet, [1.0])
+        assert counts[0] == 1
+
+    def test_pulse_is_per_tick(self):
+        corelet = WeightedSumCorelet(
+            np.array([[1]]), threshold=1, mode=NeuronMode.PULSE
+        )
+        counts, _ = _run_counts(corelet, [0.5], window=16)
+        assert counts[0] == 8  # fires exactly on input ticks
+
+
+class TestValidation:
+    def test_non_integer_weights_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedSumCorelet(np.array([[0.5]]))
+
+    def test_integer_valued_floats_accepted(self):
+        corelet = WeightedSumCorelet(np.array([[2.0]]))
+        assert corelet.weights.dtype == np.int64
+
+    def test_1d_weights_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedSumCorelet(np.array([1, 2]))
+
+    def test_threshold_count_mismatch(self):
+        with pytest.raises(ValueError):
+            WeightedSumCorelet(np.ones((2, 3), dtype=int), threshold=[1, 2])
+
+    def test_threshold_minimum(self):
+        with pytest.raises(ValueError):
+            WeightedSumCorelet(np.ones((1, 1), dtype=int), threshold=0)
+
+    def test_leak_count_mismatch(self):
+        with pytest.raises(ValueError):
+            WeightedSumCorelet(np.ones((1, 2), dtype=int), leak=[1])
+
+    def test_replica_budget_enforced(self):
+        # 200 lines x |w|=2 = 400 replica axons > 256.
+        weights = np.full((200, 1), 2, dtype=int)
+        with pytest.raises(CompilationError):
+            compile_corelet(WeightedSumCorelet(weights))
+
+    def test_replica_count_reported(self):
+        corelet = WeightedSumCorelet(np.array([[3], [-2]]))
+        assert corelet.replica_count() == 5

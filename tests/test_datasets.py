@@ -1,0 +1,123 @@
+"""Tests for the synthetic pedestrian dataset."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import DatasetConfig, SyntheticPersonDataset
+from repro.datasets.synthetic_person import (
+    WINDOW_HEIGHT,
+    WINDOW_WIDTH,
+    _person_mask,
+    _overlap,
+)
+
+
+class TestPersonMask:
+    def test_shape_and_range(self, rng):
+        mask = _person_mask(96, rng)
+        assert mask.shape[0] == 96
+        assert 0.0 <= mask.min() and mask.max() <= 1.0
+
+    def test_has_head_and_legs(self, rng):
+        mask = _person_mask(100, rng)
+        assert mask[:20].sum() > 0  # head region
+        assert mask[80:].sum() > 0  # feet region
+
+    def test_roughly_vertical_symmetric_mass(self, rng):
+        mask = _person_mask(100, rng)
+        width = mask.shape[1]
+        left = mask[:, : width // 2].sum()
+        right = mask[:, width - width // 2 :].sum()
+        assert abs(left - right) / max(left + right, 1) < 0.3
+
+
+class TestWindows:
+    def test_positive_window_shape(self, small_dataset):
+        window = small_dataset.positive_window()
+        assert window.shape == (WINDOW_HEIGHT, WINDOW_WIDTH)
+        assert 0.0 <= window.min() and window.max() <= 1.0
+
+    def test_positive_windows_stack(self, small_dataset):
+        windows = small_dataset.positive_windows(3)
+        assert windows.shape == (3, WINDOW_HEIGHT, WINDOW_WIDTH)
+
+    def test_zero_count(self, small_dataset):
+        assert small_dataset.positive_windows(0).shape[0] == 0
+
+    def test_negative_windows(self, small_dataset):
+        windows = small_dataset.negative_windows(5)
+        assert windows.shape == (5, WINDOW_HEIGHT, WINDOW_WIDTH)
+
+    def test_positive_window_has_central_structure(self, small_dataset):
+        """The central strip (person) differs from the margins."""
+        windows = small_dataset.positive_windows(5)
+        center = windows[:, 32:96, 16:48].std(axis=(1, 2))
+        assert (center > 0.02).all()
+
+    def test_negative_count_validated(self, small_dataset):
+        with pytest.raises(ValueError):
+            small_dataset.positive_windows(-1)
+
+
+class TestScenes:
+    def test_scene_annotations_within_reach(self):
+        dataset = SyntheticPersonDataset(rng=5)
+        scenes = dataset.test_scenes(10, (200, 260), max_people=2)
+        for scene in scenes:
+            assert scene.image.shape == (200, 260)
+            for annotation in scene.annotations:
+                assert annotation.height >= 120  # at least ~window size
+                assert annotation.height <= 200  # within pyramid reach
+
+    def test_annotation_aspect_matches_window(self):
+        dataset = SyntheticPersonDataset(rng=6)
+        scenes = dataset.test_scenes(8, (220, 220), max_people=1)
+        for scene in scenes:
+            for annotation in scene.annotations:
+                aspect = annotation.width / annotation.height
+                assert np.isclose(aspect, WINDOW_WIDTH / WINDOW_HEIGHT, atol=0.01)
+
+    def test_negative_images_have_no_annotations(self):
+        dataset = SyntheticPersonDataset(rng=7)
+        image = dataset.negative_image((100, 140))
+        assert image.shape == (100, 140)
+
+    def test_reproducibility(self):
+        a = SyntheticPersonDataset(rng=9).positive_window()
+        b = SyntheticPersonDataset(rng=9).positive_window()
+        assert np.array_equal(a, b)
+
+    def test_max_people_zero(self):
+        dataset = SyntheticPersonDataset(rng=10)
+        scene = dataset.test_scene((150, 150), max_people=0)
+        assert scene.annotations == []
+
+    def test_negative_max_people_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticPersonDataset(rng=0).test_scene(max_people=-1)
+
+    def test_scenes_value_range(self):
+        dataset = SyntheticPersonDataset(rng=11)
+        scene = dataset.test_scene((160, 160), max_people=2)
+        assert 0.0 <= scene.image.min() and scene.image.max() <= 1.0
+
+
+class TestOverlap:
+    def test_identical_boxes(self):
+        assert _overlap((0, 0, 10, 10), (0, 0, 10, 10)) == 1.0
+
+    def test_disjoint(self):
+        assert _overlap((0, 0, 10, 10), (20, 20, 5, 5)) == 0.0
+
+    def test_partial(self):
+        iou = _overlap((0, 0, 10, 10), (5, 0, 10, 10))
+        assert np.isclose(iou, 50 / 150)
+
+
+class TestConfig:
+    def test_config_affects_clutter(self):
+        quiet = SyntheticPersonDataset(
+            DatasetConfig(clutter_poles=0.0, clutter_blobs=0.0), rng=3
+        )
+        image = quiet.negative_image((80, 80))
+        assert image.std() < 0.25

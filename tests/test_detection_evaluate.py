@@ -1,0 +1,119 @@
+"""Tests for miss-rate/FPPI evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.detection import evaluate_detections, log_average_miss_rate
+
+
+def _boxes(*rows):
+    return np.array(rows, dtype=np.float64) if rows else np.zeros((0, 4))
+
+
+class TestMatching:
+    def test_perfect_detection(self):
+        detections = [(_boxes([0, 0, 10, 20]), np.array([1.0]))]
+        truth = [_boxes([0, 0, 10, 20])]
+        curve = evaluate_detections(detections, truth)
+        assert curve.miss_rate[-1] == 0.0
+        assert curve.fppi[-1] == 0.0
+
+    def test_low_iou_is_false_positive(self):
+        detections = [(_boxes([50, 50, 10, 20]), np.array([1.0]))]
+        truth = [_boxes([0, 0, 10, 20])]
+        curve = evaluate_detections(detections, truth)
+        assert curve.miss_rate[-1] == 1.0
+        assert curve.fppi[-1] == 1.0
+
+    def test_half_iou_threshold(self):
+        # IoU exactly 0.5 counts as a match ("larger than or equal to").
+        detections = [(_boxes([0, 0, 10, 10]), np.array([1.0]))]
+        truth = [_boxes([0, 5, 10, 10])]  # IoU = 1/3 < 0.5 -> miss
+        curve = evaluate_detections(detections, truth)
+        assert curve.miss_rate[-1] == 1.0
+
+        detections = [(_boxes([0, 0, 10, 20]), np.array([1.0]))]
+        truth = [_boxes([0, 0, 10, 30])]  # IoU = 200/300 = 0.67 -> hit
+        curve = evaluate_detections(detections, truth)
+        assert curve.miss_rate[-1] == 0.0
+
+    def test_double_detection_one_credit(self):
+        detections = [
+            (_boxes([0, 0, 10, 20], [1, 0, 10, 20]), np.array([0.9, 0.8]))
+        ]
+        truth = [_boxes([0, 0, 10, 20])]
+        curve = evaluate_detections(detections, truth)
+        assert curve.miss_rate[-1] == 0.0
+        assert curve.fppi[-1] == 1.0  # the duplicate is a false positive
+
+    def test_greedy_matching_prefers_best_score(self):
+        detections = [
+            (_boxes([0, 0, 10, 20], [0, 1, 10, 20]), np.array([0.5, 0.9]))
+        ]
+        truth = [_boxes([0, 0, 10, 20])]
+        curve = evaluate_detections(detections, truth)
+        # The higher-scored box takes the ground truth.
+        assert curve.miss_rate[-1] == 0.0
+
+    def test_curve_monotone_in_threshold(self):
+        rng = np.random.default_rng(0)
+        detections = []
+        truth = []
+        for _ in range(5):
+            n = rng.integers(1, 6)
+            boxes = np.column_stack(
+                [rng.uniform(0, 50, n), rng.uniform(0, 50, n),
+                 np.full(n, 10.0), np.full(n, 20.0)]
+            )
+            detections.append((boxes, rng.random(n)))
+            truth.append(_boxes([10, 10, 10, 20]))
+        curve = evaluate_detections(detections, truth)
+        assert (np.diff(curve.fppi) >= 0).all()
+        assert (np.diff(curve.miss_rate) <= 1e-12).all()
+
+
+class TestValidation:
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            evaluate_detections([(np.zeros((0, 4)), np.zeros(0))], [])
+
+    def test_no_ground_truth(self):
+        with pytest.raises(ValueError):
+            evaluate_detections(
+                [(np.zeros((0, 4)), np.zeros(0))], [np.zeros((0, 4))]
+            )
+
+    def test_no_detections_full_miss(self):
+        curve = evaluate_detections(
+            [(np.zeros((0, 4)), np.zeros(0))], [_boxes([0, 0, 5, 5])]
+        )
+        assert curve.miss_rate[-1] == 1.0
+
+
+class TestLogAverageMissRate:
+    def test_perfect_curve(self):
+        fppi = np.array([0.0, 0.5, 1.0])
+        miss = np.array([0.0, 0.0, 0.0])
+        assert log_average_miss_rate(fppi, miss) < 1e-9
+
+    def test_all_miss(self):
+        fppi = np.array([0.0])
+        miss = np.array([1.0])
+        assert log_average_miss_rate(fppi, miss) == pytest.approx(1.0)
+
+    def test_unreached_fppi_counts_as_miss_one(self):
+        # Curve only reaches FPPI 0.5 upward: samples below use 1.0.
+        fppi = np.array([0.5, 1.0])
+        miss = np.array([0.2, 0.1])
+        value = log_average_miss_rate(fppi, miss)
+        assert value > 0.2  # dragged up by the unreachable low-FPPI region
+
+    def test_miss_rate_at_helper(self):
+        detections = [(_boxes([0, 0, 10, 20]), np.array([1.0]))]
+        truth = [_boxes([0, 0, 10, 20])]
+        curve = evaluate_detections(detections, truth)
+        assert curve.miss_rate_at(1.0) == 0.0
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            log_average_miss_rate(np.zeros(3), np.zeros(4))

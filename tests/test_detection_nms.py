@@ -1,0 +1,113 @@
+"""Tests for IoU and non-maximum suppression."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.detection import non_maximum_suppression
+from repro.detection.nms import box_iou
+
+
+class TestIoU:
+    def test_identical(self):
+        box = np.array([[0, 0, 10, 10]])
+        assert box_iou(box, box)[0, 0] == 1.0
+
+    def test_disjoint(self):
+        a = np.array([[0, 0, 5, 5]])
+        b = np.array([[10, 10, 5, 5]])
+        assert box_iou(a, b)[0, 0] == 0.0
+
+    def test_half_overlap(self):
+        a = np.array([[0, 0, 10, 10]])
+        b = np.array([[0, 5, 10, 10]])
+        assert np.isclose(box_iou(a, b)[0, 0], 50 / 150)
+
+    def test_contained(self):
+        a = np.array([[0, 0, 10, 10]])
+        b = np.array([[2, 2, 5, 5]])
+        assert np.isclose(box_iou(a, b)[0, 0], 25 / 100)
+
+    def test_matrix_shape(self):
+        a = np.zeros((3, 4))
+        a[:, 2:] = 1
+        b = np.zeros((2, 4))
+        b[:, 2:] = 1
+        assert box_iou(a, b).shape == (3, 2)
+
+    def test_zero_area_safe(self):
+        a = np.array([[0, 0, 0, 0]])
+        assert box_iou(a, a)[0, 0] == 0.0
+
+    @given(
+        st.tuples(
+            st.floats(0, 50), st.floats(0, 50), st.floats(1, 20), st.floats(1, 20)
+        ),
+        st.tuples(
+            st.floats(0, 50), st.floats(0, 50), st.floats(1, 20), st.floats(1, 20)
+        ),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_symmetric_and_bounded(self, a, b):
+        box_a = np.array([a])
+        box_b = np.array([b])
+        ab = box_iou(box_a, box_b)[0, 0]
+        ba = box_iou(box_b, box_a)[0, 0]
+        assert np.isclose(ab, ba)
+        assert 0.0 <= ab <= 1.0
+
+
+class TestNMS:
+    def test_keeps_highest(self):
+        boxes = np.array([[0, 0, 10, 10], [1, 1, 10, 10]])
+        scores = np.array([0.5, 0.9])
+        kept = non_maximum_suppression(boxes, scores, epsilon=0.2)
+        assert kept == [1]
+
+    def test_disjoint_all_kept(self):
+        boxes = np.array([[0, 0, 10, 10], [100, 100, 10, 10]])
+        scores = np.array([0.5, 0.9])
+        kept = non_maximum_suppression(boxes, scores, epsilon=0.2)
+        assert sorted(kept) == [0, 1]
+
+    def test_order_by_score(self):
+        boxes = np.array([[0, 0, 10, 10], [100, 0, 10, 10], [200, 0, 10, 10]])
+        scores = np.array([0.2, 0.9, 0.5])
+        kept = non_maximum_suppression(boxes, scores)
+        assert kept == [1, 2, 0]
+
+    def test_epsilon_controls_aggressiveness(self):
+        boxes = np.array([[0, 0, 10, 10], [3, 0, 10, 10]])  # IoU ~0.54
+        scores = np.array([0.9, 0.8])
+        assert len(non_maximum_suppression(boxes, scores, epsilon=0.2)) == 1
+        assert len(non_maximum_suppression(boxes, scores, epsilon=0.6)) == 2
+
+    def test_empty(self):
+        assert non_maximum_suppression(np.zeros((0, 4)), np.zeros(0)) == []
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            non_maximum_suppression(np.zeros((2, 4)), np.zeros(3))
+
+    def test_bad_epsilon(self):
+        with pytest.raises(ValueError):
+            non_maximum_suppression(np.zeros((1, 4)), np.zeros(1), epsilon=1.5)
+
+    @given(st.integers(1, 20))
+    @settings(max_examples=20, deadline=None)
+    def test_kept_boxes_mutually_low_overlap(self, n):
+        rng = np.random.default_rng(n)
+        boxes = np.column_stack(
+            [
+                rng.uniform(0, 50, n),
+                rng.uniform(0, 50, n),
+                rng.uniform(5, 20, n),
+                rng.uniform(5, 20, n),
+            ]
+        )
+        scores = rng.random(n)
+        kept = non_maximum_suppression(boxes, scores, epsilon=0.3)
+        iou = box_iou(boxes[kept], boxes[kept])
+        np.fill_diagonal(iou, 0.0)
+        assert iou.max(initial=0.0) <= 0.3 + 1e-9

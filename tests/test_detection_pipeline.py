@@ -1,0 +1,177 @@
+"""Tests for the sliding-window detector and scorer adapters."""
+
+import numpy as np
+import pytest
+
+from repro.detection import (
+    EednBinaryScorer,
+    SlidingWindowDetector,
+    SpikingBinaryScorer,
+)
+from repro.eedn import (
+    EednNetwork,
+    SpikingEvaluator,
+    ThresholdActivation,
+    TrinaryDense,
+)
+from repro.hog import HogDescriptor, dalal_triggs_config
+from repro.napprox import NApproxConfig, NApproxDescriptor
+from repro.svm import LinearSVM
+
+
+class _ConstantScorer:
+    """Scores every window identically (test double)."""
+
+    def __init__(self, value: float) -> None:
+        self.value = value
+        self.seen = 0
+
+    def decision_function(self, features):
+        self.seen += features.shape[0]
+        return np.full(features.shape[0], self.value)
+
+
+class TestFeatureAssembly:
+    def test_window_features_length_blocks(self):
+        detector = SlidingWindowDetector(HogDescriptor(), None)
+        window = np.random.default_rng(0).random((128, 64))
+        assert detector.window_features(window).shape == (3780,)
+
+    def test_window_features_length_cells(self):
+        detector = SlidingWindowDetector(
+            NApproxDescriptor(), None, feature_mode="cells"
+        )
+        window = np.random.default_rng(0).random((128, 64))
+        assert detector.window_features(window).shape == (16 * 8 * 18,)
+
+    def test_grid_features_match_window_features(self):
+        """Sliding assembly over a whole image equals per-window compute."""
+        extractor = HogDescriptor(dalal_triggs_config())
+        detector = SlidingWindowDetector(extractor, None)
+        image = np.random.default_rng(1).random((144, 96))
+        grid = extractor.cell_grid(image)
+        features, positions = detector._grid_features(grid)
+        # Window at cell (1, 2) -> pixels [8:136, 16:80].
+        index = np.where((positions == [1, 2]).all(axis=1))[0][0]
+        direct = detector.window_features(image[8:136, 16:80])
+        # Border cells differ (full-image gradients have true neighbours,
+        # the crop edge-pads); interior blocks must agree exactly.
+        slid = features[index].reshape(15, 7, 36)[1:-1, 1:-1]
+        solo = direct.reshape(15, 7, 36)[1:-1, 1:-1]
+        assert np.allclose(slid, solo)
+
+    def test_cell_scale_applied(self):
+        extractor = NApproxDescriptor()
+        detector = SlidingWindowDetector(
+            extractor, None, feature_mode="cells", cell_scale=0.5
+        )
+        image = np.tile(np.linspace(0, 1, 128), (128, 1))
+        grid = extractor.cell_grid(image)
+        features, _ = detector._grid_features(grid)
+        unscaled = SlidingWindowDetector(
+            extractor, None, feature_mode="cells", cell_scale=1.0
+        )._grid_features(grid)[0]
+        assert np.allclose(features * 2.0, unscaled)
+
+    def test_bad_feature_mode(self):
+        with pytest.raises(ValueError):
+            SlidingWindowDetector(HogDescriptor(), None, feature_mode="pixels")
+
+
+class TestDetection:
+    def test_no_detections_below_threshold(self):
+        scorer = _ConstantScorer(-1.0)
+        detector = SlidingWindowDetector(
+            HogDescriptor(), scorer, score_threshold=0.0
+        )
+        image = np.random.default_rng(2).random((160, 120))
+        assert detector.detect(image) == []
+        assert scorer.seen > 0  # windows were scored
+
+    def test_nms_collapses_constant_scores(self):
+        scorer = _ConstantScorer(1.0)
+        detector = SlidingWindowDetector(
+            HogDescriptor(), scorer, score_threshold=0.0, nms_epsilon=0.2
+        )
+        image = np.random.default_rng(2).random((160, 120))
+        detections = detector.detect(image)
+        assert 0 < len(detections) < scorer.seen
+
+    def test_boxes_scale_with_pyramid(self):
+        scorer = _ConstantScorer(1.0)
+        detector = SlidingWindowDetector(
+            HogDescriptor(), scorer, score_threshold=0.0
+        )
+        image = np.random.default_rng(2).random((256, 192))
+        boxes, _, _ = detector._scan(image, collect_features=False)
+        widths = {round(w) for w in boxes[:, 2]}
+        assert len(widths) > 1  # windows were scored at multiple scales
+        assert min(widths) == 64
+
+    def test_detect_boxes_arrays(self):
+        scorer = _ConstantScorer(-1.0)
+        detector = SlidingWindowDetector(HogDescriptor(), scorer)
+        boxes, scores = detector.detect_boxes(np.zeros((140, 100)))
+        assert boxes.shape == (0, 4)
+        assert scores.shape == (0,)
+
+    def test_svm_end_to_end_smoke(self, small_split):
+        extractor = HogDescriptor()
+        detector = SlidingWindowDetector(extractor, None)
+        positives = np.stack(
+            [detector.window_features(w) for w in small_split.positive_windows[:20]]
+        )
+        negatives = np.stack(
+            [detector.window_features(w) for w in small_split.negative_windows[:40]]
+        )
+        model = LinearSVM(C=0.1, epochs=10, rng=0).fit(
+            np.vstack([positives, negatives]),
+            np.concatenate([np.ones(20), -np.ones(40)]),
+        )
+        armed = SlidingWindowDetector(extractor, model, score_threshold=0.0)
+        scene = small_split.test_scenes[0]
+        detections = armed.detect(scene.image)
+        assert isinstance(detections, list)
+
+    def test_hard_negative_features_shape(self, small_split):
+        scorer = _ConstantScorer(1.0)
+        detector = SlidingWindowDetector(HogDescriptor(), scorer)
+        mined = detector.hard_negative_features(
+            small_split.negative_images[:1], per_image_cap=5
+        )
+        assert mined.shape == (5, 3780)
+
+    def test_hard_negative_empty_when_model_clean(self, small_split):
+        scorer = _ConstantScorer(-1.0)
+        detector = SlidingWindowDetector(HogDescriptor(), scorer)
+        mined = detector.hard_negative_features(small_split.negative_images[:1])
+        assert mined.shape == (0, 3780)
+
+
+class TestScorers:
+    def _classifier(self):
+        return EednNetwork(
+            [
+                TrinaryDense(2304, 32, rng=0),
+                ThresholdActivation(0.0),
+                TrinaryDense(32, 2, rng=1),
+            ]
+        )
+
+    def test_eedn_scorer_margin(self):
+        network = self._classifier()
+        scorer = EednBinaryScorer(network, positive_class=1)
+        features = np.random.default_rng(0).random((4, 2304))
+        logits = network.forward(features)
+        margins = scorer.decision_function(features)
+        assert np.allclose(margins, logits[:, 1] - logits[:, 0])
+
+    def test_spiking_scorer_counts(self):
+        network = self._classifier()
+        evaluator = SpikingEvaluator(network, ticks=8, rng=0)
+        scorer = SpikingBinaryScorer(evaluator)
+        margins = scorer.decision_function(
+            np.random.default_rng(1).random((3, 2304))
+        )
+        assert margins.shape == (3,)
+        assert np.abs(margins).max() <= 8

@@ -1,0 +1,67 @@
+"""Tests for the image pyramid and the paper's full-HD arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.detection import FULL_HD_CELL_GRIDS, ImagePyramid, full_hd_cell_count
+from repro.detection.pyramid import cells_per_second
+
+
+class TestFullHdNumbers:
+    def test_cell_total_is_paper_value(self):
+        # Section 5.2: "a total of 57749 cells per image".
+        assert full_hd_cell_count() == 57749
+
+    def test_first_layer_is_fullhd_cells(self):
+        assert FULL_HD_CELL_GRIDS[0] == (240, 135)  # 1920/8 x 1080/8
+
+    def test_rate_at_26fps(self):
+        # Section 5.2: "an overall throughput of 1.5 million cells/second".
+        assert cells_per_second(26.0) == pytest.approx(1.5e6, rel=0.01)
+
+    def test_bad_fps(self):
+        with pytest.raises(ValueError):
+            cells_per_second(0)
+
+
+class TestPyramid:
+    def test_first_level_is_original(self):
+        image = np.random.default_rng(0).random((160, 200))
+        levels = ImagePyramid(image).levels()
+        assert levels[0].scale == 1.0
+        assert np.array_equal(levels[0].image, image)
+
+    def test_scales_grow_geometrically(self):
+        image = np.zeros((256, 256))
+        levels = ImagePyramid(image, scale_factor=1.1).levels()
+        scales = [level.scale for level in levels]
+        ratios = np.diff(np.log(scales))
+        assert np.allclose(ratios, np.log(1.1))
+
+    def test_stops_when_window_no_longer_fits(self):
+        image = np.zeros((140, 80))
+        levels = ImagePyramid(image, window_shape=(128, 64)).levels()
+        for level in levels:
+            assert level.image.shape[0] >= 128
+            assert level.image.shape[1] >= 64
+
+    def test_max_levels_cap(self):
+        image = np.zeros((1280, 640))
+        levels = ImagePyramid(image, max_levels=15).levels()
+        assert len(levels) == 15  # the paper's 15 window scales
+
+    def test_too_small_image_no_levels(self):
+        levels = ImagePyramid(np.zeros((100, 100))).levels()
+        assert levels == []
+
+    def test_scale_factor_validated(self):
+        with pytest.raises(ValueError):
+            ImagePyramid(np.zeros((200, 200)), scale_factor=1.0)
+
+    def test_rejects_color(self):
+        with pytest.raises(ValueError):
+            ImagePyramid(np.zeros((200, 200, 3)))
+
+    def test_iterable(self):
+        image = np.zeros((160, 160))
+        assert len(list(ImagePyramid(image))) >= 1

@@ -1,0 +1,184 @@
+"""Tests for Eedn layers: trinarisation, STE, conv/dense mechanics."""
+
+import numpy as np
+import pytest
+
+from repro.eedn.layers import (
+    AveragePool2D,
+    Flatten,
+    ThresholdActivation,
+    TrinaryConv2D,
+    TrinaryDense,
+    trinarize,
+)
+
+
+class TestTrinarize:
+    def test_values_are_trinary(self):
+        rng = np.random.default_rng(0)
+        out = trinarize(rng.normal(size=(50, 50)))
+        assert set(np.unique(out)).issubset({-1.0, 0.0, 1.0})
+
+    def test_large_weights_keep_sign(self):
+        weights = np.array([5.0, -5.0, 0.001])
+        out = trinarize(weights)
+        assert out[0] == 1.0 and out[1] == -1.0 and out[2] == 0.0
+
+    def test_dead_zone_scales_with_magnitude(self):
+        weights = np.array([0.1, 0.1, 1.0])
+        out = trinarize(weights)
+        assert out[2] == 1.0
+        assert out[0] == 0.0  # below 0.7 * mean|w|
+
+    def test_empty(self):
+        assert trinarize(np.zeros(0)).size == 0
+
+
+class TestThresholdActivation:
+    def test_binary_output(self):
+        activation = ThresholdActivation(0.0)
+        out = activation.forward(np.array([[-1.0, 0.0, 2.0]]))
+        assert np.array_equal(out, [[0.0, 1.0, 1.0]])
+
+    def test_ste_window_gates_gradient(self):
+        activation = ThresholdActivation(0.0, ste_window=1.0)
+        activation.forward(np.array([[0.5, 5.0, -0.5, -5.0]]), training=True)
+        grad = activation.backward(np.ones((1, 4)))
+        assert np.array_equal(grad, [[1.0, 0.0, 1.0, 0.0]])
+
+    def test_backward_requires_forward(self):
+        with pytest.raises(RuntimeError):
+            ThresholdActivation().backward(np.ones((1, 2)))
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            ThresholdActivation(0.0, ste_window=0.0)
+
+
+class TestTrinaryDense:
+    def test_forward_uses_trinary_weights(self):
+        layer = TrinaryDense(4, 3, rng=0)
+        deployed = layer.deployed_weights()
+        x = np.ones((2, 4))
+        assert np.allclose(layer.forward(x), x @ deployed + layer.bias)
+
+    def test_backward_shapes(self):
+        layer = TrinaryDense(4, 3, rng=0)
+        x = np.random.default_rng(1).random((5, 4))
+        layer.forward(x, training=True)
+        grad_in = layer.backward(np.ones((5, 3)))
+        assert grad_in.shape == (5, 4)
+        assert layer.grads()["weights"].shape == (4, 3)
+        assert layer.grads()["bias"].shape == (3,)
+
+    def test_straight_through_weight_gradient(self):
+        layer = TrinaryDense(2, 1, rng=0)
+        x = np.array([[1.0, 2.0]])
+        layer.forward(x, training=True)
+        layer.backward(np.array([[1.0]]))
+        assert np.allclose(layer.grads()["weights"], [[1.0], [2.0]])
+
+    def test_1d_input_promoted(self):
+        layer = TrinaryDense(4, 2, rng=0)
+        assert layer.forward(np.ones(4)).shape == (1, 2)
+
+    def test_wrong_width(self):
+        layer = TrinaryDense(4, 2, rng=0)
+        with pytest.raises(ValueError):
+            layer.forward(np.ones((1, 5)))
+
+    def test_backward_requires_training_forward(self):
+        layer = TrinaryDense(4, 2, rng=0)
+        layer.forward(np.ones((1, 4)))
+        with pytest.raises(RuntimeError):
+            layer.backward(np.ones((1, 2)))
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            TrinaryDense(0, 2)
+
+
+class TestTrinaryConv2D:
+    def test_output_shape(self):
+        conv = TrinaryConv2D(3, 6, ksize=3, stride=1, padding=1, rng=0)
+        out = conv.forward(np.zeros((2, 3, 8, 8)))
+        assert out.shape == (2, 6, 8, 8)
+
+    def test_stride(self):
+        conv = TrinaryConv2D(1, 2, ksize=3, stride=2, rng=0)
+        out = conv.forward(np.zeros((1, 1, 9, 9)))
+        assert out.shape == (1, 2, 4, 4)
+
+    def test_groups_fan_in(self):
+        conv = TrinaryConv2D(8, 8, ksize=3, groups=4, rng=0)
+        assert conv.fan_in() == 2 * 9
+
+    def test_groups_divide_channels(self):
+        with pytest.raises(ValueError):
+            TrinaryConv2D(6, 8, groups=4)
+
+    def test_matches_manual_convolution(self):
+        conv = TrinaryConv2D(1, 1, ksize=2, rng=0)
+        x = np.arange(9.0).reshape(1, 1, 3, 3)
+        w = conv.deployed_weights()[0, 0]
+        out = conv.forward(x)
+        expected = sum(
+            w[dy, dx] * x[0, 0, dy : dy + 2, dx : dx + 2]
+            for dy in range(2)
+            for dx in range(2)
+        )
+        assert np.allclose(out[0, 0], expected + conv.bias[0])
+
+    def test_gradient_against_numerical(self):
+        """The conv backward pass agrees with a finite-difference check
+        through the (piecewise-constant-free) linear part."""
+        conv = TrinaryConv2D(1, 1, ksize=2, rng=3)
+        x = np.random.default_rng(0).random((1, 1, 4, 4))
+        out = conv.forward(x, training=True)
+        grad_out = np.random.default_rng(1).random(out.shape)
+        grad_in = conv.backward(grad_out)
+
+        eps = 1e-6
+        for index in [(0, 0, 1, 1), (0, 0, 2, 3)]:
+            bumped = x.copy()
+            bumped[index] += eps
+            delta = (conv.forward(bumped) - out).sum() / eps
+            # d(sum out)/dx -> compare against grad with all-ones weighting
+            del delta
+            plus = (conv.forward(bumped) * grad_out).sum()
+            minus = (conv.forward(x) * grad_out).sum()
+            numeric = (plus - minus) / eps
+            assert np.isclose(numeric, grad_in[index], atol=1e-4)
+
+    def test_too_small_input(self):
+        conv = TrinaryConv2D(1, 1, ksize=5, rng=0)
+        with pytest.raises(ValueError):
+            conv.forward(np.zeros((1, 1, 3, 3)))
+
+
+class TestFlattenPool:
+    def test_flatten_round_trip(self):
+        flatten = Flatten()
+        x = np.arange(24.0).reshape(2, 3, 2, 2)
+        out = flatten.forward(x, training=True)
+        assert out.shape == (2, 12)
+        back = flatten.backward(out)
+        assert back.shape == x.shape
+
+    def test_avgpool_values(self):
+        pool = AveragePool2D(2)
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = pool.forward(x, training=True)
+        assert out.shape == (1, 1, 2, 2)
+        assert out[0, 0, 0, 0] == np.mean([0, 1, 4, 5])
+
+    def test_avgpool_backward_distributes(self):
+        pool = AveragePool2D(2)
+        x = np.zeros((1, 1, 4, 4))
+        pool.forward(x, training=True)
+        grad = pool.backward(np.ones((1, 1, 2, 2)))
+        assert np.allclose(grad, 0.25)
+
+    def test_avgpool_invalid_size(self):
+        with pytest.raises(ValueError):
+            AveragePool2D(0)

@@ -1,0 +1,142 @@
+"""Tests for grouping, core counting, and dense deployment."""
+
+import numpy as np
+import pytest
+
+from repro.coding import StochasticEncoder
+from repro.eedn import (
+    EednNetwork,
+    SpikingEvaluator,
+    ThresholdActivation,
+    TrinaryConv2D,
+    TrinaryDense,
+    core_count,
+    deploy_dense_network,
+    group_channels,
+)
+from repro.eedn.grouping import fan_in_violations
+from repro.errors import CompilationError
+from repro.truenorth import Simulator
+
+
+class TestGrouping:
+    def test_small_layer_single_group(self):
+        assert group_channels(16, 3) == 1  # 16 * 9 = 144 <= 256
+
+    def test_large_layer_needs_groups(self):
+        groups = group_channels(128, 3)
+        assert (128 // groups) * 9 <= 256
+        assert groups > 1
+
+    def test_divisibility_respected(self):
+        groups = group_channels(30, 3)
+        assert 30 % groups == 0
+
+    def test_impossible_kernel(self):
+        with pytest.raises(ValueError):
+            group_channels(1, 17)  # 289 > 256
+
+    def test_violations_reported(self):
+        net = EednNetwork(
+            [
+                TrinaryConv2D(128, 8, ksize=3, rng=0),  # fan-in 1152
+                TrinaryDense(100, 10, rng=0),
+            ]
+        )
+        problems = fan_in_violations(net)
+        assert len(problems) == 1
+        assert "conv fan-in 1152" in problems[0]
+
+    def test_dense_tree_noted(self):
+        net = EednNetwork([TrinaryDense(1000, 10, rng=0)])
+        problems = fan_in_violations(net)
+        assert "partial-sum tree" in problems[0]
+
+
+class TestCoreCount:
+    def test_small_dense_one_core(self):
+        net = EednNetwork([TrinaryDense(64, 128, rng=0)])
+        total, breakdown = core_count(net, (64,))
+        assert total == 1
+        assert breakdown[0].compute_cores == 1
+
+    def test_wide_dense_uses_tree(self):
+        net = EednNetwork([TrinaryDense(512, 18, rng=0)])
+        total, _ = core_count(net, (512,))
+        assert total >= 4  # 4 chunks of 128 lines + adders
+
+    def test_parrot_architecture_near_paper(self):
+        """64 -> 512 -> 18 lands near the paper's 8 cores per cell."""
+        net = EednNetwork(
+            [
+                TrinaryDense(64, 512, rng=0),
+                ThresholdActivation(0.0),
+                TrinaryDense(512, 18, rng=0),
+            ]
+        )
+        total, _ = core_count(net, (64,))
+        assert 6 <= total <= 10
+
+    def test_conv_counts_locations(self):
+        net = EednNetwork([TrinaryConv2D(1, 8, ksize=3, rng=0)])
+        total, breakdown = core_count(net, (1, 10, 10))
+        assert total >= 1
+        assert "conv" in breakdown[0].description
+
+    def test_conv_over_budget_raises(self):
+        net = EednNetwork([TrinaryConv2D(32, 8, ksize=3, rng=0)])  # fan-in 288
+        with pytest.raises(CompilationError):
+            core_count(net, (32, 8, 8))
+
+
+class TestDeployment:
+    def _trained_like_net(self, seed=0):
+        rng = np.random.default_rng(seed)
+        net = EednNetwork(
+            [
+                TrinaryDense(8, 16, rng=seed),
+                ThresholdActivation(0.0),
+                TrinaryDense(16, 4, rng=seed + 1),
+            ]
+        )
+        # Realistic non-integer biases, kept negative so that an all-zero
+        # input tick produces no spikes anywhere — this makes total spike
+        # counts invariant to the deployment's pipeline latency.
+        net.layers[0].bias[:] = rng.uniform(-0.9, -0.1, 16)
+        net.layers[2].bias[:] = rng.uniform(-0.9, -0.1, 4)
+        return net
+
+    def test_deploy_matches_spiking_evaluator(self):
+        """The cores-on-simulator deployment and the vectorised spiking
+        evaluator implement the same per-tick semantics (hard outputs)."""
+        net = self._trained_like_net()
+        deployed = deploy_dense_network(net)
+        ticks = 24
+        flush = 8  # cover the multi-stage pipeline latency
+        values = np.random.default_rng(5).random(8)
+        raster = StochasticEncoder(ticks).encode(values, rng=9)
+
+        result = Simulator(deployed.system, rng=0).run(
+            ticks + flush,
+            {"in": np.vstack([raster, np.zeros((flush, 8), bool)])},
+        )
+        hardware_counts = result.spike_counts("out")
+
+        evaluator = SpikingEvaluator(net, ticks=ticks, rng=0, output_mode="hard")
+        activity_counts = np.zeros(4, dtype=int)
+        for tick in range(ticks):
+            activity = raster[tick].astype(float)
+            for weights, cutoff in evaluator._stages:
+                activity = ((activity @ weights) >= cutoff).astype(float)
+            activity_counts += activity.astype(int)
+        assert np.array_equal(hardware_counts, activity_counts)
+
+    def test_deploy_rejects_conv(self):
+        net = EednNetwork([TrinaryConv2D(1, 2, ksize=2, rng=0)])
+        with pytest.raises(CompilationError):
+            deploy_dense_network(net)
+
+    def test_deploy_core_count_positive(self):
+        deployed = deploy_dense_network(self._trained_like_net())
+        assert deployed.core_count >= 2
+        assert deployed.stages == 2

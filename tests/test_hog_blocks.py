@@ -1,0 +1,90 @@
+"""Tests for block normalisation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.hog.blocks import block_grid_shape, normalize_blocks
+
+
+def _grid(cy=4, cx=6, bins=9, seed=0):
+    return np.random.default_rng(seed).random((cy, cx, bins))
+
+
+class TestShapes:
+    def test_block_count(self):
+        blocks = normalize_blocks(_grid(4, 6, 9))
+        assert blocks.shape == (3, 5, 36)
+
+    def test_block_grid_shape_helper(self):
+        assert block_grid_shape(16, 8) == (15, 7)
+
+    def test_stride_two(self):
+        blocks = normalize_blocks(_grid(6, 6, 4), block_size=2, stride=2)
+        assert blocks.shape == (3, 3, 16)
+
+    def test_paper_feature_count(self):
+        # 64x128 window: 8x16 cells -> 7x15 blocks x 18 bins x 4 cells = 7560.
+        blocks = normalize_blocks(_grid(16, 8, 18))
+        assert blocks.size == 7 * 15 * 4 * 18 == 7560
+
+    def test_too_small_grid(self):
+        with pytest.raises(ValueError):
+            normalize_blocks(_grid(1, 4, 9))
+
+
+class TestMethods:
+    def test_l2_unit_norm(self):
+        blocks = normalize_blocks(_grid(), method="l2")
+        norms = np.linalg.norm(blocks, axis=2)
+        assert np.allclose(norms, 1.0, atol=1e-6)
+
+    def test_l1_unit_norm(self):
+        blocks = normalize_blocks(_grid(), method="l1")
+        sums = np.abs(blocks).sum(axis=2)
+        assert np.allclose(sums, 1.0, atol=1e-6)
+
+    def test_l2hys_clips(self):
+        grid = np.zeros((2, 2, 4))
+        grid[0, 0, 0] = 100.0  # one dominant component
+        blocks = normalize_blocks(grid, method="l2hys")
+        assert blocks.max() <= 0.2 / 0.2 + 1e-6  # renormalised after clip
+
+    def test_none_passthrough(self):
+        grid = _grid()
+        blocks = normalize_blocks(grid, method="none")
+        assert np.allclose(blocks[0, 0], grid[0:2, 0:2].ravel())
+
+    def test_zero_block_stays_finite(self):
+        blocks = normalize_blocks(np.zeros((2, 2, 4)), method="l2")
+        assert np.isfinite(blocks).all()
+        assert np.allclose(blocks, 0.0)
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            normalize_blocks(_grid(), method="l3")
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            normalize_blocks(np.ones((4, 4)))
+
+
+class TestProperties:
+    @given(
+        arrays(np.float64, (4, 4, 6), elements=st.floats(0, 100, allow_nan=False))
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_l2_norm_at_most_one(self, grid):
+        blocks = normalize_blocks(grid, method="l2")
+        assert np.linalg.norm(blocks, axis=2).max() <= 1.0 + 1e-9
+
+    @given(
+        arrays(np.float64, (3, 3, 4), elements=st.floats(0, 50, allow_nan=False))
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_scale_invariance_of_l2(self, grid):
+        a = normalize_blocks(grid + 1e-3, method="l2")
+        b = normalize_blocks((grid + 1e-3) * 7.0, method="l2")
+        assert np.allclose(a, b, atol=1e-5)

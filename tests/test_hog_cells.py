@@ -1,0 +1,116 @@
+"""Tests for cell-level orientation voting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.hog.cells import cell_histograms, histogram_for_cell
+
+
+class TestGrid:
+    def test_shape(self):
+        mag = np.ones((16, 24))
+        ang = np.zeros((16, 24))
+        grid = cell_histograms(mag, ang, cell_size=8, n_bins=9)
+        assert grid.shape == (2, 3, 9)
+
+    def test_partial_cells_discarded(self):
+        mag = np.ones((10, 10))
+        ang = np.zeros((10, 10))
+        grid = cell_histograms(mag, ang, cell_size=8, n_bins=9)
+        assert grid.shape == (1, 1, 9)
+        assert grid.sum() == 64  # only the full cell's pixels
+
+    def test_magnitude_voting_mass(self):
+        rng = np.random.default_rng(0)
+        mag = rng.random((8, 8))
+        ang = rng.random((8, 8)) * 180
+        grid = cell_histograms(mag, ang, n_bins=9, interpolate=True)
+        assert np.isclose(grid.sum(), mag.sum())
+
+    def test_count_voting_counts_pixels(self):
+        mag = np.ones((8, 8)) * 5.0
+        ang = np.full((8, 8), 45.0)
+        grid = cell_histograms(mag, ang, n_bins=9, voting="count", interpolate=False)
+        assert grid.sum() == 64
+        assert grid[0, 0, 2] == 64  # 45 deg in bin 2 of 20-deg bins
+
+    def test_count_threshold(self):
+        mag = np.zeros((8, 8))
+        mag[0, 0] = 1.0
+        ang = np.zeros((8, 8))
+        grid = cell_histograms(
+            mag, ang, n_bins=9, voting="count", interpolate=False, count_threshold=0.5
+        )
+        assert grid.sum() == 1
+
+    def test_nearest_bin_assignment(self):
+        mag = np.ones((8, 8))
+        ang = np.full((8, 8), 25.0)  # bin 1 of [20, 40)
+        grid = cell_histograms(mag, ang, n_bins=9, interpolate=False)
+        assert grid[0, 0, 1] == 64
+
+    def test_bilinear_interpolation_splits_votes(self):
+        mag = np.ones((8, 8))
+        ang = np.full((8, 8), 20.0)  # exactly between bin centers 10 and 30
+        grid = cell_histograms(mag, ang, n_bins=9, interpolate=True)
+        assert np.isclose(grid[0, 0, 0], 32.0)
+        assert np.isclose(grid[0, 0, 1], 32.0)
+
+    def test_interpolation_wraps_cyclically(self):
+        mag = np.ones((8, 8))
+        ang = np.full((8, 8), 179.0)  # near the 180/0 seam
+        grid = cell_histograms(mag, ang, n_bins=9, interpolate=True)
+        assert grid[0, 0, 8] > 0 and grid[0, 0, 0] > 0
+
+    def test_signed_range(self):
+        mag = np.ones((8, 8))
+        ang = np.full((8, 8), 270.0)
+        grid = cell_histograms(mag, ang, n_bins=18, signed=True, interpolate=False)
+        assert grid[0, 0, 13] == 64  # 270 deg in bin 13 of 20-deg signed bins
+
+
+class TestValidation:
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            cell_histograms(np.ones((4, 4)), np.ones((4, 5)))
+
+    def test_bad_voting(self):
+        with pytest.raises(ValueError):
+            cell_histograms(np.ones((8, 8)), np.ones((8, 8)), voting="area")
+
+    def test_bad_bins(self):
+        with pytest.raises(ValueError):
+            cell_histograms(np.ones((8, 8)), np.ones((8, 8)), n_bins=1)
+
+
+class TestSingleCell:
+    def test_matches_grid_for_square(self):
+        rng = np.random.default_rng(1)
+        mag = rng.random((8, 8))
+        ang = rng.random((8, 8)) * 180
+        single = histogram_for_cell(mag, ang, n_bins=9, signed=False)
+        grid = cell_histograms(mag, ang, cell_size=8, n_bins=9)
+        assert np.allclose(single, grid[0, 0])
+
+
+class TestProperties:
+    @given(
+        arrays(np.float64, (8, 8), elements=st.floats(0, 10, allow_nan=False)),
+        arrays(np.float64, (8, 8), elements=st.floats(0, 179.99, allow_nan=False)),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_mass_conserved_under_interpolation(self, mag, ang):
+        grid = cell_histograms(mag, ang, n_bins=9, interpolate=True)
+        assert np.isclose(grid.sum(), mag.sum(), rtol=1e-9, atol=1e-9)
+
+    @given(
+        arrays(np.float64, (8, 8), elements=st.floats(0, 10, allow_nan=False)),
+        arrays(np.float64, (8, 8), elements=st.floats(0, 359.99, allow_nan=False)),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_histograms_nonnegative(self, mag, ang):
+        grid = cell_histograms(mag, ang, n_bins=18, signed=True, interpolate=True)
+        assert grid.min() >= 0

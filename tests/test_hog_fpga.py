@@ -1,0 +1,80 @@
+"""Tests for the fixed-point FPGA HoG."""
+
+import numpy as np
+import pytest
+
+from repro.hog import FpgaHogConfig, FpgaHogDescriptor, HogDescriptor
+from repro.hog.fpga import _alpha_max_beta_min
+
+
+class TestMagnitudeApproximation:
+    def test_axis_aligned_exact(self):
+        assert _alpha_max_beta_min(np.array([10]), np.array([0]))[0] == 10
+
+    def test_diagonal_error_bounded(self):
+        approx = _alpha_max_beta_min(np.array([10]), np.array([10]))[0]
+        exact = np.hypot(10, 10)
+        assert abs(approx - exact) / exact < 0.12
+
+    def test_random_error_bound(self):
+        rng = np.random.default_rng(0)
+        ix = rng.integers(-255, 256, 500)
+        iy = rng.integers(-255, 256, 500)
+        approx = _alpha_max_beta_min(ix, iy)
+        exact = np.hypot(ix, iy)
+        nonzero = exact > 0
+        rel = np.abs(approx[nonzero] - exact[nonzero]) / exact[nonzero]
+        assert rel.max() < 0.13  # the alpha-max-beta-min worst case
+
+
+class TestOrientationBinning:
+    def _bin_of_angle(self, degrees, n_bins=9):
+        theta = np.radians(degrees)
+        ix = np.array([[np.cos(theta) * 100]]).astype(np.int64)
+        iy = np.array([[np.sin(theta) * 100]]).astype(np.int64)
+        descriptor = FpgaHogDescriptor(FpgaHogConfig(n_bins=n_bins))
+        return descriptor._orientation_bin(ix, iy)[0, 0]
+
+    def test_bin_centers(self):
+        for angle, expected in [(5, 0), (25, 1), (45, 2), (85, 4), (95, 4)]:
+            assert self._bin_of_angle(angle) == expected, angle
+
+    def test_unsigned_fold(self):
+        # 170 degrees folds like 10 degrees mirrored -> last bin.
+        assert self._bin_of_angle(170) == 8
+
+    def test_zero_gradient_bin_zero(self):
+        descriptor = FpgaHogDescriptor()
+        bins = descriptor._orientation_bin(np.zeros((2, 2), int), np.zeros((2, 2), int))
+        assert not bins.any()
+
+
+class TestDescriptor:
+    def test_feature_length(self):
+        assert FpgaHogDescriptor().feature_length((128, 64)) == 3780
+
+    def test_compute_shape(self):
+        image = np.random.default_rng(0).random((128, 64))
+        assert FpgaHogDescriptor().compute(image).shape == (3780,)
+
+    def test_uint8_and_float_agree(self):
+        rng = np.random.default_rng(1)
+        float_image = rng.random((32, 32))
+        uint8_image = np.round(float_image * 255).astype(np.uint8)
+        descriptor = FpgaHogDescriptor()
+        a = descriptor.compute(float_image)
+        b = descriptor.compute(uint8_image)
+        assert np.allclose(a, b)
+
+    def test_tracks_reference_hog(self):
+        """Fixed-point features correlate strongly with the float HoG."""
+        rng = np.random.default_rng(2)
+        image = rng.random((64, 64))
+        fpga = FpgaHogDescriptor().compute(image)
+        reference = HogDescriptor().compute(image)
+        correlation = np.corrcoef(fpga, reference)[0, 1]
+        assert correlation > 0.8
+
+    def test_bad_bins(self):
+        with pytest.raises(ValueError):
+            FpgaHogDescriptor(FpgaHogConfig(n_bins=1))

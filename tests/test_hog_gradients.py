@@ -1,0 +1,94 @@
+"""Tests for gradient computation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.hog.gradients import (
+    compute_gradients,
+    gradient_angle,
+    gradient_magnitude,
+    interior_gradients,
+)
+
+
+class TestComputeGradients:
+    def test_horizontal_ramp(self):
+        image = np.tile(np.arange(5.0), (4, 1))
+        ix, iy = compute_gradients(image)
+        assert np.allclose(ix[:, 1:-1], 2.0)  # centered difference
+        assert np.allclose(iy, 0.0)
+
+    def test_vertical_ramp_sign(self):
+        # Intensity grows downward -> Iy = above - below is negative.
+        image = np.tile(np.arange(5.0)[:, None], (1, 4))
+        ix, iy = compute_gradients(image)
+        assert np.allclose(iy[1:-1, :], -2.0)
+        assert np.allclose(ix, 0.0)
+
+    def test_figure2_convention(self):
+        # Ix = Pixel5 - Pixel3, Iy = Pixel1 - Pixel7 on a 3x3 patch.
+        patch = np.zeros((3, 3))
+        patch[1, 2] = 4.0  # pixel 5
+        patch[1, 0] = 1.0  # pixel 3
+        patch[0, 1] = 7.0  # pixel 1
+        patch[2, 1] = 2.0  # pixel 7
+        ix, iy = interior_gradients(patch)
+        assert ix[0, 0] == 3.0
+        assert iy[0, 0] == 5.0
+
+    def test_constant_image(self):
+        ix, iy = compute_gradients(np.full((6, 6), 0.7))
+        assert not ix.any() and not iy.any()
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            compute_gradients(np.arange(5.0))
+
+    def test_interior_needs_3x3(self):
+        with pytest.raises(ValueError):
+            interior_gradients(np.zeros((2, 5)))
+
+    def test_interior_shape(self):
+        ix, iy = interior_gradients(np.zeros((10, 10)))
+        assert ix.shape == (8, 8)
+
+
+class TestMagnitudeAngle:
+    def test_magnitude_pythagorean(self):
+        assert gradient_magnitude(np.array([3.0]), np.array([4.0]))[0] == 5.0
+
+    def test_angle_quadrants_signed(self):
+        ix = np.array([1.0, 0.0, -1.0, 0.0])
+        iy = np.array([0.0, 1.0, 0.0, -1.0])
+        angles = gradient_angle(ix, iy, signed=True)
+        assert np.allclose(angles, [0.0, 90.0, 180.0, 270.0])
+
+    def test_angle_unsigned_folds(self):
+        angles = gradient_angle(np.array([-1.0]), np.array([0.0]), signed=False)
+        assert np.allclose(angles, [0.0])
+
+    def test_angle_range(self):
+        rng = np.random.default_rng(0)
+        ix = rng.normal(size=100)
+        iy = rng.normal(size=100)
+        signed = gradient_angle(ix, iy, signed=True)
+        unsigned = gradient_angle(ix, iy, signed=False)
+        assert signed.min() >= 0 and signed.max() < 360
+        assert unsigned.min() >= 0 and unsigned.max() < 180
+
+    @given(
+        arrays(
+            np.float64,
+            (5, 5),
+            elements=st.floats(0, 1, allow_nan=False),
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_gradient_bounded_by_value_range(self, image):
+        ix, iy = compute_gradients(image)
+        span = image.max() - image.min()
+        assert np.abs(ix).max() <= span + 1e-12
+        assert np.abs(iy).max() <= span + 1e-12

@@ -1,0 +1,108 @@
+"""Cross-module integration tests: full paper pipelines at small scale."""
+
+import numpy as np
+import pytest
+
+from repro.detection import (
+    EednBinaryScorer,
+    SlidingWindowDetector,
+    evaluate_detections,
+)
+from repro.experiments.setup import (
+    CELL_COUNT_SCALE,
+    detection_curve,
+    train_eedn_classifier,
+    train_svm_detector,
+)
+from repro.hog import FpgaHogDescriptor, HogDescriptor
+from repro.napprox import NApproxConfig, NApproxDescriptor
+from repro.parrot import ParrotExtractor, ParrotFeatureConfig
+
+
+class TestSvmPipelines:
+    """The Figure 4 path: extractor -> mined SVM -> detector -> curve."""
+
+    @pytest.mark.parametrize(
+        "extractor_factory",
+        [
+            lambda: HogDescriptor(),
+            lambda: FpgaHogDescriptor(),
+            lambda: NApproxDescriptor(NApproxConfig(quantized=False, normalization="l2")),
+        ],
+        ids=["dalal", "fpga", "napprox_fp"],
+    )
+    def test_pipeline_detects(self, small_split, extractor_factory):
+        detector, _ = train_svm_detector(
+            extractor_factory(), small_split, mining_rounds=0
+        )
+        curve = detection_curve(detector, small_split)
+        # The tiny split is noisy; the detector must still beat a blind
+        # one decisively.
+        assert curve.log_average_miss_rate() < 0.9
+        assert curve.n_ground_truth > 0
+
+
+class TestEednPipeline:
+    """The Figure 5 path: extractor -> Eedn classifier -> detector."""
+
+    def test_napprox_eedn_pipeline(self, small_split):
+        extractor = NApproxDescriptor(
+            NApproxConfig(quantized=True, normalization="none")
+        )
+        network, result = train_eedn_classifier(
+            extractor, small_split, hidden=128, epochs=12
+        )
+        assert result.train_accuracy[-1] > 0.7
+        detector = SlidingWindowDetector(
+            extractor,
+            EednBinaryScorer(network),
+            feature_mode="cells",
+            cell_scale=CELL_COUNT_SCALE,
+            score_threshold=0.0,
+        )
+        detections = [
+            detector.detect_boxes(scene.image) for scene in small_split.test_scenes
+        ]
+        curve = evaluate_detections(detections, small_split.ground_truth())
+        assert 0.0 <= curve.log_average_miss_rate() <= 1.0
+
+    def test_parrot_features_feed_detector(self, tiny_parrot, small_split):
+        network, _, _ = tiny_parrot
+        extractor = ParrotExtractor(
+            network, ParrotFeatureConfig(normalization="none"), rng=0
+        )
+        clf, _ = train_eedn_classifier(extractor, small_split, hidden=64, epochs=6)
+        detector = SlidingWindowDetector(
+            extractor,
+            EednBinaryScorer(clf),
+            feature_mode="cells",
+            cell_scale=CELL_COUNT_SCALE,
+            score_threshold=0.0,
+        )
+        boxes, scores = detector.detect_boxes(small_split.test_scenes[0].image)
+        assert boxes.shape[1] == 4 if boxes.size else True
+        assert boxes.shape[0] == scores.shape[0]
+
+
+class TestCoreletToDetectionConsistency:
+    """The simulated hardware and the software model feed the same
+    downstream features: spot-check a full cell row."""
+
+    def test_cell_row_agreement(self):
+        from repro.napprox import NApproxCellRunner
+
+        runner = NApproxCellRunner(window=32, rng=0)
+        software = NApproxDescriptor(NApproxConfig(quantized=True, window=32))
+        rng = np.random.default_rng(11)
+        image = np.clip(
+            np.tile(np.linspace(0.2, 0.8, 26), (10, 1))
+            + rng.normal(0, 0.03, (10, 26)),
+            0,
+            1,
+        )
+        # Two horizontally adjacent cells share the border columns.
+        for start in (0, 8):
+            patch = image[:, start : start + 10]
+            hardware = runner.extract(patch)
+            model = software.cell_histogram(patch)
+            assert np.abs(hardware - model).max() <= 2.0

@@ -1,0 +1,162 @@
+"""Tests for the NApprox software models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.napprox import NApproxConfig, NApproxDescriptor
+from repro.napprox.software import direction_tables, winner_votes
+
+
+class TestDirectionTables:
+    def test_shape_and_scale(self):
+        cx, cy = direction_tables(16)
+        assert cx.shape == cy.shape == (18,)
+        assert np.abs(cx).max() <= 16
+        assert np.abs(cy).max() <= 16
+
+    def test_bin_centers(self):
+        cx, cy = direction_tables(16)
+        # Bin 0 center is 10 degrees: cos positive and large, sin small.
+        assert cx[0] == round(16 * np.cos(np.radians(10)))
+        assert cy[0] == round(16 * np.sin(np.radians(10)))
+
+    def test_symmetry(self):
+        cx, cy = direction_tables(16)
+        # Opposite directions (9 bins apart) negate.
+        assert np.allclose(cx[:9], -cx[9:])
+        assert np.allclose(cy[:9], -cy[9:])
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            direction_tables(0)
+
+
+class TestWinnerVotes:
+    def test_unique_max_wins(self):
+        m = np.zeros(18)
+        m[4] = 5.0
+        votes = winner_votes(m)
+        assert votes[4] and votes.sum() == 1
+
+    def test_flat_profile_no_vote(self):
+        assert not winner_votes(np.zeros(18)).any()
+        assert not winner_votes(np.full(18, 3.0)).any()
+
+    def test_plateau_single_vote(self):
+        m = np.zeros(18)
+        m[[6, 7]] = 2.0
+        votes = winner_votes(m)
+        assert votes.sum() == 1
+        assert votes[7]  # last element of the plateau wins
+
+    def test_wraparound_plateau(self):
+        m = np.zeros(18)
+        m[[17, 0]] = 2.0
+        votes = winner_votes(m)
+        assert votes.sum() == 1
+
+    def test_bimodal_two_votes(self):
+        m = np.zeros(18)
+        m[3] = 2.0
+        m[12] = 2.0
+        assert winner_votes(m).sum() == 2
+
+    def test_batched_shape(self):
+        m = np.zeros((4, 7, 18))
+        m[..., 2] = 1.0
+        votes = winner_votes(m)
+        assert votes.shape == (4, 7, 18)
+        assert votes[..., 2].all()
+
+    @given(arrays(np.int64, (18,), elements=st.integers(0, 50)))
+    @settings(max_examples=50, deadline=None)
+    def test_at_most_votes_at_strict_local_maxima(self, m):
+        votes = winner_votes(m)
+        for b in np.flatnonzero(votes):
+            assert m[b] > m[(b + 1) % 18]
+            assert m[(b - 1) % 18] <= m[b]
+
+
+class TestFpModel:
+    def test_argmax_matches_arctan(self):
+        """For exact projections, the winner is the bin containing the
+        gradient angle (dot products with unit vectors peak when aligned)."""
+        descriptor = NApproxDescriptor(NApproxConfig(quantized=False))
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            angle = rng.uniform(0, 360)
+            # Avoid exact bin boundaries where ties are legitimate.
+            if abs((angle % 20)) < 1 or abs((angle % 20) - 20) < 1:
+                continue
+            ix = np.cos(np.radians(angle))
+            iy = np.sin(np.radians(angle))
+            theta = np.radians(np.arange(18) * 20 + 10)
+            m = np.maximum(ix * np.cos(theta) + iy * np.sin(theta), 0)
+            votes = winner_votes(m)
+            assert votes[int(angle // 20)], angle
+
+    def test_cell_grid_shape(self):
+        descriptor = NApproxDescriptor(NApproxConfig(quantized=False))
+        grid = descriptor.cell_grid(np.random.default_rng(0).random((32, 24)))
+        assert grid.shape == (4, 3, 18)
+
+    def test_votes_bounded_by_pixels(self):
+        descriptor = NApproxDescriptor(NApproxConfig(quantized=False))
+        grid = descriptor.cell_grid(np.random.default_rng(0).random((16, 16)))
+        assert grid.sum(axis=2).max() <= 64 + 1e-9
+
+
+class TestQuantizedModel:
+    def test_feature_length(self):
+        config = NApproxConfig()
+        assert config.feature_length((128, 64)) == 7560
+
+    def test_flat_cell_no_votes(self):
+        descriptor = NApproxDescriptor(NApproxConfig(quantized=True))
+        grid = descriptor.cell_grid(np.full((16, 16), 0.5))
+        assert grid.sum() == 0
+
+    def test_strong_edge_votes(self):
+        descriptor = NApproxDescriptor(NApproxConfig(quantized=True))
+        image = np.tile(np.linspace(0, 1, 16), (16, 1))
+        grid = descriptor.cell_grid(image)
+        assert grid.sum() > 0
+        assert grid[0, 0].argmax() == 0  # horizontal gradient -> ~0 deg
+
+    def test_cell_histogram_contract(self):
+        descriptor = NApproxDescriptor()
+        patch = np.random.default_rng(3).random((10, 10))
+        histogram = descriptor.cell_histogram(patch)
+        assert histogram.shape == (18,)
+        assert histogram.sum() <= 64
+
+    def test_cell_histogram_patch_size(self):
+        with pytest.raises(ValueError):
+            NApproxDescriptor().cell_histogram(np.zeros((8, 8)))
+
+    def test_quantization_changes_results(self):
+        image = np.random.default_rng(5).random((32, 32)) * 0.2 + 0.4
+        fp = NApproxDescriptor(NApproxConfig(quantized=False)).cell_grid(image)
+        qt = NApproxDescriptor(NApproxConfig(quantized=True)).cell_grid(image)
+        assert not np.allclose(fp, qt)
+
+    def test_window_affects_quantized(self):
+        image = np.random.default_rng(6).random((16, 16)) * 0.3
+        coarse = NApproxDescriptor(NApproxConfig(True, window=8)).cell_grid(image)
+        fine = NApproxDescriptor(NApproxConfig(True, window=256)).cell_grid(image)
+        assert not np.allclose(coarse, fine)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NApproxDescriptor(NApproxConfig(window=0))
+        with pytest.raises(ValueError):
+            NApproxDescriptor(NApproxConfig(magnitude_threshold=0))
+
+    def test_with_normalization(self):
+        descriptor = NApproxDescriptor()
+        other = descriptor.with_normalization("none")
+        assert other.config.normalization == "none"
+        assert other.config.quantized == descriptor.config.quantized

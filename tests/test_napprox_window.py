@@ -1,0 +1,54 @@
+"""Tests for window-scale NApprox deployments."""
+
+import pytest
+
+from repro.napprox.window import (
+    WINDOW_CELLS,
+    build_window_deployment,
+    window_core_budget,
+)
+
+
+class TestBuild:
+    def test_small_deployment(self):
+        deployment = build_window_deployment(n_cells=3, cores_per_chip=50)
+        assert len(deployment.footprints) == 3
+        assert deployment.cores_per_cell == 22
+        assert deployment.total_cores == 66
+        assert deployment.system.core_count == 66
+
+    def test_modules_never_split_across_chips(self):
+        deployment = build_window_deployment(n_cells=4, cores_per_chip=45)
+        # 45 cores per chip fit exactly two 22-core modules; intra-module
+        # routes must not cross chips.
+        assert deployment.placement.inter_chip_routes == 0
+        assert deployment.placement.chips == 2
+
+    def test_distinct_modules_have_distinct_cores(self):
+        deployment = build_window_deployment(n_cells=2)
+        a = set(deployment.footprints[0].core_ids)
+        b = set(deployment.footprints[1].core_ids)
+        assert not a & b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_window_deployment(n_cells=0)
+
+
+class TestBudget:
+    def test_full_window(self):
+        total, chips = window_core_budget(22)
+        assert total == 22 * WINDOW_CELLS == 2816
+        assert chips == 1
+
+    def test_paper_module_size(self):
+        total, chips = window_core_budget(26)
+        assert total == 3328
+        assert chips == 1
+
+    def test_zero(self):
+        assert window_core_budget(0) == (0, 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            window_core_budget(-1)

@@ -1,0 +1,117 @@
+"""Tests for parrot structured compression (the paper's future work)."""
+
+import numpy as np
+import pytest
+
+from repro.eedn import EednNetwork, ThresholdActivation, TrinaryDense
+from repro.parrot.compression import (
+    compress_to_cores,
+    hidden_unit_importance,
+    power_per_window,
+    prune_hidden_units,
+)
+
+
+def _parrot_like(hidden=64, seed=0):
+    return EednNetwork(
+        [
+            TrinaryDense(64, hidden, rng=seed),
+            ThresholdActivation(0.0, ste_window=2.0),
+            TrinaryDense(hidden, 18, rng=seed + 1),
+        ]
+    )
+
+
+class TestImportance:
+    def test_shape(self):
+        saliency = hidden_unit_importance(_parrot_like(32))
+        assert saliency.shape == (32,)
+        assert (saliency >= 0).all()
+
+    def test_dead_output_unit_ranks_low(self):
+        network = _parrot_like(16)
+        network.layers[2].weights[5, :] = 0.0  # unit 5 influences nothing
+        saliency = hidden_unit_importance(network)
+        assert saliency[5] == saliency.min()
+
+    def test_requires_two_dense(self):
+        with pytest.raises(ValueError):
+            hidden_unit_importance(EednNetwork([TrinaryDense(4, 4, rng=0)]))
+
+
+class TestPrune:
+    def test_width_reduced(self):
+        result = prune_hidden_units(_parrot_like(64), keep=16)
+        assert result.network.layers[0].n_out == 16
+        assert result.network.layers[2].n_in == 16
+        assert len(result.kept_units) == 16
+
+    def test_weights_copied_consistently(self):
+        network = _parrot_like(32)
+        result = prune_hidden_units(network, keep=8)
+        kept = list(result.kept_units)
+        assert np.allclose(
+            result.network.layers[0].weights, network.layers[0].weights[:, kept]
+        )
+        assert np.allclose(
+            result.network.layers[2].weights, network.layers[2].weights[kept, :]
+        )
+
+    def test_original_untouched(self):
+        network = _parrot_like(32)
+        before = network.layers[0].weights.copy()
+        prune_hidden_units(network, keep=4)
+        assert np.array_equal(network.layers[0].weights, before)
+
+    def test_outputs_tracked_when_pruning_dead_units(self):
+        network = _parrot_like(32)
+        # Kill half the units on the output side; pruning to the other
+        # half keeps the function close (not exact: the tensor-wise
+        # trinarisation dead-zone shifts slightly when rows are removed).
+        network.layers[2].weights[16:, :] = 0.0
+        result = prune_hidden_units(network, keep=16)
+        x = np.random.default_rng(0).random((10, 64))
+        original = network.forward(x).ravel()
+        pruned = result.network.forward(x).ravel()
+        assert np.corrcoef(original, pruned)[0, 1] > 0.8
+
+    def test_keep_validated(self):
+        with pytest.raises(ValueError):
+            prune_hidden_units(_parrot_like(16), keep=0)
+        with pytest.raises(ValueError):
+            prune_hidden_units(_parrot_like(16), keep=17)
+
+    def test_cores_shrink_with_width(self):
+        wide = prune_hidden_units(_parrot_like(512), keep=512)
+        narrow = prune_hidden_units(_parrot_like(512), keep=64)
+        assert narrow.cores_per_cell < wide.cores_per_cell
+
+
+class TestCompressToBudget:
+    def test_respects_budget(self):
+        network = _parrot_like(512)
+        result = compress_to_cores(network, max_cores_per_cell=4)
+        assert result.cores_per_cell <= 4
+        assert result.network.layers[0].n_out >= 1
+
+    def test_maximises_width(self):
+        network = _parrot_like(512)
+        result = compress_to_cores(network, max_cores_per_cell=6)
+        wider = prune_hidden_units(network, keep=result.network.layers[0].n_out + 32)
+        assert wider.cores_per_cell > 6 or (
+            result.network.layers[0].n_out + 32 > 512
+        )
+
+    def test_impossible_budget(self):
+        with pytest.raises(ValueError):
+            compress_to_cores(_parrot_like(512), max_cores_per_cell=0)
+
+
+class TestPowerHelper:
+    def test_window_power(self):
+        # 8 cores x 128 cells x 16 uW = 16.4 mW per window.
+        assert power_per_window(8) == pytest.approx(8 * 128 * 16e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            power_per_window(-1)

@@ -1,0 +1,80 @@
+"""Tests anchoring the power model to the paper's Table 2 numbers."""
+
+import pytest
+
+from repro.power import (
+    FPGA_LOGIC_WATTS,
+    FPGA_SYSTEM_WATTS,
+    fpga_estimate,
+    generate_table2,
+    module_throughput_cells_per_second,
+    modules_required,
+    napprox_estimate,
+    parrot_estimate,
+    power_ratio_parrot_vs_napprox,
+    system_cell_rate,
+)
+
+
+class TestThroughput:
+    def test_paper_module_rates(self):
+        # Paper: 15 cells/s at 64-spike, 31 at 32-spike, 1000 at 1-spike.
+        assert module_throughput_cells_per_second(64) == 15
+        assert module_throughput_cells_per_second(32) == 31
+        assert module_throughput_cells_per_second(4) == 250
+        assert module_throughput_cells_per_second(1) == 1000
+
+    def test_system_rate(self):
+        assert system_cell_rate(26.0) == pytest.approx(1.5e6, rel=0.01)
+
+    def test_modules_required_positive(self):
+        assert modules_required(64) > 90_000
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            module_throughput_cells_per_second(0)
+        with pytest.raises(ValueError):
+            modules_required(2000)  # slower than one cell per second
+
+
+class TestTable2Anchors:
+    def test_napprox_power_near_40w(self):
+        estimate = napprox_estimate()
+        assert estimate.power_watts == pytest.approx(40.0, rel=0.08)
+
+    def test_napprox_chips_near_650(self):
+        # Paper: "nearly 650 TrueNorth chips".
+        assert 600 <= napprox_estimate().chips <= 680
+
+    def test_parrot_32_spike_near_6_15w(self):
+        assert parrot_estimate(32).power_watts == pytest.approx(6.15, rel=0.02)
+
+    def test_parrot_4_spike_768mw(self):
+        assert parrot_estimate(4).power_watts == pytest.approx(0.768, rel=0.01)
+
+    def test_parrot_1_spike_192mw(self):
+        assert parrot_estimate(1).power_watts == pytest.approx(0.192, rel=0.01)
+
+    def test_power_ratios_span_paper_range(self):
+        # Paper: Parrot uses 6.5x-208x less power than NApprox.
+        assert power_ratio_parrot_vs_napprox(32) == pytest.approx(6.5, rel=0.1)
+        assert power_ratio_parrot_vs_napprox(1) == pytest.approx(208, rel=0.1)
+
+    def test_fpga_constants(self):
+        assert fpga_estimate(system=False).power_watts == FPGA_LOGIC_WATTS == 1.12
+        assert fpga_estimate(system=True).power_watts == FPGA_SYSTEM_WATTS == 8.6
+
+    def test_table_has_six_rows(self):
+        rows = generate_table2()
+        assert len(rows) == 6
+        assert rows[0].approach.startswith("High-precision HoG")
+        assert rows[2].signal_resolution == "64-spike (6-bit)"
+
+    def test_measured_corelet_cores_lower_power(self):
+        """Using this repo's 22-core module instead of the paper's 26
+        proportionally reduces the NApprox estimate."""
+        paper = napprox_estimate(cores_per_module=26)
+        measured = napprox_estimate(cores_per_module=22)
+        assert measured.power_watts == pytest.approx(
+            paper.power_watts * 22 / 26, rel=1e-6
+        )

@@ -1,0 +1,121 @@
+"""Hypothesis property tests on system-wide simulator invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding import RateEncoder, StochasticEncoder
+from repro.corelets import compile_corelet
+from repro.corelets.library import AccumulatorCorelet, SplitterCorelet, WeightedSumCorelet
+from repro.truenorth import Simulator
+from repro.truenorth.system import NeurosynapticSystem
+from repro.truenorth.types import NeuronParameters, ResetMode
+
+
+class TestSplitterProperties:
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=0, max_value=2**16 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_every_copy_is_identical(self, width, fanout, seed):
+        """A splitter's copies carry exactly the input spike counts."""
+        corelet = SplitterCorelet(width, fanout)
+        program = compile_corelet(corelet)
+        rng = np.random.default_rng(seed)
+        raster = rng.random((12, width)) < 0.4
+        result = Simulator(program.system, rng=0).run(12, {"in": raster})
+        counts = result.spike_counts("out")
+        for copy in range(fanout):
+            chunk = counts[copy * width : (copy + 1) * width]
+            assert (np.abs(chunk - raster.sum(axis=0)) <= 1).all()
+
+    @given(st.integers(min_value=1, max_value=5))
+    @settings(max_examples=10, deadline=None)
+    def test_silence_in_silence_out(self, width):
+        corelet = SplitterCorelet(width, 2)
+        program = compile_corelet(corelet)
+        raster = np.zeros((8, width), dtype=bool)
+        result = Simulator(program.system, rng=0).run(8, {"in": raster})
+        assert result.total_spikes == 0
+
+
+class TestWeightedSumProperties:
+    @given(
+        st.lists(
+            st.integers(min_value=-3, max_value=3), min_size=2, max_size=4
+        ),
+        st.integers(min_value=0, max_value=2**16 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_rect_rate_tracks_closed_form(self, weights, seed):
+        """The rectified weighted sum of rate-coded values approximates
+        max(0, w . v) * window within a small spike tolerance."""
+        window = 16
+        rng = np.random.default_rng(seed)
+        values = rng.integers(0, window + 1, len(weights)) / window
+        matrix = np.array(weights, dtype=np.int64)[:, None]
+        corelet = WeightedSumCorelet(matrix, threshold=1)
+        program = compile_corelet(corelet)
+        raster = np.zeros((window + 3 * window, len(weights)), dtype=bool)
+        raster[:window] = RateEncoder(window).encode(values)
+        result = Simulator(program.system, rng=0).run(
+            raster.shape[0], {"in": raster}
+        )
+        measured = result.spike_counts("out")[0]
+        exact = max(0.0, float(matrix[:, 0] @ (values * window)))
+        assert abs(measured - exact) <= len(weights) + 1
+
+    @given(st.integers(min_value=1, max_value=4))
+    @settings(max_examples=10, deadline=None)
+    def test_accumulator_conserves_spikes(self, group):
+        corelet = AccumulatorCorelet([group])
+        program = compile_corelet(corelet)
+        # Drain window: the counter emits one spike per tick, so it needs
+        # at least 6 * group ticks after the burst.
+        ticks = 6 + 6 * group + 4
+        raster = np.zeros((ticks, group), dtype=bool)
+        raster[:6] = True
+        result = Simulator(program.system, rng=0).run(ticks, {"in": raster})
+        assert result.spike_counts("out")[0] == 6 * group
+
+
+class TestNeuronInvariants:
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=0, max_value=2**16 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_linear_reset_count_equals_floor_division(self, threshold, seed):
+        """A linear-reset counter emits floor(total_input / threshold)
+        spikes once fully drained."""
+        system = NeurosynapticSystem()
+        core = system.new_core()
+        core.set_axon_type(0, 0)
+        core.set_neuron(
+            0,
+            NeuronParameters(
+                weights=(1, 0, 0, 0),
+                threshold=threshold,
+                reset_mode=ResetMode.LINEAR,
+            ),
+        )
+        core.connect(0, 0)
+        system.add_input_port("in", [[(0, 0)]])
+        system.add_output_probe("out", [(0, 0)])
+        rng = np.random.default_rng(seed)
+        raster = (rng.random((24, 1)) < 0.5).astype(bool)
+        padded = np.vstack([raster, np.zeros((24, 1), dtype=bool)])
+        result = Simulator(system, rng=0).run(48, {"in": padded})
+        total = int(raster.sum())
+        assert result.spike_counts("out")[0] == total // threshold
+
+    @given(st.integers(min_value=0, max_value=2**16 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_stochastic_coding_unbiased(self, seed):
+        """Long-window stochastic decode converges to the true value."""
+        encoder = StochasticEncoder(512)
+        value = (seed % 100) / 100.0
+        decoded = encoder.decode(encoder.encode(np.array([value]), rng=seed))
+        assert abs(decoded[0] - value) < 0.08

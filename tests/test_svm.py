@@ -1,0 +1,146 @@
+"""Tests for the linear SVM solvers and hard-negative mining."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.svm import HardNegativeMiner, LinearSVM
+
+
+def _separable(n=100, gap=1.0, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 5))
+    w = np.array([1.0, -2.0, 0.5, 0.0, 1.5])
+    y = np.where(x @ w > 0, 1.0, -1.0)
+    x += y[:, None] * gap * w / np.linalg.norm(w) / 2
+    return x, y
+
+
+class TestSolvers:
+    @pytest.mark.parametrize("solver", ["dcd", "pegasos"])
+    def test_separable_data_perfect(self, solver):
+        x, y = _separable()
+        model = LinearSVM(C=1.0, solver=solver, epochs=40, rng=0).fit(x, y)
+        assert (model.predict(x) == y).mean() == 1.0
+
+    def test_solvers_agree_on_margins(self):
+        x, y = _separable(gap=2.0)
+        dcd = LinearSVM(C=1.0, solver="dcd", epochs=60, rng=0).fit(x, y)
+        pegasos = LinearSVM(C=1.0, solver="pegasos", epochs=60, rng=0).fit(x, y)
+        correlation = np.corrcoef(
+            dcd.decision_function(x), pegasos.decision_function(x)
+        )[0, 1]
+        assert correlation > 0.95
+
+    def test_decision_function_single_vector(self):
+        x, y = _separable()
+        model = LinearSVM(rng=0).fit(x, y)
+        score = model.decision_function(x[0])
+        assert np.isscalar(score) or score.ndim == 0
+
+    def test_bias_learned(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(100, 3)) + 5.0  # all-positive cloud, offset split
+        y = np.where(x[:, 0] > 5.0, 1.0, -1.0)
+        model = LinearSVM(C=10.0, epochs=60, bias_scale=5.0, rng=0).fit(x, y)
+        assert (model.predict(x) == y).mean() > 0.95
+
+    def test_regularisation_bounds_weights(self):
+        x, y = _separable()
+        tight = LinearSVM(C=1e-3, epochs=30, rng=0).fit(x, y)
+        loose = LinearSVM(C=10.0, epochs=30, rng=0).fit(x, y)
+        assert np.linalg.norm(tight.weights) < np.linalg.norm(loose.weights)
+
+
+class TestValidation:
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            LinearSVM().decision_function(np.ones(3))
+
+    def test_bad_labels(self):
+        with pytest.raises(ValueError):
+            LinearSVM().fit(np.ones((4, 2)), np.array([0, 1, 0, 1]))
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            LinearSVM().fit(np.ones((4, 2)), np.ones(4))
+
+    def test_bad_c(self):
+        with pytest.raises(ValueError):
+            LinearSVM(C=0)
+
+    def test_bad_solver(self):
+        with pytest.raises(ValueError):
+            LinearSVM(solver="smo")
+
+    def test_feature_width_checked(self):
+        x, y = _separable()
+        model = LinearSVM(rng=0).fit(x, y)
+        with pytest.raises(ValueError):
+            model.decision_function(np.ones((2, 7)))
+
+    @given(st.integers(min_value=10, max_value=60))
+    @settings(max_examples=10, deadline=None)
+    def test_training_accuracy_on_random_separable(self, n):
+        x, y = _separable(n=n, gap=1.5, seed=n)
+        if len(np.unique(y)) < 2:
+            return
+        model = LinearSVM(C=1.0, epochs=30, rng=0).fit(x, y)
+        assert (model.predict(x) == y).mean() >= 0.95
+
+
+class TestMining:
+    def test_initial_fit_only(self):
+        x, y = _separable()
+        positives = x[y == 1]
+        negatives = x[y == -1]
+        miner = HardNegativeMiner(lambda: LinearSVM(epochs=20, rng=0), rounds=2)
+        model = miner.fit(positives, negatives, scan_negatives=None)
+        assert miner.report.rounds_run == 0
+        assert (model.predict(positives) == 1).mean() > 0.9
+
+    def test_mining_adds_negatives(self):
+        x, y = _separable()
+        positives = x[y == 1]
+        negatives = x[y == -1][:10]
+        extra = x[y == -1][10:]
+
+        calls = []
+
+        def scan(model):
+            # Deterministic scanner: always surfaces five "hard" windows.
+            calls.append(1)
+            return extra[:5]
+
+        miner = HardNegativeMiner(lambda: LinearSVM(epochs=20, rng=0), rounds=2)
+        miner.fit(positives, negatives, scan)
+        assert miner.report.rounds_run == 2
+        assert miner.report.mined_per_round == [5, 5]
+        assert miner.report.final_training_size == len(positives) + 20
+
+    def test_cap_respected(self):
+        x, y = _separable(n=200)
+        positives = x[y == 1]
+        negatives = x[y == -1][:5]
+
+        def scan(model):
+            return np.random.default_rng(0).normal(size=(500, 5))
+
+        miner = HardNegativeMiner(
+            lambda: LinearSVM(epochs=10, rng=0), rounds=1, max_new_per_round=20
+        )
+        miner.fit(positives, negatives, scan)
+        assert miner.report.mined_per_round == [20]
+
+    def test_empty_scan_stops(self):
+        x, y = _separable()
+        miner = HardNegativeMiner(lambda: LinearSVM(epochs=10, rng=0), rounds=3)
+        miner.fit(x[y == 1], x[y == -1], lambda m: np.zeros((0, 5)))
+        assert miner.report.rounds_run == 0
+
+    def test_feature_width_mismatch(self):
+        with pytest.raises(ValueError):
+            HardNegativeMiner(lambda: LinearSVM(rng=0)).fit(
+                np.ones((3, 4)), np.ones((3, 5))
+            )

@@ -1,0 +1,166 @@
+"""Tests for the neurosynaptic core model."""
+
+import numpy as np
+import pytest
+
+from repro.truenorth.core import NeurosynapticCore
+from repro.truenorth.types import (
+    CORE_AXONS,
+    CORE_NEURONS,
+    NeuronParameters,
+    ResetMode,
+)
+
+
+def _spikes(*active):
+    vector = np.zeros(CORE_AXONS, dtype=bool)
+    for axon in active:
+        vector[axon] = True
+    return vector
+
+
+class TestConfiguration:
+    def test_axon_type_bounds(self):
+        core = NeurosynapticCore(0)
+        with pytest.raises(ValueError):
+            core.set_axon_type(0, 4)
+        with pytest.raises(ValueError):
+            core.set_axon_type(256, 0)
+
+    def test_neuron_bounds(self):
+        core = NeurosynapticCore(0)
+        with pytest.raises(ValueError):
+            core.set_neuron(256, NeuronParameters())
+
+    def test_crossbar_shape_enforced(self):
+        core = NeurosynapticCore(0)
+        with pytest.raises(ValueError):
+            core.set_crossbar(np.zeros((10, 10)))
+
+    def test_negative_core_id_rejected(self):
+        with pytest.raises(ValueError):
+            NeurosynapticCore(-1)
+
+    def test_effective_weights_use_lut_and_types(self):
+        core = NeurosynapticCore(0)
+        core.set_axon_type(0, 0)
+        core.set_axon_type(1, 1)
+        core.set_neuron(0, NeuronParameters(weights=(2, -3, 0, 0)))
+        core.connect(0, 0)
+        core.connect(1, 0)
+        effective = core.effective_weights()
+        assert effective[0, 0] == 2
+        assert effective[1, 0] == -3
+        assert effective[2, 0] == 0
+
+    def test_effective_weights_cache_invalidation(self):
+        core = NeurosynapticCore(0)
+        core.set_neuron(0, NeuronParameters(weights=(1, 0, 0, 0)))
+        core.connect(0, 0)
+        assert core.effective_weights()[0, 0] == 1
+        core.set_neuron(0, NeuronParameters(weights=(5, 0, 0, 0)))
+        assert core.effective_weights()[0, 0] == 5
+
+
+class TestDynamics:
+    def test_integration_and_threshold(self):
+        core = NeurosynapticCore(0)
+        core.set_neuron(0, NeuronParameters(weights=(1, 0, 0, 0), threshold=3))
+        core.connect(0, 0)
+        fired = [core.tick(_spikes(0))[0] for _ in range(3)]
+        assert fired == [False, False, True]
+
+    def test_linear_reset_keeps_excess(self):
+        core = NeurosynapticCore(0)
+        core.set_neuron(
+            0,
+            NeuronParameters(
+                weights=(5, 0, 0, 0), threshold=3, reset_mode=ResetMode.LINEAR
+            ),
+        )
+        core.connect(0, 0)
+        assert core.tick(_spikes(0))[0]
+        assert core.potentials[0] == 2  # 5 - 3
+
+    def test_hard_reset_to_reset_potential(self):
+        core = NeurosynapticCore(0)
+        core.set_neuron(
+            0,
+            NeuronParameters(
+                weights=(5, 0, 0, 0),
+                threshold=3,
+                reset_mode=ResetMode.RESET,
+                reset_potential=1,
+            ),
+        )
+        core.connect(0, 0)
+        core.tick(_spikes(0))
+        assert core.potentials[0] == 1
+
+    def test_no_reset_keeps_firing(self):
+        core = NeurosynapticCore(0)
+        core.set_neuron(
+            0,
+            NeuronParameters(
+                weights=(2, 0, 0, 0), threshold=1, reset_mode=ResetMode.NONE, floor=100
+            ),
+        )
+        core.connect(0, 0)
+        assert core.tick(_spikes(0))[0]
+        assert core.tick(np.zeros(CORE_AXONS, dtype=bool))[0]  # potential persists
+
+    def test_leak_is_applied_every_tick(self):
+        core = NeurosynapticCore(0)
+        core.set_neuron(0, NeuronParameters(weights=(0, 0, 0, 0), leak=2, threshold=5))
+        fired = [core.tick(np.zeros(CORE_AXONS, dtype=bool))[0] for _ in range(4)]
+        assert fired == [False, False, True, False]
+
+    def test_floor_saturation(self):
+        core = NeurosynapticCore(0)
+        core.set_axon_type(0, 1)
+        core.set_neuron(0, NeuronParameters(weights=(1, -10, 0, 0), floor=3))
+        core.connect(0, 0)
+        core.tick(_spikes(0))
+        assert core.potentials[0] == -3
+
+    def test_inner_product_across_axons(self):
+        core = NeurosynapticCore(0)
+        for axon in range(4):
+            core.set_axon_type(axon, 0)
+            core.connect(axon, 0)
+        core.set_neuron(0, NeuronParameters(weights=(1, 0, 0, 0), threshold=4))
+        assert core.tick(_spikes(0, 1, 2, 3))[0]
+
+    def test_unconnected_axons_do_nothing(self):
+        core = NeurosynapticCore(0)
+        core.set_neuron(0, NeuronParameters(weights=(9, 9, 9, 9), threshold=1))
+        assert not core.tick(_spikes(5, 6, 7))[0]
+
+    def test_stochastic_threshold_varies(self):
+        core = NeurosynapticCore(0)
+        core.set_neuron(
+            0,
+            NeuronParameters(
+                weights=(4, 0, 0, 0), threshold=1, stochastic_threshold_bits=3
+            ),
+        )
+        core.connect(0, 0)
+        rng = np.random.default_rng(0)
+        outcomes = set()
+        for _ in range(50):
+            core.reset_state()
+            outcomes.add(bool(core.tick(_spikes(0), rng=rng)[0]))
+        assert outcomes == {True, False}
+
+    def test_input_shape_validated(self):
+        core = NeurosynapticCore(0)
+        with pytest.raises(ValueError):
+            core.tick(np.zeros(10, dtype=bool))
+
+    def test_reset_state_zeroes_potentials(self):
+        core = NeurosynapticCore(0)
+        core.set_neuron(0, NeuronParameters(weights=(1, 0, 0, 0), threshold=10))
+        core.connect(0, 0)
+        core.tick(_spikes(0))
+        core.reset_state()
+        assert core.potentials[0] == 0

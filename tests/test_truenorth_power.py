@@ -1,0 +1,51 @@
+"""Tests for the TrueNorth power constants and arithmetic."""
+
+import pytest
+
+from repro.truenorth.power import (
+    CHIP_CORES,
+    CHIP_POWER_WATTS,
+    CORE_POWER_WATTS,
+    chips_required,
+    system_power_watts,
+)
+
+
+class TestConstants:
+    def test_chip_power_consistent_with_core_power(self):
+        # 4096 cores x 16 uW ~= 66 mW (paper Section 2.2).
+        assert abs(CHIP_CORES * CORE_POWER_WATTS - CHIP_POWER_WATTS) < 0.005
+
+    def test_core_power_is_16_microwatts(self):
+        assert CORE_POWER_WATTS == pytest.approx(16e-6)
+
+
+class TestChipsRequired:
+    def test_zero(self):
+        assert chips_required(0) == 0
+
+    def test_exact_fill(self):
+        assert chips_required(4096) == 1
+
+    def test_one_over(self):
+        assert chips_required(4097) == 2
+
+    def test_paper_napprox_scale(self):
+        # ~2.6M cores -> ~636 chips (paper: "nearly 650 TrueNorth chips").
+        assert 600 <= chips_required(2_600_000) <= 660
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            chips_required(-1)
+
+
+class TestSystemPower:
+    def test_per_core(self):
+        assert system_power_watts(1000) == pytest.approx(0.016)
+
+    def test_whole_chips(self):
+        assert system_power_watts(4097, per_core=False) == pytest.approx(0.132)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            system_power_watts(-5)

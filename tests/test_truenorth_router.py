@@ -1,0 +1,100 @@
+"""Tests for inter-core routing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RoutingError
+from repro.truenorth.router import Route, Router
+from repro.truenorth.types import CORE_AXONS
+
+
+class TestRouteValidation:
+    def test_valid_route(self):
+        Route(0, 0, 1, 10, delay=1)
+
+    def test_neuron_out_of_range(self):
+        with pytest.raises(RoutingError):
+            Route(0, 256, 1, 0)
+
+    def test_axon_out_of_range(self):
+        with pytest.raises(RoutingError):
+            Route(0, 0, 1, 256)
+
+    def test_delay_bounds(self):
+        with pytest.raises(RoutingError):
+            Route(0, 0, 1, 0, delay=0)
+        with pytest.raises(RoutingError):
+            Route(0, 0, 1, 0, delay=16)
+
+
+class TestFanOutRule:
+    def test_single_target_per_neuron(self):
+        router = Router()
+        router.add_route(Route(0, 5, 1, 3))
+        with pytest.raises(RoutingError, match="splitter"):
+            router.add_route(Route(0, 5, 2, 4))
+
+    def test_distinct_neurons_ok(self):
+        router = Router()
+        router.add_routes([Route(0, 5, 1, 3), Route(0, 6, 1, 4)])
+        assert len(router.routes) == 2
+
+
+class TestDelivery:
+    def test_delay_respected(self):
+        router = Router()
+        router.add_route(Route(0, 0, 1, 7, delay=3))
+        fired = np.zeros(256, dtype=bool)
+        fired[0] = True
+        router.submit(tick=10, src_core=0, fired=fired)
+        assert router.collect(11) == {}
+        assert router.collect(12) == {}
+        due = router.collect(13)
+        assert due[1][7]
+
+    def test_collect_pops(self):
+        router = Router()
+        router.add_route(Route(0, 0, 1, 0))
+        fired = np.zeros(256, dtype=bool)
+        fired[0] = True
+        router.submit(0, 0, fired)
+        assert 1 in router.collect(1)
+        assert router.collect(1) == {}
+
+    def test_unrouted_spikes_dropped(self):
+        router = Router()
+        fired = np.ones(256, dtype=bool)
+        router.submit(0, 0, fired)
+        assert router.collect(1) == {}
+
+    def test_inject_external(self):
+        router = Router()
+        router.inject(5, 2, 9)
+        due = router.collect(5)
+        assert due[2][9]
+        assert due[2].sum() == 1
+
+    def test_clear_drops_in_flight(self):
+        router = Router()
+        router.inject(5, 2, 9)
+        router.clear()
+        assert router.collect(5) == {}
+
+    def test_merge_multiple_sources_one_tick(self):
+        router = Router()
+        router.add_route(Route(0, 0, 2, 1))
+        router.add_route(Route(1, 0, 2, 3))
+        fired = np.zeros(256, dtype=bool)
+        fired[0] = True
+        router.submit(0, 0, fired)
+        router.submit(0, 1, fired)
+        due = router.collect(1)
+        assert due[2][1] and due[2][3]
+
+    def test_route_lookup(self):
+        router = Router()
+        route = Route(3, 7, 4, 8)
+        router.add_route(route)
+        assert router.route_for(3, 7) == route
+        with pytest.raises(KeyError):
+            router.route_for(3, 8)

@@ -1,0 +1,131 @@
+"""Tests for the tick-level simulator."""
+
+import numpy as np
+import pytest
+
+from repro.truenorth.simulator import Simulator
+from repro.truenorth.system import NeurosynapticSystem
+from repro.truenorth.types import NeuronParameters, ResetMode
+
+
+def _identity_chain(n_cores: int) -> NeurosynapticSystem:
+    """A chain of cores, each relaying axon 0 to neuron 0."""
+    system = NeurosynapticSystem()
+    params = NeuronParameters(weights=(1, 0, 0, 0), threshold=1)
+    for index in range(n_cores):
+        core = system.new_core(f"c{index}")
+        core.set_axon_type(0, 0)
+        core.set_neuron(0, params)
+        core.connect(0, 0)
+        if index:
+            system.add_route(index - 1, 0, index, 0)
+    system.add_input_port("in", [[(0, 0)]])
+    system.add_output_probe("out", [(n_cores - 1, 0)])
+    return system
+
+
+class TestBasics:
+    def test_identity_relay_latency(self):
+        system = _identity_chain(3)
+        sim = Simulator(system, rng=0)
+        raster = np.zeros((8, 1), dtype=bool)
+        raster[0, 0] = True
+        result = sim.run(8, {"in": raster})
+        spikes = np.flatnonzero(result.probe_spikes["out"][:, 0])
+        # Input lands on core 0 at tick 0; each hop adds one tick.
+        assert list(spikes) == [2]
+
+    def test_spike_count_conservation(self):
+        system = _identity_chain(2)
+        sim = Simulator(system, rng=0)
+        raster = np.zeros((10, 1), dtype=bool)
+        raster[[0, 3, 6], 0] = True
+        result = sim.run(10, {"in": raster})
+        assert result.spike_counts("out")[0] == 3
+
+    def test_total_spikes_counted(self):
+        system = _identity_chain(2)
+        sim = Simulator(system, rng=0)
+        raster = np.ones((5, 1), dtype=bool)
+        result = sim.run(5, {"in": raster})
+        # Core 0 fires 5 times, core 1 fires 4 (one tick of latency).
+        assert result.total_spikes == 9
+
+    def test_zero_ticks(self):
+        system = _identity_chain(1)
+        result = Simulator(system).run(0)
+        assert result.ticks == 0
+        with pytest.raises(ValueError):
+            result.spike_rates("out")
+
+    def test_rates(self):
+        system = _identity_chain(1)
+        sim = Simulator(system, rng=0)
+        raster = np.zeros((10, 1), dtype=bool)
+        raster[::2, 0] = True
+        result = sim.run(10, {"in": raster})
+        assert np.isclose(result.spike_rates("out")[0], 0.5)
+
+
+class TestValidation:
+    def test_unknown_port(self):
+        system = _identity_chain(1)
+        with pytest.raises(ValueError, match="unknown input port"):
+            Simulator(system).run(2, {"nope": np.zeros((2, 1), dtype=bool)})
+
+    def test_bad_raster_shape(self):
+        system = _identity_chain(1)
+        with pytest.raises(ValueError, match="raster"):
+            Simulator(system).run(2, {"in": np.zeros((3, 1), dtype=bool)})
+
+    def test_negative_ticks(self):
+        system = _identity_chain(1)
+        with pytest.raises(ValueError):
+            Simulator(system).run(-1)
+
+
+class TestReset:
+    def test_reset_between_runs(self):
+        system = NeurosynapticSystem()
+        core = system.new_core()
+        core.set_axon_type(0, 0)
+        core.set_neuron(0, NeuronParameters(weights=(1, 0, 0, 0), threshold=3))
+        core.connect(0, 0)
+        system.add_input_port("in", [[(0, 0)]])
+        system.add_output_probe("out", [(0, 0)])
+        sim = Simulator(system, rng=0)
+        raster = np.ones((2, 1), dtype=bool)
+        first = sim.run(2, {"in": raster})
+        second = sim.run(2, {"in": raster})
+        assert first.spike_counts("out")[0] == 0
+        assert second.spike_counts("out")[0] == 0  # reset wiped the charge
+
+    def test_no_reset_carries_state(self):
+        system = NeurosynapticSystem()
+        core = system.new_core()
+        core.set_axon_type(0, 0)
+        core.set_neuron(0, NeuronParameters(weights=(1, 0, 0, 0), threshold=3))
+        core.connect(0, 0)
+        system.add_input_port("in", [[(0, 0)]])
+        system.add_output_probe("out", [(0, 0)])
+        sim = Simulator(system, rng=0)
+        raster = np.ones((2, 1), dtype=bool)
+        sim.run(2, {"in": raster})
+        result = sim.run(2, {"in": raster}, reset=False)
+        assert result.spike_counts("out")[0] == 1  # 4th input crosses 3
+
+
+class TestMultiLinePorts:
+    def test_fanout_port_drives_many_axons(self):
+        system = NeurosynapticSystem()
+        core = system.new_core()
+        for axon in range(3):
+            core.set_axon_type(axon, 0)
+            core.connect(axon, 0)
+        core.set_neuron(0, NeuronParameters(weights=(1, 0, 0, 0), threshold=3))
+        system.add_input_port("in", [[(0, 0), (0, 1), (0, 2)]])
+        system.add_output_probe("out", [(0, 0)])
+        sim = Simulator(system, rng=0)
+        raster = np.ones((1, 1), dtype=bool)
+        result = sim.run(1, {"in": raster})
+        assert result.spike_counts("out")[0] == 1  # one line -> 3 axons -> fires

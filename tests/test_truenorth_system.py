@@ -1,0 +1,84 @@
+"""Tests for system assembly (cores, ports, probes)."""
+
+import pytest
+
+from repro.errors import ConfigurationError, RoutingError
+from repro.truenorth.system import NeurosynapticSystem
+
+
+class TestCores:
+    def test_ids_are_sequential(self):
+        system = NeurosynapticSystem()
+        a = system.new_core()
+        b = system.new_core()
+        assert (a.core_id, b.core_id) == (0, 1)
+        assert system.core_count == 2
+
+    def test_lookup(self):
+        system = NeurosynapticSystem()
+        core = system.new_core("x")
+        assert system.core(core.core_id) is core
+
+    def test_lookup_missing(self):
+        with pytest.raises(ConfigurationError):
+            NeurosynapticSystem().core(3)
+
+
+class TestWiring:
+    def test_route_needs_existing_cores(self):
+        system = NeurosynapticSystem()
+        system.new_core()
+        with pytest.raises(RoutingError):
+            system.add_route(0, 0, 1, 0)
+
+    def test_route_registers(self):
+        system = NeurosynapticSystem()
+        system.new_core()
+        system.new_core()
+        system.add_route(0, 0, 1, 5)
+        assert len(system.router.routes) == 1
+
+
+class TestPorts:
+    def test_input_port_fanout(self):
+        system = NeurosynapticSystem()
+        system.new_core()
+        port = system.add_input_port("in", [[(0, 0), (0, 1)], [(0, 2)]])
+        assert port.width == 2
+        assert port.targets[0] == ((0, 0), (0, 1))
+
+    def test_duplicate_port_name(self):
+        system = NeurosynapticSystem()
+        system.new_core()
+        system.add_input_port("in", [[(0, 0)]])
+        with pytest.raises(ConfigurationError):
+            system.add_input_port("in", [[(0, 1)]])
+
+    def test_input_port_validates_targets(self):
+        system = NeurosynapticSystem()
+        system.new_core()
+        with pytest.raises(RoutingError):
+            system.add_input_port("in", [[(5, 0)]])
+        with pytest.raises(RoutingError):
+            system.add_input_port("in2", [[(0, 300)]])
+
+    def test_output_probe(self):
+        system = NeurosynapticSystem()
+        system.new_core()
+        probe = system.add_output_probe("out", [(0, 0), (0, 1)])
+        assert probe.width == 2
+
+    def test_output_probe_validates(self):
+        system = NeurosynapticSystem()
+        system.new_core()
+        with pytest.raises(RoutingError):
+            system.add_output_probe("out", [(1, 0)])
+        with pytest.raises(RoutingError):
+            system.add_output_probe("out2", [(0, 400)])
+
+    def test_duplicate_probe_name(self):
+        system = NeurosynapticSystem()
+        system.new_core()
+        system.add_output_probe("out", [(0, 0)])
+        with pytest.raises(ConfigurationError):
+            system.add_output_probe("out", [(0, 1)])

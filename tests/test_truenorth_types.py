@@ -1,0 +1,55 @@
+"""Tests for NeuronParameters and address records."""
+
+import pytest
+
+from repro.truenorth.types import (
+    AxonAddress,
+    CoreAddress,
+    NeuronAddress,
+    NeuronParameters,
+)
+
+
+class TestNeuronParameters:
+    def test_defaults(self):
+        params = NeuronParameters()
+        assert params.threshold == 1
+        assert params.weights == (0, 0, 0, 0)
+
+    def test_weights_length_enforced(self):
+        with pytest.raises(ValueError):
+            NeuronParameters(weights=(1, 2, 3))
+
+    def test_threshold_minimum(self):
+        with pytest.raises(ValueError):
+            NeuronParameters(threshold=0)
+
+    def test_floor_is_magnitude(self):
+        with pytest.raises(ValueError):
+            NeuronParameters(floor=-1)
+
+    def test_stochastic_bits_nonnegative(self):
+        with pytest.raises(ValueError):
+            NeuronParameters(stochastic_threshold_bits=-2)
+
+    def test_frozen(self):
+        params = NeuronParameters()
+        with pytest.raises(Exception):
+            params.threshold = 5
+
+
+class TestAddresses:
+    def test_core_address(self):
+        assert CoreAddress(3).core_id == 3
+        with pytest.raises(ValueError):
+            CoreAddress(-1)
+
+    def test_neuron_address_bounds(self):
+        NeuronAddress(0, 255)
+        with pytest.raises(ValueError):
+            NeuronAddress(0, 256)
+
+    def test_axon_address_bounds(self):
+        AxonAddress(0, 255)
+        with pytest.raises(ValueError):
+            AxonAddress(0, -1)

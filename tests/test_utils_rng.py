@@ -1,0 +1,49 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import resolve_rng, spawn_rng
+
+
+class TestResolveRng:
+    def test_none_returns_generator(self):
+        assert isinstance(resolve_rng(None), np.random.Generator)
+
+    def test_seed_is_deterministic(self):
+        a = resolve_rng(42).integers(0, 1000, 10)
+        b = resolve_rng(42).integers(0, 1000, 10)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = resolve_rng(1).integers(0, 10**9)
+        b = resolve_rng(2).integers(0, 10**9)
+        assert a != b
+
+    def test_generator_passthrough_shares_state(self):
+        generator = np.random.default_rng(0)
+        same = resolve_rng(generator)
+        assert same is generator
+
+    def test_numpy_integer_seed_accepted(self):
+        assert isinstance(resolve_rng(np.int64(7)), np.random.Generator)
+
+    def test_rejects_bad_type(self):
+        with pytest.raises(TypeError):
+            resolve_rng("not a seed")
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            resolve_rng(1.5)
+
+
+class TestSpawnRng:
+    def test_children_are_independent(self):
+        a = spawn_rng(0, 0).integers(0, 10**9, 5)
+        b = spawn_rng(0, 1).integers(0, 10**9, 5)
+        assert not np.array_equal(a, b)
+
+    def test_spawn_is_reproducible(self):
+        a = spawn_rng(3, 2).integers(0, 10**9, 5)
+        b = spawn_rng(3, 2).integers(0, 10**9, 5)
+        assert np.array_equal(a, b)
