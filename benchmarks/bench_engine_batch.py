@@ -1,0 +1,105 @@
+"""Windows/sec: vectorized batch engine vs the tick-accurate reference.
+
+The workload is the pedestrian-detection hot path — NApprox HoG cell
+windows (10x10 patches through the 22-core cell module) — the unit the
+paper's throughput numbers are denominated in. The batch engine pushes
+all windows through the module simultaneously (one stacked matmul per
+tick); the reference engine advances core by core, window by window.
+Conformance is asserted on the benchmarked outputs themselves before any
+timing is reported.
+
+Run standalone (no pytest-benchmark dependency, wall-clock timing):
+
+    PYTHONPATH=src python benchmarks/bench_engine_batch.py --quick
+
+``--quick`` keeps the whole run within a CI smoke budget (~10 s);
+``--check`` exits non-zero below the acceptance speedup of 5x.
+"""
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.napprox.corelet_impl import NApproxCellRunner
+
+
+def _time(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def run_bench(
+    window: int, batch: int, ref_windows: int, check: bool, min_speedup: float
+) -> int:
+    rng = np.random.default_rng(0)
+    patches = rng.random((batch, 10, 10))
+
+    batch_runner = NApproxCellRunner(window=window, rng=0, engine="batch")
+    reference_runner = NApproxCellRunner(window=window, rng=0)
+    ticks = batch_runner._total_ticks
+
+    # Warm-up: first batch run pays numpy allocation/caching overheads.
+    batch_runner.extract_batch(patches[: min(4, batch)])
+    batch_hist, batch_seconds = _time(lambda: batch_runner.extract_batch(patches))
+    batch_rate = batch / batch_seconds
+
+    ref_hist, ref_seconds = _time(
+        lambda: np.stack(
+            [reference_runner.extract(patch) for patch in patches[:ref_windows]]
+        )
+    )
+    ref_rate = ref_windows / ref_seconds
+
+    if not np.array_equal(batch_hist[:ref_windows], ref_hist):
+        print("FAIL: engines disagree on the benchmarked windows", file=sys.stderr)
+        return 2
+
+    speedup = batch_rate / ref_rate
+    print(f"workload: NApprox cell window={window} ({ticks} ticks, 22 cores)")
+    print(
+        f"reference: {ref_windows:4d} windows in {ref_seconds:6.2f}s "
+        f"= {ref_rate:7.2f} windows/s"
+    )
+    print(
+        f"batch({batch:3d}): {batch:4d} windows in {batch_seconds:6.2f}s "
+        f"= {batch_rate:7.2f} windows/s"
+    )
+    print(f"speedup: {speedup:.1f}x (outputs bit-identical)")
+
+    if check and speedup < min_speedup:
+        print(f"FAIL: speedup {speedup:.1f}x < required {min_speedup}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--window", type=int, default=64, help="spike window")
+    parser.add_argument("--batch", type=int, default=32, help="batch size")
+    parser.add_argument(
+        "--ref-windows", type=int, default=4,
+        help="windows timed on the reference engine (it is slow)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke setting: window 32, 3 reference windows",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero when the speedup misses --min-speedup",
+    )
+    parser.add_argument("--min-speedup", type=float, default=5.0)
+    args = parser.parse_args()
+    if args.quick:
+        args.window = min(args.window, 32)
+        args.ref_windows = min(args.ref_windows, 3)
+    return run_bench(
+        args.window, args.batch, args.ref_windows, args.check, args.min_speedup
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

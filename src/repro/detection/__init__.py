@@ -31,6 +31,7 @@ from repro.detection.pipeline import (
     EednBinaryScorer,
     SlidingWindowDetector,
     SpikingBinaryScorer,
+    TrueNorthBinaryScorer,
 )
 
 __all__ = [
@@ -41,6 +42,7 @@ __all__ = [
     "ImagePyramid",
     "SlidingWindowDetector",
     "SpikingBinaryScorer",
+    "TrueNorthBinaryScorer",
     "evaluate_detections",
     "full_hd_cell_count",
     "log_average_miss_rate",

@@ -5,14 +5,16 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.coding.stochastic import StochasticEncoder
 from repro.eedn.network import EednNetwork
-from repro.eedn.mapping import core_count
+from repro.eedn.mapping import core_count, deploy_dense_network
 from repro.eedn.spiking import SpikingEvaluator
 from repro.hog.blocks import block_grid_shape, normalize_blocks
 from repro.napprox.software import N_DIRECTIONS
 from repro.parrot.trainer import sigmoid_rates
+from repro.truenorth.simulator import Simulator
 from repro.utils.images import rgb_to_grayscale, to_float_image
-from repro.utils.rng import RngLike
+from repro.utils.rng import RngLike, resolve_rng
 
 
 @dataclass(frozen=True)
@@ -60,6 +62,13 @@ class ParrotExtractor:
         config: descriptor configuration; ``config.spikes`` selects the
             input representation (``None`` = analog).
         rng: randomness for stochastic spike coding.
+        backend: ``"numpy"`` (default) evaluates spiking mode with the
+            vectorized :class:`SpikingEvaluator`; ``"truenorth"`` deploys
+            the network onto real neurosynaptic cores and batches every
+            cell through the vectorized batch simulation engine (hard
+            output thresholds; requires ``config.spikes``).
+        engine: simulation engine for the ``"truenorth"`` backend,
+            ``"batch"`` (default) or ``"reference"``.
     """
 
     def __init__(
@@ -67,26 +76,53 @@ class ParrotExtractor:
         network: EednNetwork,
         config: ParrotFeatureConfig = ParrotFeatureConfig(),
         rng: RngLike = 0,
+        backend: str = "numpy",
+        engine: str = "batch",
     ) -> None:
+        if backend not in ("numpy", "truenorth"):
+            raise ValueError(
+                f"backend must be 'numpy' or 'truenorth', got {backend!r}"
+            )
         self.network = network
         self.config = config
+        self.backend = backend
+        self.engine = engine
         self._rng = rng
         self._evaluator: Optional[SpikingEvaluator] = None
-        if config.spikes is not None:
-            if config.spikes < 1:
-                raise ValueError(f"spikes must be >= 1, got {config.spikes}")
+        self._simulator: Optional[Simulator] = None
+        if config.spikes is not None and config.spikes < 1:
+            raise ValueError(f"spikes must be >= 1, got {config.spikes}")
+        if backend == "truenorth":
+            if config.spikes is None:
+                raise ValueError(
+                    "the 'truenorth' backend needs spike coding; set config.spikes"
+                )
+            self._deployed = deploy_dense_network(network)
+            self._simulator = Simulator(self._deployed.system, rng=rng, engine=engine)
+            self._encoder = StochasticEncoder(config.spikes)
+            self._encoder_rng = resolve_rng(rng)
+            self._total_ticks = config.spikes + self._deployed.stages - 1
+        elif config.spikes is not None:
             self._evaluator = SpikingEvaluator(network, ticks=config.spikes, rng=rng)
 
     def with_normalization(self, method: str) -> "ParrotExtractor":
         """A copy with a different block normalisation."""
         return ParrotExtractor(
-            self.network, replace(self.config, normalization=method), rng=self._rng
+            self.network,
+            replace(self.config, normalization=method),
+            rng=self._rng,
+            backend=self.backend,
+            engine=self.engine,
         )
 
     def with_spikes(self, spikes: Optional[int]) -> "ParrotExtractor":
         """A copy at a different input spike precision."""
         return ParrotExtractor(
-            self.network, replace(self.config, spikes=spikes), rng=self._rng
+            self.network,
+            replace(self.config, spikes=spikes),
+            rng=self._rng,
+            backend=self.backend if spikes is not None else "numpy",
+            engine=self.engine,
         )
 
     # ------------------------------------------------------------------
@@ -101,12 +137,27 @@ class ParrotExtractor:
             raise ValueError(
                 f"cells must be (n, {self.config.cell_size ** 2}), got {x.shape}"
             )
-        if self._evaluator is None:
+        if self._simulator is not None:
+            rates = self._truenorth_rates(np.clip(x, 0.0, 1.0))
+        elif self._evaluator is None:
             logits = self.network.forward(x)
             rates = sigmoid_rates(logits)
         else:
             rates = self._evaluator.evaluate(np.clip(x, 0.0, 1.0)).rates
         return rates * float(self.config.cell_size**2)
+
+    def _truenorth_rates(self, cells: np.ndarray) -> np.ndarray:
+        """Output rates of ``(n, 64)`` cells run on neurosynaptic cores."""
+        ticks = int(self.config.spikes)
+        if cells.shape[0] == 0:
+            return np.zeros((0, N_DIRECTIONS))
+        rasters = np.zeros(
+            (cells.shape[0], self._total_ticks, cells.shape[1]), dtype=bool
+        )
+        for lane, row in enumerate(cells):
+            rasters[lane, :ticks] = self._encoder.encode(row, rng=self._encoder_rng)
+        result = self._simulator.run_batch(self._total_ticks, {"in": rasters})
+        return result.spike_counts("out") / float(ticks)
 
     def cell_grid(self, image: np.ndarray) -> np.ndarray:
         """Per-cell histograms of shape ``(cy, cx, 18)``."""

@@ -33,7 +33,12 @@ from repro.truenorth.types import (
 from repro.truenorth.core import NeurosynapticCore
 from repro.truenorth.router import Route, Router
 from repro.truenorth.system import InputPort, NeurosynapticSystem, OutputProbe
-from repro.truenorth.simulator import SimulationResult, Simulator
+from repro.truenorth.simulator import ENGINES, SimulationResult, Simulator
+from repro.truenorth.engine import (
+    BatchEngine,
+    BatchSimulationResult,
+    normalize_batch_inputs,
+)
 from repro.truenorth.power import (
     CHIP_CORES,
     CHIP_POWER_WATTS,
@@ -50,11 +55,14 @@ from repro.truenorth.placement import (
 from repro.truenorth.energy import EnergyEstimate, estimate_energy, nominal_energy
 
 __all__ = [
+    "BatchEngine",
+    "BatchSimulationResult",
     "CHIP_CORES",
     "CHIP_POWER_WATTS",
     "CORE_AXONS",
     "CORE_NEURONS",
     "CORE_POWER_WATTS",
+    "ENGINES",
     "EnergyEstimate",
     "InputPort",
     "NUM_AXON_TYPES",
@@ -73,6 +81,7 @@ __all__ = [
     "Simulator",
     "chips_required",
     "estimate_energy",
+    "normalize_batch_inputs",
     "nominal_energy",
     "system_power_watts",
 ]

@@ -1,6 +1,6 @@
 """The neurosynaptic core: 256 axons x 256 neurons joined by a crossbar."""
 
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
@@ -126,6 +126,25 @@ class NeurosynapticCore:
     def axon_types(self) -> np.ndarray:
         """Copy of the 256 axon type labels."""
         return self._axon_types.copy()
+
+    def neuron_arrays(self) -> Dict[str, np.ndarray]:
+        """Copies of the per-neuron parameter arrays, keyed by name.
+
+        Consumed by the batch engine's compiler
+        (:mod:`repro.truenorth.engine`), which precomputes the whole
+        system's dynamics from these arrays instead of ticking cores one
+        by one. Keys: ``threshold``, ``leak``, ``reset_code`` (0 = reset,
+        1 = linear, 2 = none), ``reset_potential``, ``floor``,
+        ``stochastic_bits`` — each of shape ``(CORE_NEURONS,)``.
+        """
+        return {
+            "threshold": self._threshold.copy(),
+            "leak": self._leak.copy(),
+            "reset_code": self._reset_code.copy(),
+            "reset_potential": self._reset_potential.copy(),
+            "floor": self._floor.copy(),
+            "stochastic_bits": self._stochastic_bits.copy(),
+        }
 
     def effective_weights(self) -> np.ndarray:
         """The ``(axon, neuron)`` effective synaptic weight matrix.

@@ -1,0 +1,439 @@
+"""Vectorized batch simulation of a :class:`NeurosynapticSystem`.
+
+The reference :class:`~repro.truenorth.simulator.Simulator` advances one
+core at a time in Python, which is tick-accurate but pays interpreter
+overhead per core per tick. This module compiles a fully configured
+system into flat numpy arrays once — every core's effective synaptic
+weight matrix (crossbar x per-neuron weight LUT), the per-neuron
+membrane parameters, the route list grouped by delivery delay, and the
+input-port / output-probe index tables — and then evaluates ``B``
+independent input windows simultaneously:
+
+- synaptic integration is one stacked matmul per tick,
+  ``(n_cores, B, 256) @ (n_cores, 256, 256)``;
+- leak, threshold, fire, reset and saturation are single vectorized
+  updates over the ``(n_cores, B, 256)`` membrane-potential array;
+- inter-core spike routing is an index-based scatter over the batch
+  dimension into a tick-keyed mailbox, exactly mirroring the reference
+  router's delay semantics.
+
+Arithmetic runs in float32 when every reachable value fits the 24-bit
+float32 mantissa (checked at compile time from the weight, threshold,
+leak, reset and stochastic-span magnitudes) and float64 otherwise, so
+results are bit-identical to the reference engine's int64 path — the
+differential conformance suite (``tests/test_engine_conformance.py``)
+asserts this raster for raster.
+
+Randomness: lane ``i`` of a batch run consumes the stream of
+``spawn_generators(rng, B)[i]`` (see :mod:`repro.utils.rng`), drawing in
+the reference order (tick-major, then ascending core index, stochastic
+cores only), so each lane is bit-identical to a reference run seeded
+with the matching spawned generator.
+
+Memory: the stacked weight tensor costs ``256 * 256 * itemsize`` bytes
+per core (256 KiB in float32), and the mailbox ``n_cores * B * 256``
+bytes per in-flight delay slot. Systems of a few hundred cores batch
+comfortably; chip-scale systems (thousands of cores) should be sharded
+per corelet before batching.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import CompilationError, ConfigurationError
+from repro.truenorth.simulator import SimulationResult
+from repro.truenorth.system import NeurosynapticSystem
+from repro.truenorth.types import CORE_AXONS, CORE_NEURONS, POTENTIAL_MAX, POTENTIAL_MIN
+
+
+@dataclass
+class BatchSimulationResult:
+    """Outcome of a batched simulation run.
+
+    Attributes:
+        ticks: number of ticks simulated.
+        batch: number of independent lanes (input windows).
+        probe_spikes: per-probe boolean spike rasters of shape
+            ``(batch, ticks, probe.width)``.
+        total_spikes: per-lane total neuron firings, shape ``(batch,)``.
+    """
+
+    ticks: int
+    batch: int
+    probe_spikes: Dict[str, np.ndarray] = field(default_factory=dict)
+    total_spikes: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+
+    def lane(self, index: int) -> SimulationResult:
+        """The single-lane :class:`SimulationResult` of lane ``index``."""
+        if not 0 <= index < self.batch:
+            raise IndexError(f"lane must be in [0, {self.batch}), got {index}")
+        return SimulationResult(
+            ticks=self.ticks,
+            probe_spikes={
+                name: raster[index].copy() for name, raster in self.probe_spikes.items()
+            },
+            total_spikes=int(self.total_spikes[index]),
+        )
+
+    def lanes(self) -> List[SimulationResult]:
+        """All lanes as single-lane results, lane order."""
+        return [self.lane(index) for index in range(self.batch)]
+
+    def spike_counts(self, probe: str) -> np.ndarray:
+        """Per-lane, per-line firing counts, shape ``(batch, width)``."""
+        return self.probe_spikes[probe].sum(axis=1)
+
+    def spike_rates(self, probe: str) -> np.ndarray:
+        """Per-lane firing rates (counts / ticks), shape ``(batch, width)``."""
+        if self.ticks == 0:
+            raise ValueError("no ticks were simulated")
+        return self.spike_counts(probe) / float(self.ticks)
+
+
+def normalize_batch_inputs(
+    system: NeurosynapticSystem,
+    ticks: int,
+    inputs: Optional[Mapping[str, np.ndarray]],
+    batch: Optional[int],
+) -> Tuple[int, Dict[str, np.ndarray]]:
+    """Validate input rasters and broadcast them to the batch dimension.
+
+    Args:
+        system: the simulated system (for port names and widths).
+        ticks: ticks the run will simulate.
+        inputs: mapping from port name to a raster of shape
+            ``(ticks, width)`` (shared by every lane) or
+            ``(batch, ticks, width)`` (per-lane inputs).
+        batch: explicit lane count; inferred from the first 3-D raster
+            when omitted.
+
+    Returns:
+        ``(batch, rasters)`` with every raster of shape
+        ``(batch, ticks, width)`` (shared rasters are broadcast views).
+
+    Raises:
+        ValueError: on unknown ports, misshapen rasters, inconsistent
+            batch sizes, or an unspecified batch with no 3-D raster.
+    """
+    ports = system.input_ports
+    arrays: Dict[str, np.ndarray] = {}
+    inferred = batch
+    for name, raster in (inputs or {}).items():
+        if name not in ports:
+            raise ValueError(f"unknown input port {name!r}")
+        arr = np.asarray(raster).astype(bool)
+        width = ports[name].width
+        if arr.ndim == 2:
+            if arr.shape != (ticks, width):
+                raise ValueError(
+                    f"input raster for {name!r} must be ({ticks}, {width}), "
+                    f"got {arr.shape}"
+                )
+        elif arr.ndim == 3:
+            if arr.shape[1:] != (ticks, width):
+                raise ValueError(
+                    f"input raster for {name!r} must be (batch, {ticks}, "
+                    f"{width}), got {arr.shape}"
+                )
+            if inferred is None:
+                inferred = arr.shape[0]
+            elif arr.shape[0] != inferred:
+                raise ValueError(
+                    f"input raster for {name!r} has batch {arr.shape[0]}, "
+                    f"expected {inferred}"
+                )
+        else:
+            raise ValueError(
+                f"input raster for {name!r} must be 2-D or 3-D, got {arr.ndim}-D"
+            )
+        arrays[name] = arr
+    if inferred is None:
+        raise ValueError(
+            "batch size could not be inferred; pass batch= or a 3-D raster"
+        )
+    if inferred < 1:
+        raise ValueError(f"batch must be >= 1, got {inferred}")
+    rasters = {
+        name: (
+            np.broadcast_to(arr, (inferred,) + arr.shape) if arr.ndim == 2 else arr
+        )
+        for name, arr in arrays.items()
+    }
+    return inferred, rasters
+
+
+class _RouteGroup:
+    """Routes sharing one delivery delay, as flat index arrays."""
+
+    __slots__ = ("delay", "src_core", "src_neuron", "dst_core", "dst_axon")
+
+    def __init__(self, delay: int, rows: List[Tuple[int, int, int, int]]) -> None:
+        self.delay = delay
+        arr = np.asarray(rows, dtype=np.int64)
+        self.src_core = arr[:, 0]
+        self.src_neuron = arr[:, 1]
+        self.dst_core = arr[:, 2]
+        self.dst_axon = arr[:, 3]
+
+
+class _PortTable:
+    """One input port flattened to (line, target-core, target-axon) arrays."""
+
+    __slots__ = ("width", "line", "core", "axon")
+
+    def __init__(self, width: int, rows: List[Tuple[int, int, int]]) -> None:
+        self.width = width
+        arr = (
+            np.asarray(rows, dtype=np.int64)
+            if rows
+            else np.zeros((0, 3), dtype=np.int64)
+        )
+        self.line = arr[:, 0]
+        self.core = arr[:, 1]
+        self.axon = arr[:, 2]
+
+
+class BatchEngine:
+    """Evaluates B input windows simultaneously through one system.
+
+    The system's configuration is compiled once at construction;
+    configuration changes made to the system afterwards are not picked
+    up (create a new engine — compilation costs milliseconds).
+
+    State semantics match the reference engine: ``reset=True`` starts
+    from zero potentials and an empty mailbox; ``reset=False`` continues
+    the engine's own persistent state (the reference engine keeps this
+    state inside the cores instead, so the two engines' states are not
+    shared). The mailbox is keyed by within-run tick, reproducing the
+    reference router's carry-over behaviour across ``reset=False`` runs.
+
+    Args:
+        system: the fully configured system to compile.
+    """
+
+    def __init__(self, system: NeurosynapticSystem) -> None:
+        self.system = system
+        cores = system.cores
+        self.n_cores = len(cores)
+        index_of = {core.core_id: i for i, core in enumerate(cores)}
+
+        shape = (self.n_cores, CORE_AXONS, CORE_NEURONS)
+        weights = np.zeros(shape, dtype=np.int64)
+        params = {
+            key: np.zeros((self.n_cores, CORE_NEURONS), dtype=np.int64)
+            for key in (
+                "threshold",
+                "leak",
+                "reset_code",
+                "reset_potential",
+                "floor",
+                "stochastic_bits",
+            )
+        }
+        for i, core in enumerate(cores):
+            weights[i] = core.effective_weights()
+            for key, value in core.neuron_arrays().items():
+                params[key][i] = value
+
+        # Pick the float dtype in which every reachable value is exact:
+        # float32 carries 24 mantissa bits, float64 carries 53. Synaptic
+        # sums are bounded by 256 * max|w|; potentials are clipped to the
+        # 20-bit register; thresholds gain at most the stochastic span.
+        spans = np.where(
+            params["stochastic_bits"] > 0, 1 << params["stochastic_bits"], 0
+        )
+        bound = max(
+            int(np.abs(weights).sum(axis=1).max()) if weights.size else 0,
+            int(np.abs(params["threshold"]).max() + spans.max()) if self.n_cores else 0,
+            int(np.abs(params["leak"]).max()) if self.n_cores else 0,
+            int(np.abs(params["reset_potential"]).max()) if self.n_cores else 0,
+            int(params["floor"].max()) if self.n_cores else 0,
+            -POTENTIAL_MIN,
+        )
+        if bound + CORE_AXONS >= 2**52:
+            raise CompilationError(
+                f"parameter magnitudes near {bound} exceed exact float64 "
+                "range; the batch engine cannot guarantee bit-identical "
+                "results — use the reference engine"
+            )
+        self._dtype = np.float32 if bound + CORE_AXONS < 2**23 else np.float64
+
+        self._weights = weights.astype(self._dtype)
+        self._threshold = params["threshold"].astype(self._dtype)[:, None, :]
+        self._leak = params["leak"].astype(self._dtype)[:, None, :]
+        self._reset_potential = params["reset_potential"].astype(self._dtype)[:, None, :]
+        self._neg_floor = (-params["floor"]).astype(self._dtype)[:, None, :]
+        self._is_hard = (params["reset_code"] == 0)[:, None, :]
+        self._is_linear = (params["reset_code"] == 1)[:, None, :]
+
+        # Stochastic cores: (core index, neuron mask, spans) in core order,
+        # matching the reference engine's per-core draw granularity.
+        self._stochastic: List[Tuple[int, np.ndarray, np.ndarray]] = []
+        for i in range(self.n_cores):
+            mask = params["stochastic_bits"][i] > 0
+            if mask.any():
+                spans_i = (1 << params["stochastic_bits"][i][mask]).astype(np.int64)
+                self._stochastic.append((i, mask, spans_i))
+
+        # Routes grouped by delay; deposits are idempotent so order within
+        # a group is irrelevant.
+        by_delay: Dict[int, List[Tuple[int, int, int, int]]] = {}
+        for route in system.router.routes:
+            try:
+                src = index_of[route.src_core]
+                dst = index_of[route.dst_core]
+            except KeyError as exc:
+                raise ConfigurationError(
+                    f"route references unknown core {exc.args[0]}"
+                ) from None
+            by_delay.setdefault(route.delay, []).append(
+                (src, route.src_neuron, dst, route.dst_axon)
+            )
+        self._route_groups = [
+            _RouteGroup(delay, rows) for delay, rows in sorted(by_delay.items())
+        ]
+
+        self._ports: Dict[str, _PortTable] = {}
+        for name, port in system.input_ports.items():
+            rows = [
+                (line, index_of[core_id], axon)
+                for line, targets in enumerate(port.targets)
+                for core_id, axon in targets
+            ]
+            self._ports[name] = _PortTable(port.width, rows)
+
+        self._probes: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+        for name, probe in system.output_probes.items():
+            sources = np.asarray(probe.sources, dtype=np.int64).reshape(-1, 2)
+            cores_arr = np.array(
+                [index_of[int(c)] for c in sources[:, 0]], dtype=np.int64
+            )
+            self._probes[name] = (cores_arr, sources[:, 1])
+
+        # Persistent state for reset=False continuation runs.
+        self._potentials: Optional[np.ndarray] = None
+        self._mailbox: Dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        ticks: int,
+        rasters: Mapping[str, np.ndarray],
+        lane_rngs: Sequence[np.random.Generator],
+        reset: bool = True,
+    ) -> BatchSimulationResult:
+        """Simulate ``ticks`` ticks for ``len(lane_rngs)`` lanes at once.
+
+        Args:
+            ticks: number of ticks to advance.
+            rasters: per-port boolean rasters of shape
+                ``(batch, ticks, width)`` (see
+                :func:`normalize_batch_inputs`).
+            lane_rngs: one generator per lane for stochastic thresholds.
+            reset: start from zero state (default) or continue the
+                engine's persistent state (batch size must match).
+
+        Returns:
+            A :class:`BatchSimulationResult`.
+        """
+        if ticks < 0:
+            raise ValueError(f"ticks must be >= 0, got {ticks}")
+        batch = len(lane_rngs)
+        if batch < 1:
+            raise ValueError("need at least one lane")
+        state_shape = (self.n_cores, batch, CORE_NEURONS)
+        if reset or self._potentials is None:
+            potentials = np.zeros(state_shape, dtype=self._dtype)
+            mailbox: Dict[int, np.ndarray] = {}
+        else:
+            if self._potentials.shape != state_shape:
+                raise ValueError(
+                    f"reset=False requires the previous batch size "
+                    f"{self._potentials.shape[1]}, got {batch}"
+                )
+            potentials = self._potentials
+            mailbox = self._mailbox
+
+        result = BatchSimulationResult(
+            ticks=ticks,
+            batch=batch,
+            probe_spikes={
+                name: np.zeros((batch, ticks, cores.size), dtype=bool)
+                for name, (cores, _) in self._probes.items()
+            },
+            total_spikes=np.zeros(batch, dtype=np.int64),
+        )
+
+        box_shape = (self.n_cores, batch, CORE_AXONS)
+        for tick in range(ticks):
+            current = mailbox.pop(tick, None)
+            if current is None:
+                current = np.zeros(box_shape, dtype=bool)
+
+            # 1. External inputs scheduled for this tick.
+            for name, raster in rasters.items():
+                table = self._ports[name]
+                if table.line.size == 0:
+                    continue
+                active = raster[:, tick, :]
+                if not active.any():
+                    continue
+                hits = active[:, table.line]
+                lane_idx, pair_idx = np.nonzero(hits)
+                current[table.core[pair_idx], lane_idx, table.axon[pair_idx]] = True
+
+            # 2. Integrate, leak, threshold, fire, reset, saturate.
+            if current.any():
+                potentials += current.astype(self._dtype) @ self._weights
+            potentials += self._leak
+
+            fired = potentials >= self._threshold
+            for core_index, mask, spans in self._stochastic:
+                offsets = np.empty((batch, spans.size), dtype=np.int64)
+                for lane, generator in enumerate(lane_rngs):
+                    offsets[lane] = generator.integers(0, spans)
+                fired[core_index][:, mask] = potentials[core_index][:, mask] >= (
+                    self._threshold[core_index, 0, mask][None, :]
+                    + offsets.astype(self._dtype)
+                )
+
+            np.copyto(potentials, self._reset_potential, where=fired & self._is_hard)
+            np.subtract(
+                potentials,
+                self._threshold,
+                out=potentials,
+                where=fired & self._is_linear,
+            )
+            np.maximum(potentials, self._neg_floor, out=potentials)
+            np.clip(potentials, POTENTIAL_MIN, POTENTIAL_MAX, out=potentials)
+
+            result.total_spikes += fired.sum(axis=(0, 2))
+
+            # 3. Route this tick's output spikes forward.
+            for group in self._route_groups:
+                emitted = fired[group.src_core, :, group.src_neuron]
+                if not emitted.any():
+                    continue
+                route_idx, lane_idx = np.nonzero(emitted)
+                slot = mailbox.get(tick + group.delay)
+                if slot is None:
+                    slot = np.zeros(box_shape, dtype=bool)
+                    mailbox[tick + group.delay] = slot
+                slot[group.dst_core[route_idx], lane_idx, group.dst_axon[route_idx]] = (
+                    True
+                )
+
+            # 4. Record probes.
+            for name, (probe_cores, probe_neurons) in self._probes.items():
+                result.probe_spikes[name][:, tick, :] = fired[
+                    probe_cores, :, probe_neurons
+                ].T
+
+        self._potentials = potentials
+        self._mailbox = mailbox
+        return result
+
+
+__all__ = ["BatchEngine", "BatchSimulationResult", "normalize_batch_inputs"]

@@ -12,7 +12,9 @@ import numpy as np
 
 from repro.truenorth.system import NeurosynapticSystem
 from repro.truenorth.types import CORE_AXONS
-from repro.utils.rng import RngLike, resolve_rng
+from repro.utils.rng import RngLike, resolve_rng, spawn_generators
+
+ENGINES = ("reference", "batch")
 
 
 @dataclass
@@ -45,15 +47,41 @@ class SimulationResult:
 class Simulator:
     """Runs a system tick by tick, feeding inputs and recording probes.
 
+    Two interchangeable engines back the same API. The ``reference``
+    engine advances one core at a time through
+    :meth:`NeurosynapticCore.tick` and is the tick-accurate ground
+    truth. The ``batch`` engine (:mod:`repro.truenorth.engine`) compiles
+    the system into stacked arrays and evaluates whole batches of input
+    windows with one matmul per tick; the conformance suite proves its
+    rasters bit-identical to the reference. Single-lane :meth:`run`
+    results are bit-identical across engines for the same ``rng``;
+    :meth:`run_batch` lane ``i`` is bit-identical to a reference run
+    seeded with ``spawn_generators(rng, batch)[i]`` on either engine.
+
     Args:
         system: the fully configured system to simulate.
         rng: randomness source for stochastic neurons; pass a seed for
             reproducible runs.
+        engine: ``"reference"`` (default) or ``"batch"``.
     """
 
-    def __init__(self, system: NeurosynapticSystem, rng: RngLike = None) -> None:
+    def __init__(
+        self,
+        system: NeurosynapticSystem,
+        rng: RngLike = None,
+        engine: str = "reference",
+    ) -> None:
+        if engine not in ENGINES:
+            raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
         self.system = system
+        self.engine = engine
+        self._rng_spec = rng
         self._rng = resolve_rng(rng)
+        self._batch_engine = None
+        if engine == "batch":
+            from repro.truenorth.engine import BatchEngine
+
+            self._batch_engine = BatchEngine(system)
 
     def run(
         self,
@@ -80,8 +108,6 @@ class Simulator:
         """
         if ticks < 0:
             raise ValueError(f"ticks must be >= 0, got {ticks}")
-        if reset:
-            self.system.reset_state()
 
         ports = self.system.input_ports
         rasters: Dict[str, np.ndarray] = {}
@@ -95,6 +121,15 @@ class Simulator:
                     f"{ports[name].width}), got {arr.shape}"
                 )
             rasters[name] = arr
+
+        if self._batch_engine is not None:
+            batched = {name: arr[None] for name, arr in rasters.items()}
+            return self._batch_engine.run(
+                ticks, batched, [self._rng], reset=reset
+            ).lane(0)
+
+        if reset:
+            self.system.reset_state()
 
         probes = self.system.output_probes
         result = SimulationResult(
@@ -137,5 +172,72 @@ class Simulator:
 
         return result
 
+    def run_batch(
+        self,
+        ticks: int,
+        inputs: Optional[Mapping[str, np.ndarray]] = None,
+        batch: Optional[int] = None,
+        reset: bool = True,
+    ):
+        """Simulate ``batch`` independent input windows (lanes).
 
-__all__ = ["SimulationResult", "Simulator"]
+        Works on either engine with identical results: the batch engine
+        vectorizes across lanes, the reference engine falls back to one
+        sequential run per lane. Lane ``i`` consumes the random stream of
+        ``spawn_generators(rng, batch)[i]`` where ``rng`` is the
+        simulator's constructor argument, so lanes are mutually
+        independent and the two engines comparable bit for bit.
+
+        Args:
+            ticks: number of ticks to advance in every lane.
+            inputs: mapping from input-port name to a spike raster of
+                shape ``(ticks, width)`` (shared by all lanes) or
+                ``(batch, ticks, width)`` (per-lane).
+            batch: lane count; inferred from the first 3-D raster when
+                omitted.
+            reset: must be ``True`` — every lane starts from a reset
+                system; carrying state into a batch run is undefined.
+
+        Returns:
+            A :class:`repro.truenorth.engine.BatchSimulationResult`.
+
+        Raises:
+            ValueError: on ``reset=False``, unknown ports, misshapen
+                rasters, or an undeterminable batch size.
+        """
+        from repro.truenorth.engine import (
+            BatchSimulationResult,
+            normalize_batch_inputs,
+        )
+
+        if not reset:
+            raise ValueError("run_batch always starts from a reset state")
+        if ticks < 0:
+            raise ValueError(f"ticks must be >= 0, got {ticks}")
+        batch, rasters = normalize_batch_inputs(self.system, ticks, inputs, batch)
+        lane_rngs = spawn_generators(self._rng_spec, batch)
+
+        if self._batch_engine is not None:
+            return self._batch_engine.run(ticks, rasters, lane_rngs, reset=True)
+
+        result = BatchSimulationResult(
+            ticks=ticks,
+            batch=batch,
+            probe_spikes={
+                name: np.zeros((batch, ticks, probe.width), dtype=bool)
+                for name, probe in self.system.output_probes.items()
+            },
+            total_spikes=np.zeros(batch, dtype=np.int64),
+        )
+        for lane, lane_rng in enumerate(lane_rngs):
+            lane_inputs = {name: raster[lane] for name, raster in rasters.items()}
+            lane_result = Simulator(self.system, rng=lane_rng).run(
+                ticks, lane_inputs, reset=True
+            )
+            for name, raster in lane_result.probe_spikes.items():
+                result.probe_spikes[name][lane] = raster
+            result.total_spikes[lane] = lane_result.total_spikes
+        return result
+
+
+__all__ = ["ENGINES", "SimulationResult", "Simulator"]

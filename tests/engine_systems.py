@@ -1,0 +1,183 @@
+"""Shared system builders for the engine conformance and golden tests.
+
+Each :class:`EngineCase` describes one small :class:`NeurosynapticSystem`
+— corelet-built (pattern match, comparator, weighted sum, accumulator)
+or randomized (deterministic and stochastic neurons, multi-core routing
+with mixed delays) — together with the tick count and seeds under which
+the differential harness exercises it. Builders are pure functions of
+their seed so the reference engine, the batch engine, and the checked-in
+golden traces all see the identical system.
+"""
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from repro.corelets.library.accumulator import AccumulatorCorelet
+from repro.corelets.library.comparator import ComparatorCorelet
+from repro.corelets.library.pattern_match import (
+    PatternMatchCorelet,
+    gradient_templates,
+)
+from repro.corelets.library.weighted_sum import NeuronMode, WeightedSumCorelet
+from repro.truenorth.system import NeurosynapticSystem
+from repro.truenorth.types import NeuronParameters, ResetMode
+
+
+@dataclass(frozen=True)
+class EngineCase:
+    """One differential test scenario.
+
+    Attributes:
+        name: scenario id (also the golden-trace file stem).
+        build: zero-argument builder returning a fresh system with at
+            least one input port and one output probe.
+        ticks: ticks to simulate.
+        sim_seed: simulator seed (drives stochastic thresholds).
+        input_seed: seed of the random input rasters.
+        density: input spike density in ``[0, 1]``.
+    """
+
+    name: str
+    build: Callable[[], NeurosynapticSystem]
+    ticks: int
+    sim_seed: int = 123
+    input_seed: int = 7
+    density: float = 0.3
+
+
+def _corelet_system(corelet, name: str) -> NeurosynapticSystem:
+    system = NeurosynapticSystem(name)
+    built = corelet.build(system)
+    system.add_input_port("in", [[ref] for ref in built.inputs])
+    system.add_output_probe("out", list(built.outputs))
+    return system
+
+
+def _pattern_match() -> NeurosynapticSystem:
+    return _corelet_system(PatternMatchCorelet(gradient_templates()), "pattern-match")
+
+
+def _comparator() -> NeurosynapticSystem:
+    return _corelet_system(ComparatorCorelet(n_pairs=6, margin=2), "comparator")
+
+
+def _weighted_sum() -> NeurosynapticSystem:
+    rng = np.random.default_rng(11)
+    weights = rng.integers(-3, 4, size=(12, 8))
+    return _corelet_system(
+        WeightedSumCorelet(weights, threshold=2, mode=NeuronMode.RECT_RATE),
+        "weighted-sum",
+    )
+
+
+def _accumulator() -> NeurosynapticSystem:
+    return _corelet_system(
+        AccumulatorCorelet(group_sizes=(3, 5, 2, 6), threshold=2), "accumulator"
+    )
+
+
+def _random_system(
+    seed: int, n_cores: int, stochastic_fraction: float
+) -> NeurosynapticSystem:
+    """A randomized chain of cores with mixed reset modes and delays."""
+    system = NeurosynapticSystem(f"random-{seed}")
+    rng = np.random.default_rng(seed)
+    modes = [ResetMode.RESET, ResetMode.LINEAR, ResetMode.NONE]
+    for _ in range(n_cores):
+        core = system.new_core()
+        core.set_axon_types(rng.integers(0, 4, size=256))
+        core.set_crossbar(rng.random((256, 256)) < 0.08)
+        for neuron in range(256):
+            stochastic = rng.random() < stochastic_fraction
+            core.set_neuron(
+                neuron,
+                NeuronParameters(
+                    weights=tuple(int(w) for w in rng.integers(-3, 4, size=4)),
+                    threshold=int(rng.integers(1, 8)),
+                    leak=int(rng.integers(-2, 3)),
+                    reset_mode=modes[int(rng.integers(0, 3))],
+                    reset_potential=int(rng.integers(-4, 5)),
+                    floor=int(rng.integers(0, 16)),
+                    stochastic_threshold_bits=int(rng.integers(1, 4))
+                    if stochastic
+                    else 0,
+                ),
+            )
+    for src in range(n_cores - 1):
+        for neuron in rng.choice(256, size=96, replace=False):
+            system.add_route(
+                src,
+                int(neuron),
+                src + 1,
+                int(rng.integers(0, 256)),
+                delay=int(rng.integers(1, 16)),
+            )
+    system.add_input_port(
+        "in", [[(0, axon)] for axon in range(64)]
+    )
+    system.add_output_probe(
+        "out", [(n_cores - 1, neuron) for neuron in range(48)]
+    )
+    return system
+
+
+ENGINE_CASES: Tuple[EngineCase, ...] = (
+    EngineCase("pattern_match", _pattern_match, ticks=48),
+    EngineCase("comparator", _comparator, ticks=40),
+    EngineCase("weighted_sum", _weighted_sum, ticks=48),
+    EngineCase("accumulator", _accumulator, ticks=40),
+    EngineCase(
+        "random_deterministic",
+        lambda: _random_system(21, n_cores=2, stochastic_fraction=0.0),
+        ticks=36,
+    ),
+    EngineCase(
+        "random_stochastic",
+        lambda: _random_system(22, n_cores=3, stochastic_fraction=0.25),
+        ticks=36,
+    ),
+    EngineCase(
+        "single_core_stochastic",
+        lambda: _random_system(23, n_cores=1, stochastic_fraction=1.0),
+        ticks=32,
+    ),
+)
+
+CASES_BY_NAME: Dict[str, EngineCase] = {case.name: case for case in ENGINE_CASES}
+
+
+def shared_inputs(
+    system: NeurosynapticSystem, ticks: int, seed: int, density: float
+) -> Dict[str, np.ndarray]:
+    """Random 2-D ``(ticks, width)`` rasters for every input port."""
+    rng = np.random.default_rng(seed)
+    return {
+        name: rng.random((ticks, port.width)) < density
+        for name, port in system.input_ports.items()
+    }
+
+
+def batched_inputs(
+    system: NeurosynapticSystem,
+    ticks: int,
+    batch: int,
+    seed: int,
+    density: float,
+) -> Dict[str, np.ndarray]:
+    """Random per-lane 3-D ``(batch, ticks, width)`` rasters."""
+    rng = np.random.default_rng(seed)
+    return {
+        name: rng.random((batch, ticks, port.width)) < density
+        for name, port in system.input_ports.items()
+    }
+
+
+__all__ = [
+    "CASES_BY_NAME",
+    "ENGINE_CASES",
+    "EngineCase",
+    "batched_inputs",
+    "shared_inputs",
+]

@@ -1,0 +1,57 @@
+"""Regenerate the golden spike-trace fixtures.
+
+Run from the repository root after an *intentional* semantic change to
+the simulator:
+
+    PYTHONPATH=src:. python tests/fixtures/golden/generate.py
+
+Each fixture freezes the reference engine's probe rasters for one
+scenario of ``tests/engine_systems.py``, stored sparsely as
+``[tick, line]`` spike coordinates. ``test_golden_traces.py`` replays
+the scenarios through both engines against these files, so a regression
+is caught even if both engines drift together. Review a regenerated
+diff as carefully as a code change — it redefines correctness.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+GOLDEN_DIR = Path(__file__).resolve().parent
+
+
+def generate() -> None:
+    from repro.truenorth.simulator import Simulator
+
+    from tests.engine_systems import ENGINE_CASES, shared_inputs
+
+    for case in ENGINE_CASES:
+        simulator = Simulator(case.build(), rng=case.sim_seed)
+        inputs = shared_inputs(
+            simulator.system, case.ticks, case.input_seed, case.density
+        )
+        result = simulator.run(case.ticks, inputs)
+        payload = {
+            "case": case.name,
+            "ticks": case.ticks,
+            "sim_seed": case.sim_seed,
+            "input_seed": case.input_seed,
+            "density": case.density,
+            "total_spikes": result.total_spikes,
+            "probes": {
+                name: {
+                    "width": int(raster.shape[1]),
+                    "spikes": [
+                        [int(t), int(line)] for t, line in zip(*raster.nonzero())
+                    ],
+                }
+                for name, raster in result.probe_spikes.items()
+            },
+        }
+        path = GOLDEN_DIR / f"{case.name}.json"
+        path.write_text(json.dumps(payload, indent=1) + "\n")
+        print(f"wrote {path.relative_to(GOLDEN_DIR.parent.parent.parent)}")
+
+
+if __name__ == "__main__":
+    sys.exit(generate())

@@ -1,0 +1,144 @@
+"""Property-based tests (hypothesis) for the spike coding layer.
+
+Documented tolerances under test:
+
+- rate and burst coding round the value onto ``ticks`` levels, so
+  ``|decode(encode(x)) - x| <= 1 / (2 * ticks)`` exactly;
+- stochastic coding is a binomial estimate whose error concentrates as
+  ``sqrt(x (1 - x) / ticks)``; with a fixed seed we bound it loosely;
+- quantisation must be idempotent and monotone (order-preserving), and
+  count/fixed-point conversions must round-trip on the representable
+  grid.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.coding.burst import BurstEncoder
+from repro.coding.quantize import (
+    dequantize_counts,
+    from_fixed_point,
+    quantize_to_counts,
+    quantize_uniform,
+    to_fixed_point,
+)
+from repro.coding.rate import RateEncoder
+from repro.coding.stochastic import StochasticEncoder
+
+unit_values = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=0, max_value=24),
+    elements=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+)
+windows = st.integers(min_value=1, max_value=96)
+
+
+class TestEncoderRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(values=unit_values, ticks=windows)
+    def test_rate_round_trip_within_half_step(self, values, ticks):
+        encoder = RateEncoder(ticks)
+        raster = encoder.encode(values)
+        assert raster.shape == (ticks, values.size)
+        decoded = encoder.decode(raster)
+        assert np.all(np.abs(decoded - values) <= 0.5 / ticks + 1e-12)
+
+    @settings(max_examples=60, deadline=None)
+    @given(values=unit_values, ticks=windows)
+    def test_burst_round_trip_within_half_step(self, values, ticks):
+        encoder = BurstEncoder(ticks)
+        decoded = encoder.decode(encoder.encode(values))
+        assert np.all(np.abs(decoded - values) <= 0.5 / ticks + 1e-12)
+
+    @settings(max_examples=60, deadline=None)
+    @given(values=unit_values, ticks=windows)
+    def test_rate_and_burst_decode_identically(self, values, ticks):
+        rate, burst = RateEncoder(ticks), BurstEncoder(ticks)
+        np.testing.assert_array_equal(
+            rate.decode(rate.encode(values)), burst.decode(burst.encode(values))
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(values=unit_values, seed=st.integers(min_value=0, max_value=2**31))
+    def test_stochastic_round_trip_within_binomial_bound(self, values, seed):
+        # 6 standard errors of the binomial estimator plus the half-step:
+        # astronomically unlikely to trip for a correct encoder, and
+        # deterministic per (values, seed) example.
+        ticks = 256
+        encoder = StochasticEncoder(ticks)
+        decoded = encoder.decode(encoder.encode(values, rng=seed))
+        sigma = np.sqrt(values * (1.0 - values) / ticks)
+        assert np.all(np.abs(decoded - values) <= 6.0 * sigma + 0.5 / ticks)
+
+    @settings(max_examples=40, deadline=None)
+    @given(values=unit_values, seed=st.integers(min_value=0, max_value=2**31))
+    def test_stochastic_encode_is_reproducible(self, values, seed):
+        encoder = StochasticEncoder(16)
+        np.testing.assert_array_equal(
+            encoder.encode(values, rng=seed), encoder.encode(values, rng=seed)
+        )
+
+
+class TestQuantizeProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(values=unit_values, levels=st.integers(min_value=2, max_value=257))
+    def test_quantize_uniform_idempotent(self, values, levels):
+        once = quantize_uniform(values, levels)
+        np.testing.assert_array_equal(quantize_uniform(once, levels), once)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        a=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        b=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        levels=st.integers(min_value=2, max_value=257),
+    )
+    def test_quantize_uniform_monotone(self, a, b, levels):
+        lo, hi = min(a, b), max(a, b)
+        qlo, qhi = quantize_uniform(np.array([lo, hi]), levels)
+        assert qlo <= qhi
+
+    @settings(max_examples=60, deadline=None)
+    @given(values=unit_values, levels=st.integers(min_value=2, max_value=257))
+    def test_quantize_uniform_error_within_half_step(self, values, levels):
+        step = 1.0 / (levels - 1)
+        err = np.abs(quantize_uniform(values, levels) - values)
+        assert np.all(err <= step / 2 + 1e-12)
+
+    @settings(max_examples=60, deadline=None)
+    @given(values=unit_values, window=windows)
+    def test_counts_round_trip_is_idempotent(self, values, window):
+        counts = quantize_to_counts(values, window)
+        assert counts.dtype == np.int64
+        assert np.all((counts >= 0) & (counts <= window))
+        recovered = dequantize_counts(counts, window)
+        np.testing.assert_array_equal(
+            quantize_to_counts(recovered, window), counts
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        values=unit_values,
+        a=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        b=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        window=windows,
+    )
+    def test_counts_monotone(self, values, a, b, window):
+        del values
+        lo, hi = min(a, b), max(a, b)
+        qlo, qhi = quantize_to_counts(np.array([lo, hi]), window)
+        assert qlo <= qhi
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        raw=hnp.arrays(
+            dtype=np.int64,
+            shape=st.integers(min_value=0, max_value=24),
+            elements=st.integers(min_value=-(2**20), max_value=2**20),
+        ),
+        bits=st.integers(min_value=0, max_value=12),
+    )
+    def test_fixed_point_round_trip_exact_on_grid(self, raw, bits):
+        values = from_fixed_point(raw, bits)
+        np.testing.assert_array_equal(to_fixed_point(values, bits), raw)

@@ -111,3 +111,38 @@ class TestNMS:
         iou = box_iou(boxes[kept], boxes[kept])
         np.fill_diagonal(iou, 0.0)
         assert iou.max(initial=0.0) <= 0.3 + 1e-9
+
+
+class TestNmsEdgeCases:
+    """Degenerate inputs the batched detection pipeline now exercises."""
+
+    def test_single_box_always_kept(self):
+        kept = non_maximum_suppression(
+            np.array([[3.0, 4.0, 10.0, 20.0]]), np.array([-2.5])
+        )
+        assert kept == [0]
+
+    def test_fully_overlapping_boxes_keep_only_best(self):
+        boxes = np.tile(np.array([[0.0, 0.0, 10.0, 10.0]]), (5, 1))
+        scores = np.array([0.1, 0.9, 0.3, 0.5, 0.2])
+        assert non_maximum_suppression(boxes, scores) == [1]
+
+    def test_fully_overlapping_tie_keeps_one(self):
+        boxes = np.tile(np.array([[1.0, 1.0, 8.0, 8.0]]), (3, 1))
+        scores = np.zeros(3)
+        assert len(non_maximum_suppression(boxes, scores)) == 1
+
+    def test_zero_area_boxes_do_not_suppress_each_other(self):
+        boxes = np.array([[0.0, 0.0, 0.0, 0.0], [0.0, 0.0, 0.0, 0.0]])
+        kept = non_maximum_suppression(boxes, np.array([1.0, 0.5]))
+        assert sorted(kept) == [0, 1]
+
+    def test_epsilon_one_keeps_partial_overlaps(self):
+        boxes = np.array([[0.0, 0.0, 10.0, 10.0], [1.0, 1.0, 10.0, 10.0]])
+        kept = non_maximum_suppression(boxes, np.array([1.0, 0.9]), epsilon=1.0)
+        assert sorted(kept) == [0, 1]
+
+    def test_epsilon_zero_suppresses_any_overlap(self):
+        boxes = np.array([[0.0, 0.0, 10.0, 10.0], [9.0, 9.0, 10.0, 10.0]])
+        kept = non_maximum_suppression(boxes, np.array([1.0, 0.9]), epsilon=0.0)
+        assert kept == [0]

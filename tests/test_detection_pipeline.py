@@ -7,6 +7,7 @@ from repro.detection import (
     EednBinaryScorer,
     SlidingWindowDetector,
     SpikingBinaryScorer,
+    TrueNorthBinaryScorer,
 )
 from repro.eedn import (
     EednNetwork,
@@ -175,3 +176,43 @@ class TestScorers:
         )
         assert margins.shape == (3,)
         assert np.abs(margins).max() <= 8
+
+    def _small_classifier(self):
+        return EednNetwork(
+            [
+                TrinaryDense(36, 16, rng=0),
+                ThresholdActivation(0.0),
+                TrinaryDense(16, 2, rng=1),
+            ]
+        )
+
+    def test_truenorth_scorer_engines_agree_bitwise(self):
+        features = np.random.default_rng(2).random((6, 36))
+        margins = {
+            engine: TrueNorthBinaryScorer(
+                self._small_classifier(), ticks=8, rng=5, engine=engine
+            ).decision_function(features)
+            for engine in ("batch", "reference")
+        }
+        np.testing.assert_array_equal(margins["batch"], margins["reference"])
+        assert margins["batch"].shape == (6,)
+        assert np.abs(margins["batch"]).max() <= 8
+
+    def test_truenorth_scorer_empty_chunk(self):
+        scorer = TrueNorthBinaryScorer(self._small_classifier(), ticks=4, rng=0)
+        assert scorer.decision_function(np.zeros((0, 36))).shape == (0,)
+
+    def test_truenorth_scorer_validates_width(self):
+        scorer = TrueNorthBinaryScorer(self._small_classifier(), ticks=4, rng=0)
+        with pytest.raises(ValueError, match="features"):
+            scorer.decision_function(np.zeros((2, 7)))
+
+    def test_truenorth_scorer_deterministic_per_seed(self):
+        features = np.random.default_rng(3).random((4, 36))
+        first = TrueNorthBinaryScorer(
+            self._small_classifier(), ticks=8, rng=11
+        ).decision_function(features)
+        second = TrueNorthBinaryScorer(
+            self._small_classifier(), ticks=8, rng=11
+        ).decision_function(features)
+        np.testing.assert_array_equal(first, second)

@@ -65,3 +65,25 @@ class TestPyramid:
     def test_iterable(self):
         image = np.zeros((160, 160))
         assert len(list(ImagePyramid(image))) >= 1
+
+
+class TestPyramidEdgeCases:
+    """Degenerate shapes the batched detection pipeline now exercises."""
+
+    def test_image_exactly_window_sized_has_one_level(self):
+        levels = ImagePyramid(np.zeros((128, 64)), window_shape=(128, 64)).levels()
+        assert len(levels) == 1
+        assert levels[0].scale == 1.0
+        assert levels[0].image.shape == (128, 64)
+
+    def test_image_one_pixel_short_in_height(self):
+        assert ImagePyramid(np.zeros((127, 64)), window_shape=(128, 64)).levels() == []
+
+    def test_image_one_pixel_short_in_width(self):
+        assert ImagePyramid(np.zeros((128, 63)), window_shape=(128, 64)).levels() == []
+
+    def test_empty_image(self):
+        assert ImagePyramid(np.zeros((0, 0)), window_shape=(8, 8)).levels() == []
+
+    def test_iterating_smaller_than_window_is_empty(self):
+        assert list(ImagePyramid(np.zeros((4, 4)), window_shape=(8, 8))) == []

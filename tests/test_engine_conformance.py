@@ -1,0 +1,223 @@
+"""Differential conformance: batch engine vs the tick-accurate reference.
+
+The batch engine is only trustworthy if it is *bit-identical* to the
+reference simulator — the software analogue of the paper's >99.5 % HW/SW
+correlation methodology, tightened to exact equality. Every scenario in
+``tests/engine_systems.py`` (corelet-built and randomized, deterministic
+and stochastic) is run through both engines at batch sizes 1, 7, and 32
+with fixed seeds, comparing full probe rasters and total spike counts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.truenorth.engine import BatchEngine, normalize_batch_inputs
+from repro.truenorth.simulator import Simulator
+from repro.utils.rng import spawn_generators
+
+from tests.engine_systems import (
+    CASES_BY_NAME,
+    ENGINE_CASES,
+    batched_inputs,
+    shared_inputs,
+)
+
+CASE_NAMES = [case.name for case in ENGINE_CASES]
+BATCH_SIZES = [1, 7, 32]
+
+
+def _case(name):
+    return CASES_BY_NAME[name]
+
+
+class TestSingleRunConformance:
+    @pytest.mark.parametrize("name", CASE_NAMES)
+    def test_run_is_bit_identical(self, name):
+        case = _case(name)
+        reference = Simulator(case.build(), rng=case.sim_seed)
+        batch = Simulator(case.build(), rng=case.sim_seed, engine="batch")
+        inputs = shared_inputs(
+            reference.system, case.ticks, case.input_seed, case.density
+        )
+
+        ref = reference.run(case.ticks, inputs)
+        got = batch.run(case.ticks, inputs)
+
+        assert ref.probe_spikes.keys() == got.probe_spikes.keys()
+        for probe, raster in ref.probe_spikes.items():
+            np.testing.assert_array_equal(raster, got.probe_spikes[probe])
+        assert ref.total_spikes == got.total_spikes
+
+    @pytest.mark.parametrize("name", ["comparator", "random_stochastic"])
+    def test_reset_false_continuation_matches(self, name):
+        case = _case(name)
+        reference = Simulator(case.build(), rng=case.sim_seed)
+        batch = Simulator(case.build(), rng=case.sim_seed, engine="batch")
+        inputs = shared_inputs(
+            reference.system, case.ticks, case.input_seed, case.density
+        )
+
+        for sim in (reference, batch):
+            sim.run(case.ticks, inputs)
+        # The second run continues membrane potentials AND spikes still in
+        # flight in the router mailbox.
+        ref = reference.run(case.ticks, inputs, reset=False)
+        got = batch.run(case.ticks, inputs, reset=False)
+        for probe, raster in ref.probe_spikes.items():
+            np.testing.assert_array_equal(raster, got.probe_spikes[probe])
+        assert ref.total_spikes == got.total_spikes
+
+
+class TestBatchRunConformance:
+    @pytest.mark.parametrize("batch", BATCH_SIZES)
+    @pytest.mark.parametrize("name", CASE_NAMES)
+    def test_run_batch_is_bit_identical(self, name, batch):
+        case = _case(name)
+        reference = Simulator(case.build(), rng=case.sim_seed)
+        vectorized = Simulator(case.build(), rng=case.sim_seed, engine="batch")
+        inputs = batched_inputs(
+            reference.system, case.ticks, batch, case.input_seed, case.density
+        )
+
+        ref = reference.run_batch(case.ticks, inputs)
+        got = vectorized.run_batch(case.ticks, inputs)
+
+        assert ref.batch == got.batch == batch
+        assert ref.probe_spikes.keys() == got.probe_spikes.keys()
+        for probe, raster in ref.probe_spikes.items():
+            np.testing.assert_array_equal(raster, got.probe_spikes[probe])
+        np.testing.assert_array_equal(ref.total_spikes, got.total_spikes)
+
+    @pytest.mark.parametrize("name", ["weighted_sum", "random_stochastic"])
+    def test_lane_equals_spawned_reference_run(self, name):
+        """Lane i of a batch run == a reference run seeded with spawn[i]."""
+        case = _case(name)
+        batch = 5
+        vectorized = Simulator(case.build(), rng=case.sim_seed, engine="batch")
+        inputs = batched_inputs(
+            vectorized.system, case.ticks, batch, case.input_seed, case.density
+        )
+        result = vectorized.run_batch(case.ticks, inputs)
+
+        lanes = spawn_generators(case.sim_seed, batch)
+        for lane in range(batch):
+            lane_inputs = {name_: arr[lane] for name_, arr in inputs.items()}
+            ref = Simulator(case.build(), rng=lanes[lane]).run(
+                case.ticks, lane_inputs
+            )
+            single = result.lane(lane)
+            for probe, raster in ref.probe_spikes.items():
+                np.testing.assert_array_equal(raster, single.probe_spikes[probe])
+            assert ref.total_spikes == single.total_spikes
+
+    def test_shared_raster_broadcasts_to_every_lane(self):
+        """A 2-D raster feeds every lane; deterministic lanes agree."""
+        case = _case("accumulator")
+        sim = Simulator(case.build(), rng=0, engine="batch")
+        inputs = shared_inputs(sim.system, case.ticks, case.input_seed, case.density)
+        result = sim.run_batch(case.ticks, inputs, batch=4)
+        raster = result.probe_spikes["out"]
+        for lane in range(1, 4):
+            np.testing.assert_array_equal(raster[0], raster[lane])
+
+    def test_stochastic_lanes_are_independent(self):
+        case = _case("single_core_stochastic")
+        sim = Simulator(case.build(), rng=9, engine="batch")
+        inputs = shared_inputs(sim.system, case.ticks, case.input_seed, case.density)
+        result = sim.run_batch(case.ticks, inputs, batch=4)
+        raster = result.probe_spikes["out"]
+        assert any(
+            not np.array_equal(raster[0], raster[lane]) for lane in range(1, 4)
+        )
+
+
+class TestDeterminism:
+    """Same seed, same system, same inputs => identical results.
+
+    This is what the SeedSequence-based lane spawning buys: the two
+    engines derive their stochastic streams from the seed alone, never
+    from shared mutable generator state.
+    """
+
+    @pytest.mark.parametrize("engine", ["reference", "batch"])
+    @pytest.mark.parametrize("name", ["random_stochastic", "single_core_stochastic"])
+    def test_same_seed_runs_identical(self, name, engine):
+        case = _case(name)
+        inputs = shared_inputs(
+            case.build(), case.ticks, case.input_seed, case.density
+        )
+        results = [
+            Simulator(case.build(), rng=case.sim_seed, engine=engine).run(
+                case.ticks, inputs
+            )
+            for _ in range(2)
+        ]
+        for probe, raster in results[0].probe_spikes.items():
+            np.testing.assert_array_equal(raster, results[1].probe_spikes[probe])
+        assert results[0].total_spikes == results[1].total_spikes
+
+    @pytest.mark.parametrize("engine", ["reference", "batch"])
+    def test_same_seed_batch_runs_identical(self, engine):
+        case = _case("random_stochastic")
+        inputs = batched_inputs(
+            case.build(), case.ticks, 4, case.input_seed, case.density
+        )
+        results = [
+            Simulator(case.build(), rng=case.sim_seed, engine=engine).run_batch(
+                case.ticks, inputs
+            )
+            for _ in range(2)
+        ]
+        for probe, raster in results[0].probe_spikes.items():
+            np.testing.assert_array_equal(raster, results[1].probe_spikes[probe])
+        np.testing.assert_array_equal(
+            results[0].total_spikes, results[1].total_spikes
+        )
+
+
+class TestBatchApiValidation:
+    @pytest.mark.parametrize("engine", ["reference", "batch"])
+    def test_run_batch_rejects_reset_false(self, engine):
+        case = _case("accumulator")
+        sim = Simulator(case.build(), rng=0, engine=engine)
+        with pytest.raises(ValueError, match="reset"):
+            sim.run_batch(4, batch=2, reset=False)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            Simulator(_case("accumulator").build(), engine="warp")
+
+    def test_batch_size_must_be_inferable(self):
+        case = _case("accumulator")
+        sim = Simulator(case.build(), rng=0, engine="batch")
+        inputs = shared_inputs(sim.system, 4, 0, 0.5)
+        with pytest.raises(ValueError, match="batch"):
+            sim.run_batch(4, inputs)
+
+    def test_inconsistent_lane_counts_rejected(self):
+        system = _case("accumulator").build()
+        with pytest.raises(ValueError, match="batch"):
+            normalize_batch_inputs(
+                system, 4, {"in": np.zeros((3, 4, 16), dtype=bool)}, batch=2
+            )
+
+    def test_misshapen_raster_rejected(self):
+        system = _case("accumulator").build()
+        with pytest.raises(ValueError, match="raster"):
+            normalize_batch_inputs(
+                system, 4, {"in": np.zeros((4, 99), dtype=bool)}, batch=1
+            )
+
+    def test_reset_false_with_changed_batch_rejected(self):
+        case = _case("accumulator")
+        engine = BatchEngine(case.build())
+        engine.run(2, {}, spawn_generators(0, 3))
+        with pytest.raises(ValueError, match="batch"):
+            engine.run(2, {}, spawn_generators(0, 2), reset=False)
+
+    def test_zero_ticks(self):
+        case = _case("accumulator")
+        sim = Simulator(case.build(), rng=0, engine="batch")
+        result = sim.run_batch(0, batch=2)
+        assert result.probe_spikes["out"].shape == (2, 0, 4)
+        np.testing.assert_array_equal(result.total_spikes, [0, 0])

@@ -1,0 +1,66 @@
+"""Replay the checked-in golden spike traces through both engines.
+
+The differential conformance suite proves the two engines agree with
+*each other*; these fixtures pin them to rasters recorded at a known-good
+revision, so a semantic regression is caught even if both engines drift
+together. Regenerate intentionally with
+``PYTHONPATH=src:. python tests/fixtures/golden/generate.py``.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.truenorth.simulator import Simulator
+
+from tests.engine_systems import CASES_BY_NAME, shared_inputs
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "fixtures" / "golden"
+GOLDEN_FILES = sorted(GOLDEN_DIR.glob("*.json"))
+
+
+def _load(path):
+    return json.loads(path.read_text())
+
+
+def _golden_rasters(payload):
+    rasters = {}
+    for name, probe in payload["probes"].items():
+        raster = np.zeros((payload["ticks"], probe["width"]), dtype=bool)
+        for tick, line in probe["spikes"]:
+            raster[tick, line] = True
+        rasters[name] = raster
+    return rasters
+
+
+def test_every_case_has_a_golden_trace():
+    assert {path.stem for path in GOLDEN_FILES} == set(CASES_BY_NAME)
+
+
+@pytest.mark.parametrize("engine", ["reference", "batch"])
+@pytest.mark.parametrize(
+    "path", GOLDEN_FILES, ids=[path.stem for path in GOLDEN_FILES]
+)
+def test_engine_reproduces_golden_trace(path, engine):
+    payload = _load(path)
+    case = CASES_BY_NAME[payload["case"]]
+    assert case.ticks == payload["ticks"], "fixture is stale; regenerate"
+    assert (case.sim_seed, case.input_seed, case.density) == (
+        payload["sim_seed"],
+        payload["input_seed"],
+        payload["density"],
+    ), "fixture is stale; regenerate"
+
+    simulator = Simulator(case.build(), rng=case.sim_seed, engine=engine)
+    inputs = shared_inputs(
+        simulator.system, case.ticks, case.input_seed, case.density
+    )
+    result = simulator.run(case.ticks, inputs)
+
+    expected = _golden_rasters(payload)
+    assert result.probe_spikes.keys() == expected.keys()
+    for name, raster in expected.items():
+        np.testing.assert_array_equal(result.probe_spikes[name], raster)
+    assert result.total_spikes == payload["total_spikes"]

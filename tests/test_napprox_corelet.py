@@ -93,3 +93,35 @@ class TestValidationHarness:
     def test_requires_two_cells(self):
         with pytest.raises(ValueError):
             correlate_corelet_vs_software(n_cells=1)
+
+
+class TestBatchExtraction:
+    def test_extract_batch_matches_extract(self, runner):
+        rng = np.random.default_rng(6)
+        patches = rng.random((3, 10, 10))
+        singles = np.stack([runner.extract(patch) for patch in patches])
+        np.testing.assert_array_equal(runner.extract_batch(patches), singles)
+
+    def test_batch_engine_matches_reference_runner(self, runner):
+        rng = np.random.default_rng(8)
+        patches = rng.random((3, 10, 10))
+        batch_runner = NApproxCellRunner(window=32, rng=0, engine="batch")
+        np.testing.assert_array_equal(
+            batch_runner.extract_batch(patches), runner.extract_batch(patches)
+        )
+
+    def test_batch_engine_single_extract_matches(self, runner):
+        patch = np.tile(np.linspace(0.1, 0.9, 10), (10, 1))
+        batch_runner = NApproxCellRunner(window=32, rng=0, engine="batch")
+        np.testing.assert_array_equal(
+            batch_runner.extract(patch), runner.extract(patch)
+        )
+
+    def test_empty_batch(self, runner):
+        assert runner.extract_batch(np.zeros((0, 10, 10))).shape == (0, 18)
+
+    def test_batch_validation(self, runner):
+        with pytest.raises(ValueError):
+            runner.extract_batch(np.zeros((2, 9, 10)))
+        with pytest.raises(ValueError):
+            runner.extract_batch(np.full((1, 10, 10), 1.5))

@@ -123,6 +123,76 @@ class TestExtractor:
             ParrotExtractor(network, ParrotFeatureConfig(spikes=0))
 
 
+class TestTrueNorthBackend:
+    def test_engines_agree_bitwise(self, tiny_parrot):
+        network, _, _ = tiny_parrot
+        cells = np.random.default_rng(3).random((4, 64))
+        histograms = {
+            engine: ParrotExtractor(
+                network,
+                ParrotFeatureConfig(spikes=4),
+                rng=7,
+                backend="truenorth",
+                engine=engine,
+            ).cell_histograms_batch(cells)
+            for engine in ("batch", "reference")
+        }
+        np.testing.assert_array_equal(
+            histograms["batch"], histograms["reference"]
+        )
+        assert histograms["batch"].shape == (4, N_DIRECTIONS)
+
+    def test_histograms_commensurate_with_counts(self, tiny_parrot):
+        network, _, _ = tiny_parrot
+        extractor = ParrotExtractor(
+            network, ParrotFeatureConfig(spikes=4), rng=0, backend="truenorth"
+        )
+        histograms = extractor.cell_histograms_batch(
+            np.random.default_rng(4).random((3, 64))
+        )
+        # 4-tick rates are multiples of 1/4 scaled by 64.
+        assert np.allclose(histograms % 16.0, 0.0)
+        assert histograms.min() >= 0.0 and histograms.max() <= 64.0
+
+    def test_cell_grid_shape(self, tiny_parrot):
+        network, _, _ = tiny_parrot
+        extractor = ParrotExtractor(
+            network, ParrotFeatureConfig(spikes=2), rng=0, backend="truenorth"
+        )
+        grid = extractor.cell_grid(np.random.default_rng(5).random((16, 24)))
+        assert grid.shape == (2, 3, N_DIRECTIONS)
+
+    def test_empty_batch(self, tiny_parrot):
+        network, _, _ = tiny_parrot
+        extractor = ParrotExtractor(
+            network, ParrotFeatureConfig(spikes=2), rng=0, backend="truenorth"
+        )
+        assert extractor.cell_histograms_batch(np.zeros((0, 64))).shape == (
+            0,
+            N_DIRECTIONS,
+        )
+
+    def test_copies_preserve_backend(self, tiny_parrot):
+        network, _, _ = tiny_parrot
+        extractor = ParrotExtractor(
+            network, ParrotFeatureConfig(spikes=2), rng=0, backend="truenorth"
+        )
+        assert extractor.with_normalization("l2").backend == "truenorth"
+        assert extractor.with_spikes(4).backend == "truenorth"
+        # Dropping spike coding forces the analog numpy path.
+        assert extractor.with_spikes(None).backend == "numpy"
+
+    def test_requires_spike_coding(self, tiny_parrot):
+        network, _, _ = tiny_parrot
+        with pytest.raises(ValueError, match="spikes"):
+            ParrotExtractor(network, ParrotFeatureConfig(), backend="truenorth")
+
+    def test_rejects_unknown_backend(self, tiny_parrot):
+        network, _, _ = tiny_parrot
+        with pytest.raises(ValueError, match="backend"):
+            ParrotExtractor(network, backend="fpga")
+
+
 class TestFidelity:
     def test_analog_beats_one_spike(self, tiny_parrot_extractor):
         analog = parrot_fidelity(tiny_parrot_extractor, n_cells=80, rng=9)

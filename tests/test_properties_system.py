@@ -58,7 +58,10 @@ class TestWeightedSumProperties:
         matrix = np.array(weights, dtype=np.int64)[:, None]
         corelet = WeightedSumCorelet(matrix, threshold=1)
         program = compile_corelet(corelet)
-        raster = np.zeros((window + 3 * window, len(weights)), dtype=bool)
+        # The output neuron drains at most one spike per tick, so the
+        # raster must outlast the worst-case count max|w| * n * window.
+        drain = 3 * len(weights) * window + 8
+        raster = np.zeros((window + drain, len(weights)), dtype=bool)
         raster[:window] = RateEncoder(window).encode(values)
         result = Simulator(program.system, rng=0).run(
             raster.shape[0], {"in": raster}

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.utils.rng import resolve_rng, spawn_rng
+from repro.utils.rng import resolve_rng, spawn_generators, spawn_rng
 
 
 class TestResolveRng:
@@ -47,3 +47,50 @@ class TestSpawnRng:
         a = spawn_rng(3, 2).integers(0, 10**9, 5)
         b = spawn_rng(3, 2).integers(0, 10**9, 5)
         assert np.array_equal(a, b)
+
+    def test_distinct_indices_never_collide(self):
+        # The old arithmetic derivation could alias children; SeedSequence
+        # spawn keys cannot. Draw from many children of one seed.
+        draws = [spawn_rng(5, index).integers(0, 10**12, 4) for index in range(64)]
+        unique = {tuple(d) for d in draws}
+        assert len(unique) == len(draws)
+
+    def test_rejects_negative_index(self):
+        with pytest.raises(ValueError):
+            spawn_rng(0, -1)
+
+    def test_rejects_bad_type(self):
+        with pytest.raises(TypeError):
+            spawn_rng(1.5, 0)
+
+
+class TestSpawnGenerators:
+    def test_same_seed_gives_identical_streams(self):
+        first = spawn_generators(9, 4)
+        second = spawn_generators(9, 4)
+        for a, b in zip(first, second):
+            assert np.array_equal(a.integers(0, 10**9, 8), b.integers(0, 10**9, 8))
+
+    def test_lanes_are_mutually_independent(self):
+        lanes = spawn_generators(9, 8)
+        draws = {tuple(lane.integers(0, 10**12, 4)) for lane in lanes}
+        assert len(draws) == 8
+
+    def test_generator_parent_spawns_fresh_children(self):
+        parent = np.random.default_rng(0)
+        first = spawn_generators(parent, 2)
+        second = spawn_generators(parent, 2)
+        a = first[0].integers(0, 10**12, 4)
+        b = second[0].integers(0, 10**12, 4)
+        assert not np.array_equal(a, b)
+
+    def test_zero_lanes(self):
+        assert spawn_generators(0, 0) == []
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+    def test_rejects_bad_type(self):
+        with pytest.raises(TypeError):
+            spawn_generators("seed", 2)
