@@ -35,7 +35,9 @@ def windows():
 
 def _probe_accuracy(extractor, windows):
     pos_tr, neg_tr, pos_te, neg_te = windows
-    features = lambda batch: np.stack([extractor.compute(w) for w in batch])
+    def features(batch):
+        return np.stack([extractor.compute(w) for w in batch])
+
     x_train = np.vstack([features(pos_tr), features(neg_tr)])
     y_train = np.concatenate([np.ones(len(pos_tr)), -np.ones(len(neg_tr))])
     model = LinearSVM(C=0.1, epochs=15, rng=0).fit(x_train, y_train)

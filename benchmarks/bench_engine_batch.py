@@ -8,7 +8,9 @@ tick); the reference engine advances core by core, window by window.
 Conformance is asserted on the benchmarked outputs themselves before any
 timing is reported.
 
-Run standalone (no pytest-benchmark dependency, wall-clock timing):
+Run standalone (no pytest-benchmark dependency, wall-clock timing;
+machine-readable results go to ``BENCH_engine.json`` at the repo root so
+the perf trajectory is tracked across PRs):
 
     PYTHONPATH=src python benchmarks/bench_engine_batch.py --quick
 
@@ -17,12 +19,16 @@ Run standalone (no pytest-benchmark dependency, wall-clock timing):
 """
 
 import argparse
+import json
 import sys
 import time
+from pathlib import Path
 
 import numpy as np
 
 from repro.napprox.corelet_impl import NApproxCellRunner
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 def _time(fn):
@@ -32,7 +38,12 @@ def _time(fn):
 
 
 def run_bench(
-    window: int, batch: int, ref_windows: int, check: bool, min_speedup: float
+    window: int,
+    batch: int,
+    ref_windows: int,
+    check: bool,
+    min_speedup: float,
+    output: str = None,
 ) -> int:
     rng = np.random.default_rng(0)
     patches = rng.random((batch, 10, 10))
@@ -69,6 +80,24 @@ def run_bench(
     )
     print(f"speedup: {speedup:.1f}x (outputs bit-identical)")
 
+    payload = {
+        "benchmark": "bench_engine_batch",
+        "workload": {
+            "kind": "napprox-cell",
+            "window": window,
+            "ticks": ticks,
+            "cores": batch_runner.core_count,
+        },
+        "batch_size": batch,
+        "reference_windows_per_second": ref_rate,
+        "batch_windows_per_second": batch_rate,
+        "speedup": speedup,
+        "bit_identical": True,
+    }
+    path = Path(output) if output else REPO_ROOT / "BENCH_engine.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {path}")
+
     if check and speedup < min_speedup:
         print(f"FAIL: speedup {speedup:.1f}x < required {min_speedup}x", file=sys.stderr)
         return 1
@@ -92,12 +121,21 @@ def main() -> int:
         help="exit non-zero when the speedup misses --min-speedup",
     )
     parser.add_argument("--min-speedup", type=float, default=5.0)
+    parser.add_argument(
+        "--output", default=None,
+        help="JSON result path (default: BENCH_engine.json at repo root)",
+    )
     args = parser.parse_args()
     if args.quick:
         args.window = min(args.window, 32)
         args.ref_windows = min(args.ref_windows, 3)
     return run_bench(
-        args.window, args.batch, args.ref_windows, args.check, args.min_speedup
+        args.window,
+        args.batch,
+        args.ref_windows,
+        args.check,
+        args.min_speedup,
+        args.output,
     )
 
 

@@ -1,0 +1,175 @@
+"""Sustained req/s: micro-batching service vs sequential per-request scoring.
+
+The workload is the NApprox cell unit — 10x10 pixel patches through the
+22-core HoG cell module — served as concurrent single-patch requests.
+The baseline is what a naive deployment does: one engine call per
+request, no coalescing. The service wins by draining the bounded queue
+into micro-batches for the PR-1 vectorized engine, so the per-tick cost
+is amortised across every in-flight request.
+
+Conformance is asserted before timing: served histograms must be
+bit-identical to direct ``extract_batch`` calls.
+
+Run standalone (wall-clock timing, machine-readable JSON to
+``BENCH_serve.json`` at the repo root):
+
+    PYTHONPATH=src python benchmarks/bench_serve.py --quick
+
+``--quick`` keeps the run within a CI smoke budget; ``--check`` exits
+non-zero below the acceptance speedup of 4x at concurrency 32.
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.serve import (
+    InferenceService,
+    NApproxCellModel,
+    closed_loop,
+    random_patch_rows,
+    sequential_baseline,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def run_bench(args) -> int:
+    model = NApproxCellModel(window=args.window, engine="batch")
+    rows = random_patch_rows(
+        args.requests, rng=0, duplicate_fraction=args.duplicate_fraction
+    )
+
+    service = InferenceService(
+        model,
+        max_batch_size=args.max_batch_size,
+        max_wait_ms=args.max_wait_ms,
+        queue_capacity=args.queue_capacity,
+        cache_capacity=args.cache_capacity,
+    )
+    with service:
+        # Conformance gate: served results must be bit-identical to the
+        # direct engine call on the same patches.
+        probe = rows[: min(8, len(rows))]
+        served = service.score_many(probe)
+        direct = model(probe)
+        if not np.array_equal(served, direct):
+            print("FAIL: served results differ from direct calls", file=sys.stderr)
+            return 2
+        if service.cache is not None:
+            service.cache.clear()  # the probe must not pre-warm the run
+
+        report = closed_loop(
+            service, rows, concurrency=args.concurrency, chunk_size=1
+        )
+        snapshot = service.stats.snapshot()
+
+    seq_rows = rows[: args.sequential_requests]
+    started = time.perf_counter()
+    sequential_baseline(model, seq_rows)
+    seq_seconds = time.perf_counter() - started
+    seq_rate = len(seq_rows) / seq_seconds
+
+    speedup = report.requests_per_second / seq_rate if seq_rate else 0.0
+    print(
+        f"workload: NApprox cell window={args.window} "
+        f"({model.runner.core_count} cores)"
+    )
+    print(
+        f"sequential: {len(seq_rows):4d} requests in {seq_seconds:6.2f}s "
+        f"= {seq_rate:7.2f} req/s"
+    )
+    print(
+        f"service(c={args.concurrency}): {report.completed:4d} requests in "
+        f"{report.seconds:6.2f}s = {report.requests_per_second:7.2f} req/s"
+    )
+    print(
+        f"speedup: {speedup:.1f}x  "
+        f"(mean batch {snapshot['mean_batch_size']:.1f}, "
+        f"p99 latency {snapshot['latency_ms']['p99']:.1f} ms, "
+        f"accounted={report.accounted})"
+    )
+
+    payload = {
+        "benchmark": "bench_serve",
+        "workload": {
+            "kind": "napprox-cell",
+            "window": args.window,
+            "cores": model.runner.core_count,
+            "requests": args.requests,
+            "duplicate_fraction": args.duplicate_fraction,
+        },
+        "service": {
+            "concurrency": args.concurrency,
+            "max_batch_size": args.max_batch_size,
+            "max_wait_ms": args.max_wait_ms,
+            "queue_capacity": args.queue_capacity,
+            "cache_capacity": args.cache_capacity,
+        },
+        "sequential_requests_per_second": seq_rate,
+        "service_requests_per_second": report.requests_per_second,
+        "speedup": speedup,
+        "load": report.as_dict(),
+        "stats": snapshot,
+    }
+    output = Path(args.output) if args.output else REPO_ROOT / "BENCH_serve.json"
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {output}")
+
+    if not report.accounted:
+        print("FAIL: requests lost or failed", file=sys.stderr)
+        return 2
+    if args.check and speedup < args.min_speedup:
+        print(
+            f"FAIL: speedup {speedup:.1f}x < required {args.min_speedup}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--window", type=int, default=32, help="spike window")
+    parser.add_argument("--requests", type=int, default=256)
+    parser.add_argument("--concurrency", type=int, default=32)
+    parser.add_argument("--max-batch-size", type=int, default=32)
+    parser.add_argument("--max-wait-ms", type=float, default=5.0)
+    parser.add_argument("--queue-capacity", type=int, default=512)
+    parser.add_argument(
+        "--cache-capacity", type=int, default=4096,
+        help="LRU entries (0 disables; unique requests never hit anyway)",
+    )
+    parser.add_argument("--duplicate-fraction", type=float, default=0.0)
+    parser.add_argument(
+        "--sequential-requests", type=int, default=24,
+        help="requests timed on the sequential baseline (it is slow)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke setting: window 16, 96 requests, 12 sequential",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero when the speedup misses --min-speedup",
+    )
+    parser.add_argument("--min-speedup", type=float, default=4.0)
+    parser.add_argument(
+        "--output", default=None,
+        help="JSON result path (default: BENCH_serve.json at repo root)",
+    )
+    args = parser.parse_args()
+    if args.quick:
+        args.window = min(args.window, 16)
+        args.requests = min(args.requests, 96)
+        args.sequential_requests = min(args.sequential_requests, 12)
+    args.sequential_requests = min(args.sequential_requests, args.requests)
+    return run_bench(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,7 +6,6 @@ full-HD workload arithmetic (57,749 cells per frame, ~1.5M cells/s at
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis import format_table
 from repro.detection.pyramid import FULL_HD_CELL_GRIDS, full_hd_cell_count

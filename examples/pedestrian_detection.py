@@ -8,7 +8,6 @@ in annotated test scenes and reports the miss-rate/FPPI trade-off
 Run:  python examples/pedestrian_detection.py
 """
 
-import numpy as np
 
 from repro.analysis import format_sig, format_table
 from repro.experiments.setup import (

@@ -9,11 +9,16 @@ Usage::
     python -m repro fig5 [--small]    # Figure 5 Eedn curves
     python -m repro fig6              # Figure 6 precision sweep
     python -m repro absorbed          # Section 5.1 convergence study
+    python -m repro serve             # micro-batching service demo
 
 ``--small`` shrinks the data split for a faster (noisier) run.
+``--engine`` selects the simulation engine (``batch`` = the vectorized
+PR-1 engine, bit-identical to ``reference``) where a command runs the
+simulator; ``--chunk-size`` sets windows per classifier call.
 """
 
 import argparse
+import json
 import sys
 
 
@@ -45,14 +50,63 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=["table1", "table2", "validate", "fig4", "fig5", "fig6", "absorbed"],
-        help="which artifact to regenerate",
+        choices=[
+            "table1",
+            "table2",
+            "validate",
+            "fig4",
+            "fig5",
+            "fig6",
+            "absorbed",
+            "serve",
+        ],
+        help="which artifact to regenerate (or 'serve' for the service demo)",
     )
     parser.add_argument(
         "--small", action="store_true", help="use a smaller, faster data split"
     )
     parser.add_argument(
         "--cells", type=int, default=25, help="cells for the validate run"
+    )
+    parser.add_argument(
+        "--engine",
+        choices=["reference", "batch"],
+        default=None,
+        help="simulation engine (validate defaults to reference, "
+        "serve to batch; both engines are bit-identical)",
+    )
+    parser.add_argument(
+        "--chunk-size", type=int, default=16,
+        help="windows per classifier call (serve: rows per client burst)",
+    )
+    serve_group = parser.add_argument_group("serve options")
+    serve_group.add_argument(
+        "--requests", type=int, default=192, help="total scoring requests"
+    )
+    serve_group.add_argument(
+        "--concurrency", type=int, default=16, help="closed-loop client threads"
+    )
+    serve_group.add_argument(
+        "--max-batch-size", type=int, default=32, help="micro-batch size cap"
+    )
+    serve_group.add_argument(
+        "--max-wait-ms", type=float, default=2.0, help="micro-batch wait cap"
+    )
+    serve_group.add_argument(
+        "--queue-capacity", type=int, default=256,
+        help="bounded queue depth (backpressure threshold)",
+    )
+    serve_group.add_argument(
+        "--cache-capacity", type=int, default=4096,
+        help="LRU result-cache entries (0 disables)",
+    )
+    serve_group.add_argument(
+        "--timeout-ms", type=float, default=None,
+        help="per-request deadline (unset = none)",
+    )
+    serve_group.add_argument(
+        "--duplicate-fraction", type=float, default=0.0,
+        help="fraction of requests repeating earlier windows",
     )
     args = parser.parse_args(argv)
 
@@ -77,8 +131,12 @@ def main(argv=None) -> int:
     elif args.experiment == "validate":
         from repro.napprox import correlate_corelet_vs_software
 
-        report = correlate_corelet_vs_software(n_cells=args.cells, rng=42)
-        print(f"corelet vs software over {report.n_cells} cells: "
+        engine = args.engine or "reference"
+        report = correlate_corelet_vs_software(
+            n_cells=args.cells, rng=42, engine=engine
+        )
+        print(f"corelet vs software over {report.n_cells} cells "
+              f"({engine} engine): "
               f"correlation {report.correlation:.4f} (paper: >0.995), "
               f"mean |error| {report.mean_absolute_error:.3f} votes")
     elif args.experiment == "fig4":
@@ -98,6 +156,51 @@ def main(argv=None) -> int:
 
         sizes = (60, 150) if args.small else (100, 300)
         print(absorbed_exp.format_report(absorbed_exp.run(sizes=sizes)))
+    elif args.experiment == "serve":
+        return _serve(args)
+    return 0
+
+
+def _serve(args) -> int:
+    """Run the in-process serving demo / smoke (exit 0 = all accounted)."""
+    from repro.serve import (
+        InferenceService,
+        closed_loop,
+        demo_classifier_workload,
+    )
+
+    scorer, rows = demo_classifier_workload(
+        n_requests=args.requests,
+        engine=args.engine or "batch",
+        duplicate_fraction=args.duplicate_fraction,
+    )
+    service = InferenceService(
+        scorer,
+        max_batch_size=args.max_batch_size,
+        max_wait_ms=args.max_wait_ms,
+        queue_capacity=args.queue_capacity,
+        cache_capacity=args.cache_capacity,
+    )
+    timeout_s = None if args.timeout_ms is None else args.timeout_ms / 1e3
+    with service:
+        report = closed_loop(
+            service,
+            rows,
+            concurrency=args.concurrency,
+            chunk_size=args.chunk_size,
+            timeout_s=timeout_s,
+        )
+        snapshot = service.stats.snapshot()
+    print(
+        f"served {report.completed}/{report.requests} requests in "
+        f"{report.seconds:.2f}s = {report.requests_per_second:.1f} req/s "
+        f"(rejected {report.rejected_queue_full}, "
+        f"expired {report.deadline_expired}, failed {report.failed})"
+    )
+    print(json.dumps({"load": report.as_dict(), "stats": snapshot}, indent=2))
+    if not report.accounted:
+        print("FAIL: requests lost or failed", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -15,7 +15,6 @@ from typing import Dict
 import numpy as np
 
 from repro.coding.base import SpikeEncoder
-from repro.coding.rate import RateEncoder
 from repro.coding.stochastic import StochasticEncoder
 from repro.utils.rng import RngLike, resolve_rng
 

@@ -1,5 +1,6 @@
 """The end-to-end detector: extractor x classifier over a pyramid."""
 
+import hashlib
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
@@ -8,6 +9,7 @@ import numpy as np
 from repro.coding.stochastic import StochasticEncoder
 from repro.detection.nms import non_maximum_suppression
 from repro.detection.pyramid import ImagePyramid
+from repro.eedn.layers import TrinaryDense
 from repro.eedn.mapping import deploy_dense_network
 from repro.eedn.network import EednNetwork
 from repro.eedn.spiking import SpikingEvaluator
@@ -104,6 +106,14 @@ class TrueNorthBinaryScorer:
         rng: seed for the stochastic input coding.
         engine: simulation engine, ``"batch"`` (default) or
             ``"reference"``.
+        coding: ``"stream"`` (default) draws every window's spike raster
+            from one shared random stream, so scores depend on the order
+            windows are presented in. ``"content"`` seeds each window's
+            raster from a digest of its feature bytes instead: identical
+            windows always produce identical rasters, regardless of call
+            order, chunking, or which batch they land in. Content coding
+            is what makes the scorer safe to drive through the
+            ``repro.serve`` micro-batcher and its result cache.
     """
 
     def __init__(
@@ -113,14 +123,27 @@ class TrueNorthBinaryScorer:
         positive_class: int = 1,
         rng: RngLike = 0,
         engine: str = "batch",
+        coding: str = "stream",
     ) -> None:
         if ticks < 1:
             raise ValueError(f"ticks must be >= 1, got {ticks}")
+        if coding not in ("stream", "content"):
+            raise ValueError(
+                f"coding must be 'stream' or 'content', got {coding!r}"
+            )
         self.deployed = deploy_dense_network(network)
         self.ticks = ticks
         self.positive_class = positive_class
         self.engine = engine
+        self.coding = coding
+        self._dense_layers = [
+            layer for layer in network.layers if isinstance(layer, TrinaryDense)
+        ]
         self._encoder = StochasticEncoder(ticks)
+        if isinstance(rng, (int, np.integer)):
+            self._entropy = int(rng)
+        else:
+            self._entropy = int(resolve_rng(rng).integers(0, 2**63))
         self._rng = resolve_rng(rng)
         self._simulator = Simulator(self.deployed.system, rng=rng, engine=engine)
         self._n_in = self.deployed.system.input_ports["in"].width
@@ -128,6 +151,54 @@ class TrueNorthBinaryScorer:
         # input tick, so the last data spikes leave the output stage at
         # tick (ticks - 1) + (stages - 1).
         self._total_ticks = ticks + self.deployed.stages - 1
+
+    @property
+    def cacheable(self) -> bool:
+        """Whether equal feature rows always yield equal scores.
+
+        True only under content coding — the deployed classifier itself
+        is deterministic (no stochastic neurons), so the input raster is
+        the only source of randomness. ``repro.serve.InferenceService``
+        consults this flag before enabling its result cache.
+        """
+        return self.coding == "content"
+
+    @property
+    def model_id(self) -> str:
+        """Stable identity digest for content-addressed result caching.
+
+        Covers everything a score depends on besides the window bytes:
+        the deployed layer weights and biases, the spike window, the
+        class readout, and the coding entropy. Two scorers with equal
+        ``model_id`` score equal windows identically (given content
+        coding); the simulation engine is deliberately excluded because
+        both engines are bit-identical.
+        """
+        digest = hashlib.blake2b(digest_size=16)
+        for layer in self.deployed_layers():
+            digest.update(np.ascontiguousarray(layer[0], dtype=np.int64).tobytes())
+            digest.update(np.ascontiguousarray(layer[1], dtype=np.float64).tobytes())
+        digest.update(
+            f"|ticks={self.ticks}|pos={self.positive_class}"
+            f"|coding={self.coding}|entropy={self._entropy}".encode()
+        )
+        return f"truenorth-{digest.hexdigest()}"
+
+    def deployed_layers(self) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """``(deployed_weights, bias)`` per dense layer, stage order."""
+        return [
+            (layer.deployed_weights(), layer.bias) for layer in self._dense_layers
+        ]
+
+    def _content_rng(self, row: np.ndarray) -> np.random.Generator:
+        """Generator seeded from the scorer entropy and the row bytes."""
+        digest = hashlib.blake2b(
+            np.ascontiguousarray(row, dtype=np.float64).tobytes(), digest_size=8
+        ).digest()
+        word = int.from_bytes(digest, "big")
+        return np.random.default_rng(
+            np.random.SeedSequence([self._entropy, word])
+        )
 
     def decision_function(self, features: np.ndarray) -> np.ndarray:
         """Spike-count margins for a ``(n, f)`` feature matrix in [0, 1]."""
@@ -140,7 +211,10 @@ class TrueNorthBinaryScorer:
             return np.zeros(0)
         rasters = np.zeros((x.shape[0], self._total_ticks, self._n_in), dtype=bool)
         for lane, row in enumerate(x):
-            rasters[lane, : self.ticks] = self._encoder.encode(row, rng=self._rng)
+            lane_rng = (
+                self._content_rng(row) if self.coding == "content" else self._rng
+            )
+            rasters[lane, : self.ticks] = self._encoder.encode(row, rng=lane_rng)
         result = self._simulator.run_batch(self._total_ticks, {"in": rasters})
         counts = result.spike_counts("out")
         negative = 1 - self.positive_class
@@ -194,6 +268,8 @@ class SlidingWindowDetector:
             raise ValueError(
                 f"feature_mode must be 'blocks' or 'cells', got {feature_mode!r}"
             )
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
         self.extractor = extractor
         self.scorer = scorer
         self.feature_mode = feature_mode

@@ -7,7 +7,7 @@ during training ... mapped to one of the trinary weights (-1, 0, 1)
 during network operation" scheme the paper describes.
 """
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 

@@ -127,17 +127,14 @@ def core_count(
     if len(input_shape) == 3:
         channels, height, width = input_shape
         hw: Optional[Tuple[int, int]] = (height, width)
-        features = channels * height * width
     else:
         hw = None
-        features = int(np.prod(input_shape))
 
     for index, layer in enumerate(network.layers):
         if isinstance(layer, TrinaryConv2D):
             if hw is None:
                 raise ValueError(f"layer {index}: conv after flatten is unsupported")
             compute, split, hw = _conv_cores(layer, hw)
-            features = layer.out_channels * hw[0] * hw[1]
             breakdown.append(
                 LayerCores(
                     index,
@@ -149,7 +146,6 @@ def core_count(
             )
         elif isinstance(layer, TrinaryDense):
             compute, split = _dense_cores(layer.n_in, layer.n_out)
-            features = layer.n_out
             hw = None
             breakdown.append(
                 LayerCores(

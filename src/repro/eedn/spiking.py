@@ -14,7 +14,7 @@ window, giving rate-coded class confidences.
 """
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 

@@ -23,3 +23,42 @@ class CompilationError(ReproError):
 
 class RoutingError(ReproError):
     """Spike routing between cores was configured inconsistently."""
+
+
+class ServiceError(ReproError):
+    """The serving layer rejected or failed a request.
+
+    All serving-layer errors keep their constructor arguments in
+    ``args`` only, so they pickle cleanly across worker boundaries.
+    """
+
+
+class QueueFullError(ServiceError):
+    """The bounded request queue is at capacity (backpressure).
+
+    Raised at submission time: the caller should retry later or shed
+    load — the service never grows its queue beyond the configured
+    capacity.
+    """
+
+
+class DeadlineExceededError(ServiceError):
+    """A request's deadline expired before a result was produced."""
+
+
+class ServiceClosedError(ServiceError):
+    """The service is shut down and no longer accepts requests."""
+
+
+__all__ = [
+    "CompilationError",
+    "ConfigurationError",
+    "DeadlineExceededError",
+    "QueueFullError",
+    "ReproError",
+    "ResourceBudgetError",
+    "RoutingError",
+    "ServiceClosedError",
+    "ServiceError",
+    "TrainingError",
+]

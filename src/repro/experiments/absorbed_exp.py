@@ -1,7 +1,7 @@
 """Section 5.1: the Absorbed approach's convergence failure."""
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence
 
 import numpy as np
 

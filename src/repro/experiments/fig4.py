@@ -10,7 +10,6 @@ cell L2 block normalisation.
 from dataclasses import dataclass
 from typing import Dict
 
-import numpy as np
 
 from repro.analysis import format_curve_table, format_sig, format_table
 from repro.detection import DetectionCurve

@@ -7,7 +7,7 @@ throughput (and therefore power — Table 2).
 """
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Sequence
 
 import numpy as np
 

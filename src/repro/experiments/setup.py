@@ -1,7 +1,7 @@
 """Shared experiment scaffolding: data splits and detector training."""
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

@@ -39,6 +39,7 @@ def correlate_corelet_vs_software(
     direction_scale: int = 16,
     magnitude_threshold: int = 4,
     rng: RngLike = 0,
+    engine: str = "reference",
 ) -> CorrelationReport:
     """Compare corelet histograms against the quantised software model.
 
@@ -53,6 +54,8 @@ def correlate_corelet_vs_software(
         magnitude_threshold: T of the magnitude neurons (same for both
             sides).
         rng: randomness for patch generation.
+        engine: simulation engine for the corelet side, ``"reference"``
+            (default) or the bit-identical vectorized ``"batch"``.
 
     Returns:
         A :class:`CorrelationReport`.
@@ -64,6 +67,7 @@ def correlate_corelet_vs_software(
         window=window,
         direction_scale=direction_scale,
         magnitude_threshold=magnitude_threshold,
+        engine=engine,
     )
     software = NApproxDescriptor(
         NApproxConfig(

@@ -13,9 +13,8 @@ standard structured-pruning saliency); :func:`compress_to_cores` searches
 for the widest network that fits a per-cell core budget.
 """
 
-import math
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Tuple
 
 import numpy as np
 

@@ -1,0 +1,147 @@
+"""Micro-batching: drain a bounded request queue into engine batches.
+
+The PR-1 batch engine amortises its per-tick cost across lanes, so
+serving throughput is maximised by coalescing concurrent single-window
+requests into one ``decision_function`` call. The policy is the classic
+two-knob micro-batcher: dispatch as soon as ``max_batch_size`` requests
+are waiting, or when the oldest collected request has waited
+``max_wait_ms`` — whichever comes first. Under light load a request pays
+at most ``max_wait_ms`` of coalescing latency; under heavy load batches
+fill instantly and the wait never triggers.
+"""
+
+import queue
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """The two-knob micro-batching policy.
+
+    Attributes:
+        max_batch_size: dispatch when this many requests are collected.
+        max_wait_ms: dispatch when the first collected request has
+            waited this long (0 disables coalescing: every drain takes
+            whatever is immediately available).
+    """
+
+    max_batch_size: int = 32
+    max_wait_ms: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ConfigurationError(
+                f"max_batch_size must be >= 1, got {self.max_batch_size}"
+            )
+        if self.max_wait_ms < 0:
+            raise ConfigurationError(
+                f"max_wait_ms must be >= 0, got {self.max_wait_ms}"
+            )
+
+
+@dataclass
+class ServeRequest:
+    """One in-flight scoring request.
+
+    Attributes:
+        features: the 1-D feature row to score.
+        future: resolved with the result (or an error) by the worker.
+        deadline: absolute :func:`time.monotonic` deadline, or ``None``.
+        cache_key: content key when caching is enabled, else ``None``.
+        enqueued_at: submission timestamp (for latency accounting).
+    """
+
+    features: np.ndarray
+    future: Future = field(default_factory=Future)
+    deadline: Optional[float] = None
+    cache_key: Optional[bytes] = None
+    enqueued_at: float = 0.0
+
+    def expired(self, now: float) -> bool:
+        """Whether the deadline has passed at time ``now``."""
+        return self.deadline is not None and now > self.deadline
+
+
+class MicroBatcher:
+    """Collects batches from a request queue under a :class:`BatchPolicy`.
+
+    The batcher owns only the *collection* logic; executing the batch is
+    the worker's job, so several workers can drain the same queue
+    concurrently.
+
+    Args:
+        source: the bounded request queue.
+        policy: batching policy.
+        on_expired: called with each request whose deadline lapsed while
+            it waited in the queue — such requests are dropped from the
+            batch (they never occupy a batch slot).
+        clock: monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        source: "queue.Queue[ServeRequest]",
+        policy: BatchPolicy,
+        on_expired: Optional[Callable[[ServeRequest], None]] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.source = source
+        self.policy = policy
+        self.on_expired = on_expired
+        self.clock = clock
+
+    def _admit(self, request: ServeRequest, batch: List[ServeRequest]) -> None:
+        """Place ``request`` into ``batch`` or expire it on the spot."""
+        if request.expired(self.clock()):
+            if self.on_expired is not None:
+                self.on_expired(request)
+        else:
+            batch.append(request)
+
+    def collect(self, block_s: float = 0.05) -> List[ServeRequest]:
+        """One batch of live requests (possibly empty).
+
+        Blocks up to ``block_s`` for the first request; once one
+        arrives, keeps draining until the batch is full or the policy's
+        wait budget is spent. Expired requests are handed to
+        ``on_expired`` and never occupy a slot.
+
+        Args:
+            block_s: how long to wait for a first request before giving
+                up (keeps worker shutdown responsive).
+
+        Returns:
+            Between 0 and ``max_batch_size`` unexpired requests.
+        """
+        batch: List[ServeRequest] = []
+        try:
+            first = self.source.get(timeout=block_s) if block_s > 0 else (
+                self.source.get_nowait()
+            )
+        except queue.Empty:
+            return batch
+        self._admit(first, batch)
+
+        started = self.clock()
+        budget = self.policy.max_wait_ms / 1e3
+        while len(batch) < self.policy.max_batch_size:
+            remaining = budget - (self.clock() - started)
+            try:
+                if remaining <= 0:
+                    request = self.source.get_nowait()
+                else:
+                    request = self.source.get(timeout=remaining)
+            except queue.Empty:
+                break
+            self._admit(request, batch)
+        return batch
+
+
+__all__ = ["BatchPolicy", "MicroBatcher", "ServeRequest"]

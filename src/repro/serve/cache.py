@@ -1,0 +1,93 @@
+"""Content-addressed LRU result cache.
+
+Repeated pyramid windows (flat sky, road, walls) and duplicate traffic
+are common in detection workloads; a window that was already scored by
+an identical model never needs to re-enter the simulator. Keys are a
+digest of the model identity plus the exact feature bytes, so a hit is
+only possible when the simulator would have produced the same result —
+provided the model is deterministic per window (see
+``TrueNorthBinaryScorer(coding="content")``).
+"""
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Any, Optional, Tuple
+
+import numpy as np
+
+_MISS = object()
+
+
+def content_key(model_id: str, features: np.ndarray) -> bytes:
+    """Cache key of one feature row under one model identity.
+
+    Args:
+        model_id: stable identity of the scoring model (weights, coding
+            entropy, readout — see ``TrueNorthBinaryScorer.model_id``).
+        features: the exact feature row the model would score.
+
+    Returns:
+        A 16-byte digest; equal keys imply equal scores for a
+        deterministic model.
+    """
+    arr = np.ascontiguousarray(features, dtype=np.float64)
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(model_id.encode())
+    digest.update(str(arr.shape).encode())
+    digest.update(arr.tobytes())
+    return digest.digest()
+
+
+class LruResultCache:
+    """Bounded, thread-safe LRU mapping of content keys to results.
+
+    Args:
+        capacity: maximum number of cached results (>= 1).
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[bytes, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, key: bytes) -> Tuple[bool, Optional[Any]]:
+        """``(hit, value)`` for ``key``; a hit refreshes its recency."""
+        with self._lock:
+            value = self._entries.get(key, _MISS)
+            if value is _MISS:
+                self.misses += 1
+                return False, None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return True, value
+
+    def put(self, key: bytes, value: Any) -> None:
+        """Insert (or refresh) ``key``, evicting the LRU entry if full."""
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry (hit/miss counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits / lookups, 0.0 before any lookup."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+__all__ = ["LruResultCache", "content_key"]

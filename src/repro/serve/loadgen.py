@@ -1,0 +1,165 @@
+"""Closed-loop load generation against an :class:`InferenceService`.
+
+Shared by ``python -m repro serve``, ``benchmarks/bench_serve.py``, and
+the CI serving smoke: ``concurrency`` client threads each submit a chunk
+of windows, wait for every result (closed loop), then take the next
+chunk. Every row is accounted for exactly once — completed, rejected by
+backpressure, expired past its deadline, or failed — so "all requests
+complete or are cleanly rejected" is a checkable property.
+"""
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import DeadlineExceededError, QueueFullError
+from repro.serve.service import InferenceService
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one closed-loop run.
+
+    Attributes:
+        requests: rows offered to the service.
+        completed: rows that produced a result.
+        rejected_queue_full: rows shed by backpressure at submission.
+        deadline_expired: rows that timed out before or after batching.
+        failed: rows that raised anything else (should stay 0).
+        seconds: wall-clock duration of the run.
+    """
+
+    requests: int
+    completed: int = 0
+    rejected_queue_full: int = 0
+    deadline_expired: int = 0
+    failed: int = 0
+    seconds: float = 0.0
+
+    @property
+    def requests_per_second(self) -> float:
+        """Sustained completed-request rate."""
+        return self.completed / self.seconds if self.seconds > 0 else 0.0
+
+    @property
+    def accounted(self) -> bool:
+        """Every offered row completed or was cleanly rejected."""
+        outcomes = (
+            self.completed
+            + self.rejected_queue_full
+            + self.deadline_expired
+        )
+        return self.failed == 0 and outcomes == self.requests
+
+    def as_dict(self) -> Dict:
+        """JSON-ready view."""
+        return {
+            "requests": self.requests,
+            "completed": self.completed,
+            "rejected_queue_full": self.rejected_queue_full,
+            "deadline_expired": self.deadline_expired,
+            "failed": self.failed,
+            "seconds": self.seconds,
+            "requests_per_second": self.requests_per_second,
+            "accounted": self.accounted,
+        }
+
+
+@dataclass
+class _Tally:
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    completed: int = 0
+    rejected: int = 0
+    expired: int = 0
+    failed: int = 0
+
+
+def closed_loop(
+    service: InferenceService,
+    rows: np.ndarray,
+    concurrency: int,
+    chunk_size: int = 1,
+    timeout_s: Optional[float] = None,
+    result_timeout_s: float = 60.0,
+) -> LoadReport:
+    """Drive ``rows`` through ``service`` with closed-loop clients.
+
+    Args:
+        service: a started service.
+        rows: ``(n, f)`` request rows, split into per-client chunks.
+        concurrency: client threads.
+        chunk_size: rows each client submits per round trip (a detector
+            scoring ``chunk_size`` windows per classifier call behaves
+            exactly like this).
+        timeout_s: optional per-request deadline.
+        result_timeout_s: safety limit when waiting on one future — a
+            hang here counts the row as failed instead of deadlocking
+            the load test.
+
+    Returns:
+        A :class:`LoadReport`.
+    """
+    matrix = np.asarray(rows, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValueError(f"rows must be 2-D, got shape {matrix.shape}")
+    if concurrency < 1:
+        raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+
+    work: "queue.SimpleQueue[np.ndarray]" = queue.SimpleQueue()
+    for start in range(0, matrix.shape[0], chunk_size):
+        work.put(matrix[start : start + chunk_size])
+    tally = _Tally()
+
+    def client() -> None:
+        while True:
+            try:
+                chunk = work.get_nowait()
+            except queue.Empty:
+                return
+            futures = []
+            for row in chunk:
+                try:
+                    futures.append(service.submit(row, timeout_s=timeout_s))
+                except QueueFullError:
+                    with tally.lock:
+                        tally.rejected += 1
+            for future in futures:
+                try:
+                    future.result(timeout=result_timeout_s)
+                    with tally.lock:
+                        tally.completed += 1
+                except DeadlineExceededError:
+                    with tally.lock:
+                        tally.expired += 1
+                except Exception:
+                    with tally.lock:
+                        tally.failed += 1
+
+    threads = [
+        threading.Thread(target=client, name=f"loadgen-{i}", daemon=True)
+        for i in range(concurrency)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    seconds = time.perf_counter() - started
+
+    return LoadReport(
+        requests=matrix.shape[0],
+        completed=tally.completed,
+        rejected_queue_full=tally.rejected,
+        deadline_expired=tally.expired,
+        failed=tally.failed,
+        seconds=seconds,
+    )
+
+
+__all__ = ["LoadReport", "closed_loop"]

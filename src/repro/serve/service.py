@@ -1,0 +1,360 @@
+"""The asynchronous micro-batching inference service.
+
+Architecture (DESIGN.md §9)::
+
+    submit() ── cache? ──> bounded queue ──> MicroBatcher ──> model
+        │          │            │                │             │
+        │          hit          Full ->          │       (n, f) batch
+        │          │         QueueFullError      │             │
+        └── Future <┴───────────────────────────────── results ┘
+
+Concurrency model: callers submit from any thread; ``workers`` daemon
+threads drain the shared bounded queue through a
+:class:`~repro.serve.batcher.MicroBatcher` and resolve the per-request
+futures. Backpressure is by rejection — a full queue raises
+:class:`~repro.errors.QueueFullError` at submission time instead of
+growing without bound — and every request may carry a deadline that is
+enforced both before batching (an expired request never occupies a batch
+slot) and after scoring (a result that arrives too late resolves to
+:class:`~repro.errors.DeadlineExceededError`, though its value still
+feeds the cache).
+"""
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from typing import Callable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.errors import (
+    ConfigurationError,
+    DeadlineExceededError,
+    QueueFullError,
+    ServiceClosedError,
+)
+from repro.serve.batcher import BatchPolicy, MicroBatcher, ServeRequest
+from repro.serve.cache import LruResultCache, content_key
+from repro.serve.stats import ServiceStats
+
+BatchFunction = Callable[[np.ndarray], np.ndarray]
+
+
+def _resolve_batch_fn(model) -> BatchFunction:
+    """The ``(n, f) -> (n, ...)`` callable behind ``model``."""
+    if callable(model) and not hasattr(model, "decision_function"):
+        return model
+    if hasattr(model, "decision_function"):
+        return model.decision_function
+    raise ConfigurationError(
+        "model must be callable or expose decision_function, got "
+        f"{type(model).__name__}"
+    )
+
+
+class InferenceService:
+    """Coalesces concurrent scoring requests into engine batches.
+
+    Args:
+        model: a ``(n, f) -> (n, ...)`` callable, or any scorer exposing
+            ``decision_function`` (e.g. ``TrueNorthBinaryScorer``).
+        max_batch_size: micro-batch dispatch threshold.
+        max_wait_ms: micro-batch coalescing wait.
+        queue_capacity: bounded queue depth; submissions beyond it raise
+            :class:`QueueFullError`.
+        cache_capacity: LRU result-cache entries; 0 disables. The cache
+            is also disabled (with a counted ``cache_disabled`` stat)
+            when the model advertises ``cacheable = False`` — caching a
+            model whose scores depend on call order would change
+            results.
+        workers: worker threads draining the queue.
+        model_id: stable identity for cache keys; defaults to the
+            model's ``model_id`` attribute, else a per-instance tag.
+        clock: monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        model,
+        max_batch_size: int = 32,
+        max_wait_ms: float = 2.0,
+        queue_capacity: int = 256,
+        cache_capacity: int = 4096,
+        workers: int = 1,
+        model_id: Optional[str] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if queue_capacity < 1:
+            raise ConfigurationError(
+                f"queue_capacity must be >= 1, got {queue_capacity}"
+            )
+        if cache_capacity < 0:
+            raise ConfigurationError(
+                f"cache_capacity must be >= 0, got {cache_capacity}"
+            )
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        self._batch_fn = _resolve_batch_fn(model)
+        self.model = model
+        self.model_id = (
+            model_id
+            if model_id is not None
+            else getattr(model, "model_id", None)
+            or f"{type(model).__name__}@{id(model):x}"
+        )
+        self.policy = BatchPolicy(max_batch_size, max_wait_ms)
+        self.stats = ServiceStats()
+        self._clock = clock
+        self._queue: "queue.Queue[ServeRequest]" = queue.Queue(queue_capacity)
+        self.stats.bind_queue(self._queue.qsize)
+
+        cacheable = bool(getattr(model, "cacheable", True))
+        if cache_capacity > 0 and not cacheable:
+            self.stats.count("cache_disabled")
+            cache_capacity = 0
+        self.cache = LruResultCache(cache_capacity) if cache_capacity else None
+
+        self._batcher = MicroBatcher(
+            self._queue, self.policy, on_expired=self._expire, clock=clock
+        )
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop, name=f"repro-serve-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        self._stop = threading.Event()
+        self._started = False
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "InferenceService":
+        """Start the worker pool (idempotent)."""
+        if self._closed:
+            raise ServiceClosedError("service already closed")
+        if not self._started:
+            self._started = True
+            for worker in self._workers:
+                worker.start()
+        return self
+
+    def close(self, drain: bool = True) -> None:
+        """Stop accepting requests and shut the worker pool down.
+
+        Args:
+            drain: process everything already queued before exiting
+                (default). With ``drain=False`` still-queued requests
+                are failed with :class:`ServiceClosedError`.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if not drain:
+            while True:
+                try:
+                    request = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                request.future.set_exception(
+                    ServiceClosedError("service closed before the request ran")
+                )
+                self.stats.count("rejected_closed")
+        self._stop.set()
+        for worker in self._workers:
+            if worker.is_alive():
+                worker.join()
+
+    def __enter__(self) -> "InferenceService":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Submission path
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        features: np.ndarray,
+        timeout_s: Optional[float] = None,
+    ) -> "Future":
+        """Queue one feature row for scoring.
+
+        Args:
+            features: 1-D feature row.
+            timeout_s: optional deadline, measured from now; enforced
+                before batching and again after scoring.
+
+        Returns:
+            A future resolving to the model's result row (a ``float``
+            for scorers, an array for vector models).
+
+        Raises:
+            ServiceClosedError: the service is closed (or never
+                started).
+            QueueFullError: the bounded queue is at capacity.
+            ValueError: ``features`` is not 1-D.
+        """
+        if self._closed or not self._started:
+            raise ServiceClosedError(
+                "service is closed" if self._closed else "service not started"
+            )
+        row = np.ascontiguousarray(features, dtype=np.float64)
+        if row.ndim != 1:
+            raise ValueError(f"features must be 1-D, got shape {row.shape}")
+        self.stats.count("submitted")
+
+        now = self._clock()
+        request = ServeRequest(
+            features=row,
+            deadline=None if timeout_s is None else now + timeout_s,
+            enqueued_at=now,
+        )
+        if self.cache is not None:
+            request.cache_key = content_key(self.model_id, row)
+            hit, value = self.cache.lookup(request.cache_key)
+            if hit:
+                self.stats.count("cache_hits")
+                self.stats.count("completed")
+                self.stats.record_latency(self._clock() - now)
+                request.future.set_result(value)
+                return request.future
+            self.stats.count("cache_misses")
+        try:
+            self._queue.put_nowait(request)
+        except queue.Full:
+            self.stats.count("rejected_queue_full")
+            raise QueueFullError(
+                f"request queue is at capacity ({self._queue.maxsize})"
+            ) from None
+        return request.future
+
+    def score(
+        self, features: np.ndarray, timeout_s: Optional[float] = None
+    ) -> Union[float, np.ndarray]:
+        """Submit one row and block for its result."""
+        return self.submit(features, timeout_s=timeout_s).result()
+
+    def score_many(
+        self,
+        features: np.ndarray,
+        timeout_s: Optional[float] = None,
+    ) -> np.ndarray:
+        """Submit every row of ``(n, f)`` and gather results in order."""
+        matrix = np.asarray(features, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise ValueError(f"features must be 2-D, got shape {matrix.shape}")
+        futures = [self.submit(row, timeout_s=timeout_s) for row in matrix]
+        return np.asarray([future.result() for future in futures])
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    def _expire(self, request: ServeRequest) -> None:
+        """Fail a request whose deadline lapsed while it queued."""
+        self.stats.count("expired_before_batch")
+        request.future.set_exception(
+            DeadlineExceededError("deadline expired while queued")
+        )
+
+    def _worker_loop(self) -> None:
+        while True:
+            batch = self._batcher.collect(block_s=0.02)
+            if batch:
+                self._run_batch(batch)
+            elif self._stop.is_set() and self._queue.empty():
+                return
+
+    def _run_batch(self, batch: List[ServeRequest]) -> None:
+        self.stats.record_batch(len(batch))
+        matrix = np.stack([request.features for request in batch])
+        try:
+            results = np.asarray(self._batch_fn(matrix))
+        except Exception as exc:  # model failure fails the whole batch
+            self.stats.count("failed", len(batch))
+            for request in batch:
+                request.future.set_exception(exc)
+            return
+        if results.shape[0] != len(batch):
+            error = ConfigurationError(
+                f"model returned {results.shape[0]} rows for a batch of "
+                f"{len(batch)}"
+            )
+            self.stats.count("failed", len(batch))
+            for request in batch:
+                request.future.set_exception(error)
+            return
+
+        now = self._clock()
+        for request, row in zip(batch, results):
+            value = float(row) if np.ndim(row) == 0 else np.array(row)
+            if self.cache is not None and request.cache_key is not None:
+                self.cache.put(request.cache_key, value)
+            if request.expired(now):
+                self.stats.count("expired_after_batch")
+                request.future.set_exception(
+                    DeadlineExceededError("deadline expired during scoring")
+                )
+                continue
+            self.stats.count("completed")
+            self.stats.record_latency(now - request.enqueued_at)
+            request.future.set_result(value)
+
+
+class ServiceBackedScorer:
+    """Adapt an :class:`InferenceService` back to the scorer protocol.
+
+    Lets a :class:`~repro.detection.pipeline.SlidingWindowDetector` (or
+    anything else speaking ``decision_function``) transparently route
+    its window chunks through the service — each row becomes one
+    request, so windows from concurrent detectors coalesce into shared
+    engine batches.
+
+    Args:
+        service: a started service whose model returns scalar scores.
+        timeout_s: optional per-window deadline.
+    """
+
+    def __init__(
+        self, service: InferenceService, timeout_s: Optional[float] = None
+    ) -> None:
+        self.service = service
+        self.timeout_s = timeout_s
+
+    def decision_function(self, features: np.ndarray) -> np.ndarray:
+        """Scores of a ``(n, f)`` matrix, served row by row."""
+        matrix = np.asarray(features, dtype=np.float64)
+        if matrix.ndim == 1:
+            matrix = matrix[None, :]
+        if matrix.shape[0] == 0:
+            return np.zeros(0)
+        return self.service.score_many(matrix, timeout_s=self.timeout_s).astype(
+            np.float64
+        )
+
+
+def sequential_baseline(
+    model, rows: Sequence[np.ndarray]
+) -> List[Union[float, np.ndarray]]:
+    """Score ``rows`` one request at a time (the no-batching baseline).
+
+    This is what a naive per-request deployment of the engine does; the
+    serving benchmark reports its sustained rate against the service's.
+    """
+    batch_fn = _resolve_batch_fn(model)
+    results = []
+    for row in rows:
+        out = np.asarray(batch_fn(np.asarray(row, dtype=np.float64)[None, :]))
+        results.append(float(out[0]) if np.ndim(out[0]) == 0 else np.array(out[0]))
+    return results
+
+
+__all__ = [
+    "BatchFunction",
+    "InferenceService",
+    "ServiceBackedScorer",
+    "sequential_baseline",
+]

@@ -1,0 +1,111 @@
+"""Thread-safe observability surface of the inference service.
+
+One :class:`ServiceStats` instance is shared by the submission path, the
+micro-batcher, and the worker pool. Everything is guarded by a single
+lock — the counters are touched once per request or per batch, so
+contention is negligible next to a simulator call.
+"""
+
+import threading
+from collections import Counter, deque
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+
+class ServiceStats:
+    """Counters, batch-size histogram, and a latency reservoir.
+
+    Args:
+        latency_window: number of most-recent request latencies kept for
+            the percentile estimates (a bounded reservoir so a
+            long-running service never grows).
+    """
+
+    def __init__(self, latency_window: int = 8192) -> None:
+        if latency_window < 1:
+            raise ValueError(
+                f"latency_window must be >= 1, got {latency_window}"
+            )
+        self._lock = threading.Lock()
+        self._latencies = deque(maxlen=latency_window)
+        self._batch_sizes = Counter()
+        self._counters = Counter()
+        self._queue_depth_fn: Optional[Callable[[], int]] = None
+
+    # ------------------------------------------------------------------
+    def bind_queue(self, depth_fn: Callable[[], int]) -> None:
+        """Register the live queue-depth gauge (called by the service)."""
+        self._queue_depth_fn = depth_fn
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Increment counter ``name`` by ``n``."""
+        with self._lock:
+            self._counters[name] += n
+
+    def record_batch(self, size: int) -> None:
+        """Record one dispatched batch of ``size`` requests."""
+        with self._lock:
+            self._batch_sizes[size] += 1
+
+    def record_latency(self, seconds: float) -> None:
+        """Record one completed request's submit-to-result latency."""
+        with self._lock:
+            self._latencies.append(seconds)
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> int:
+        """Current value of counter ``name`` (0 when never touched)."""
+        with self._lock:
+            return self._counters[name]
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently waiting in the bounded queue."""
+        return self._queue_depth_fn() if self._queue_depth_fn else 0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Cache hits / lookups, 0.0 before any lookup."""
+        with self._lock:
+            hits = self._counters["cache_hits"]
+            total = hits + self._counters["cache_misses"]
+        return hits / total if total else 0.0
+
+    def latency_percentile(self, q: float) -> float:
+        """The ``q``-th latency percentile in seconds (0.0 when empty)."""
+        with self._lock:
+            if not self._latencies:
+                return 0.0
+            return float(np.percentile(np.asarray(self._latencies), q))
+
+    def snapshot(self) -> Dict:
+        """One JSON-ready view of every stat (for logs and benchmarks)."""
+        with self._lock:
+            counters = dict(self._counters)
+            batch_sizes = dict(sorted(self._batch_sizes.items()))
+            latencies = np.asarray(self._latencies, dtype=np.float64)
+        total_batched = sum(size * n for size, n in batch_sizes.items())
+        n_batches = sum(batch_sizes.values())
+        hits = counters.get("cache_hits", 0)
+        lookups = hits + counters.get("cache_misses", 0)
+        return {
+            "counters": counters,
+            "queue_depth": self.queue_depth,
+            "batch_size_histogram": {str(k): v for k, v in batch_sizes.items()},
+            "mean_batch_size": (total_batched / n_batches) if n_batches else 0.0,
+            "cache_hit_rate": (hits / lookups) if lookups else 0.0,
+            "latency_ms": {
+                "count": int(latencies.size),
+                "p50": float(np.percentile(latencies, 50) * 1e3)
+                if latencies.size
+                else 0.0,
+                "p99": float(np.percentile(latencies, 99) * 1e3)
+                if latencies.size
+                else 0.0,
+                "max": float(latencies.max() * 1e3) if latencies.size else 0.0,
+            },
+        }
+
+
+__all__ = ["ServiceStats"]

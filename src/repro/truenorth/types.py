@@ -1,7 +1,7 @@
 """Architectural constants and per-neuron parameter records for TrueNorth."""
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Tuple
 
 CORE_AXONS = 256

@@ -1,11 +1,10 @@
 """Tests for the absorbed (monolithic) experiment scaffolding."""
 
 import numpy as np
-import pytest
 
 from repro.absorbed import build_absorbed_network, run_absorbed_experiment
 from repro.absorbed.monolithic import INPUT_PIXELS
-from repro.eedn import EednNetwork, core_count
+from repro.eedn import core_count
 
 
 class TestNetwork:

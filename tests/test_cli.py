@@ -1,5 +1,7 @@
 """Tests for the python -m repro command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -21,6 +23,21 @@ class TestCli:
         assert main(["validate", "--cells", "3"]) == 0
         out = capsys.readouterr().out
         assert "correlation" in out
+
+    def test_validate_batch_engine(self, capsys):
+        assert main(["validate", "--cells", "3", "--engine", "batch"]) == 0
+        out = capsys.readouterr().out
+        assert "correlation" in out
+        assert "batch" in out
+
+    def test_serve_smoke(self, capsys):
+        assert main(["serve", "--requests", "24", "--concurrency", "4",
+                     "--chunk-size", "2"]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert payload["load"]["requests"] == 24
+        assert payload["load"]["completed"] == 24
+        assert payload["stats"]["counters"]["submitted"] == 24
 
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.coding import RateEncoder
-from repro.corelets import compile_corelet, connect
+from repro.corelets import compile_corelet
 from repro.corelets.library import (
     AccumulatorCorelet,
     ComparatorCorelet,
@@ -14,7 +14,6 @@ from repro.corelets.library import (
 )
 from repro.corelets.library.pattern_match import gradient_templates
 from repro.truenorth import Simulator
-from repro.truenorth.system import NeurosynapticSystem
 
 
 class TestComparator:

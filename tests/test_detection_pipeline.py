@@ -1,5 +1,7 @@
 """Tests for the sliding-window detector and scorer adapters."""
 
+from types import SimpleNamespace
+
 import numpy as np
 import pytest
 
@@ -16,7 +18,7 @@ from repro.eedn import (
     TrinaryDense,
 )
 from repro.hog import HogDescriptor, dalal_triggs_config
-from repro.napprox import NApproxConfig, NApproxDescriptor
+from repro.napprox import NApproxDescriptor
 from repro.svm import LinearSVM
 
 
@@ -147,6 +149,117 @@ class TestDetection:
         detector = SlidingWindowDetector(HogDescriptor(), scorer)
         mined = detector.hard_negative_features(small_split.negative_images[:1])
         assert mined.shape == (0, 3780)
+
+
+class _SummingScorer:
+    """Per-row score = feature sum (order-insensitive, chunking-agnostic)."""
+
+    def __init__(self):
+        self.calls = []
+
+    def decision_function(self, features):
+        self.calls.append(features.shape[0])
+        return features.sum(axis=1)
+
+
+class _ShrinkingExtractor:
+    """Extractor whose deeper pyramid levels yield too few cells.
+
+    Images below 110 px tall produce a 2x2 cell grid — smaller than the
+    8x8-cell window — so those levels contribute zero windows while the
+    pyramid itself still emits them.
+    """
+
+    config = SimpleNamespace(cell_size=8, n_bins=2)
+
+    def cell_grid(self, image):
+        h, w = image.shape
+        if h < 110:
+            return np.zeros((2, 2, 2))
+        gy, gx = h // 8, w // 8
+        rng = np.random.default_rng(gy * 1000 + gx)
+        return rng.random((gy, gx, 2))
+
+
+class TestChunking:
+    def test_chunk_size_below_one_rejected(self):
+        with pytest.raises(ValueError, match="chunk_size"):
+            SlidingWindowDetector(HogDescriptor(), None, chunk_size=0)
+
+    def test_chunk_size_larger_than_window_count(self):
+        """One chunk covering every window scores identically to many."""
+        image = np.random.default_rng(5).random((144, 80))
+        results = {}
+        for chunk_size in (1, 7, 10**6):
+            scorer = _SummingScorer()
+            detector = SlidingWindowDetector(
+                HogDescriptor(),
+                scorer,
+                score_threshold=-1e9,
+                chunk_size=chunk_size,
+            )
+            boxes, scores, _ = detector._scan(image, collect_features=False)
+            results[chunk_size] = (boxes, scores)
+            assert max(scorer.calls) <= chunk_size
+        reference_boxes, reference_scores = results[1]
+        assert reference_scores.size > 0
+        for chunk_size in (7, 10**6):
+            boxes, scores = results[chunk_size]
+            np.testing.assert_array_equal(reference_boxes, boxes)
+            np.testing.assert_array_equal(reference_scores, scores)
+
+    def test_oversized_chunk_uses_single_call_per_level(self):
+        scorer = _SummingScorer()
+        detector = SlidingWindowDetector(
+            HogDescriptor(), scorer, score_threshold=-1e9, chunk_size=10**6
+        )
+        detector._scan(
+            np.random.default_rng(6).random((128, 64)), collect_features=False
+        )
+        assert scorer.calls == [1]  # one window, one call, no empty chunks
+
+    def test_empty_pyramid_level_skipped(self):
+        """A level with zero windows is skipped, not crashed on."""
+        scorer = _SummingScorer()
+        detector = SlidingWindowDetector(
+            _ShrinkingExtractor(),
+            scorer,
+            feature_mode="cells",
+            window_shape=(64, 64),
+            score_threshold=-1e9,
+            max_levels=10,
+        )
+        image = np.random.default_rng(7).random((120, 120))
+        boxes, scores, _ = detector._scan(image, collect_features=False)
+        # Level 0 (120 px) has cells; downscaled levels (109 px and
+        # below) shrink to a 2x2 grid and contribute nothing.
+        assert scores.size > 0
+        assert (boxes[:, 2] == 64.0).all()  # every box is a level-0 box
+
+    def test_all_levels_empty_yields_no_detections(self):
+        scorer = _SummingScorer()
+        detector = SlidingWindowDetector(
+            _ShrinkingExtractor(),
+            scorer,
+            feature_mode="cells",
+            window_shape=(64, 64),
+            score_threshold=-1e9,
+        )
+        image = np.random.default_rng(8).random((80, 80))  # every level < 110
+        assert detector.detect(image) == []
+        assert scorer.calls == []  # the classifier was never invoked
+
+    def test_empty_level_with_feature_collection(self):
+        detector = SlidingWindowDetector(
+            _ShrinkingExtractor(),
+            _SummingScorer(),
+            feature_mode="cells",
+            window_shape=(64, 64),
+            score_threshold=-1e9,
+        )
+        image = np.random.default_rng(9).random((120, 120))
+        boxes, scores, features = detector._scan(image, collect_features=True)
+        assert features.shape == (scores.size, 8 * 8 * 2)
 
 
 class TestScorers:

@@ -1,0 +1,71 @@
+"""Tests for the repro.errors hierarchy.
+
+Once requests cross worker boundaries, errors must survive pickling
+(``concurrent.futures`` and multiprocessing both round-trip exceptions),
+so every public error class is checked for importability, lineage, and
+pickle fidelity.
+"""
+
+import pickle
+
+import pytest
+
+import repro.errors as errors_module
+from repro.errors import (
+    DeadlineExceededError,
+    QueueFullError,
+    ReproError,
+    ServiceClosedError,
+    ServiceError,
+)
+
+PUBLIC_ERRORS = [
+    getattr(errors_module, name)
+    for name in errors_module.__all__
+]
+
+
+class TestHierarchy:
+    def test_all_lists_every_exception_defined(self):
+        defined = {
+            name
+            for name, value in vars(errors_module).items()
+            if isinstance(value, type) and issubclass(value, Exception)
+        }
+        assert defined == set(errors_module.__all__)
+
+    @pytest.mark.parametrize("cls", PUBLIC_ERRORS, ids=lambda c: c.__name__)
+    def test_importable_from_repro_errors(self, cls):
+        module = __import__("repro.errors", fromlist=[cls.__name__])
+        assert getattr(module, cls.__name__) is cls
+
+    @pytest.mark.parametrize("cls", PUBLIC_ERRORS, ids=lambda c: c.__name__)
+    def test_subclasses_repro_error(self, cls):
+        assert issubclass(cls, ReproError)
+        assert issubclass(cls, Exception)
+
+    def test_service_errors_share_branch(self):
+        for cls in (QueueFullError, DeadlineExceededError, ServiceClosedError):
+            assert issubclass(cls, ServiceError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(ReproError):
+            raise QueueFullError("full")
+
+
+class TestPickling:
+    @pytest.mark.parametrize("cls", PUBLIC_ERRORS, ids=lambda c: c.__name__)
+    def test_round_trips_through_pickle(self, cls):
+        original = cls("something went wrong", 42)
+        clone = pickle.loads(pickle.dumps(original))
+        assert type(clone) is cls
+        assert clone.args == original.args
+        assert str(clone) == str(original)
+
+    @pytest.mark.parametrize("cls", PUBLIC_ERRORS, ids=lambda c: c.__name__)
+    def test_round_trips_inside_tuple_payload(self, cls):
+        """The shape futures actually ship: (type, args) inside a result."""
+        payload = {"error": cls("deadline at 1.5s"), "request_id": 7}
+        clone = pickle.loads(pickle.dumps(payload))
+        assert isinstance(clone["error"], cls)
+        assert clone["error"].args == ("deadline at 1.5s",)

@@ -1,6 +1,5 @@
 """Integration tests for the experiment harnesses (miniature scale)."""
 
-import numpy as np
 import pytest
 
 from repro.experiments import fig4, fig6, table2

@@ -1,7 +1,6 @@
 """Tests for the HoG descriptor assembly and configurations."""
 
 import numpy as np
-import pytest
 
 from repro.hog import (
     HogConfig,

@@ -84,7 +84,6 @@ class TestFpModel:
     def test_argmax_matches_arctan(self):
         """For exact projections, the winner is the bin containing the
         gradient angle (dot products with unit vectors peak when aligned)."""
-        descriptor = NApproxDescriptor(NApproxConfig(quantized=False))
         rng = np.random.default_rng(0)
         for _ in range(50):
             angle = rng.uniform(0, 360)

@@ -1,0 +1,101 @@
+"""Tests for the micro-batching scheduler."""
+
+import queue
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve.batcher import BatchPolicy, MicroBatcher, ServeRequest
+
+
+def _request(deadline=None):
+    return ServeRequest(features=np.zeros(4), deadline=deadline)
+
+
+def _filled_queue(requests):
+    source = queue.Queue()
+    for request in requests:
+        source.put(request)
+    return source
+
+
+class TestBatchPolicy:
+    def test_defaults(self):
+        policy = BatchPolicy()
+        assert policy.max_batch_size == 32
+        assert policy.max_wait_ms == 2.0
+
+    def test_rejects_zero_batch(self):
+        with pytest.raises(ConfigurationError):
+            BatchPolicy(max_batch_size=0)
+
+    def test_rejects_negative_wait(self):
+        with pytest.raises(ConfigurationError):
+            BatchPolicy(max_wait_ms=-1.0)
+
+
+class TestMicroBatcher:
+    def test_empty_queue_returns_empty_batch(self):
+        batcher = MicroBatcher(queue.Queue(), BatchPolicy())
+        assert batcher.collect(block_s=0.01) == []
+
+    def test_drains_up_to_max_batch_size(self):
+        requests = [_request() for _ in range(7)]
+        batcher = MicroBatcher(
+            _filled_queue(requests), BatchPolicy(max_batch_size=4, max_wait_ms=0)
+        )
+        first = batcher.collect(block_s=0.01)
+        second = batcher.collect(block_s=0.01)
+        assert [id(r) for r in first] == [id(r) for r in requests[:4]]
+        assert [id(r) for r in second] == [id(r) for r in requests[4:]]
+
+    def test_zero_wait_takes_only_available(self):
+        requests = [_request(), _request()]
+        batcher = MicroBatcher(
+            _filled_queue(requests),
+            BatchPolicy(max_batch_size=32, max_wait_ms=0),
+        )
+        assert len(batcher.collect(block_s=0.01)) == 2
+
+    def test_expired_requests_never_occupy_a_slot(self):
+        clock = lambda: 100.0  # noqa: E731 - fixed time source
+        live = _request(deadline=200.0)
+        dead = _request(deadline=50.0)
+        expired = []
+        batcher = MicroBatcher(
+            _filled_queue([dead, live]),
+            BatchPolicy(max_batch_size=2, max_wait_ms=0),
+            on_expired=expired.append,
+            clock=clock,
+        )
+        batch = batcher.collect(block_s=0.01)
+        assert batch == [live]
+        assert expired == [dead]
+
+    def test_all_expired_yields_empty_batch(self):
+        clock = lambda: 100.0  # noqa: E731
+        requests = [_request(deadline=1.0) for _ in range(3)]
+        expired = []
+        batcher = MicroBatcher(
+            _filled_queue(requests),
+            BatchPolicy(max_batch_size=8, max_wait_ms=0),
+            on_expired=expired.append,
+            clock=clock,
+        )
+        assert batcher.collect(block_s=0.01) == []
+        assert len(expired) == 3
+
+    def test_expired_slot_freed_for_later_request(self):
+        """A lapsed deadline lets another queued request into the batch."""
+        clock = lambda: 100.0  # noqa: E731
+        dead = _request(deadline=1.0)
+        tail = [_request() for _ in range(2)]
+        batcher = MicroBatcher(
+            _filled_queue([dead] + tail),
+            BatchPolicy(max_batch_size=2, max_wait_ms=0),
+            on_expired=lambda r: None,
+            clock=clock,
+        )
+        batch = batcher.collect(block_s=0.01)
+        assert [id(r) for r in batch] == [id(r) for r in tail]

@@ -1,0 +1,73 @@
+"""Tests for the content-addressed LRU result cache."""
+
+import numpy as np
+import pytest
+
+from repro.serve.cache import LruResultCache, content_key
+
+
+class TestContentKey:
+    def test_equal_inputs_equal_keys(self):
+        row = np.random.default_rng(0).random(16)
+        assert content_key("m", row) == content_key("m", row.copy())
+
+    def test_model_identity_separates_keys(self):
+        row = np.random.default_rng(0).random(16)
+        assert content_key("model-a", row) != content_key("model-b", row)
+
+    def test_feature_bytes_separate_keys(self):
+        row = np.random.default_rng(0).random(16)
+        other = row.copy()
+        other[3] += 1e-12  # any bit difference is a different window
+        assert content_key("m", row) != content_key("m", other)
+
+    def test_dtype_canonicalised(self):
+        row32 = np.arange(4, dtype=np.float32)
+        row64 = np.arange(4, dtype=np.float64)
+        assert content_key("m", row32) == content_key("m", row64)
+
+
+class TestLruResultCache:
+    def test_miss_then_hit(self):
+        cache = LruResultCache(4)
+        key = content_key("m", np.zeros(2))
+        hit, _ = cache.lookup(key)
+        assert not hit
+        cache.put(key, 1.5)
+        hit, value = cache.lookup(key)
+        assert hit and value == 1.5
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_capacity_evicts_least_recent(self):
+        cache = LruResultCache(2)
+        keys = [content_key("m", np.full(2, i)) for i in range(3)]
+        cache.put(keys[0], 0)
+        cache.put(keys[1], 1)
+        cache.lookup(keys[0])  # refresh 0; 1 becomes LRU
+        cache.put(keys[2], 2)
+        assert cache.lookup(keys[0])[0]
+        assert not cache.lookup(keys[1])[0]
+        assert cache.lookup(keys[2])[0]
+        assert len(cache) == 2
+
+    def test_put_refreshes_existing_entry(self):
+        cache = LruResultCache(2)
+        key = content_key("m", np.zeros(2))
+        cache.put(key, 1)
+        cache.put(key, 2)
+        assert len(cache) == 1
+        assert cache.lookup(key)[1] == 2
+
+    def test_clear_keeps_counters(self):
+        cache = LruResultCache(2)
+        key = content_key("m", np.zeros(2))
+        cache.put(key, 1)
+        cache.lookup(key)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 1
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LruResultCache(0)

@@ -1,0 +1,283 @@
+"""Tests for the inference service: batching, backpressure, deadlines."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    DeadlineExceededError,
+    QueueFullError,
+    ServiceClosedError,
+)
+from repro.serve import InferenceService, closed_loop
+from repro.serve.loadgen import LoadReport
+
+
+def _sum_model(matrix):
+    return matrix.sum(axis=1)
+
+
+class _BlockingModel:
+    """Scores sums, but only after `release` is set (deterministic tests)."""
+
+    cacheable = True
+
+    def __init__(self):
+        self.release = threading.Event()
+        self.entered = threading.Event()
+
+    def __call__(self, matrix):
+        self.entered.set()
+        assert self.release.wait(timeout=10.0), "test forgot to release"
+        return matrix.sum(axis=1)
+
+
+class TestLifecycle:
+    def test_submit_before_start_rejected(self):
+        service = InferenceService(_sum_model)
+        with pytest.raises(ServiceClosedError):
+            service.submit(np.zeros(3))
+
+    def test_submit_after_close_rejected(self):
+        with InferenceService(_sum_model) as service:
+            pass
+        with pytest.raises(ServiceClosedError):
+            service.submit(np.zeros(3))
+
+    def test_close_drains_queued_requests(self):
+        with InferenceService(_sum_model, max_wait_ms=0.0) as service:
+            futures = [service.submit(np.full(2, i)) for i in range(20)]
+        assert [f.result(timeout=1) for f in futures] == [2.0 * i for i in range(20)]
+
+    def test_close_without_drain_fails_queued(self):
+        model = _BlockingModel()
+        service = InferenceService(
+            model, max_batch_size=1, max_wait_ms=0.0, cache_capacity=0
+        ).start()
+        first = service.submit(np.zeros(2))
+        assert model.entered.wait(timeout=5.0)  # worker is inside the model
+        stuck = service.submit(np.ones(2))
+        # Unblock the model shortly after close() has emptied the queue.
+        threading.Timer(0.2, model.release.set).start()
+        service.close(drain=False)
+        assert first.result(timeout=5) == 0.0
+        with pytest.raises(ServiceClosedError):
+            stuck.result(timeout=5)
+
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(ConfigurationError):
+            InferenceService(_sum_model, queue_capacity=0)
+        with pytest.raises(ConfigurationError):
+            InferenceService(_sum_model, workers=0)
+        with pytest.raises(ConfigurationError):
+            InferenceService(_sum_model, cache_capacity=-1)
+        with pytest.raises(ConfigurationError):
+            InferenceService(object())
+
+
+class TestScoring:
+    def test_results_match_direct_calls(self):
+        rows = np.random.default_rng(0).random((50, 6))
+        with InferenceService(_sum_model, max_batch_size=8) as service:
+            served = service.score_many(rows)
+        np.testing.assert_array_equal(served, rows.sum(axis=1))
+
+    def test_single_row_scalar_result(self):
+        with InferenceService(_sum_model) as service:
+            value = service.score(np.array([1.0, 2.0]))
+        assert value == 3.0
+        assert isinstance(value, float)
+
+    def test_vector_results_supported(self):
+        def doubler(matrix):
+            return np.stack([matrix * 2.0])[0]
+
+        rows = np.random.default_rng(1).random((5, 3))
+        with InferenceService(doubler, cache_capacity=0) as service:
+            futures = [service.submit(row) for row in rows]
+            results = np.stack([f.result(timeout=5) for f in futures])
+        np.testing.assert_array_equal(results, rows * 2.0)
+
+    def test_requests_coalesce_into_batches(self):
+        model = _BlockingModel()
+        with InferenceService(
+            model, max_batch_size=16, max_wait_ms=50.0, cache_capacity=0
+        ) as service:
+            futures = [service.submit(np.full(2, i)) for i in range(8)]
+            model.release.set()
+            for future in futures:
+                future.result(timeout=5)
+            histogram = service.stats.snapshot()["batch_size_histogram"]
+        # The first request may dispatch alone before the rest enqueue,
+        # but far fewer batches than requests must have been needed.
+        assert sum(histogram.values()) < 8
+
+    def test_model_exception_propagates(self):
+        def broken(matrix):
+            raise RuntimeError("boom")
+
+        with InferenceService(broken, cache_capacity=0) as service:
+            future = service.submit(np.zeros(2))
+            with pytest.raises(RuntimeError, match="boom"):
+                future.result(timeout=5)
+        assert service.stats.counter("failed") == 1
+
+    def test_row_count_mismatch_is_configuration_error(self):
+        def truncating(matrix):
+            return matrix.sum(axis=1)[:-1] if matrix.shape[0] > 1 else np.zeros(0)
+
+        with InferenceService(
+            truncating, max_batch_size=4, cache_capacity=0
+        ) as service:
+            future = service.submit(np.zeros(2))
+            with pytest.raises(ConfigurationError):
+                future.result(timeout=5)
+
+    def test_non_1d_features_rejected(self):
+        with InferenceService(_sum_model) as service:
+            with pytest.raises(ValueError):
+                service.submit(np.zeros((2, 2)))
+
+
+class TestBackpressure:
+    def test_saturated_queue_raises_queue_full(self):
+        model = _BlockingModel()
+        service = InferenceService(
+            model,
+            max_batch_size=1,
+            max_wait_ms=0.0,
+            queue_capacity=2,
+            cache_capacity=0,
+        ).start()
+        try:
+            in_flight = service.submit(np.zeros(2))
+            assert model.entered.wait(timeout=5.0)
+            queued = [service.submit(np.zeros(2)) for _ in range(2)]
+            with pytest.raises(QueueFullError):
+                service.submit(np.zeros(2))
+            assert service.stats.counter("rejected_queue_full") == 1
+        finally:
+            model.release.set()
+            service.close()
+        for future in [in_flight] + queued:
+            assert future.result(timeout=5) == 0.0
+
+    def test_queue_never_grows_beyond_capacity(self):
+        model = _BlockingModel()
+        service = InferenceService(
+            model,
+            max_batch_size=1,
+            max_wait_ms=0.0,
+            queue_capacity=4,
+            cache_capacity=0,
+        ).start()
+        try:
+            service.submit(np.zeros(2))
+            assert model.entered.wait(timeout=5.0)
+            accepted = 0
+            for _ in range(50):
+                try:
+                    service.submit(np.zeros(2))
+                    accepted += 1
+                except QueueFullError:
+                    pass
+            assert accepted == 4
+            assert service.stats.queue_depth <= 4
+        finally:
+            model.release.set()
+            service.close()
+
+
+class TestDeadlines:
+    def test_expired_in_queue_returns_timeout_without_batch_slot(self):
+        model = _BlockingModel()
+        service = InferenceService(
+            model,
+            max_batch_size=1,
+            max_wait_ms=0.0,
+            cache_capacity=0,
+        ).start()
+        try:
+            blocker = service.submit(np.zeros(2))
+            assert model.entered.wait(timeout=5.0)
+            doomed = service.submit(np.ones(2), timeout_s=0.01)
+            time.sleep(0.05)  # deadline lapses while the worker is busy
+        finally:
+            model.release.set()
+        with pytest.raises(DeadlineExceededError):
+            doomed.result(timeout=5)
+        assert blocker.result(timeout=5) == 0.0
+        service.close()
+        assert service.stats.counter("expired_before_batch") == 1
+        # Only the blocker's batch ran: the expired request never
+        # occupied a slot.
+        assert service.stats.counter("completed") == 1
+
+    def test_expired_after_batch_returns_timeout(self):
+        def slow(matrix):
+            time.sleep(0.05)
+            return matrix.sum(axis=1)
+
+        with InferenceService(slow, max_wait_ms=0.0, cache_capacity=0) as service:
+            future = service.submit(np.zeros(2), timeout_s=0.01)
+            with pytest.raises(DeadlineExceededError):
+                future.result(timeout=5)
+        assert service.stats.counter("expired_after_batch") == 1
+
+    def test_unexpired_deadline_completes(self):
+        with InferenceService(_sum_model) as service:
+            assert service.score(np.ones(3), timeout_s=30.0) == 3.0
+
+
+class TestCacheIntegration:
+    def test_duplicate_requests_hit_cache(self):
+        calls = []
+
+        def counting(matrix):
+            calls.append(matrix.shape[0])
+            return matrix.sum(axis=1)
+
+        row = np.random.default_rng(2).random(4)
+        with InferenceService(counting, max_wait_ms=0.0) as service:
+            first = service.score(row)
+            second = service.score(row)
+        assert first == second
+        assert sum(calls) == 1  # the duplicate never reached the model
+        assert service.stats.counter("cache_hits") == 1
+
+    def test_cache_disabled_for_noncacheable_model(self):
+        class Stateful:
+            cacheable = False
+
+            def __call__(self, matrix):
+                return matrix.sum(axis=1)
+
+        service = InferenceService(Stateful(), cache_capacity=128)
+        assert service.cache is None
+        assert service.stats.counter("cache_disabled") == 1
+
+    def test_cache_capacity_zero_disables(self):
+        service = InferenceService(_sum_model, cache_capacity=0)
+        assert service.cache is None
+
+
+class TestLoadGenerator:
+    def test_hundred_concurrent_requests_all_accounted(self):
+        """The CI smoke contract: complete or cleanly reject, never hang."""
+        rows = np.random.default_rng(3).random((100, 5))
+        with InferenceService(
+            _sum_model, max_batch_size=16, queue_capacity=32
+        ) as service:
+            report = closed_loop(service, rows, concurrency=10, chunk_size=2)
+        assert report.accounted
+        assert report.completed == 100
+        assert report.requests == 100
+
+    def test_report_accounting_detects_loss(self):
+        report = LoadReport(requests=5, completed=4)
+        assert not report.accounted
+        report = LoadReport(requests=5, completed=3, rejected_queue_full=2)
+        assert report.accounted

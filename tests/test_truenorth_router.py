@@ -5,7 +5,6 @@ import pytest
 
 from repro.errors import RoutingError
 from repro.truenorth.router import Route, Router
-from repro.truenorth.types import CORE_AXONS
 
 
 class TestRouteValidation:

@@ -5,7 +5,7 @@ import pytest
 
 from repro.truenorth.simulator import Simulator
 from repro.truenorth.system import NeurosynapticSystem
-from repro.truenorth.types import NeuronParameters, ResetMode
+from repro.truenorth.types import NeuronParameters
 
 
 def _identity_chain(n_cores: int) -> NeurosynapticSystem:
