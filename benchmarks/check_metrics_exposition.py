@@ -1,0 +1,87 @@
+"""Validate a ``repro.obs`` Prometheus-style exposition file.
+
+The CI ``obs-smoke`` job runs a short serve load with ``--metrics
+--metrics-output``, then points this checker at the scraped file. The
+check fails (exit 1) when:
+
+- the file cannot be parsed as exposition text (malformed sample line);
+- any sample value is non-numeric or NaN;
+- any *declared* metric — the observability layer's contract, listed in
+  ``REQUIRED_SAMPLES`` — is missing.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_metrics_exposition.py \
+        /tmp/metrics.prom [--require extra_metric ...]
+"""
+
+import argparse
+import math
+import sys
+from pathlib import Path
+
+from repro.obs import parse_prometheus
+
+#: Samples every `python -m repro serve --metrics` run must expose.
+REQUIRED_SAMPLES = (
+    # simulator / engine
+    "sim_ticks_total",
+    "sim_spikes_total",
+    "engine_runs_total",
+    "engine_lanes_total",
+    "engine_spikes_delivered_total",
+    # serving
+    "serve_submitted_total",
+    "serve_completed_total",
+    "serve_windows_scored_total",
+    "serve_queue_depth",
+    "serve_batch_size_count",
+    "serve_batch_size_sum",
+    "serve_latency_seconds_count",
+    "serve_latency_seconds_sum",
+    # per-span timings
+    "span_engine_run_seconds_count",
+    "span_serve_model_batch_seconds_count",
+    "span_serve_worker_execute_seconds_count",
+    "span_serve_batcher_drain_seconds_count",
+)
+
+
+def check(text: str, required) -> int:
+    """Exit code for an exposition ``text`` (prints failures)."""
+    try:
+        samples = parse_prometheus(text)
+    except ValueError as exc:
+        print(f"FAIL: unparseable exposition: {exc}", file=sys.stderr)
+        return 1
+    failures = 0
+    for name in required:
+        if name not in samples:
+            print(f"FAIL: declared metric missing: {name}", file=sys.stderr)
+            failures += 1
+        elif math.isnan(samples[name]):
+            print(f"FAIL: metric is NaN: {name}", file=sys.stderr)
+            failures += 1
+    if failures:
+        return 1
+    print(
+        f"OK: {len(samples)} samples, all {len(tuple(required))} declared "
+        "metrics present and numeric"
+    )
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("path", help="exposition file to validate")
+    parser.add_argument(
+        "--require", nargs="*", default=(),
+        help="additional sample names that must be present",
+    )
+    args = parser.parse_args()
+    text = Path(args.path).read_text()
+    return check(text, tuple(REQUIRED_SAMPLES) + tuple(args.require))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

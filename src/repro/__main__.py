@@ -10,11 +10,22 @@ Usage::
     python -m repro fig6              # Figure 6 precision sweep
     python -m repro absorbed          # Section 5.1 convergence study
     python -m repro serve             # micro-batching service demo
+    python -m repro serve --metrics   # + process-wide metrics snapshot
+    python -m repro trace <cmd>       # any command + span trace summary
 
 ``--small`` shrinks the data split for a faster (noisier) run.
 ``--engine`` selects the simulation engine (``batch`` = the vectorized
 PR-1 engine, bit-identical to ``reference``) where a command runs the
 simulator; ``--chunk-size`` sets windows per classifier call.
+
+Observability (DESIGN.md §10): ``serve --metrics`` publishes the
+service's stats into the process-wide ``repro.obs`` registry and emits
+one JSON snapshot covering simulator ticks, windows scored, the batch
+histogram, cache hit rate, and per-span timings, plus a
+Prometheus-style text exposition (``--metrics-output PATH`` writes the
+exposition to a file — the CI ``obs-smoke`` job scrapes it).
+``trace <cmd>`` runs any other command and then prints the span
+aggregates and the tail of the span ring buffer.
 """
 
 import argparse
@@ -44,6 +55,9 @@ def _data(small: bool):
 
 def main(argv=None) -> int:
     """Parse the experiment name and print its report."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "trace":
+        return _trace(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate tables and figures of the DAC'17 paper.",
@@ -108,7 +122,19 @@ def main(argv=None) -> int:
         "--duplicate-fraction", type=float, default=0.0,
         help="fraction of requests repeating earlier windows",
     )
+    serve_group.add_argument(
+        "--metrics", action="store_true",
+        help="publish into the process-wide repro.obs registry and emit "
+        "its snapshot plus a Prometheus-style exposition",
+    )
+    serve_group.add_argument(
+        "--metrics-output", default=None, metavar="PATH",
+        help="write the text exposition to PATH instead of stdout "
+        "(implies --metrics)",
+    )
     args = parser.parse_args(argv)
+    if args.metrics_output:
+        args.metrics = True
 
     if args.experiment == "table2":
         from repro.experiments import table2
@@ -169,6 +195,12 @@ def _serve(args) -> int:
         demo_classifier_workload,
     )
 
+    registry = None
+    if args.metrics:
+        from repro.obs import get_registry
+
+        registry = get_registry()
+
     scorer, rows = demo_classifier_workload(
         n_requests=args.requests,
         engine=args.engine or "batch",
@@ -180,6 +212,7 @@ def _serve(args) -> int:
         max_wait_ms=args.max_wait_ms,
         queue_capacity=args.queue_capacity,
         cache_capacity=args.cache_capacity,
+        registry=registry,
     )
     timeout_s = None if args.timeout_ms is None else args.timeout_ms / 1e3
     with service:
@@ -197,11 +230,53 @@ def _serve(args) -> int:
         f"(rejected {report.rejected_queue_full}, "
         f"expired {report.deadline_expired}, failed {report.failed})"
     )
-    print(json.dumps({"load": report.as_dict(), "stats": snapshot}, indent=2))
+    payload = {"load": report.as_dict(), "stats": snapshot}
+    if registry is not None:
+        # The process-wide view: simulator ticks and engine counters from
+        # the scorer's runs land next to the serve metrics and spans.
+        payload["metrics"] = registry.snapshot()
+        exposition = registry.render_prometheus()
+        if args.metrics_output:
+            with open(args.metrics_output, "w") as handle:
+                handle.write(exposition)
+            print(f"wrote exposition to {args.metrics_output}")
+    print(json.dumps(payload, indent=2))
+    if registry is not None and not args.metrics_output:
+        print(exposition, end="")
     if not report.accounted:
         print("FAIL: requests lost or failed", file=sys.stderr)
         return 1
     return 0
+
+
+def _trace(argv) -> int:
+    """Run ``argv`` as a normal command, then print the span summary."""
+    from repro.obs import summarize_spans, trace_log
+
+    if not argv:
+        print("usage: python -m repro trace <command> [options]", file=sys.stderr)
+        return 2
+    code = main(argv)
+    spans = summarize_spans()
+    print("\n== span timings (process-wide registry) ==")
+    if not spans:
+        print("no spans recorded")
+    for name, data in sorted(spans.items()):
+        print(
+            f"{name:48s} count={data['count']:6d} "
+            f"total={data['sum']:8.3f}s mean={data['mean'] * 1e3:8.2f}ms "
+            f"p99={data['p99'] * 1e3:8.2f}ms"
+        )
+    tail = trace_log().entries()[-20:]
+    if tail:
+        print("== last spans (ring buffer tail) ==")
+        for record in tail:
+            indent = "  " * record.depth
+            print(
+                f"{indent}{record.path} {record.duration_s * 1e3:.2f}ms "
+                f"[{record.thread}]"
+            )
+    return code
 
 
 if __name__ == "__main__":

@@ -68,7 +68,11 @@ def non_maximum_suppression(
     if box_arr.shape[0] == 0:
         return []
 
-    order = np.argsort(score_arr)[::-1]
+    # Stable sort: numpy's default introsort breaks ties in a
+    # platform-dependent order, which makes the kept set of tied-score
+    # detections nondeterministic. Sorting the negated scores with
+    # kind="stable" keeps tied detections in input order.
+    order = np.argsort(-score_arr, kind="stable")
     iou = box_iou(box_arr, box_arr)
     kept: List[int] = []
     suppressed = np.zeros(box_arr.shape[0], dtype=bool)

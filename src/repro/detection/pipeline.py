@@ -14,6 +14,7 @@ from repro.eedn.mapping import deploy_dense_network
 from repro.eedn.network import EednNetwork
 from repro.eedn.spiking import SpikingEvaluator
 from repro.hog.blocks import normalize_blocks
+from repro.obs import get_registry, span
 from repro.truenorth.simulator import Simulator
 from repro.utils.rng import RngLike, resolve_rng
 
@@ -297,7 +298,17 @@ class SlidingWindowDetector:
         boxes, scores, _ = self._scan(image, collect_features=False)
         if boxes.shape[0] == 0:
             return []
-        kept = non_maximum_suppression(boxes, scores, epsilon=self.nms_epsilon)
+        with span("detect.nms", candidates=int(boxes.shape[0])):
+            kept = non_maximum_suppression(
+                boxes, scores, epsilon=self.nms_epsilon
+            )
+        obs = get_registry()
+        obs.counter(
+            "detect_nms_survivors_total", help="detections kept by NMS"
+        ).inc(len(kept))
+        obs.counter(
+            "detect_nms_suppressed_total", help="detections removed by NMS"
+        ).inc(int(boxes.shape[0]) - len(kept))
         return [
             Detection(
                 x=float(boxes[i, 0]),
@@ -415,17 +426,23 @@ class SlidingWindowDetector:
             max_levels=self.max_levels,
         )
         window_h, window_w = self.window_shape
+        obs = get_registry()
+        levels_scanned = 0
+        windows_scored = 0
         for level in pyramid.levels():
-            grid = self.extractor.cell_grid(level.image)
-            features, positions = self._grid_features(grid)
-            if features.shape[0] == 0:
-                continue
-            level_scores = np.empty(features.shape[0])
-            for start in range(0, features.shape[0], self.chunk_size):
-                chunk = features[start : start + self.chunk_size]
-                level_scores[start : start + self.chunk_size] = (
-                    self.scorer.decision_function(chunk)
-                )
+            with span("pyramid.level", scale=level.scale):
+                grid = self.extractor.cell_grid(level.image)
+                features, positions = self._grid_features(grid)
+                if features.shape[0] == 0:
+                    continue
+                levels_scanned += 1
+                windows_scored += int(features.shape[0])
+                level_scores = np.empty(features.shape[0])
+                for start in range(0, features.shape[0], self.chunk_size):
+                    chunk = features[start : start + self.chunk_size]
+                    level_scores[start : start + self.chunk_size] = (
+                        self.scorer.decision_function(chunk)
+                    )
             hits = np.where(level_scores > self.score_threshold)[0]
             for index in hits:
                 cy, cx = positions[index]
@@ -442,6 +459,12 @@ class SlidingWindowDetector:
                 scores.append(float(level_scores[index]))
                 if collect_features:
                     feature_rows.append(features[index])
+        obs.counter(
+            "detect_levels_total", help="pyramid levels scanned"
+        ).inc(levels_scanned)
+        obs.counter(
+            "detect_windows_scored_total", help="windows scored by the scorer"
+        ).inc(windows_scored)
         box_arr = np.stack(boxes) if boxes else np.zeros((0, 4))
         score_arr = np.asarray(scores)
         feature_arr = (

@@ -5,6 +5,7 @@ from typing import Iterator, List, Tuple
 
 import numpy as np
 
+from repro.obs import get_registry
 from repro.utils.images import resize_bilinear
 
 FULL_HD_CELL_GRIDS: Tuple[Tuple[int, int], ...] = (
@@ -105,6 +106,9 @@ class ImagePyramid:
             scale *= self.scale_factor
             height = int(round(self.image.shape[0] / scale))
             width = int(round(self.image.shape[1] / scale))
+        get_registry().counter(
+            "pyramid_levels_built_total", help="pyramid levels constructed"
+        ).inc(len(result))
         return result
 
     def __iter__(self) -> Iterator[PyramidLevel]:

@@ -1,0 +1,65 @@
+"""``repro.obs`` — the process-wide observability layer.
+
+One lightweight, thread-safe subsystem behind every number this repo
+reports (DESIGN.md §10): counters/gauges/histograms in a
+:class:`MetricsRegistry`, nestable :func:`span` wall-clock tracing with
+a bounded ring-buffer :class:`TraceLog`, a JSON ``snapshot()`` and a
+Prometheus-style text exposition. The simulator, batch engine,
+detection pipeline, and serving stack all instrument through this
+package; ``repro.serve.ServiceStats`` is a thin facade over a registry.
+
+Quick start::
+
+    from repro.obs import get_registry, span
+
+    with span("pyramid.level", level=0):
+        ...
+    get_registry().counter("detect_windows_scored_total").inc(n)
+    print(get_registry().render_prometheus())
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    CounterMetric,
+    GaugeMetric,
+    HistogramMetric,
+    MetricsRegistry,
+    get_registry,
+    parse_prometheus,
+    sanitize_metric_name,
+    set_registry,
+)
+from repro.obs.tracing import (
+    SPAN_BUCKETS,
+    SpanRecord,
+    TraceLog,
+    configure,
+    enabled,
+    observe_span,
+    span,
+    span_metric_name,
+    summarize_spans,
+    trace_log,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "SPAN_BUCKETS",
+    "CounterMetric",
+    "GaugeMetric",
+    "HistogramMetric",
+    "MetricsRegistry",
+    "SpanRecord",
+    "TraceLog",
+    "configure",
+    "enabled",
+    "get_registry",
+    "observe_span",
+    "parse_prometheus",
+    "sanitize_metric_name",
+    "set_registry",
+    "span",
+    "span_metric_name",
+    "summarize_spans",
+    "trace_log",
+]

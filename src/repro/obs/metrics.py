@@ -1,0 +1,466 @@
+"""Thread-safe metric primitives and the process-wide registry.
+
+Every subsystem that counts something — simulator ticks, spikes
+delivered, pyramid windows scored, serve batches — registers its metric
+here instead of keeping an ad-hoc attribute, so one `snapshot()` (JSON)
+or `render_prometheus()` (text exposition) covers the whole process.
+Three primitive kinds cover everything the paper's quantitative claims
+need:
+
+- :class:`CounterMetric` — monotonically increasing event counts
+  (``sim_ticks_total``, ``detect_windows_scored_total``);
+- :class:`GaugeMetric` — set-to-current values, optionally backed by a
+  live callback (``serve_queue_depth`` bound to ``queue.qsize``);
+- :class:`HistogramMetric` — value distributions with fixed cumulative
+  buckets for exposition, a bounded reservoir for percentiles, and an
+  optional exact value-count table for small-cardinality integers
+  (batch sizes).
+
+Updates take one short lock per metric; the hot paths bump counters
+once per *run*, *batch*, or *level* (never per tick per core), which is
+how the no-observer overhead stays inside the serving benchmark's 5%
+budget (DESIGN.md §10).
+"""
+
+import math
+import re
+import threading
+from bisect import bisect_left
+from collections import Counter, deque
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SANITIZE_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+"""Latency-shaped default bucket bounds in seconds (upper-inclusive)."""
+
+
+def sanitize_metric_name(name: str) -> str:
+    """``name`` with every exposition-illegal character mapped to ``_``."""
+    cleaned = _SANITIZE_RE.sub("_", name)
+    if not cleaned or not _NAME_RE.match(cleaned):
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+class CounterMetric:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "help", "_lock", "_value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (>= 0) to the counter."""
+        if n < 0:
+            raise ValueError(f"counter increments must be >= 0, got {n}")
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
+class GaugeMetric:
+    """A set-to-current value, optionally computed by a live callback."""
+
+    __slots__ = ("name", "help", "_lock", "_value", "_fn")
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        fn: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._value = 0.0
+        self._fn = fn
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def bind(self, fn: Callable[[], float]) -> None:
+        """Back the gauge with a callback read at snapshot time."""
+        with self._lock:
+            self._fn = fn
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            fn = self._fn
+            if fn is None:
+                return self._value
+        try:
+            return float(fn())
+        except Exception:
+            return float("nan")
+
+
+class HistogramMetric:
+    """A value distribution: buckets + reservoir + optional value counts.
+
+    Args:
+        name: metric name (exposition-legal).
+        help: one-line description.
+        buckets: cumulative upper bounds (``+Inf`` is implicit).
+        reservoir: most-recent observations kept for percentile
+            estimates (bounded, so a long-running service never grows).
+        track_values: also keep an exact ``value -> count`` table —
+            only sensible for small-cardinality integers such as batch
+            sizes.
+    """
+
+    __slots__ = (
+        "name", "help", "_lock", "_bounds", "_bucket_counts", "_count",
+        "_sum", "_min", "_max", "_reservoir", "_values",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        reservoir: int = 2048,
+        track_values: bool = False,
+    ) -> None:
+        if reservoir < 1:
+            raise ValueError(f"reservoir must be >= 1, got {reservoir}")
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if len(set(bounds)) != len(bounds):
+            raise ValueError(f"duplicate bucket bounds in {buckets}")
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._bounds = bounds
+        self._bucket_counts = [0] * (len(bounds) + 1)  # last = +Inf
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._reservoir = deque(maxlen=reservoir)
+        self._values = Counter() if track_values else None
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        v = float(value)
+        index = bisect_left(self._bounds, v)
+        with self._lock:
+            self._bucket_counts[index] += 1
+            self._count += 1
+            self._sum += v
+            if v < self._min:
+                self._min = v
+            if v > self._max:
+                self._max = v
+            self._reservoir.append(v)
+            if self._values is not None:
+                self._values[value] += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile of the reservoir (0.0 when empty)."""
+        with self._lock:
+            if not self._reservoir:
+                return 0.0
+            data = np.asarray(self._reservoir, dtype=np.float64)
+        return float(np.percentile(data, q))
+
+    def value_counts(self) -> Dict[float, int]:
+        """The exact value table (empty unless ``track_values``)."""
+        with self._lock:
+            return dict(self._values) if self._values is not None else {}
+
+    def snapshot(self) -> Dict:
+        """JSON-ready summary of the distribution."""
+        with self._lock:
+            count = self._count
+            total = self._sum
+            minimum = self._min
+            maximum = self._max
+            data = (
+                np.asarray(self._reservoir, dtype=np.float64)
+                if self._reservoir
+                else None
+            )
+            buckets = {
+                str(bound): cumulative
+                for bound, cumulative in zip(
+                    list(self._bounds) + ["+Inf"],
+                    np.cumsum(self._bucket_counts).tolist(),
+                )
+            }
+        out = {
+            "count": count,
+            "sum": total,
+            "min": minimum if count else 0.0,
+            "max": maximum if count else 0.0,
+            "mean": (total / count) if count else 0.0,
+            "buckets": buckets,
+        }
+        if data is not None:
+            out["p50"] = float(np.percentile(data, 50))
+            out["p99"] = float(np.percentile(data, 99))
+        else:
+            out["p50"] = 0.0
+            out["p99"] = 0.0
+        return out
+
+    def _exposition_rows(self) -> List[Tuple[str, float]]:
+        with self._lock:
+            cumulative = np.cumsum(self._bucket_counts).tolist()
+            rows = [
+                (f'{self.name}_bucket{{le="{bound:g}"}}', cum)
+                for bound, cum in zip(self._bounds, cumulative[:-1])
+            ]
+            rows.append((f'{self.name}_bucket{{le="+Inf"}}', cumulative[-1]))
+            rows.append((f"{self.name}_sum", self._sum))
+            rows.append((f"{self.name}_count", self._count))
+        return rows
+
+
+class MetricsRegistry:
+    """A named collection of metrics with one-stop snapshot/exposition.
+
+    Metrics are created lazily by :meth:`counter` / :meth:`gauge` /
+    :meth:`histogram` (get-or-create, type-checked), so instrumented
+    code never needs registration boilerplate and two call sites naming
+    the same metric share it.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: "Dict[str, object]" = {}
+
+    # ------------------------------------------------------------------
+    def _get_or_create(self, name: str, kind, factory):
+        if not _NAME_RE.match(name):
+            raise ValueError(
+                f"metric name {name!r} is not exposition-legal "
+                "([a-zA-Z_:][a-zA-Z0-9_:]*)"
+            )
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = factory()
+                self._metrics[name] = metric
+            elif not isinstance(metric, kind):
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{type(metric).__name__}, not {kind.__name__}"
+                )
+            return metric
+
+    def counter(self, name: str, help: str = "") -> CounterMetric:
+        """Get or create the counter ``name``."""
+        return self._get_or_create(
+            name, CounterMetric, lambda: CounterMetric(name, help)
+        )
+
+    def gauge(
+        self,
+        name: str,
+        help: str = "",
+        fn: Optional[Callable[[], float]] = None,
+    ) -> GaugeMetric:
+        """Get or create the gauge ``name`` (binding ``fn`` if given)."""
+        gauge = self._get_or_create(
+            name, GaugeMetric, lambda: GaugeMetric(name, help, fn=fn)
+        )
+        if fn is not None:
+            gauge.bind(fn)
+        return gauge
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        reservoir: int = 2048,
+        track_values: bool = False,
+    ) -> HistogramMetric:
+        """Get or create the histogram ``name``."""
+        return self._get_or_create(
+            name,
+            HistogramMetric,
+            lambda: HistogramMetric(
+                name,
+                help,
+                buckets=buckets,
+                reservoir=reservoir,
+                track_values=track_values,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    def names(self) -> List[str]:
+        """All registered metric names, sorted."""
+        with self._lock:
+            return sorted(self._metrics)
+
+    def get(self, name: str):
+        """The metric object behind ``name``, or ``None``."""
+        with self._lock:
+            return self._metrics.get(name)
+
+    def _items(self) -> List[Tuple[str, object]]:
+        with self._lock:
+            return sorted(self._metrics.items())
+
+    def counters_with_prefix(self, prefix: str) -> Dict[str, int]:
+        """``{name: value}`` of every counter starting with ``prefix``."""
+        return {
+            name: metric.value
+            for name, metric in self._items()
+            if isinstance(metric, CounterMetric) and name.startswith(prefix)
+        }
+
+    def snapshot(self) -> Dict:
+        """One JSON-ready view of every registered metric."""
+        counters: Dict[str, int] = {}
+        gauges: Dict[str, float] = {}
+        histograms: Dict[str, Dict] = {}
+        for name, metric in self._items():
+            if isinstance(metric, CounterMetric):
+                counters[name] = metric.value
+            elif isinstance(metric, GaugeMetric):
+                gauges[name] = metric.value
+            elif isinstance(metric, HistogramMetric):
+                histograms[name] = metric.snapshot()
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+    def render_prometheus(self) -> str:
+        """Prometheus-style text exposition of every metric."""
+        lines: List[str] = []
+        for name, metric in self._items():
+            if isinstance(metric, CounterMetric):
+                if metric.help:
+                    lines.append(f"# HELP {name} {metric.help}")
+                lines.append(f"# TYPE {name} counter")
+                lines.append(f"{name} {metric.value}")
+            elif isinstance(metric, GaugeMetric):
+                if metric.help:
+                    lines.append(f"# HELP {name} {metric.help}")
+                lines.append(f"# TYPE {name} gauge")
+                lines.append(f"{name} {_format_value(metric.value)}")
+            elif isinstance(metric, HistogramMetric):
+                if metric.help:
+                    lines.append(f"# HELP {name} {metric.help}")
+                lines.append(f"# TYPE {name} histogram")
+                for row_name, value in metric._exposition_rows():
+                    lines.append(f"{row_name} {_format_value(value)}")
+        return "\n".join(lines) + "\n"
+
+    def reset(self) -> None:
+        """Drop every registered metric (test isolation)."""
+        with self._lock:
+            self._metrics.clear()
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, int):
+        return str(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+_default_registry = MetricsRegistry()
+_registry_lock = threading.Lock()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    with _registry_lock:
+        return _default_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-wide registry; returns the previous one."""
+    global _default_registry
+    if not isinstance(registry, MetricsRegistry):
+        raise TypeError(
+            f"registry must be a MetricsRegistry, got {type(registry).__name__}"
+        )
+    with _registry_lock:
+        previous = _default_registry
+        _default_registry = registry
+        return previous
+
+
+def parse_prometheus(text: str) -> Dict[str, float]:
+    """``{sample_name: value}`` parsed back from an exposition text.
+
+    The inverse of :meth:`MetricsRegistry.render_prometheus` for the
+    subset this module emits; used by the CI ``obs-smoke`` scraper and
+    the exposition round-trip tests.
+
+    Raises:
+        ValueError: on a malformed sample line or non-numeric value.
+    """
+    samples: Dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            name, raw = line.rsplit(" ", 1)
+        except ValueError:
+            raise ValueError(f"malformed exposition line: {line!r}") from None
+        if raw == "+Inf":
+            value = math.inf
+        elif raw == "-Inf":
+            value = -math.inf
+        elif raw == "NaN":
+            value = math.nan
+        else:
+            try:
+                value = float(raw)
+            except ValueError:
+                raise ValueError(
+                    f"non-numeric value {raw!r} for sample {name!r}"
+                ) from None
+        samples[name] = value
+    return samples
+
+
+__all__: Iterable[str] = [
+    "DEFAULT_BUCKETS",
+    "CounterMetric",
+    "GaugeMetric",
+    "HistogramMetric",
+    "MetricsRegistry",
+    "get_registry",
+    "parse_prometheus",
+    "sanitize_metric_name",
+    "set_registry",
+]

@@ -1,0 +1,222 @@
+"""Nestable wall-clock span tracing with a bounded ring-buffer log.
+
+A span brackets one phase of work — a simulator run, one pyramid
+level, one served batch::
+
+    from repro.obs import span
+
+    with span("pyramid.level", level=3):
+        ...
+
+Spans nest per thread: the record carries the slash-joined path of
+enclosing span names (``detect.scan/pyramid.level``) and its depth, so
+a trace dump reads like a call tree. Every completed span lands in two
+places:
+
+- a per-name duration histogram ``span_<name>_seconds`` in the target
+  :class:`~repro.obs.metrics.MetricsRegistry` (the process-wide default
+  unless one is passed), which is what ``snapshot()`` and the
+  Prometheus exposition report as "per-span timings";
+- the process-wide :class:`TraceLog` ring buffer of the most recent
+  :class:`SpanRecord` entries, for ``python -m repro trace <cmd>``.
+
+Tracing can be globally disabled with :func:`configure`; a disabled
+``span`` costs one attribute read and no timestamps.
+"""
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    get_registry,
+    sanitize_metric_name,
+)
+
+SPAN_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+"""Duration bucket bounds (seconds) for span histograms."""
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One completed span.
+
+    Attributes:
+        name: the span's own name (``"pyramid.level"``).
+        path: slash-joined names of the enclosing spans plus this one.
+        duration_s: wall-clock duration in seconds.
+        depth: number of enclosing spans on this thread (0 = root).
+        thread: name of the thread that ran the span.
+        attrs: keyword attributes passed at the call site.
+    """
+
+    name: str
+    path: str
+    duration_s: float
+    depth: int
+    thread: str
+    attrs: Dict = field(default_factory=dict)
+
+
+class TraceLog:
+    """Bounded, thread-safe ring buffer of recent :class:`SpanRecord`\\ s.
+
+    Args:
+        maxlen: entries kept; older spans fall off the far end, so a
+            long-running service holds a constant-size trace tail.
+    """
+
+    def __init__(self, maxlen: int = 1024) -> None:
+        if maxlen < 1:
+            raise ValueError(f"maxlen must be >= 1, got {maxlen}")
+        self.maxlen = maxlen
+        self._lock = threading.Lock()
+        self._entries: List[SpanRecord] = []
+        self._dropped = 0
+
+    def append(self, record: SpanRecord) -> None:
+        with self._lock:
+            self._entries.append(record)
+            if len(self._entries) > self.maxlen:
+                del self._entries[0]
+                self._dropped += 1
+
+    def entries(self) -> List[SpanRecord]:
+        """The retained records, oldest first (a copy)."""
+        with self._lock:
+            return list(self._entries)
+
+    @property
+    def dropped(self) -> int:
+        """Spans evicted from the far end of the ring so far."""
+        with self._lock:
+            return self._dropped
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._dropped = 0
+
+
+_trace_log = TraceLog(1024)
+_local = threading.local()
+_enabled = True
+
+
+def trace_log() -> TraceLog:
+    """The process-wide span ring buffer."""
+    return _trace_log
+
+
+def configure(enabled: bool) -> None:
+    """Globally enable or disable span recording."""
+    global _enabled
+    _enabled = bool(enabled)
+
+
+def enabled() -> bool:
+    """Whether span recording is currently on."""
+    return _enabled
+
+
+def span_metric_name(name: str) -> str:
+    """Registry histogram name for span ``name``."""
+    return f"span_{sanitize_metric_name(name)}_seconds"
+
+
+def observe_span(
+    name: str,
+    seconds: float,
+    registry: Optional[MetricsRegistry] = None,
+    path: Optional[str] = None,
+    depth: int = 0,
+    **attrs,
+) -> None:
+    """Record one externally timed span (the low-level hook).
+
+    Use this where a context manager does not fit — e.g. timing a
+    blocking queue drain but only recording non-empty drains.
+    """
+    if not _enabled:
+        return
+    (registry if registry is not None else get_registry()).histogram(
+        span_metric_name(name),
+        help=f"wall-clock seconds of span {name}",
+        buckets=SPAN_BUCKETS,
+    ).observe(seconds)
+    _trace_log.append(
+        SpanRecord(
+            name=name,
+            path=path or name,
+            duration_s=seconds,
+            depth=depth,
+            thread=threading.current_thread().name,
+            attrs=attrs,
+        )
+    )
+
+
+@contextmanager
+def span(name: str, registry: Optional[MetricsRegistry] = None, **attrs):
+    """Time a block of work as a nestable named span."""
+    if not _enabled:
+        yield
+        return
+    stack: List[str] = getattr(_local, "stack", None)
+    if stack is None:
+        stack = _local.stack = []
+    stack.append(name)
+    path = "/".join(stack)
+    depth = len(stack) - 1
+    started = time.perf_counter()
+    try:
+        yield
+    finally:
+        duration = time.perf_counter() - started
+        stack.pop()
+        observe_span(
+            name,
+            duration,
+            registry=registry,
+            path=path,
+            depth=depth,
+            **attrs,
+        )
+
+
+def summarize_spans(registry: Optional[MetricsRegistry] = None) -> Dict[str, Dict]:
+    """Per-span aggregate timings from ``registry`` (JSON-ready).
+
+    Returns:
+        ``{span_histogram_name: {count, sum, mean, p50, p99, max}}`` for
+        every ``span_*_seconds`` histogram in the registry.
+    """
+    reg = registry if registry is not None else get_registry()
+    out: Dict[str, Dict] = {}
+    for name, data in reg.snapshot()["histograms"].items():
+        if name.startswith("span_") and name.endswith("_seconds"):
+            out[name] = {
+                key: data[key]
+                for key in ("count", "sum", "mean", "p50", "p99", "max")
+            }
+    return out
+
+
+__all__ = [
+    "SPAN_BUCKETS",
+    "SpanRecord",
+    "TraceLog",
+    "configure",
+    "enabled",
+    "observe_span",
+    "span",
+    "span_metric_name",
+    "summarize_spans",
+    "trace_log",
+]

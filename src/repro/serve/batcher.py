@@ -65,8 +65,15 @@ class ServeRequest:
     enqueued_at: float = 0.0
 
     def expired(self, now: float) -> bool:
-        """Whether the deadline has passed at time ``now``."""
-        return self.deadline is not None and now > self.deadline
+        """Whether the deadline has passed at time ``now``.
+
+        The boundary is inclusive: a request checked exactly at its
+        deadline is expired. "Deadlines enforced" means a result is only
+        delivered strictly before the deadline — with the old strict
+        ``>`` a request arriving at ``now == deadline`` was still
+        scored, so ``timeout_s=0`` submissions could complete.
+        """
+        return self.deadline is not None and now >= self.deadline
 
 
 class MicroBatcher:

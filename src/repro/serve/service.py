@@ -34,6 +34,7 @@ from repro.errors import (
     QueueFullError,
     ServiceClosedError,
 )
+from repro.obs import MetricsRegistry, observe_span, span
 from repro.serve.batcher import BatchPolicy, MicroBatcher, ServeRequest
 from repro.serve.cache import LruResultCache, content_key
 from repro.serve.stats import ServiceStats
@@ -72,6 +73,10 @@ class InferenceService:
         model_id: stable identity for cache keys; defaults to the
             model's ``model_id`` attribute, else a per-instance tag.
         clock: monotonic time source (injectable for tests).
+        registry: metrics registry behind :attr:`stats` and the serve
+            spans; ``None`` (default) keeps a private per-service
+            registry, ``repro.obs.get_registry()`` publishes into the
+            process-wide one (the ``--metrics`` CLI path).
     """
 
     def __init__(
@@ -84,6 +89,7 @@ class InferenceService:
         workers: int = 1,
         model_id: Optional[str] = None,
         clock: Callable[[], float] = time.monotonic,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if queue_capacity < 1:
             raise ConfigurationError(
@@ -104,7 +110,7 @@ class InferenceService:
             or f"{type(model).__name__}@{id(model):x}"
         )
         self.policy = BatchPolicy(max_batch_size, max_wait_ms)
-        self.stats = ServiceStats()
+        self.stats = ServiceStats(registry=registry)
         self._clock = clock
         self._queue: "queue.Queue[ServeRequest]" = queue.Queue(queue_capacity)
         self.stats.bind_queue(self._queue.qsize)
@@ -261,18 +267,30 @@ class InferenceService:
         )
 
     def _worker_loop(self) -> None:
+        registry = self.stats.registry
         while True:
+            drain_started = time.perf_counter()
             batch = self._batcher.collect(block_s=0.02)
             if batch:
-                self._run_batch(batch)
+                # Idle polls are not drains: only a non-empty collect is
+                # recorded, so the drain span measures coalescing time.
+                observe_span(
+                    "serve.batcher.drain",
+                    time.perf_counter() - drain_started,
+                    registry=registry,
+                )
+                with span("serve.worker.execute", registry=registry):
+                    self._run_batch(batch)
             elif self._stop.is_set() and self._queue.empty():
                 return
 
     def _run_batch(self, batch: List[ServeRequest]) -> None:
         self.stats.record_batch(len(batch))
+        self.stats.count("windows_scored", len(batch))
         matrix = np.stack([request.features for request in batch])
         try:
-            results = np.asarray(self._batch_fn(matrix))
+            with span("serve.model.batch", registry=self.stats.registry):
+                results = np.asarray(self._batch_fn(matrix))
         except Exception as exc:  # model failure fails the whole batch
             self.stats.count("failed", len(batch))
             for request in batch:

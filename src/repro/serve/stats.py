@@ -1,16 +1,30 @@
-"""Thread-safe observability surface of the inference service.
+"""Observability surface of the inference service.
 
-One :class:`ServiceStats` instance is shared by the submission path, the
-micro-batcher, and the worker pool. Everything is guarded by a single
-lock — the counters are touched once per request or per batch, so
-contention is negligible next to a simulator call.
+:class:`ServiceStats` keeps the API the service, the load generator,
+and ``benchmarks/bench_serve.py`` were written against, but since the
+``repro.obs`` layer landed it is a thin facade over a
+:class:`~repro.obs.MetricsRegistry` (DESIGN.md §10): every ``count()``
+is a registry counter, the batch-size histogram and latency reservoir
+are registry histograms, and the queue-depth gauge is a registry
+callback gauge. By default each instance owns a private registry so
+concurrent services (and tests) stay isolated; pass
+``registry=repro.obs.get_registry()`` to publish into the process-wide
+registry alongside the simulator and detection metrics — that is what
+``python -m repro serve --metrics`` does.
 """
 
-import threading
-from collections import Counter, deque
 from typing import Callable, Dict, Optional
 
-import numpy as np
+from repro.obs import MetricsRegistry, summarize_spans
+
+#: Upper bounds for the request-latency histogram (seconds).
+LATENCY_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Upper bounds for the batch-size histogram (requests per batch).
+BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
 
 
 class ServiceStats:
@@ -20,75 +34,112 @@ class ServiceStats:
         latency_window: number of most-recent request latencies kept for
             the percentile estimates (a bounded reservoir so a
             long-running service never grows).
+        registry: target metrics registry; ``None`` (default) creates a
+            private one per instance.
+        prefix: metric-name prefix inside the registry (counters become
+            ``{prefix}_{name}_total`` and so on).
     """
 
-    def __init__(self, latency_window: int = 8192) -> None:
+    def __init__(
+        self,
+        latency_window: int = 8192,
+        registry: Optional[MetricsRegistry] = None,
+        prefix: str = "serve",
+    ) -> None:
         if latency_window < 1:
             raise ValueError(
                 f"latency_window must be >= 1, got {latency_window}"
             )
-        self._lock = threading.Lock()
-        self._latencies = deque(maxlen=latency_window)
-        self._batch_sizes = Counter()
-        self._counters = Counter()
-        self._queue_depth_fn: Optional[Callable[[], int]] = None
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.prefix = prefix
+        self._latency = self.registry.histogram(
+            f"{prefix}_latency_seconds",
+            help="submit-to-result latency of completed requests",
+            buckets=LATENCY_BUCKETS,
+            reservoir=latency_window,
+        )
+        self._batches = self.registry.histogram(
+            f"{prefix}_batch_size",
+            help="requests per dispatched micro-batch",
+            buckets=BATCH_SIZE_BUCKETS,
+            reservoir=latency_window,
+            track_values=True,
+        )
+        self._queue_gauge = self.registry.gauge(
+            f"{prefix}_queue_depth",
+            help="requests currently waiting in the bounded queue",
+        )
 
     # ------------------------------------------------------------------
     def bind_queue(self, depth_fn: Callable[[], int]) -> None:
         """Register the live queue-depth gauge (called by the service)."""
-        self._queue_depth_fn = depth_fn
+        self._queue_gauge.bind(depth_fn)
 
     def count(self, name: str, n: int = 1) -> None:
         """Increment counter ``name`` by ``n``."""
-        with self._lock:
-            self._counters[name] += n
+        self.registry.counter(f"{self.prefix}_{name}_total").inc(n)
 
     def record_batch(self, size: int) -> None:
         """Record one dispatched batch of ``size`` requests."""
-        with self._lock:
-            self._batch_sizes[size] += 1
+        self._batches.observe(size)
 
     def record_latency(self, seconds: float) -> None:
         """Record one completed request's submit-to-result latency."""
-        with self._lock:
-            self._latencies.append(seconds)
+        self._latency.observe(seconds)
 
     # ------------------------------------------------------------------
     def counter(self, name: str) -> int:
         """Current value of counter ``name`` (0 when never touched)."""
-        with self._lock:
-            return self._counters[name]
+        metric = self.registry.get(f"{self.prefix}_{name}_total")
+        return metric.value if metric is not None else 0
 
     @property
     def queue_depth(self) -> int:
         """Requests currently waiting in the bounded queue."""
-        return self._queue_depth_fn() if self._queue_depth_fn else 0
+        value = self._queue_gauge.value
+        return int(value) if value == value else 0  # NaN-safe
 
     @property
     def cache_hit_rate(self) -> float:
         """Cache hits / lookups, 0.0 before any lookup."""
-        with self._lock:
-            hits = self._counters["cache_hits"]
-            total = hits + self._counters["cache_misses"]
+        hits = self.counter("cache_hits")
+        total = hits + self.counter("cache_misses")
         return hits / total if total else 0.0
 
     def latency_percentile(self, q: float) -> float:
         """The ``q``-th latency percentile in seconds (0.0 when empty)."""
-        with self._lock:
-            if not self._latencies:
-                return 0.0
-            return float(np.percentile(np.asarray(self._latencies), q))
+        return self._latency.percentile(q)
+
+    def _short_counters(self) -> Dict[str, int]:
+        """Registry counters mapped back to their legacy short names."""
+        prefix = f"{self.prefix}_"
+        out: Dict[str, int] = {}
+        for name, value in self.registry.counters_with_prefix(prefix).items():
+            short = name[len(prefix):]
+            if short.endswith("_total"):
+                short = short[: -len("_total")]
+            out[short] = value
+        return out
 
     def snapshot(self) -> Dict:
-        """One JSON-ready view of every stat (for logs and benchmarks)."""
-        with self._lock:
-            counters = dict(self._counters)
-            batch_sizes = dict(sorted(self._batch_sizes.items()))
-            latencies = np.asarray(self._latencies, dtype=np.float64)
+        """One JSON-ready view of every stat (for logs and benchmarks).
+
+        The legacy keys (``counters``, ``queue_depth``,
+        ``batch_size_histogram``, ``mean_batch_size``,
+        ``cache_hit_rate``, ``latency_ms``) are unchanged; ``spans``
+        (per-span wall-clock aggregates recorded into this stats
+        object's registry) is additive.
+        """
+        counters = self._short_counters()
+        batch_sizes = {
+            int(size): count
+            for size, count in sorted(self._batches.value_counts().items())
+        }
         total_batched = sum(size * n for size, n in batch_sizes.items())
         n_batches = sum(batch_sizes.values())
         hits = counters.get("cache_hits", 0)
         lookups = hits + counters.get("cache_misses", 0)
+        latency = self._latency.snapshot()
         return {
             "counters": counters,
             "queue_depth": self.queue_depth,
@@ -96,16 +147,13 @@ class ServiceStats:
             "mean_batch_size": (total_batched / n_batches) if n_batches else 0.0,
             "cache_hit_rate": (hits / lookups) if lookups else 0.0,
             "latency_ms": {
-                "count": int(latencies.size),
-                "p50": float(np.percentile(latencies, 50) * 1e3)
-                if latencies.size
-                else 0.0,
-                "p99": float(np.percentile(latencies, 99) * 1e3)
-                if latencies.size
-                else 0.0,
-                "max": float(latencies.max() * 1e3) if latencies.size else 0.0,
+                "count": latency["count"],
+                "p50": latency["p50"] * 1e3,
+                "p99": latency["p99"] * 1e3,
+                "max": latency["max"] * 1e3,
             },
+            "spans": summarize_spans(self.registry),
         }
 
 
-__all__ = ["ServiceStats"]
+__all__ = ["BATCH_SIZE_BUCKETS", "LATENCY_BUCKETS", "ServiceStats"]

@@ -43,6 +43,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import CompilationError, ConfigurationError
+from repro.obs import get_registry, span
 from repro.truenorth.simulator import SimulationResult
 from repro.truenorth.system import NeurosynapticSystem
 from repro.truenorth.types import CORE_AXONS, CORE_NEURONS, POTENTIAL_MAX, POTENTIAL_MIN
@@ -315,6 +316,9 @@ class BatchEngine:
         # Persistent state for reset=False continuation runs.
         self._potentials: Optional[np.ndarray] = None
         self._mailbox: Dict[int, np.ndarray] = {}
+        # (route, lane) spike deliveries of the most recent run, read by
+        # the observability counters after the tick loop finishes.
+        self._last_delivered = 0
 
     # ------------------------------------------------------------------
     def run(
@@ -343,6 +347,32 @@ class BatchEngine:
         batch = len(lane_rngs)
         if batch < 1:
             raise ValueError("need at least one lane")
+        with span("engine.run", ticks=ticks, batch=batch):
+            result = self._run(ticks, rasters, lane_rngs, reset, batch)
+        obs = get_registry()
+        obs.counter("engine_runs_total", help="batch-engine runs").inc()
+        obs.counter("engine_lanes_total", help="lanes evaluated").inc(batch)
+        obs.counter(
+            "sim_ticks_total", help="lane-ticks simulated (all engines)"
+        ).inc(ticks * batch)
+        obs.counter(
+            "sim_spikes_total", help="neuron firings simulated (all engines)"
+        ).inc(int(result.total_spikes.sum()))
+        obs.counter(
+            "engine_spikes_delivered_total",
+            help="inter-core spike deliveries scattered through the mailbox",
+        ).inc(self._last_delivered)
+        return result
+
+    def _run(
+        self,
+        ticks: int,
+        rasters: Mapping[str, np.ndarray],
+        lane_rngs: Sequence[np.random.Generator],
+        reset: bool,
+        batch: int,
+    ) -> BatchSimulationResult:
+        """The compiled tick loop behind :meth:`run`."""
         state_shape = (self.n_cores, batch, CORE_NEURONS)
         if reset or self._potentials is None:
             potentials = np.zeros(state_shape, dtype=self._dtype)
@@ -366,6 +396,7 @@ class BatchEngine:
             total_spikes=np.zeros(batch, dtype=np.int64),
         )
 
+        delivered = 0
         box_shape = (self.n_cores, batch, CORE_AXONS)
         for tick in range(ticks):
             current = mailbox.pop(tick, None)
@@ -417,6 +448,7 @@ class BatchEngine:
                 if not emitted.any():
                     continue
                 route_idx, lane_idx = np.nonzero(emitted)
+                delivered += route_idx.size
                 slot = mailbox.get(tick + group.delay)
                 if slot is None:
                     slot = np.zeros(box_shape, dtype=bool)
@@ -433,6 +465,7 @@ class BatchEngine:
 
         self._potentials = potentials
         self._mailbox = mailbox
+        self._last_delivered = delivered
         return result
 
 

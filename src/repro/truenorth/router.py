@@ -97,13 +97,11 @@ class Router:
         """Record the spikes ``fired`` emitted by ``src_core`` at ``tick``."""
         if not fired.any():
             return
-        indices = np.flatnonzero(fired)
         for route in self._by_src_core.get(src_core, ()):
             if fired[route.src_neuron]:
                 self._deposit(tick + route.delay, route.dst_core, route.dst_axon)
         # Spikes from unrouted neurons fall on the floor by design: they are
         # either probed externally or genuinely unused.
-        del indices
 
     def _deposit(self, tick: int, core_id: int, axon: int) -> None:
         slot = self._mailbox[tick]

@@ -10,6 +10,7 @@ from typing import Dict, Mapping, Optional
 
 import numpy as np
 
+from repro.obs import get_registry, span
 from repro.truenorth.system import NeurosynapticSystem
 from repro.truenorth.types import CORE_AXONS
 from repro.utils.rng import RngLike, resolve_rng, spawn_generators
@@ -128,9 +129,31 @@ class Simulator:
                 ticks, batched, [self._rng], reset=reset
             ).lane(0)
 
+        with span("sim.run", ticks=ticks):
+            result = self._run_reference(ticks, rasters, reset)
+        obs = get_registry()
+        obs.counter(
+            "sim_runs_total", help="reference-engine simulation runs"
+        ).inc()
+        obs.counter(
+            "sim_ticks_total", help="lane-ticks simulated (all engines)"
+        ).inc(ticks)
+        obs.counter(
+            "sim_spikes_total", help="neuron firings simulated (all engines)"
+        ).inc(result.total_spikes)
+        return result
+
+    def _run_reference(
+        self,
+        ticks: int,
+        rasters: Dict[str, np.ndarray],
+        reset: bool,
+    ) -> SimulationResult:
+        """The tick-accurate reference loop behind :meth:`run`."""
         if reset:
             self.system.reset_state()
 
+        ports = self.system.input_ports
         probes = self.system.output_probes
         result = SimulationResult(
             ticks=ticks,

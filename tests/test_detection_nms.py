@@ -146,3 +146,55 @@ class TestNmsEdgeCases:
         boxes = np.array([[0.0, 0.0, 10.0, 10.0], [9.0, 9.0, 10.0, 10.0]])
         kept = non_maximum_suppression(boxes, np.array([1.0, 0.9]), epsilon=0.0)
         assert kept == [0]
+
+
+class TestTiedScoreDeterminism:
+    def test_tied_scores_keep_input_order(self):
+        """Regression: the default introsort is unstable, so tied-score
+        detections could be visited (and therefore kept) in a
+        platform-dependent order. The stable sort must visit ties in
+        input order — here the first of three identical overlapping
+        boxes wins, plus the disjoint tied box."""
+        boxes = np.array(
+            [
+                [0, 0, 10, 10],
+                [1, 0, 10, 10],   # overlaps box 0 heavily
+                [2, 0, 10, 10],   # overlaps both
+                [100, 0, 10, 10],  # disjoint
+            ],
+            dtype=float,
+        )
+        scores = np.full(4, 0.7)
+        kept = non_maximum_suppression(boxes, scores, epsilon=0.2)
+        assert kept == [0, 3]
+
+    def test_tied_scores_deterministic_across_permuted_padding(self):
+        """The kept set of the tied block must not depend on how many
+        other entries the sort happens to shuffle around it."""
+        rng = np.random.default_rng(0)
+        tied_boxes = np.array([[0, 0, 10, 10], [1, 0, 10, 10]], dtype=float)
+        tied_scores = np.array([0.5, 0.5])
+        baseline = None
+        for n_pad in (0, 1, 17, 64):
+            far = np.column_stack(
+                [
+                    rng.uniform(1000, 2000, n_pad),
+                    rng.uniform(1000, 2000, n_pad),
+                    np.full(n_pad, 5.0),
+                    np.full(n_pad, 5.0),
+                ]
+            ).reshape(n_pad, 4)
+            boxes = np.vstack([tied_boxes, far])
+            scores = np.concatenate([tied_scores, np.full(n_pad, 0.1)])
+            kept = non_maximum_suppression(boxes, scores, epsilon=0.2)
+            tied_kept = tuple(i for i in kept if i < 2)
+            if baseline is None:
+                baseline = tied_kept
+            assert tied_kept == baseline == (0,)
+
+    def test_descending_among_distinct_scores_unchanged(self):
+        boxes = np.array(
+            [[0, 0, 10, 10], [100, 0, 10, 10], [200, 0, 10, 10]], dtype=float
+        )
+        scores = np.array([0.1, 0.9, 0.5])
+        assert non_maximum_suppression(boxes, scores) == [1, 2, 0]

@@ -1,0 +1,220 @@
+"""Unit tests for the ``repro.obs`` metric primitives and registry."""
+
+import math
+import threading
+
+import pytest
+
+from repro.obs import (
+    CounterMetric,
+    GaugeMetric,
+    HistogramMetric,
+    MetricsRegistry,
+    get_registry,
+    parse_prometheus,
+    sanitize_metric_name,
+    set_registry,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = CounterMetric("c")
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            CounterMetric("c").inc(-1)
+
+    def test_concurrent_increments_lose_nothing(self):
+        counter = CounterMetric("c")
+        n_threads, per_thread = 8, 2000
+
+        def worker():
+            for _ in range(per_thread):
+                counter.inc()
+
+        threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == n_threads * per_thread
+
+
+class TestGauge:
+    def test_set_and_read(self):
+        gauge = GaugeMetric("g")
+        gauge.set(3.5)
+        assert gauge.value == 3.5
+
+    def test_callback_read_live(self):
+        box = {"v": 1}
+        gauge = GaugeMetric("g", fn=lambda: box["v"])
+        assert gauge.value == 1
+        box["v"] = 7
+        assert gauge.value == 7
+
+    def test_failing_callback_reads_nan(self):
+        def boom():
+            raise RuntimeError("gone")
+
+        gauge = GaugeMetric("g", fn=boom)
+        assert math.isnan(gauge.value)
+
+
+class TestHistogram:
+    def test_count_sum_min_max_mean(self):
+        hist = HistogramMetric("h", buckets=(1.0, 2.0))
+        for v in (0.5, 1.5, 3.0):
+            hist.observe(v)
+        snap = hist.snapshot()
+        assert snap["count"] == 3
+        assert snap["sum"] == 5.0
+        assert snap["min"] == 0.5
+        assert snap["max"] == 3.0
+        assert snap["mean"] == pytest.approx(5.0 / 3)
+
+    def test_buckets_cumulative_upper_inclusive(self):
+        hist = HistogramMetric("h", buckets=(1.0, 2.0))
+        for v in (0.5, 1.0, 1.5, 2.0, 9.0):
+            hist.observe(v)
+        buckets = hist.snapshot()["buckets"]
+        assert buckets["1.0"] == 2  # 0.5 and the exactly-1.0 observation
+        assert buckets["2.0"] == 4
+        assert buckets["+Inf"] == 5
+
+    def test_percentiles_from_reservoir(self):
+        hist = HistogramMetric("h")
+        for v in range(1, 101):
+            hist.observe(float(v))
+        assert hist.percentile(50) == pytest.approx(50.5)
+        assert hist.snapshot()["p99"] == pytest.approx(99.01)
+
+    def test_reservoir_bounded(self):
+        hist = HistogramMetric("h", reservoir=4)
+        for v in range(100):
+            hist.observe(float(v))
+        assert hist.count == 100
+        assert hist.percentile(0) >= 96.0  # only the tail is retained
+
+    def test_value_counts_only_when_tracked(self):
+        plain = HistogramMetric("h")
+        plain.observe(2)
+        assert plain.value_counts() == {}
+        tracked = HistogramMetric("h", track_values=True)
+        tracked.observe(2)
+        tracked.observe(2)
+        tracked.observe(8)
+        assert tracked.value_counts() == {2: 2, 8: 1}
+
+    def test_rejects_bad_reservoir_and_duplicate_buckets(self):
+        with pytest.raises(ValueError):
+            HistogramMetric("h", reservoir=0)
+        with pytest.raises(ValueError):
+            HistogramMetric("h", buckets=(1.0, 1.0))
+
+    def test_empty_snapshot_is_finite(self):
+        snap = HistogramMetric("h").snapshot()
+        assert snap["count"] == 0
+        assert snap["min"] == 0.0 and snap["max"] == 0.0
+        assert snap["p50"] == 0.0 and snap["p99"] == 0.0
+
+
+class TestRegistry:
+    def test_get_or_create_shares_instances(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(ValueError):
+            registry.gauge("a")
+
+    def test_illegal_name_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("bad name!")
+
+    def test_sanitize_metric_name(self):
+        assert sanitize_metric_name("pyramid.level") == "pyramid_level"
+        assert sanitize_metric_name("a b/c") == "a_b_c"
+
+    def test_snapshot_covers_all_kinds(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").observe(0.1)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"c": 2}
+        assert snap["gauges"] == {"g": 1.5}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_counters_with_prefix(self):
+        registry = MetricsRegistry()
+        registry.counter("serve_a_total").inc()
+        registry.counter("sim_b_total").inc(3)
+        assert registry.counters_with_prefix("serve_") == {"serve_a_total": 1}
+
+    def test_reset_drops_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.reset()
+        assert registry.names() == []
+
+    def test_lazy_creation_under_concurrency_is_single_instance(self):
+        registry = MetricsRegistry()
+        seen = []
+
+        def worker():
+            seen.append(registry.counter("shared"))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(metric is seen[0] for metric in seen)
+
+
+class TestExposition:
+    def test_roundtrip_through_parser(self):
+        registry = MetricsRegistry()
+        registry.counter("requests_total", help="requests").inc(7)
+        registry.gauge("depth").set(2)
+        registry.histogram("lat", buckets=(0.1, 1.0)).observe(0.05)
+        samples = parse_prometheus(registry.render_prometheus())
+        assert samples["requests_total"] == 7
+        assert samples["depth"] == 2
+        assert samples['lat_bucket{le="0.1"}'] == 1
+        assert samples['lat_bucket{le="+Inf"}'] == 1
+        assert samples["lat_count"] == 1
+        assert samples["lat_sum"] == pytest.approx(0.05)
+
+    def test_every_sample_is_numeric(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.histogram("h").observe(1.0)
+        for value in parse_prometheus(registry.render_prometheus()).values():
+            assert isinstance(value, float) or isinstance(value, int)
+
+    def test_parser_rejects_non_numeric(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("metric_a not_a_number")
+
+
+class TestProcessRegistry:
+    def test_set_registry_swaps_and_restores(self):
+        fresh = MetricsRegistry()
+        previous = set_registry(fresh)
+        try:
+            assert get_registry() is fresh
+        finally:
+            set_registry(previous)
+        assert get_registry() is previous
+
+    def test_set_registry_type_checked(self):
+        with pytest.raises(TypeError):
+            set_registry(object())

@@ -99,3 +99,52 @@ class TestMicroBatcher:
         )
         batch = batcher.collect(block_s=0.01)
         assert [id(r) for r in batch] == [id(r) for r in tail]
+
+
+class TestDeadlineBoundary:
+    def test_deadline_exactly_now_is_expired(self):
+        """The boundary is inclusive: a request checked exactly at its
+        deadline must not be scored (regression for the strict-`>`
+        off-by-one that let boundary requests through)."""
+        request = _request(deadline=100.0)
+        assert request.expired(100.0)
+        assert request.expired(100.0001)
+        assert not request.expired(99.9999)
+
+    def test_no_deadline_never_expires(self):
+        assert not _request(deadline=None).expired(1e12)
+
+    def test_batcher_expires_request_at_exact_deadline(self):
+        clock = lambda: 100.0  # noqa: E731 - fixed time source
+        boundary = _request(deadline=100.0)
+        live = _request(deadline=100.5)
+        expired = []
+        batcher = MicroBatcher(
+            _filled_queue([boundary, live]),
+            BatchPolicy(max_batch_size=2, max_wait_ms=0),
+            on_expired=expired.append,
+            clock=clock,
+        )
+        assert batcher.collect(block_s=0.01) == [live]
+        assert expired == [boundary]
+
+    def test_max_wait_zero_with_boundary_deadlines(self):
+        """max_wait_ms=0 drains whatever is immediately available and
+        still applies the inclusive deadline check to each request."""
+        clock = lambda: 50.0  # noqa: E731
+        requests = [
+            _request(deadline=50.0),   # exactly now -> expired
+            _request(deadline=49.0),   # past -> expired
+            _request(deadline=51.0),   # live
+            _request(),                # no deadline -> live
+        ]
+        expired = []
+        batcher = MicroBatcher(
+            _filled_queue(requests),
+            BatchPolicy(max_batch_size=8, max_wait_ms=0),
+            on_expired=expired.append,
+            clock=clock,
+        )
+        batch = batcher.collect(block_s=0.01)
+        assert [id(r) for r in batch] == [id(r) for r in requests[2:]]
+        assert [id(r) for r in expired] == [id(r) for r in requests[:2]]

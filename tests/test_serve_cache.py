@@ -1,5 +1,7 @@
 """Tests for the content-addressed LRU result cache."""
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -71,3 +73,46 @@ class TestLruResultCache:
     def test_zero_capacity_rejected(self):
         with pytest.raises(ValueError):
             LruResultCache(0)
+
+
+class TestHitRateThreadSafety:
+    def test_hit_rate_consistent_under_concurrent_lookups(self):
+        """Regression: ``hit_rate`` used to read ``hits``/``misses``
+        without the lock while ``lookup`` mutated them under it, so a
+        concurrent reader could see torn hits/misses pairs and report a
+        rate above 1.0 or below the running minimum. With the locked
+        read, every observed rate must stay within [0, 1] and the final
+        rate must match the exact hit/miss tally."""
+        cache = LruResultCache(64)
+        keys = [content_key("m", np.full(2, float(i))) for i in range(8)]
+        for key in keys[:4]:
+            cache.put(key, 1.0)  # half the keys will hit
+        n_threads, per_thread = 6, 1500
+        rates = []
+        stop = threading.Event()
+
+        def reader():
+            while not stop.is_set():
+                rates.append(cache.hit_rate)
+
+        def worker(seed):
+            for i in range(per_thread):
+                cache.lookup(keys[(seed + i) % len(keys)])
+
+        reader_thread = threading.Thread(target=reader)
+        workers = [
+            threading.Thread(target=worker, args=(seed,))
+            for seed in range(n_threads)
+        ]
+        reader_thread.start()
+        for t in workers:
+            t.start()
+        for t in workers:
+            t.join()
+        stop.set()
+        reader_thread.join()
+
+        assert all(0.0 <= rate <= 1.0 for rate in rates)
+        lookups = n_threads * per_thread
+        assert cache.hits + cache.misses == lookups
+        assert cache.hit_rate == cache.hits / lookups
