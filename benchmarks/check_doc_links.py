@@ -1,0 +1,123 @@
+"""Markdown link checker for the repo docs (stdlib only).
+
+Scans the given markdown files (default: the top-level ``*.md`` plus
+``docs/*.md``) for inline links and validates every **local** target:
+
+- relative file links must resolve to an existing file or directory
+  (relative to the file containing the link);
+- ``#fragment``-only links must match a heading in the same file
+  (GitHub-style slugs: lowercase, spaces to dashes, punctuation
+  dropped);
+- ``file.md#fragment`` links must match a heading in the target file.
+
+External targets (``http://``, ``https://``, ``mailto:``) are reported
+but never fetched — CI must not depend on the network. Exit status 0
+when every local link resolves, 1 otherwise.
+
+CI runs::
+
+    python benchmarks/check_doc_links.py
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Inline markdown links: [text](target). Images share the syntax.
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+_CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def _slugify(heading: str) -> str:
+    """GitHub-style anchor slug for a heading line.
+
+    GitHub maps *each* space to a dash without collapsing runs, so
+    ``Fault injection & resilience`` slugs to
+    ``fault-injection--resilience`` (the ``&`` leaves two spaces).
+    """
+    text = re.sub(r"[`*_]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\s-]", "", text)
+    return text.replace(" ", "-")
+
+
+def _headings(path: Path):
+    """All heading slugs in a markdown file (code fences skipped)."""
+    slugs = set()
+    in_fence = False
+    for line in path.read_text().splitlines():
+        if _CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING_RE.match(line)
+        if match:
+            slugs.add(_slugify(match.group(1)))
+    return slugs
+
+
+def _links(path: Path):
+    """All inline link targets in a markdown file (code fences skipped)."""
+    targets = []
+    in_fence = False
+    for line in path.read_text().splitlines():
+        if _CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        targets.extend(_LINK_RE.findall(line))
+    return targets
+
+
+def check_file(path: Path):
+    """Return a list of broken-link descriptions for one markdown file."""
+    problems = []
+    for target in _links(path):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        base, _, fragment = target.partition("#")
+        if base:
+            resolved = (path.parent / base).resolve()
+            if not resolved.exists():
+                problems.append(f"{path}: broken link -> {target}")
+                continue
+            if fragment and resolved.suffix == ".md":
+                if _slugify(fragment) not in _headings(resolved):
+                    problems.append(
+                        f"{path}: missing anchor -> {target}"
+                    )
+        elif fragment:
+            if _slugify(fragment) not in _headings(path):
+                problems.append(f"{path}: missing anchor -> #{fragment}")
+    return problems
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "files", nargs="*", type=Path,
+        help="markdown files to check (default: *.md and docs/*.md)",
+    )
+    args = parser.parse_args(argv)
+    files = args.files or sorted(
+        list(REPO_ROOT.glob("*.md")) + list((REPO_ROOT / "docs").glob("*.md"))
+    )
+    problems = []
+    checked = 0
+    for path in files:
+        checked += 1
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    print(f"checked {checked} files: {len(problems)} broken local links")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

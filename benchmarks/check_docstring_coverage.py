@@ -1,0 +1,124 @@
+"""Docstring coverage gate (stdlib-only ``interrogate`` equivalent).
+
+Walks every module under ``src/repro`` with :mod:`ast` and measures the
+fraction of *public* API objects (modules, classes, functions, methods)
+that carry a docstring. The CI ``docs`` job runs::
+
+    python benchmarks/check_docstring_coverage.py --fail-under 95
+
+Counting rules:
+
+- A name is public unless it (or any enclosing scope) starts with ``_``;
+  ``__init__`` is exempted from the underscore rule but only requires a
+  docstring when its class has none.
+- ``@overload`` stubs and bodies that are a lone ``...``/``pass`` after
+  a decorator such as ``@abstractmethod`` still count (they are API).
+- Nested functions (defined inside another function) are private by
+  construction and never counted.
+
+Exit status 0 when coverage >= the threshold, 1 otherwise; ``--verbose``
+lists every undocumented object so the gap is actionable.
+"""
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+
+DEFAULT_ROOT = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_") or name == "__init__"
+
+
+def _iter_api(tree: ast.Module):
+    """Yield ``(qualname, node)`` for the module's public API objects."""
+    yield "<module>", tree
+
+    def walk(node, prefix, in_function):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if in_function or not _is_public(child.name):
+                    continue
+                yield f"{prefix}{child.name}", child
+                yield from walk(child, f"{prefix}{child.name}.", True)
+            elif isinstance(child, ast.ClassDef):
+                if not _is_public(child.name):
+                    continue
+                yield f"{prefix}{child.name}", child
+                yield from walk(child, f"{prefix}{child.name}.", in_function)
+            else:
+                yield from walk(child, prefix, in_function)
+
+    yield from walk(tree, "", False)
+
+
+def audit_file(path: Path):
+    """Return ``(documented, missing)`` lists of qualnames for one file."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    documented, missing = [], []
+    class_has_doc = {}
+    for qualname, node in _iter_api(tree):
+        if isinstance(node, ast.ClassDef):
+            class_has_doc[qualname] = ast.get_docstring(node) is not None
+    for qualname, node in _iter_api(tree):
+        if qualname.endswith("__init__"):
+            owner = qualname.rsplit(".", 1)[0]
+            # A documented class speaks for its constructor.
+            if class_has_doc.get(owner):
+                continue
+        if ast.get_docstring(node) is not None:
+            documented.append(qualname)
+        else:
+            missing.append(qualname)
+    return documented, missing
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root", type=Path, default=DEFAULT_ROOT,
+        help="package directory to audit (default: src/repro)",
+    )
+    parser.add_argument(
+        "--fail-under", type=float, default=95.0,
+        help="minimum coverage percentage to pass",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true",
+        help="list every undocumented public object",
+    )
+    args = parser.parse_args(argv)
+
+    total_documented = total_missing = 0
+    per_file = []
+    for path in sorted(args.root.rglob("*.py")):
+        documented, missing = audit_file(path)
+        total_documented += len(documented)
+        total_missing += len(missing)
+        per_file.append((path, documented, missing))
+
+    total = total_documented + total_missing
+    coverage = 100.0 if total == 0 else 100.0 * total_documented / total
+    for path, documented, missing in per_file:
+        if missing and args.verbose:
+            rel = path.relative_to(args.root.parent)
+            for qualname in missing:
+                print(f"MISSING {rel}:{qualname}")
+    print(
+        f"docstring coverage: {coverage:.1f}% "
+        f"({total_documented}/{total} public objects documented)"
+    )
+    if coverage < args.fail_under:
+        print(
+            f"FAIL: coverage {coverage:.1f}% < required {args.fail_under:.1f}%",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

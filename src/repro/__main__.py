@@ -11,6 +11,8 @@ Usage::
     python -m repro absorbed          # Section 5.1 convergence study
     python -m repro serve             # micro-batching service demo
     python -m repro serve --metrics   # + process-wide metrics snapshot
+    python -m repro serve --flaky-rate 0.2 --retries 3   # resilience demo
+    python -m repro faults            # fault-rate degradation sweep
     python -m repro trace <cmd>       # any command + span trace summary
 
 ``--small`` shrinks the data split for a faster (noisier) run.
@@ -26,6 +28,17 @@ Prometheus-style text exposition (``--metrics-output PATH`` writes the
 exposition to a file — the CI ``obs-smoke`` job scrapes it).
 ``trace <cmd>`` runs any other command and then prints the span
 aggregates and the tail of the span ring buffer.
+
+Fault injection (DESIGN.md §11, ``docs/FAULT_MODEL.md``): ``faults``
+sweeps a hardware fault rate and reports detection miss-rate
+degradation for the TrueNorth-deployed classifiers against the
+software SVM baseline (``--output`` writes ``BENCH_faults.json``;
+``--check`` exits nonzero unless the curves degrade monotonically).
+``serve`` grows resilience knobs: ``--flaky-rate`` injects transient
+scorer faults, handled by ``--retries``/``--retry-backoff-ms`` and a
+``--breaker-failures``/``--breaker-reset-ms`` circuit breaker, with
+``--degraded-score`` serving a sentinel instead of failing while the
+breaker is open.
 """
 
 import argparse
@@ -73,8 +86,10 @@ def main(argv=None) -> int:
             "fig6",
             "absorbed",
             "serve",
+            "faults",
         ],
-        help="which artifact to regenerate (or 'serve' for the service demo)",
+        help="which artifact to regenerate (or 'serve' for the service "
+        "demo, 'faults' for the fault-rate degradation sweep)",
     )
     parser.add_argument(
         "--small", action="store_true", help="use a smaller, faster data split"
@@ -132,6 +147,63 @@ def main(argv=None) -> int:
         help="write the text exposition to PATH instead of stdout "
         "(implies --metrics)",
     )
+    serve_group.add_argument(
+        "--flaky-rate", type=float, default=0.0,
+        help="inject transient scorer faults at this per-batch rate",
+    )
+    serve_group.add_argument(
+        "--retries", type=int, default=1,
+        help="total scorer attempts per batch (1 = no retry)",
+    )
+    serve_group.add_argument(
+        "--retry-backoff-ms", type=float, default=1.0,
+        help="backoff before the first retry (doubles per retry)",
+    )
+    serve_group.add_argument(
+        "--breaker-failures", type=int, default=0,
+        help="consecutive failures that open the circuit breaker "
+        "(0 disables the breaker)",
+    )
+    serve_group.add_argument(
+        "--breaker-reset-ms", type=float, default=100.0,
+        help="breaker cooldown before a half-open trial call",
+    )
+    serve_group.add_argument(
+        "--degraded-score", type=float, default=None,
+        help="serve this sentinel score instead of failing while the "
+        "scorer is down (unset = fail the requests)",
+    )
+    faults_group = parser.add_argument_group("faults options")
+    faults_group.add_argument(
+        "--fault-kind", choices=["drop", "dup", "dead", "stuck", "flip", "drift"],
+        default="drop", help="which hardware fault to sweep",
+    )
+    faults_group.add_argument(
+        "--rates", default="0,0.05,0.1,0.2,0.4,0.7,1.0",
+        help="comma-separated fault rates (ascending)",
+    )
+    faults_group.add_argument(
+        "--approaches", default="NApprox,Parrot,SVM",
+        help="comma-separated subset of NApprox,Parrot,SVM",
+    )
+    faults_group.add_argument(
+        "--seeds", default="0,1,2,3,4",
+        help="comma-separated fault-plan seeds averaged per rate",
+    )
+    faults_group.add_argument(
+        "--ticks", type=int, default=12, help="spike window per scored vector"
+    )
+    faults_group.add_argument(
+        "--hidden", type=int, default=48, help="classifier hidden width"
+    )
+    faults_group.add_argument(
+        "--check", action="store_true",
+        help="exit nonzero unless hardware curves degrade monotonically",
+    )
+    faults_group.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="write the sweep payload as JSON (BENCH_faults.json)",
+    )
     args = parser.parse_args(argv)
     if args.metrics_output:
         args.metrics = True
@@ -184,6 +256,49 @@ def main(argv=None) -> int:
         print(absorbed_exp.format_report(absorbed_exp.run(sizes=sizes)))
     elif args.experiment == "serve":
         return _serve(args)
+    elif args.experiment == "faults":
+        return _faults(args)
+    return 0
+
+
+def _faults(args) -> int:
+    """Run the fault-rate sweep (exit 0 = monotone when ``--check``)."""
+    from repro.experiments import faults_sweep
+
+    rates = tuple(float(r) for r in args.rates.split(","))
+    approaches = tuple(a.strip() for a in args.approaches.split(",") if a.strip())
+    seeds = tuple(int(s) for s in args.seeds.split(","))
+    kwargs = {}
+    if args.small:
+        kwargs.update(
+            n_train=32,
+            n_eval=16,
+            epochs=15,
+            fault_seeds=seeds[:1],
+            parrot_params={"hidden": 96, "n_samples": 1500, "epochs": 8},
+        )
+    else:
+        kwargs.update(fault_seeds=seeds)
+    result = faults_sweep.run(
+        rates=rates,
+        fault_kind=args.fault_kind,
+        approaches=approaches,
+        hidden=args.hidden,
+        ticks=args.ticks,
+        **kwargs,
+    )
+    print(faults_sweep.format_report(result))
+    if args.output:
+        faults_sweep.write_json(result, args.output)
+        print(f"wrote {args.output}")
+    if args.check:
+        hardware = tuple(a for a in approaches if a != "SVM")
+        violations = result.check_monotone(approaches=hardware)
+        if violations:
+            for violation in violations:
+                print(f"FAIL: {violation}", file=sys.stderr)
+            return 1
+        print(f"monotonicity check passed for {', '.join(hardware)}")
     return 0
 
 
@@ -206,6 +321,27 @@ def _serve(args) -> int:
         engine=args.engine or "batch",
         duplicate_fraction=args.duplicate_fraction,
     )
+    flaky = None
+    if args.flaky_rate > 0:
+        from repro.serve import FlakyModel
+
+        flaky = FlakyModel(scorer, failure_rate=args.flaky_rate, rng=0)
+        scorer = flaky
+    retry_policy = None
+    if args.retries > 1:
+        from repro.serve import RetryPolicy
+
+        retry_policy = RetryPolicy(
+            max_attempts=args.retries, backoff_ms=args.retry_backoff_ms
+        )
+    circuit_breaker = None
+    if args.breaker_failures > 0:
+        from repro.serve import CircuitBreaker
+
+        circuit_breaker = CircuitBreaker(
+            failure_threshold=args.breaker_failures,
+            reset_timeout_s=args.breaker_reset_ms / 1e3,
+        )
     service = InferenceService(
         scorer,
         max_batch_size=args.max_batch_size,
@@ -213,6 +349,9 @@ def _serve(args) -> int:
         queue_capacity=args.queue_capacity,
         cache_capacity=args.cache_capacity,
         registry=registry,
+        retry_policy=retry_policy,
+        circuit_breaker=circuit_breaker,
+        degraded_value=args.degraded_score,
     )
     timeout_s = None if args.timeout_ms is None else args.timeout_ms / 1e3
     with service:
@@ -230,6 +369,11 @@ def _serve(args) -> int:
         f"(rejected {report.rejected_queue_full}, "
         f"expired {report.deadline_expired}, failed {report.failed})"
     )
+    if flaky is not None:
+        print(
+            f"flaky scorer: {flaky.failures}/{flaky.calls} batch calls "
+            f"faulted (rate {args.flaky_rate})"
+        )
     payload = {"load": report.as_dict(), "stats": snapshot}
     if registry is not None:
         # The process-wide view: simulator ticks and engine counters from

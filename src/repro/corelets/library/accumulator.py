@@ -46,10 +46,12 @@ class AccumulatorCorelet(Corelet):
 
     @property
     def input_width(self) -> int:
+        """Axon lines consumed (one per accumulated input)."""
         return self._n_in
 
     @property
     def output_width(self) -> int:
+        """Neuron outputs produced (one per accumulator)."""
         return self._n_out
 
     def build(self, system: NeurosynapticSystem) -> BuiltCorelet:

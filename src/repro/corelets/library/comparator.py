@@ -44,10 +44,12 @@ class ComparatorCorelet(Corelet):
 
     @property
     def input_width(self) -> int:
+        """Axon lines consumed: an (a, b) pair per comparator."""
         return 2 * self.n_pairs
 
     @property
     def output_width(self) -> int:
+        """Neuron outputs produced (one verdict per pair)."""
         return self.n_pairs
 
     def build(self, system: NeurosynapticSystem) -> BuiltCorelet:

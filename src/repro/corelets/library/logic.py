@@ -82,10 +82,12 @@ class GatedLogicCorelet(Corelet):
 
     @property
     def input_width(self) -> int:
+        """Axon lines consumed: data lines plus the gate line."""
         return self.n_data + 1
 
     @property
     def output_width(self) -> int:
+        """Neuron outputs produced (one per logic gate)."""
         return self.n_out
 
     def build(self, system: NeurosynapticSystem) -> BuiltCorelet:

@@ -40,10 +40,12 @@ class PatternMatchCorelet(Corelet):
 
     @property
     def input_width(self) -> int:
+        """Axon lines consumed (the pattern width)."""
         return self._shape[0]
 
     @property
     def output_width(self) -> int:
+        """Neuron outputs produced (one per stored pattern)."""
         return self._shape[1]
 
     def build(self, system: NeurosynapticSystem) -> BuiltCorelet:

@@ -49,10 +49,12 @@ class MaxPoolCorelet(Corelet):
 
     @property
     def input_width(self) -> int:
+        """Axon lines consumed (the pre-pool width)."""
         return self._n_in
 
     @property
     def output_width(self) -> int:
+        """Neuron outputs produced (one per pool window)."""
         return self._n_out
 
     def build(self, system: NeurosynapticSystem) -> BuiltCorelet:

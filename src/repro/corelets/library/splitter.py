@@ -52,10 +52,12 @@ class SplitterCorelet(Corelet):
 
     @property
     def input_width(self) -> int:
+        """Axon lines consumed (the fanned-out width)."""
         return self.width
 
     @property
     def output_width(self) -> int:
+        """Neuron outputs produced (sum of all fanout copies)."""
         return sum(self.fanouts)
 
     def build(self, system: NeurosynapticSystem) -> BuiltCorelet:

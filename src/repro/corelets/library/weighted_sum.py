@@ -154,10 +154,12 @@ class WeightedSumCorelet(Corelet):
 
     @property
     def input_width(self) -> int:
+        """Axon lines consumed (rows of the weight matrix)."""
         return self.weights.shape[0]
 
     @property
     def output_width(self) -> int:
+        """Neuron outputs produced (columns of the weight matrix)."""
         return self.weights.shape[1]
 
     def replica_count(self) -> int:

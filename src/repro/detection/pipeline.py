@@ -115,6 +115,12 @@ class TrueNorthBinaryScorer:
             order, chunking, or which batch they land in. Content coding
             is what makes the scorer safe to drive through the
             ``repro.serve`` micro-batcher and its result cache.
+        faults: optional :class:`repro.faults.FaultPlan` injected into
+            the deployed system (identically on either engine). Plans
+            with dynamic (per-spike) faults key their hashing on the
+            lane a window lands in, so such scorers are not cacheable;
+            any plan is folded into ``model_id`` so cached fault-free
+            scores can never be replayed for a faulted model.
     """
 
     def __init__(
@@ -125,6 +131,7 @@ class TrueNorthBinaryScorer:
         rng: RngLike = 0,
         engine: str = "batch",
         coding: str = "stream",
+        faults=None,
     ) -> None:
         if ticks < 1:
             raise ValueError(f"ticks must be >= 1, got {ticks}")
@@ -137,6 +144,7 @@ class TrueNorthBinaryScorer:
         self.positive_class = positive_class
         self.engine = engine
         self.coding = coding
+        self.faults = faults
         self._dense_layers = [
             layer for layer in network.layers if isinstance(layer, TrinaryDense)
         ]
@@ -146,7 +154,9 @@ class TrueNorthBinaryScorer:
         else:
             self._entropy = int(resolve_rng(rng).integers(0, 2**63))
         self._rng = resolve_rng(rng)
-        self._simulator = Simulator(self.deployed.system, rng=rng, engine=engine)
+        self._simulator = Simulator(
+            self.deployed.system, rng=rng, engine=engine, faults=faults
+        )
         self._n_in = self.deployed.system.input_ports["in"].width
         # Stage s of the deployed pipeline fires s route-delays after the
         # input tick, so the last data spikes leave the output stage at
@@ -159,9 +169,14 @@ class TrueNorthBinaryScorer:
 
         True only under content coding — the deployed classifier itself
         is deterministic (no stochastic neurons), so the input raster is
-        the only source of randomness. ``repro.serve.InferenceService``
+        the only source of randomness — and only when no dynamic
+        (per-spike) fault is injected: dynamic fault hashing keys on the
+        lane a window lands in, so equal windows in different batch
+        positions can score differently. ``repro.serve.InferenceService``
         consults this flag before enabling its result cache.
         """
+        if self.faults is not None and self.faults.has_dynamic:
+            return False
         return self.coding == "content"
 
     @property
@@ -183,6 +198,8 @@ class TrueNorthBinaryScorer:
             f"|ticks={self.ticks}|pos={self.positive_class}"
             f"|coding={self.coding}|entropy={self._entropy}".encode()
         )
+        if self.faults is not None and self.faults:
+            digest.update(f"|faults={self.faults.digest()}".encode())
         return f"truenorth-{digest.hexdigest()}"
 
     def deployed_layers(self) -> List[Tuple[np.ndarray, np.ndarray]]:

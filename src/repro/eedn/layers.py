@@ -80,12 +80,14 @@ class ThresholdActivation(Layer):
         self._last_z: Optional[np.ndarray] = None
 
     def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        """Binary step output; caches pre-activations when ``training``."""
         z = np.asarray(inputs, dtype=np.float64)
         if training:
             self._last_z = z
         return (z >= self.threshold).astype(np.float64)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Straight-through gradient inside the ``ste_window`` band."""
         if self._last_z is None:
             raise RuntimeError("backward called before a training forward pass")
         window = np.abs(self._last_z - self.threshold) <= self.ste_window
@@ -127,6 +129,7 @@ class TrinaryDense(Layer):
         return trinarize(self.weights)
 
     def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        """Affine transform under quantized (trinary) weights."""
         x = np.asarray(inputs, dtype=np.float64)
         if x.ndim == 1:
             x = x[None, :]
@@ -137,6 +140,7 @@ class TrinaryDense(Layer):
         return x @ self.deployed_weights() + self.bias
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Gradients w.r.t. inputs; accumulates weight/bias grads."""
         if self._last_input is None:
             raise RuntimeError("backward called before a training forward pass")
         grad = np.asarray(grad_output, dtype=np.float64)
@@ -147,9 +151,11 @@ class TrinaryDense(Layer):
         return grad @ self.deployed_weights().T
 
     def params(self) -> Dict[str, np.ndarray]:
+        """The dense layer's ``weights`` and ``bias`` arrays."""
         return {"weights": self.weights, "bias": self.bias}
 
     def grads(self) -> Dict[str, np.ndarray]:
+        """Gradients matching :meth:`params` after a backward pass."""
         return {"weights": self._grad_w, "bias": self._grad_b}
 
 
@@ -234,6 +240,7 @@ class TrinaryConv2D(Layer):
         return cols
 
     def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        """NCHW convolution under quantized (trinary) kernels."""
         x = np.asarray(inputs, dtype=np.float64)
         if x.ndim != 4 or x.shape[1] != self.in_channels:
             raise ValueError(
@@ -263,6 +270,7 @@ class TrinaryConv2D(Layer):
         return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Gradients w.r.t. inputs; accumulates kernel/bias grads."""
         if self._cache is None:
             raise RuntimeError("backward called before a training forward pass")
         x_shape, cols, out_h, out_w = self._cache
@@ -307,9 +315,11 @@ class TrinaryConv2D(Layer):
         return grad_x
 
     def params(self) -> Dict[str, np.ndarray]:
+        """The convolution's ``weights`` and ``bias`` arrays."""
         return {"weights": self.weights, "bias": self.bias}
 
     def grads(self) -> Dict[str, np.ndarray]:
+        """Gradients matching :meth:`params` after a backward pass."""
         return {"weights": self._grad_w, "bias": self._grad_b}
 
 
@@ -320,12 +330,14 @@ class Flatten(Layer):
         self._shape: Optional[Tuple[int, ...]] = None
 
     def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        """Flatten trailing dimensions to one feature axis."""
         x = np.asarray(inputs, dtype=np.float64)
         if training:
             self._shape = x.shape
         return x.reshape(x.shape[0], -1)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Restore the cached input shape on the gradient."""
         if self._shape is None:
             raise RuntimeError("backward called before a training forward pass")
         return np.asarray(grad_output).reshape(self._shape)
@@ -341,6 +353,7 @@ class AveragePool2D(Layer):
         self._shape: Optional[Tuple[int, ...]] = None
 
     def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        """Non-overlapping window-mean downsampling (NCHW)."""
         x = np.asarray(inputs, dtype=np.float64)
         b, c, h, w = x.shape
         s = self.size
@@ -351,6 +364,7 @@ class AveragePool2D(Layer):
         return trimmed.reshape(b, c, oh, s, ow, s).mean(axis=(3, 5))
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Spread each output gradient evenly over its window."""
         if self._shape is None:
             raise RuntimeError("backward called before a training forward pass")
         b, c, h, w = self._shape

@@ -50,7 +50,27 @@ class ServiceClosedError(ServiceError):
     """The service is shut down and no longer accepts requests."""
 
 
+class TransientScorerError(ServiceError):
+    """A scorer failed in a way that is expected to heal on retry.
+
+    Models raise (or wrap their backend's fault as) this type to opt a
+    failure into the serving layer's retry-with-backoff path; any other
+    exception type fails the batch immediately.
+    """
+
+
+class CircuitOpenError(ServiceError):
+    """The per-model circuit breaker is open; the call was not attempted.
+
+    Raised by :class:`repro.serve.resilience.CircuitBreaker` while it is
+    cooling down after repeated scorer failures. Services configured
+    with a ``degraded_value`` convert this into a degraded-mode response
+    instead of an error.
+    """
+
+
 __all__ = [
+    "CircuitOpenError",
     "CompilationError",
     "ConfigurationError",
     "DeadlineExceededError",
@@ -61,4 +81,5 @@ __all__ = [
     "ServiceClosedError",
     "ServiceError",
     "TrainingError",
+    "TransientScorerError",
 ]

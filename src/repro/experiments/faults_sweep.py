@@ -1,0 +1,475 @@
+"""Detection robustness under injected hardware faults.
+
+The paper's pipelines assume a healthy TrueNorth substrate; this sweep
+asks the question the fault model (``docs/FAULT_MODEL.md``) exists to
+answer: *how fast does detection quality degrade as the chip breaks?*
+For each fault rate it deploys the NApprox- and Parrot-fed Eedn window
+classifiers onto simulated neurosynaptic cores, injects a
+:class:`~repro.faults.FaultPlan` at that rate, and measures the
+window-level miss rate on held-out positive windows at a fixed
+false-positive operating point (:data:`TARGET_FPR`), plus the raw
+false-positive rate on held-out negatives. The software SVM baseline is
+evaluated once — chip faults cannot touch it — and serves as the flat
+reference line.
+
+Because rate-parameterised faults are **nested across rates** (same
+seed, higher rate = strict superset of fault sites), the degradation
+curves are monotone by construction up to sampling noise; averaging
+over several fault seeds and anchoring the top of the sweep at rate 1.0
+(no routed spike survives, every margin collapses to an
+input-independent constant, miss rate 1.0 at the fixed-FPR operating
+point) gives the monotone curves ``python -m repro faults --check``
+asserts.
+
+To keep the classifier deployable through
+:func:`~repro.eedn.mapping.deploy_dense_network` (trinary weights need
+a +/- axon pair per input line, so a stage accepts at most 128 inputs),
+window cell grids are reduced before classification: orientation bins
+merged 18 -> 6 and cells average-pooled ``(16, 8) -> (4, 4)``, giving
+4 x 4 x 6 = 96 features (see :func:`pooled_window_features`).
+"""
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets import SyntheticPersonDataset
+from repro.detection.pipeline import TrueNorthBinaryScorer
+from repro.eedn.layers import ThresholdActivation, TrinaryDense
+from repro.eedn.network import EednNetwork
+from repro.eedn.train import TrainConfig, train_network
+from repro.faults import (
+    DroppedSpikes,
+    DuplicatedSpikes,
+    FaultPlan,
+    RandomDeadCores,
+    RandomStuckNeurons,
+    ThresholdDrift,
+    WeightBitFlips,
+)
+from repro.svm import LinearSVM
+from repro.utils.rng import RngLike, resolve_rng
+
+#: Sweepable fault kinds and the plan each rate maps to.
+FAULT_KINDS = ("drop", "dup", "dead", "stuck", "flip", "drift")
+
+#: A ``drift`` rate of 1.0 maps to this threshold-drift scale.
+DRIFT_SCALE = 64.0
+
+#: Calibration target: the 95th percentile of the *training* pooled
+#: counts is mapped to this firing probability. Extractor outputs span
+#: orders of magnitude (NApprox cell counts average ~3.6, a
+#: small-budget parrot's ~0.02), and content coding clips features to
+#: [0, 1] per-tick firing probabilities — without calibration one
+#: extractor's features saturate while the other's never spike.
+FEATURE_TARGET = 0.8
+
+
+def build_fault_plan(kind: str, rate: float, seed: int = 0) -> Optional[FaultPlan]:
+    """The :class:`FaultPlan` for one sweep point.
+
+    Args:
+        kind: one of :data:`FAULT_KINDS` — ``drop`` / ``dup`` are
+            per-delivery spike-transport faults, ``dead`` kills a
+            fraction of cores, ``stuck`` silences a fraction of
+            neurons, ``flip`` XORs bit 1 of that fraction of connected
+            synaptic weights, ``drift`` shifts fire thresholds by up to
+            ``rate * DRIFT_SCALE``.
+        rate: fault intensity in ``[0, 1]``.
+        seed: fault-plan seed (vary it to average out site placement).
+
+    Returns:
+        The plan, or ``None`` at rate 0 (the clean baseline).
+
+    Raises:
+        ValueError: on an unknown ``kind``.
+    """
+    if kind not in FAULT_KINDS:
+        raise ValueError(f"fault kind must be one of {FAULT_KINDS}, got {kind!r}")
+    if rate == 0.0:
+        return None
+    spec = {
+        "drop": lambda: DroppedSpikes(rate),
+        "dup": lambda: DuplicatedSpikes(rate),
+        "dead": lambda: RandomDeadCores(rate),
+        "stuck": lambda: RandomStuckNeurons(rate, mode="silent"),
+        "flip": lambda: WeightBitFlips(rate, bit=1),
+        "drift": lambda: ThresholdDrift(rate * DRIFT_SCALE),
+    }[kind]()
+    return FaultPlan(faults=(spec,), seed=seed)
+
+
+def pooled_window_features(
+    extractor,
+    windows: np.ndarray,
+    pool: Tuple[int, int] = (4, 2),
+    bin_merge: int = 3,
+) -> np.ndarray:
+    """Pooled raw cell-count features for window images.
+
+    Orientation bins are summed in groups of ``bin_merge`` first, then
+    cells are average-pooled spatially. The defaults turn a
+    ``(16, 8, 18)`` cell grid into ``4 * 4 * 6 = 96`` features — six
+    orientation bins and a 4 x 4 spatial layout, which keeps even the
+    noisy parrot approximation separable while fitting the 128-input
+    deployment budget of :func:`~repro.eedn.mapping.deploy_dense_network`.
+
+    Args:
+        extractor: any descriptor exposing ``cell_grid(image)``.
+        windows: ``(n, 128, 64)`` window stack.
+        pool: cells averaged per pooled feature, ``(y, x)``.
+        bin_merge: adjacent orientation bins summed per merged bin
+            (must divide the extractor's bin count).
+
+    Returns:
+        ``(n, pooled_cells * merged_bins)`` matrix of pooled counts —
+        unscaled; see :func:`calibrated_scale` for mapping into the
+        [0, 1] firing-probability range content coding expects.
+    """
+    rows: List[np.ndarray] = []
+    py, px = pool
+    for window in windows:
+        grid = np.asarray(extractor.cell_grid(window), dtype=np.float64)
+        gy, gx, bins = grid.shape
+        if bin_merge > 1:
+            grid = grid.reshape(gy, gx, bins // bin_merge, bin_merge).sum(axis=-1)
+        ny, nx = gy // py, gx // px
+        pooled = (
+            grid[: ny * py, : nx * px]
+            .reshape(ny, py, nx, px, grid.shape[2])
+            .mean(axis=(1, 3))
+        )
+        rows.append(pooled.reshape(-1))
+    return np.stack(rows)
+
+
+def calibrated_scale(train_counts: np.ndarray, target: float = FEATURE_TARGET) -> float:
+    """Per-extractor scale mapping pooled counts into [0, 1] features.
+
+    Args:
+        train_counts: pooled counts of the *training* windows only (the
+            calibration must not see evaluation data).
+        target: firing probability assigned to the counts' 95th
+            percentile.
+
+    Returns:
+        A positive multiplier; features above the calibration point
+        saturate at the coder's [0, 1] clip.
+    """
+    reference = float(np.quantile(train_counts, 0.95))
+    if reference <= 0.0:
+        return 1.0
+    return target / reference
+
+
+@dataclass
+class FaultSweepResult:
+    """One fault-kind sweep across rates and approaches.
+
+    Attributes:
+        fault_kind: the swept fault kind (see :data:`FAULT_KINDS`).
+        rates: swept fault rates, ascending.
+        fault_seeds: fault-plan seeds averaged per rate.
+        ticks: spike window of the deployed scorers.
+        hidden: hidden width of the deployed classifiers.
+        miss_rates: approach -> per-rate positive-window miss rate.
+        false_positive_rates: approach -> per-rate negative FP rate.
+        mean_margins: approach -> per-rate mean positive margin.
+    """
+
+    fault_kind: str
+    rates: List[float]
+    fault_seeds: List[int]
+    ticks: int
+    hidden: int
+    miss_rates: Dict[str, List[float]] = field(default_factory=dict)
+    false_positive_rates: Dict[str, List[float]] = field(default_factory=dict)
+    mean_margins: Dict[str, List[float]] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict:
+        """JSON-ready payload (``BENCH_faults.json``)."""
+        return {
+            "fault_kind": self.fault_kind,
+            "rates": self.rates,
+            "fault_seeds": self.fault_seeds,
+            "ticks": self.ticks,
+            "hidden": self.hidden,
+            "approaches": {
+                name: {
+                    "miss_rate": self.miss_rates[name],
+                    "false_positive_rate": self.false_positive_rates[name],
+                    "mean_margin": self.mean_margins[name],
+                }
+                for name in self.miss_rates
+            },
+        }
+
+    def check_monotone(
+        self,
+        approaches: Sequence[str] = ("NApprox", "Parrot"),
+        tolerance: float = 0.06,
+    ) -> List[str]:
+        """Verify the degradation curves are monotone non-decreasing.
+
+        Args:
+            approaches: curve names that must degrade monotonically
+                (the software SVM baseline is exempt — faults cannot
+                reach it).
+            tolerance: permitted per-step dip (sampling noise).
+
+        Returns:
+            Human-readable violation strings (empty = all curves pass).
+        """
+        violations: List[str] = []
+        for name in approaches:
+            curve = self.miss_rates.get(name)
+            if curve is None:
+                violations.append(f"{name}: no curve recorded")
+                continue
+            for i in range(1, len(curve)):
+                if curve[i] < curve[i - 1] - tolerance:
+                    violations.append(
+                        f"{name}: miss rate fell {curve[i - 1]:.3f} -> "
+                        f"{curve[i]:.3f} between rates {self.rates[i - 1]} "
+                        f"and {self.rates[i]}"
+                    )
+            if len(curve) >= 2 and curve[-1] < curve[0]:
+                violations.append(
+                    f"{name}: no net degradation across the sweep "
+                    f"({curve[0]:.3f} -> {curve[-1]:.3f})"
+                )
+        return violations
+
+
+def _train_window_classifier(
+    features: np.ndarray,
+    labels: np.ndarray,
+    hidden: int,
+    epochs: int,
+    rng: np.random.Generator,
+) -> EednNetwork:
+    """The small deployable Eedn window classifier (72 -> hidden -> 2)."""
+    network = EednNetwork(
+        [
+            TrinaryDense(features.shape[1], hidden, rng=rng),
+            ThresholdActivation(0.0, ste_window=2.0),
+            TrinaryDense(hidden, 2, rng=rng),
+        ]
+    )
+    train_network(
+        network,
+        features,
+        labels,
+        TrainConfig(
+            epochs=epochs, learning_rate=0.01, lr_decay=0.97, logit_scale=8.0
+        ),
+        rng=rng,
+    )
+    return network
+
+
+#: Operating point for the miss-rate metric: the decision threshold is
+#: set so at most this fraction of *evaluation negatives* score above
+#: it, then the miss rate is measured on positives at that threshold
+#: (the paper's miss-rate-versus-FPPI methodology, collapsed to one
+#: point). This keeps the metric meaningful when faults destroy the
+#: signal: a scorer whose output has collapsed to a constant cannot
+#: separate any positive from the negatives, so its miss rate is 1.0
+#: regardless of where the constant landed.
+TARGET_FPR = 0.1
+
+
+def _window_metrics(
+    scorer, pos: np.ndarray, neg: np.ndarray, target_fpr: float = TARGET_FPR
+) -> Tuple[float, float, float]:
+    """``(miss at TARGET_FPR, raw FP rate at margin 0, mean positive margin)``."""
+    pos_margin = np.asarray(scorer.decision_function(pos), dtype=np.float64)
+    neg_margin = np.asarray(scorer.decision_function(neg), dtype=np.float64)
+    threshold = float(np.quantile(neg_margin, 1.0 - target_fpr))
+    return (
+        float((pos_margin <= threshold).mean()),
+        float((neg_margin > 0.0).mean()),
+        float(pos_margin.mean()),
+    )
+
+
+def run(
+    rates: Sequence[float] = (0.0, 0.05, 0.1, 0.2, 0.4, 0.7, 1.0),
+    fault_kind: str = "drop",
+    approaches: Sequence[str] = ("NApprox", "Parrot", "SVM"),
+    hidden: int = 48,
+    ticks: int = 12,
+    fault_seeds: Sequence[int] = (0, 1, 2, 3, 4),
+    n_train: int = 70,
+    n_eval: int = 40,
+    epochs: int = 25,
+    parrot_spikes: int = 64,
+    parrot_params: Optional[Dict] = None,
+    rng: RngLike = 0,
+) -> FaultSweepResult:
+    """Run the fault-rate sweep.
+
+    Args:
+        rates: fault rates to sweep (keep 0.0 first for the clean
+            anchor; the monotonicity check compares adjacent points).
+        fault_kind: which fault to sweep (:data:`FAULT_KINDS`).
+        approaches: subset of ``("NApprox", "Parrot", "SVM")``.
+        hidden: classifier hidden width (2 * hidden axons must fit one
+            core, so <= 128).
+        ticks: stochastic-coding window of the deployed scorer.
+        fault_seeds: plan seeds averaged at each nonzero rate.
+        n_train: training windows per class.
+        n_eval: held-out evaluation windows per class.
+        epochs: classifier training epochs.
+        parrot_spikes: spike precision of the parrot extractor.
+        parrot_params: overrides for
+            :func:`~repro.parrot.trainer.train_parrot` (the default is
+            a reduced-size parrot so the sweep stays CI-sized).
+        rng: master seed for data, training, and input coding.
+
+    Returns:
+        A :class:`FaultSweepResult` covering every requested approach.
+    """
+    rates = [float(r) for r in rates]
+    master = resolve_rng(rng)
+    data_seed = int(master.integers(0, 2**31 - 1))
+    dataset = SyntheticPersonDataset(rng=data_seed)
+    pos_windows = dataset.positive_windows(n_train + n_eval)
+    neg_windows = dataset.negative_windows(n_train + n_eval)
+    labels = np.concatenate(
+        [np.ones(n_train, dtype=np.int64), np.zeros(n_train, dtype=np.int64)]
+    )
+
+    result = FaultSweepResult(
+        fault_kind=fault_kind,
+        rates=rates,
+        fault_seeds=[int(s) for s in fault_seeds],
+        ticks=ticks,
+        hidden=hidden,
+    )
+
+    extractors = {}
+    if "NApprox" in approaches or "SVM" in approaches:
+        from repro.napprox import NApproxConfig, NApproxDescriptor
+
+        extractors["NApprox"] = NApproxDescriptor(
+            NApproxConfig(quantized=True, window=64, normalization="none")
+        )
+    if "Parrot" in approaches:
+        from repro.parrot import ParrotExtractor, ParrotFeatureConfig, train_parrot
+
+        params = {"hidden": 256, "n_samples": 6000, "epochs": 20, "rng": rng}
+        params.update(parrot_params or {})
+        parrot_net, _, _ = train_parrot(**params)
+        extractors["Parrot"] = ParrotExtractor(
+            parrot_net,
+            ParrotFeatureConfig(normalization="none", spikes=parrot_spikes),
+            rng=rng,
+        )
+
+    features = {}
+    for name, extractor in extractors.items():
+        pos_counts = pooled_window_features(extractor, pos_windows)
+        neg_counts = pooled_window_features(extractor, neg_windows)
+        scale = calibrated_scale(
+            np.vstack([pos_counts[:n_train], neg_counts[:n_train]])
+        )
+        features[name] = (
+            np.clip(pos_counts * scale, 0.0, 1.0),
+            np.clip(neg_counts * scale, 0.0, 1.0),
+        )
+
+    for name in approaches:
+        if name == "SVM":
+            continue
+        pos_feats, neg_feats = features[name]
+        train_x = np.vstack([pos_feats[:n_train], neg_feats[:n_train]])
+        network = _train_window_classifier(
+            train_x, labels, hidden, epochs, resolve_rng(rng)
+        )
+        eval_pos = pos_feats[n_train:]
+        eval_neg = neg_feats[n_train:]
+        miss_curve, fp_curve, margin_curve = [], [], []
+        for rate in rates:
+            seeds = [0] if rate == 0.0 else list(fault_seeds)
+            metrics = []
+            for seed in seeds:
+                scorer = TrueNorthBinaryScorer(
+                    network,
+                    ticks=ticks,
+                    rng=rng,
+                    engine="batch",
+                    coding="content",
+                    faults=build_fault_plan(fault_kind, rate, seed=seed),
+                )
+                metrics.append(_window_metrics(scorer, eval_pos, eval_neg))
+            miss_curve.append(float(np.mean([m[0] for m in metrics])))
+            fp_curve.append(float(np.mean([m[1] for m in metrics])))
+            margin_curve.append(float(np.mean([m[2] for m in metrics])))
+        result.miss_rates[name] = miss_curve
+        result.false_positive_rates[name] = fp_curve
+        result.mean_margins[name] = margin_curve
+
+    if "SVM" in approaches:
+        pos_feats, neg_feats = features["NApprox"]
+        svm = LinearSVM(C=0.1, epochs=20, rng=int(master.integers(0, 2**31 - 1)))
+        svm.fit(
+            np.vstack([pos_feats[:n_train], neg_feats[:n_train]]),
+            np.where(labels == 1, 1.0, -1.0),
+        )
+        miss, fp, margin = _window_metrics(
+            svm, pos_feats[n_train:], neg_feats[n_train:]
+        )
+        # Software evaluation: chip faults cannot reach it — flat curve.
+        result.miss_rates["SVM"] = [miss] * len(rates)
+        result.false_positive_rates["SVM"] = [fp] * len(rates)
+        result.mean_margins["SVM"] = [margin] * len(rates)
+
+    return result
+
+
+def write_json(result: FaultSweepResult, path: str) -> None:
+    """Write the sweep payload to ``path`` (``BENCH_faults.json``)."""
+    with open(path, "w") as handle:
+        json.dump(result.as_dict(), handle, indent=2)
+        handle.write("\n")
+
+
+def format_report(result: FaultSweepResult) -> str:
+    """Render the sweep as a fixed-width text table."""
+    lines = [
+        f"Fault-rate sweep: kind={result.fault_kind}, "
+        f"ticks={result.ticks}, hidden={result.hidden}, "
+        f"seeds={result.fault_seeds}",
+        "",
+        "rate      " + "".join(f"{name:>10s}" for name in result.miss_rates),
+    ]
+    for i, rate in enumerate(result.rates):
+        row = f"{rate:<10.3f}" + "".join(
+            f"{result.miss_rates[name][i]:>10.3f}" for name in result.miss_rates
+        )
+        lines.append(row)
+    lines.append("")
+    lines.append(
+        f"(window-level miss rate at the {TARGET_FPR:.0%} false-positive"
+    )
+    lines.append(" operating point; SVM runs in software, so its flat curve")
+    lines.append(" is the fault-free reference line)")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "DRIFT_SCALE",
+    "FAULT_KINDS",
+    "FEATURE_TARGET",
+    "TARGET_FPR",
+    "FaultSweepResult",
+    "build_fault_plan",
+    "calibrated_scale",
+    "format_report",
+    "pooled_window_features",
+    "run",
+    "write_json",
+]

@@ -1,0 +1,40 @@
+"""Deterministic, seedable hardware fault injection (DESIGN.md §11).
+
+Declare *what breaks* as a :class:`FaultPlan` (pure data), hand the plan
+to either simulation engine, and both inject bit-identically — every
+random fault decision is a counter-based hash of the fault site, never a
+sequential RNG draw. ``docs/FAULT_MODEL.md`` is the normative semantics
+spec; ``python -m repro faults`` runs the detection-robustness sweep.
+"""
+
+from repro.faults.compile import CompiledFaults, CoreFaults, compile_faults
+from repro.faults.plan import (
+    DYNAMIC_SPECS,
+    DeadCore,
+    DroppedSpikes,
+    DuplicatedSpikes,
+    FaultPlan,
+    FaultSpec,
+    RandomDeadCores,
+    RandomStuckNeurons,
+    StuckNeuron,
+    ThresholdDrift,
+    WeightBitFlips,
+)
+
+__all__ = [
+    "DYNAMIC_SPECS",
+    "CompiledFaults",
+    "CoreFaults",
+    "DeadCore",
+    "DroppedSpikes",
+    "DuplicatedSpikes",
+    "FaultPlan",
+    "FaultSpec",
+    "RandomDeadCores",
+    "RandomStuckNeurons",
+    "StuckNeuron",
+    "ThresholdDrift",
+    "WeightBitFlips",
+    "compile_faults",
+]

@@ -1,0 +1,412 @@
+"""Compiling a :class:`~repro.faults.plan.FaultPlan` against a system.
+
+The compiler turns declarative fault specs into the flat arrays both
+simulation engines consume: per-neuron force-fire / force-silent masks,
+per-neuron threshold offsets, per-core faulted effective-weight
+matrices, and the per-delivery drop/echo rates.
+
+Determinism is the whole design. Every random choice is a **counter-
+based hash** (a splitmix64 finalizer chain) of the fault site — never a
+draw from a sequential RNG stream — so the outcome of "is this spike
+dropped?" depends only on ``(seed, lane, tick, source neuron)`` and not
+on the order an engine happens to evaluate deliveries in. The reference
+engine hashes one spike at a time; the batch engine hashes whole index
+arrays; the bits are identical. Fault hashing also never touches the
+simulator's stochastic-threshold RNG, so a faulted run consumes exactly
+the random stream of the fault-free run (property: adding faults never
+perturbs unrelated stochastic neurons).
+
+Snapshot semantics match :class:`~repro.truenorth.engine.BatchEngine`:
+compilation captures the system's configuration (weights, crossbars,
+routes) at compile time; later configuration edits are not seen.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.faults.plan import (
+    DeadCore,
+    DroppedSpikes,
+    DuplicatedSpikes,
+    FaultPlan,
+    RandomDeadCores,
+    RandomStuckNeurons,
+    StuckNeuron,
+    ThresholdDrift,
+    WeightBitFlips,
+)
+from repro.truenorth.types import CORE_AXONS, CORE_NEURONS
+
+_GAMMA = np.uint64(0x9E3779B97F4A7C15)
+_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX2 = np.uint64(0x94D049BB133111EB)
+
+# Domain-separation salts: one independent hash stream per fault kind.
+_SALT_LANE = np.uint64(0xA5A5_0001)
+_SALT_DROP = np.uint64(0xA5A5_0002)
+_SALT_DUP = np.uint64(0xA5A5_0003)
+_SALT_STUCK = np.uint64(0xA5A5_0004)
+_SALT_DEAD = np.uint64(0xA5A5_0005)
+_SALT_FLIP = np.uint64(0xA5A5_0006)
+_SALT_DRIFT = np.uint64(0xA5A5_0007)
+
+
+def _mix64(x: np.ndarray) -> np.ndarray:
+    """The splitmix64 finalizer, vectorized over uint64 arrays.
+
+    uint64 wraparound is the point of the construction, so overflow
+    "errors" are silenced for the duration.
+    """
+    with np.errstate(over="ignore"):
+        z = np.asarray(x, dtype=np.uint64) + _GAMMA
+        z = (z ^ (z >> np.uint64(30))) * _MIX1
+        z = (z ^ (z >> np.uint64(27))) * _MIX2
+        return z ^ (z >> np.uint64(31))
+
+
+def _absorb(state: np.ndarray, value) -> np.ndarray:
+    """Fold ``value`` into a hash state (both broadcastable uint64)."""
+    return _mix64(np.asarray(state, dtype=np.uint64) ^ np.asarray(value, dtype=np.uint64))
+
+
+def _uniform(state: np.ndarray) -> np.ndarray:
+    """Map hash words to floats uniform in ``[0, 1)`` (53-bit mantissa)."""
+    return (np.asarray(state, dtype=np.uint64) >> np.uint64(11)).astype(
+        np.float64
+    ) * (2.0**-53)
+
+
+def _seed_word(seed: int) -> np.uint64:
+    """The plan seed as a uint64 word (negative seeds wrap)."""
+    return np.uint64(seed % (2**64))
+
+
+@dataclass
+class CoreFaults:
+    """Per-core fault view consumed by the reference engine's tick.
+
+    Any field may be ``None``, meaning "no fault of that kind on this
+    core". See :meth:`repro.truenorth.core.NeurosynapticCore.tick`.
+
+    Attributes:
+        weights: faulted effective weight matrix ``(256, 256)`` (int64),
+            replacing the core's own ``effective_weights()``.
+        threshold_offset: per-neuron additive offset applied to the fire
+            comparison only, ``(256,)`` int64.
+        force_fire: per-neuron stuck-at-fire output mask, ``(256,)``.
+        force_silent: per-neuron stuck-at-silent output mask, ``(256,)``.
+    """
+
+    weights: Optional[np.ndarray] = None
+    threshold_offset: Optional[np.ndarray] = None
+    force_fire: Optional[np.ndarray] = None
+    force_silent: Optional[np.ndarray] = None
+
+
+class _CoreRoutes:
+    """Routes leaving one core, flattened for per-tick fault hashing."""
+
+    __slots__ = ("src_neuron", "dst_core", "dst_axon", "delay")
+
+    def __init__(self, rows: List[Tuple[int, int, int, int]]) -> None:
+        arr = np.asarray(rows, dtype=np.int64)
+        self.src_neuron = arr[:, 0]
+        self.dst_core = arr[:, 1]
+        self.dst_axon = arr[:, 2]
+        self.delay = arr[:, 3]
+
+
+class CompiledFaults:
+    """A :class:`FaultPlan` lowered onto one concrete system.
+
+    Instances are immutable in spirit: build once, share between a
+    simulator and its batch engine freely (all methods are pure reads).
+
+    Args:
+        plan: the fault plan (must reference only existing cores and
+            in-range neuron indices).
+        system: the target :class:`~repro.truenorth.system.NeurosynapticSystem`.
+
+    Raises:
+        ConfigurationError: when a spec names an unknown core or an
+            out-of-range neuron.
+    """
+
+    def __init__(self, plan: FaultPlan, system) -> None:
+        self.plan = plan
+        self.seed = _seed_word(plan.seed)
+        cores = system.cores
+        self.n_cores = len(cores)
+        self.index_of: Dict[int, int] = {
+            core.core_id: i for i, core in enumerate(cores)
+        }
+
+        shape = (self.n_cores, CORE_NEURONS)
+        self.force_fire = np.zeros(shape, dtype=bool)
+        self.force_silent = np.zeros(shape, dtype=bool)
+        self.threshold_offset = np.zeros(shape, dtype=np.int64)
+        self.drop_rate = 0.0
+        self.dup_rate = 0.0
+        self._flip: Optional[WeightBitFlips] = None
+
+        core_id_arr = np.array(sorted(self.index_of), dtype=np.uint64)
+        for spec in plan.faults:
+            if isinstance(spec, StuckNeuron):
+                index = self._core_index(spec.core_id)
+                if not 0 <= spec.neuron < CORE_NEURONS:
+                    raise ConfigurationError(
+                        f"stuck neuron out of range: {spec.neuron}"
+                    )
+                target = (
+                    self.force_fire if spec.mode == "fire" else self.force_silent
+                )
+                target[index, spec.neuron] = True
+            elif isinstance(spec, RandomStuckNeurons):
+                mask = self._neuron_uniform(_SALT_STUCK, core_id_arr) < spec.fraction
+                target = (
+                    self.force_fire if spec.mode == "fire" else self.force_silent
+                )
+                target |= mask
+            elif isinstance(spec, DeadCore):
+                self.force_silent[self._core_index(spec.core_id), :] = True
+            elif isinstance(spec, RandomDeadCores):
+                key = _absorb(self.seed, _SALT_DEAD)
+                dead = _uniform(_absorb(key, core_id_arr)) < spec.fraction
+                self.force_silent[dead, :] = True
+            elif isinstance(spec, ThresholdDrift):
+                u = self._neuron_uniform(_SALT_DRIFT, core_id_arr)
+                self.threshold_offset += np.rint(
+                    (2.0 * u - 1.0) * spec.scale
+                ).astype(np.int64)
+            elif isinstance(spec, WeightBitFlips):
+                self._flip = spec
+            elif isinstance(spec, DroppedSpikes):
+                self.drop_rate = spec.rate
+            elif isinstance(spec, DuplicatedSpikes):
+                self.dup_rate = spec.rate
+
+        self._drop_key = _absorb(self.seed, _SALT_DROP)
+        self._dup_key = _absorb(self.seed, _SALT_DUP)
+        self._flip_key = _absorb(self.seed, _SALT_FLIP)
+        self._lane_key_base = _absorb(self.seed, _SALT_LANE)
+
+        # Routes grouped by source core, only needed for per-spike faults
+        # on the reference path.
+        self._routes_by_core: Dict[int, _CoreRoutes] = {}
+        if self.has_dynamic:
+            by_core: Dict[int, List[Tuple[int, int, int, int]]] = {}
+            for route in system.router.routes:
+                by_core.setdefault(route.src_core, []).append(
+                    (route.src_neuron, route.dst_core, route.dst_axon, route.delay)
+                )
+            self._routes_by_core = {
+                core_id: _CoreRoutes(rows) for core_id, rows in by_core.items()
+            }
+
+    # ------------------------------------------------------------------
+    @property
+    def has_dynamic(self) -> bool:
+        """Whether any per-delivery fault is effectively active."""
+        return self.drop_rate > 0.0 or self.dup_rate > 0.0
+
+    @property
+    def has_output_faults(self) -> bool:
+        """Whether any neuron output is forced (stuck / dead faults)."""
+        return bool(self.force_fire.any() or self.force_silent.any())
+
+    def _core_index(self, core_id: int) -> int:
+        try:
+            return self.index_of[core_id]
+        except KeyError:
+            raise ConfigurationError(
+                f"fault plan references unknown core {core_id}"
+            ) from None
+
+    def _neuron_uniform(self, salt: np.uint64, core_ids: np.ndarray) -> np.ndarray:
+        """Uniforms per (core, neuron) site, shape ``(n_cores, 256)``."""
+        key = _absorb(self.seed, salt)
+        sites = (core_ids[:, None] << np.uint64(32)) | np.arange(
+            CORE_NEURONS, dtype=np.uint64
+        )
+        return _uniform(_absorb(key, sites))
+
+    # ------------------------------------------------------------------
+    # Static faults
+    # ------------------------------------------------------------------
+    def effective_weights(self, core) -> np.ndarray:
+        """The core's effective weight matrix with bit flips applied.
+
+        Args:
+            core: a :class:`~repro.truenorth.core.NeurosynapticCore`
+                registered in the compiled system.
+
+        Returns:
+            ``(256, 256)`` int64 matrix; the core's own matrix when no
+            flip fault targets it.
+        """
+        base = core.effective_weights()
+        if self._flip is None or self._flip.rate == 0.0:
+            return base
+        sites = (
+            (np.uint64(core.core_id) << np.uint64(32))
+            | (
+                np.arange(CORE_AXONS, dtype=np.uint64)[:, None]
+                << np.uint64(8)
+            )
+            | np.arange(CORE_NEURONS, dtype=np.uint64)
+        )
+        flip = (_uniform(_absorb(self._flip_key, sites)) < self._flip.rate) & (
+            core.crossbar
+        )
+        if not flip.any():
+            return base
+        return np.where(flip, base ^ np.int64(1 << self._flip.bit), base)
+
+    def core_view(self, core) -> Optional[CoreFaults]:
+        """The :class:`CoreFaults` view for one core (``None`` = clean)."""
+        index = self._core_index(core.core_id)
+        weights = self.effective_weights(core)
+        if weights is core.effective_weights():
+            weights = None
+        offset = self.threshold_offset[index]
+        fire = self.force_fire[index]
+        silent = self.force_silent[index]
+        view = CoreFaults(
+            weights=weights,
+            threshold_offset=offset if offset.any() else None,
+            force_fire=fire if fire.any() else None,
+            force_silent=silent if silent.any() else None,
+        )
+        if (
+            view.weights is None
+            and view.threshold_offset is None
+            and view.force_fire is None
+            and view.force_silent is None
+        ):
+            return None
+        return view
+
+    # ------------------------------------------------------------------
+    # Dynamic faults
+    # ------------------------------------------------------------------
+    def lane_keys(self, batch: int) -> np.ndarray:
+        """Per-lane hash keys for a ``batch``-lane run.
+
+        Lane ``i`` of every batch run (and lane 0 of a single
+        :meth:`~repro.truenorth.simulator.Simulator.run`) uses key ``i``,
+        so the two engines and any lane decomposition agree.
+        """
+        return _absorb(self._lane_key_base, np.arange(batch, dtype=np.uint64))
+
+    def spike_outcomes(
+        self,
+        lane_keys: np.ndarray,
+        tick: int,
+        src_cores: np.ndarray,
+        src_neurons: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Drop/echo decisions for a set of emitted spike deliveries.
+
+        All array arguments are broadcast together, one element per
+        delivery event.
+
+        Args:
+            lane_keys: per-event lane key (from :meth:`lane_keys`).
+            tick: within-run tick of the emission.
+            src_cores: per-event source ``core_id``.
+            src_neurons: per-event source neuron index.
+
+        Returns:
+            ``(keep, echo)`` boolean arrays: ``keep`` marks deliveries
+            that survive dropping; ``echo`` marks *kept* deliveries that
+            are additionally delivered one tick late.
+        """
+        sites = (
+            np.asarray(src_cores, dtype=np.uint64) << np.uint64(32)
+        ) | np.asarray(src_neurons, dtype=np.uint64)
+        tick_word = np.uint64(tick)
+        if self.drop_rate > 0.0:
+            h = _absorb(_absorb(np.asarray(lane_keys, dtype=np.uint64) ^ self._drop_key, tick_word), sites)
+            keep = _uniform(h) >= self.drop_rate
+        else:
+            keep = np.ones(np.broadcast(lane_keys, sites).shape, dtype=bool)
+        if self.dup_rate > 0.0:
+            h = _absorb(_absorb(np.asarray(lane_keys, dtype=np.uint64) ^ self._dup_key, tick_word), sites)
+            echo = keep & (_uniform(h) < self.dup_rate)
+        else:
+            echo = np.zeros_like(keep)
+        return keep, echo
+
+    def route_core_spikes(
+        self,
+        router,
+        tick: int,
+        core_id: int,
+        fired: np.ndarray,
+        lane_key: np.uint64,
+    ) -> Tuple[int, int]:
+        """Reference-path routing of one core's output under faults.
+
+        Replaces :meth:`~repro.truenorth.router.Router.submit` when
+        per-delivery faults are active: deposits surviving spikes (and
+        their echoes) directly into the router mailbox.
+
+        Args:
+            router: the system's router (receives the deposits).
+            tick: emission tick.
+            core_id: source core.
+            fired: the core's 256-element output spike vector.
+            lane_key: this lane's key from :meth:`lane_keys`.
+
+        Returns:
+            ``(dropped, duplicated)`` delivery counts for observability.
+        """
+        routes = self._routes_by_core.get(core_id)
+        if routes is None or not fired.any():
+            return 0, 0
+        emitted = np.flatnonzero(fired[routes.src_neuron])
+        if emitted.size == 0:
+            return 0, 0
+        neurons = routes.src_neuron[emitted]
+        keep, echo = self.spike_outcomes(
+            np.full(emitted.size, lane_key, dtype=np.uint64),
+            tick,
+            np.full(emitted.size, core_id, dtype=np.uint64),
+            neurons,
+        )
+        dst_core = routes.dst_core[emitted]
+        dst_axon = routes.dst_axon[emitted]
+        due = tick + routes.delay[emitted]
+        for i in np.flatnonzero(keep):
+            router.inject(int(due[i]), int(dst_core[i]), int(dst_axon[i]))
+        for i in np.flatnonzero(echo):
+            router.inject(int(due[i]) + 1, int(dst_core[i]), int(dst_axon[i]))
+        return int((~keep).sum()), int(echo.sum())
+
+
+def compile_faults(plan: Optional[FaultPlan], system) -> Optional[CompiledFaults]:
+    """Compile ``plan`` against ``system``; ``None``/empty plans pass through.
+
+    Args:
+        plan: a fault plan, an already compiled :class:`CompiledFaults`
+            (returned untouched, so a simulator and its engine can share
+            one compilation), or ``None``.
+        system: the target system.
+
+    Returns:
+        A :class:`CompiledFaults`, or ``None`` when there is nothing to
+        inject.
+    """
+    if plan is None:
+        return None
+    if isinstance(plan, CompiledFaults):
+        return plan
+    if not plan:
+        return None
+    return CompiledFaults(plan, system)
+
+
+__all__ = ["CompiledFaults", "CoreFaults", "compile_faults"]

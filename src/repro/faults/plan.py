@@ -1,0 +1,330 @@
+"""Fault specifications: what can break, declared as data.
+
+A :class:`FaultPlan` is an immutable, seedable description of hardware
+misbehaviour to inject into a simulated
+:class:`~repro.truenorth.system.NeurosynapticSystem`. The plan itself is
+pure data — no randomness is drawn until it is compiled against a
+concrete system (:mod:`repro.faults.compile`), and every random choice
+is a deterministic function of ``(seed, fault site)``, never of
+iteration order. That is what lets the tick-accurate reference engine
+and the vectorized batch engine inject *bit-identically* (the extended
+differential suite in ``tests/test_engine_conformance.py`` proves it).
+
+Two fault categories exist, with different determinism scopes
+(``docs/FAULT_MODEL.md`` is the normative spec):
+
+- **Static (chip-level) faults** — :class:`StuckNeuron`,
+  :class:`RandomStuckNeurons`, :class:`DeadCore`,
+  :class:`RandomDeadCores`, :class:`WeightBitFlips`,
+  :class:`ThresholdDrift`. These model manufacturing defects: the same
+  physical sites are broken in every lane of a batch run and in every
+  run with the same seed.
+- **Dynamic (event-level) faults** — :class:`DroppedSpikes`,
+  :class:`DuplicatedSpikes`. These model transient routing events: each
+  routed spike delivery is independently affected, keyed by
+  ``(seed, lane, tick, source neuron)``.
+
+Rate-parameterised faults are **nested across rates**: with a fixed
+seed, every fault site active at rate ``r`` is also active at every
+rate ``r' > r``, so sweeping the rate degrades the system monotonically
+by construction (the property ``python -m repro faults --check``
+verifies end to end).
+"""
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Tuple, Union
+
+from repro.errors import ConfigurationError
+
+_STUCK_MODES = ("fire", "silent")
+
+
+def _check_rate(name: str, rate: float) -> None:
+    if not 0.0 <= rate <= 1.0:
+        raise ConfigurationError(f"{name} must be in [0, 1], got {rate}")
+
+
+def _check_nonnegative(name: str, value: int) -> None:
+    if value < 0:
+        raise ConfigurationError(f"{name} must be >= 0, got {value}")
+
+
+@dataclass(frozen=True)
+class StuckNeuron:
+    """One neuron whose axon output is stuck at a constant value.
+
+    ``mode="fire"`` forces a spike on every tick; ``mode="silent"``
+    suppresses every spike. The fault clamps the *output* only: membrane
+    integration, leak, and reset follow the true threshold crossing, so
+    the neuron's internal dynamics (and the RNG stream of stochastic
+    neurons) are unchanged.
+
+    Attributes:
+        core_id: core holding the neuron.
+        neuron: neuron index in ``[0, 256)``.
+        mode: ``"fire"`` or ``"silent"``.
+    """
+
+    core_id: int
+    neuron: int
+    mode: str = "silent"
+
+    def __post_init__(self) -> None:
+        _check_nonnegative("core_id", self.core_id)
+        _check_nonnegative("neuron", self.neuron)
+        if self.mode not in _STUCK_MODES:
+            raise ConfigurationError(
+                f"mode must be one of {_STUCK_MODES}, got {self.mode!r}"
+            )
+
+
+@dataclass(frozen=True)
+class RandomStuckNeurons:
+    """A seed-selected fraction of all neurons stuck at one value.
+
+    Selection hashes ``(seed, core_id, neuron)`` against ``fraction``,
+    so the stuck set is identical across lanes and engines, and nested
+    across fractions (every neuron stuck at fraction ``f`` stays stuck
+    at any ``f' > f`` with the same seed).
+
+    Attributes:
+        fraction: expected fraction of neurons affected, in ``[0, 1]``.
+        mode: ``"fire"`` or ``"silent"``.
+    """
+
+    fraction: float
+    mode: str = "silent"
+
+    def __post_init__(self) -> None:
+        _check_rate("fraction", self.fraction)
+        if self.mode not in _STUCK_MODES:
+            raise ConfigurationError(
+                f"mode must be one of {_STUCK_MODES}, got {self.mode!r}"
+            )
+
+
+@dataclass(frozen=True)
+class DeadCore:
+    """One core whose 256 neuron outputs are all silenced.
+
+    Equivalent to stuck-silent on every neuron of the core: the core
+    still integrates inputs internally, but no spike leaves it — the
+    model of a core whose output router port is dead.
+
+    Attributes:
+        core_id: the dead core.
+    """
+
+    core_id: int
+
+    def __post_init__(self) -> None:
+        _check_nonnegative("core_id", self.core_id)
+
+
+@dataclass(frozen=True)
+class RandomDeadCores:
+    """A seed-selected fraction of all cores killed outright.
+
+    Selection hashes ``(seed, core_id)`` against ``fraction`` — nested
+    across fractions like :class:`RandomStuckNeurons`.
+
+    Attributes:
+        fraction: expected fraction of cores affected, in ``[0, 1]``.
+    """
+
+    fraction: float
+
+    def __post_init__(self) -> None:
+        _check_rate("fraction", self.fraction)
+
+
+@dataclass(frozen=True)
+class DroppedSpikes:
+    """Each routed spike delivery is independently lost with ``rate``.
+
+    Applies to inter-core routed spikes only (the router fabric);
+    external input-port injections are off-chip and unaffected. The
+    drop decision hashes ``(seed, lane, tick, source core, source
+    neuron)``, so it is identical across engines and independent of the
+    order deliveries are scattered in. A dropped spike is never
+    duplicated.
+
+    Attributes:
+        rate: per-delivery drop probability, in ``[0, 1]``.
+    """
+
+    rate: float
+
+    def __post_init__(self) -> None:
+        _check_rate("rate", self.rate)
+
+
+@dataclass(frozen=True)
+class DuplicatedSpikes:
+    """Each *delivered* routed spike is independently echoed once.
+
+    The echo arrives on the same destination axon one tick after the
+    original delivery (delay ``d`` becomes deliveries at ``d`` and
+    ``d + 1``), modelling a router retransmission. Duplication is
+    evaluated only for spikes that survived :class:`DroppedSpikes`.
+
+    Attributes:
+        rate: per-delivery echo probability, in ``[0, 1]``.
+    """
+
+    rate: float
+
+    def __post_init__(self) -> None:
+        _check_rate("rate", self.rate)
+
+
+@dataclass(frozen=True)
+class WeightBitFlips:
+    """Bit flips in stored synaptic weights (the weight-LUT SRAM).
+
+    A seed-selected fraction of *connected* crossbar points have bit
+    ``bit`` of their effective synaptic weight XOR-flipped (the weight
+    is modelled as a two's-complement integer word). Disconnected
+    crossbar points stay at weight 0 — with the connectivity bit off,
+    no current flows regardless of the LUT contents. Selection hashes
+    ``(seed, core_id, axon, neuron)`` and is nested across rates.
+
+    Attributes:
+        rate: expected fraction of connected synapses flipped.
+        bit: which bit of the weight word to flip (``0`` = LSB).
+    """
+
+    rate: float
+    bit: int = 0
+
+    def __post_init__(self) -> None:
+        _check_rate("rate", self.rate)
+        if not 0 <= self.bit < 16:
+            raise ConfigurationError(
+                f"bit must be in [0, 16), got {self.bit}"
+            )
+
+
+@dataclass(frozen=True)
+class ThresholdDrift:
+    """Per-neuron additive drift of the firing threshold.
+
+    Every neuron's *comparison* threshold gains a deterministic offset
+    drawn uniformly from ``[-scale, +scale]`` (rounded to an integer)
+    by hashing ``(seed, core_id, neuron)``. Only the fire comparison
+    drifts; the linear-reset subtraction keeps the configured threshold,
+    matching a drifted comparator in front of an exact subtractor.
+
+    Attributes:
+        scale: maximum drift magnitude in threshold units (``>= 0``).
+    """
+
+    scale: float
+
+    def __post_init__(self) -> None:
+        if self.scale < 0:
+            raise ConfigurationError(
+                f"scale must be >= 0, got {self.scale}"
+            )
+
+
+FaultSpec = Union[
+    StuckNeuron,
+    RandomStuckNeurons,
+    DeadCore,
+    RandomDeadCores,
+    DroppedSpikes,
+    DuplicatedSpikes,
+    WeightBitFlips,
+    ThresholdDrift,
+]
+
+_SPEC_TYPES = (
+    StuckNeuron,
+    RandomStuckNeurons,
+    DeadCore,
+    RandomDeadCores,
+    DroppedSpikes,
+    DuplicatedSpikes,
+    WeightBitFlips,
+    ThresholdDrift,
+)
+
+#: Dynamic (event-level) fault types; everything else is static.
+DYNAMIC_SPECS = (DroppedSpikes, DuplicatedSpikes)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, seedable bundle of fault specifications.
+
+    Both simulation engines accept a plan
+    (``Simulator(system, faults=plan)``,
+    ``BatchEngine(system, faults=plan)``) and inject identically; see
+    ``docs/FAULT_MODEL.md`` for the exact semantics of every spec.
+
+    Attributes:
+        faults: the fault specifications (any iterable is frozen to a
+            tuple). At most one :class:`DroppedSpikes` and one
+            :class:`DuplicatedSpikes` spec may appear.
+        seed: entropy for every seed-derived choice in the plan.
+    """
+
+    faults: Tuple[FaultSpec, ...] = field(default_factory=tuple)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+        for spec in self.faults:
+            if not isinstance(spec, _SPEC_TYPES):
+                raise ConfigurationError(
+                    f"unknown fault spec type {type(spec).__name__}"
+                )
+        for kind in DYNAMIC_SPECS:
+            if sum(isinstance(s, kind) for s in self.faults) > 1:
+                raise ConfigurationError(
+                    f"at most one {kind.__name__} spec per plan"
+                )
+        if not isinstance(self.seed, int):
+            raise ConfigurationError(
+                f"seed must be an int, got {type(self.seed).__name__}"
+            )
+
+    def __bool__(self) -> bool:
+        """Whether the plan contains any fault at all."""
+        return bool(self.faults)
+
+    @property
+    def has_dynamic(self) -> bool:
+        """Whether any event-level (per-spike) fault is present."""
+        return any(isinstance(s, DYNAMIC_SPECS) for s in self.faults)
+
+    @property
+    def is_static(self) -> bool:
+        """Whether every fault is chip-level (lane-independent)."""
+        return not self.has_dynamic
+
+    def digest(self) -> str:
+        """Stable hex digest of the plan (specs + seed).
+
+        Used by scorers to fold the plan into their ``model_id`` so
+        cached results can never mix faulted and fault-free scores.
+        """
+        payload = repr((self.seed, self.faults)).encode()
+        return hashlib.blake2b(payload, digest_size=8).hexdigest()
+
+
+__all__ = [
+    "DYNAMIC_SPECS",
+    "DeadCore",
+    "DroppedSpikes",
+    "DuplicatedSpikes",
+    "FaultPlan",
+    "FaultSpec",
+    "RandomDeadCores",
+    "RandomStuckNeurons",
+    "StuckNeuron",
+    "ThresholdDrift",
+    "WeightBitFlips",
+]

@@ -69,6 +69,7 @@ class CounterMetric:
 
     @property
     def value(self) -> int:
+        """The current monotonically accumulated count."""
         with self._lock:
             return self._value
 
@@ -91,6 +92,7 @@ class GaugeMetric:
         self._fn = fn
 
     def set(self, value: float) -> None:
+        """Set the gauge to ``value`` (replaces any bound callback's role)."""
         with self._lock:
             self._value = float(value)
 
@@ -101,6 +103,7 @@ class GaugeMetric:
 
     @property
     def value(self) -> float:
+        """The current reading (live callback when bound, else last set)."""
         with self._lock:
             fn = self._fn
             if fn is None:
@@ -173,11 +176,13 @@ class HistogramMetric:
 
     @property
     def count(self) -> int:
+        """Total observations recorded since creation."""
         with self._lock:
             return self._count
 
     @property
     def sum(self) -> float:
+        """Sum of every observed value since creation."""
         with self._lock:
             return self._sum
 

@@ -81,6 +81,7 @@ class TraceLog:
         self._dropped = 0
 
     def append(self, record: SpanRecord) -> None:
+        """Add a finished span, evicting the oldest past ``maxlen``."""
         with self._lock:
             self._entries.append(record)
             if len(self._entries) > self.maxlen:
@@ -99,6 +100,7 @@ class TraceLog:
             return self._dropped
 
     def clear(self) -> None:
+        """Drop every buffered span and reset the dropped counter."""
         with self._lock:
             self._entries.clear()
             self._dropped = 0

@@ -21,6 +21,12 @@ Quick start::
 from repro.serve.batcher import BatchPolicy, MicroBatcher, ServeRequest
 from repro.serve.cache import LruResultCache, content_key
 from repro.serve.loadgen import LoadReport, closed_loop
+from repro.serve.resilience import (
+    CircuitBreaker,
+    FlakyModel,
+    ResilientExecutor,
+    RetryPolicy,
+)
 from repro.serve.service import (
     InferenceService,
     ServiceBackedScorer,
@@ -35,11 +41,15 @@ from repro.serve.workloads import (
 
 __all__ = [
     "BatchPolicy",
+    "CircuitBreaker",
+    "FlakyModel",
     "InferenceService",
     "LoadReport",
     "LruResultCache",
     "MicroBatcher",
     "NApproxCellModel",
+    "ResilientExecutor",
+    "RetryPolicy",
     "ServeRequest",
     "ServiceBackedScorer",
     "ServiceStats",

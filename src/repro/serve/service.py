@@ -29,14 +29,22 @@ from typing import Callable, List, Optional, Sequence, Union
 import numpy as np
 
 from repro.errors import (
+    CircuitOpenError,
     ConfigurationError,
     DeadlineExceededError,
     QueueFullError,
     ServiceClosedError,
+    TransientScorerError,
 )
 from repro.obs import MetricsRegistry, observe_span, span
 from repro.serve.batcher import BatchPolicy, MicroBatcher, ServeRequest
 from repro.serve.cache import LruResultCache, content_key
+from repro.serve.resilience import (
+    STATE_CODES,
+    CircuitBreaker,
+    ResilientExecutor,
+    RetryPolicy,
+)
 from repro.serve.stats import ServiceStats
 
 BatchFunction = Callable[[np.ndarray], np.ndarray]
@@ -77,6 +85,21 @@ class InferenceService:
             spans; ``None`` (default) keeps a private per-service
             registry, ``repro.obs.get_registry()`` publishes into the
             process-wide one (the ``--metrics`` CLI path).
+        retry_policy: optional
+            :class:`~repro.serve.resilience.RetryPolicy`; transient
+            scorer faults (:class:`~repro.errors.TransientScorerError`)
+            are retried with backoff before a batch is failed. Each
+            retry is counted in ``serve_retries_total``.
+        circuit_breaker: optional
+            :class:`~repro.serve.resilience.CircuitBreaker` gating
+            every scorer call; its state is exported on the
+            ``serve_breaker_state`` gauge (0 closed / 1 half-open /
+            2 open).
+        degraded_value: when set, a batch that still fails after retry
+            (or hits an open breaker) resolves every request with this
+            fallback value instead of an exception — counted in
+            ``serve_degraded_total`` and **never** written to the
+            result cache. Other exception types still fail the batch.
     """
 
     def __init__(
@@ -90,6 +113,9 @@ class InferenceService:
         model_id: Optional[str] = None,
         clock: Callable[[], float] = time.monotonic,
         registry: Optional[MetricsRegistry] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        circuit_breaker: Optional[CircuitBreaker] = None,
+        degraded_value: Optional[float] = None,
     ) -> None:
         if queue_capacity < 1:
             raise ConfigurationError(
@@ -120,6 +146,24 @@ class InferenceService:
             self.stats.count("cache_disabled")
             cache_capacity = 0
         self.cache = LruResultCache(cache_capacity) if cache_capacity else None
+
+        self._degraded_value = degraded_value
+        self.circuit_breaker = circuit_breaker
+        if circuit_breaker is not None:
+            breaker_gauge = self.stats.registry.gauge(
+                "serve_breaker_state",
+                help="circuit breaker state (0 closed, 1 half-open, 2 open)",
+            )
+            circuit_breaker._on_state_change = lambda state: breaker_gauge.set(
+                STATE_CODES[state]
+            )
+            breaker_gauge.set(STATE_CODES[circuit_breaker.state])
+        self._executor = ResilientExecutor(
+            self._batch_fn,
+            retry=retry_policy,
+            breaker=circuit_breaker,
+            registry=self.stats.registry,
+        )
 
         self._batcher = MicroBatcher(
             self._queue, self.policy, on_expired=self._expire, clock=clock
@@ -290,7 +334,29 @@ class InferenceService:
         matrix = np.stack([request.features for request in batch])
         try:
             with span("serve.model.batch", registry=self.stats.registry):
-                results = np.asarray(self._batch_fn(matrix))
+                results = np.asarray(self._executor(matrix))
+        except (CircuitOpenError, TransientScorerError) as exc:
+            # Retries exhausted or breaker open: degrade if configured.
+            if self._degraded_value is not None:
+                self.stats.count("degraded", len(batch))
+                now = self._clock()
+                for request in batch:
+                    # Degraded values never feed the cache — they are not
+                    # the model's answer for this window.
+                    if request.expired(now):
+                        self.stats.count("expired_after_batch")
+                        request.future.set_exception(
+                            DeadlineExceededError(
+                                "deadline expired during scoring"
+                            )
+                        )
+                        continue
+                    request.future.set_result(self._degraded_value)
+                return
+            self.stats.count("failed", len(batch))
+            for request in batch:
+                request.future.set_exception(exc)
+            return
         except Exception as exc:  # model failure fails the whole batch
             self.stats.count("failed", len(batch))
             for request in batch:

@@ -159,7 +159,9 @@ class NeurosynapticCore:
     # ------------------------------------------------------------------
     # Dynamics
     # ------------------------------------------------------------------
-    def tick(self, input_spikes: np.ndarray, rng: RngLike = None) -> np.ndarray:
+    def tick(
+        self, input_spikes: np.ndarray, rng: RngLike = None, faults=None
+    ) -> np.ndarray:
         """Advance the core by one tick.
 
         Order of operations per the digital neuron model: synaptic
@@ -170,7 +172,14 @@ class NeurosynapticCore:
         Args:
             input_spikes: 256-element binary vector of axon activity.
             rng: randomness source for stochastic thresholds. Only consulted
-                when at least one neuron enables stochastic mode.
+                when at least one neuron enables stochastic mode; fault
+                injection never consumes from this stream.
+            faults: optional :class:`repro.faults.compile.CoreFaults` view
+                for this core. Weight overrides replace the effective
+                matrix; threshold offsets drift the fire comparison (the
+                linear-reset subtraction keeps the configured threshold);
+                stuck masks clamp the *output* only, so membrane dynamics
+                follow the true comparator result.
 
         Returns:
             256-element boolean vector; ``True`` where the neuron fired.
@@ -182,7 +191,10 @@ class NeurosynapticCore:
             )
         active = spikes.astype(bool)
 
-        synaptic = self.effective_weights()[active].sum(axis=0) if active.any() else 0
+        weights = self.effective_weights()
+        if faults is not None and faults.weights is not None:
+            weights = faults.weights
+        synaptic = weights[active].sum(axis=0) if active.any() else 0
         self._potential = self._potential + synaptic + self._leak
 
         threshold = self._threshold
@@ -193,11 +205,13 @@ class NeurosynapticCore:
             spans = (1 << self._stochastic_bits[stochastic]).astype(np.int64)
             offsets[stochastic] = generator.integers(0, spans)
             threshold = threshold + offsets
+        if faults is not None and faults.threshold_offset is not None:
+            threshold = threshold + faults.threshold_offset
 
-        fired = self._potential >= threshold
+        crossed = self._potential >= threshold
 
-        hard_reset = fired & (self._reset_code == 0)
-        linear_reset = fired & (self._reset_code == 1)
+        hard_reset = crossed & (self._reset_code == 0)
+        linear_reset = crossed & (self._reset_code == 1)
         self._potential = np.where(hard_reset, self._reset_potential, self._potential)
         self._potential = np.where(
             linear_reset, self._potential - self._threshold, self._potential
@@ -205,6 +219,13 @@ class NeurosynapticCore:
 
         self._potential = np.maximum(self._potential, -self._floor)
         np.clip(self._potential, POTENTIAL_MIN, POTENTIAL_MAX, out=self._potential)
+
+        fired = crossed
+        if faults is not None:
+            if faults.force_fire is not None:
+                fired = fired | faults.force_fire
+            if faults.force_silent is not None:
+                fired = fired & ~faults.force_silent
         return fired
 
     def reset_state(self) -> None:

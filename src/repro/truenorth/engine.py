@@ -166,17 +166,32 @@ def normalize_batch_inputs(
 
 
 class _RouteGroup:
-    """Routes sharing one delivery delay, as flat index arrays."""
+    """Routes sharing one delivery delay, as flat index arrays.
 
-    __slots__ = ("delay", "src_core", "src_neuron", "dst_core", "dst_axon")
+    ``src_core``/``dst_core`` are compiled core *indices*;
+    ``src_core_id`` keeps the global core id, which fault hashing keys
+    on so both engines agree on every per-delivery decision.
+    """
 
-    def __init__(self, delay: int, rows: List[Tuple[int, int, int, int]]) -> None:
+    __slots__ = (
+        "delay",
+        "src_core",
+        "src_neuron",
+        "dst_core",
+        "dst_axon",
+        "src_core_id",
+    )
+
+    def __init__(
+        self, delay: int, rows: List[Tuple[int, int, int, int, int]]
+    ) -> None:
         self.delay = delay
         arr = np.asarray(rows, dtype=np.int64)
         self.src_core = arr[:, 0]
         self.src_neuron = arr[:, 1]
         self.dst_core = arr[:, 2]
         self.dst_axon = arr[:, 3]
+        self.src_core_id = arr[:, 4]
 
 
 class _PortTable:
@@ -212,10 +227,20 @@ class BatchEngine:
 
     Args:
         system: the fully configured system to compile.
+        faults: optional :class:`repro.faults.FaultPlan` (or compiled
+            :class:`repro.faults.compile.CompiledFaults`) to inject.
+            Fault decisions are counter-based hashes of the fault site,
+            so a faulted batch run stays bit-identical to the faulted
+            reference engine lane by lane.
     """
 
-    def __init__(self, system: NeurosynapticSystem) -> None:
+    def __init__(self, system: NeurosynapticSystem, faults=None) -> None:
         self.system = system
+        if faults is not None:
+            from repro.faults.compile import compile_faults
+
+            faults = compile_faults(faults, system)
+        self._faults = faults
         cores = system.cores
         self.n_cores = len(cores)
         index_of = {core.core_id: i for i, core in enumerate(cores)}
@@ -234,20 +259,32 @@ class BatchEngine:
             )
         }
         for i, core in enumerate(cores):
-            weights[i] = core.effective_weights()
+            weights[i] = (
+                faults.effective_weights(core)
+                if faults is not None
+                else core.effective_weights()
+            )
             for key, value in core.neuron_arrays().items():
                 params[key][i] = value
 
         # Pick the float dtype in which every reachable value is exact:
         # float32 carries 24 mantissa bits, float64 carries 53. Synaptic
         # sums are bounded by 256 * max|w|; potentials are clipped to the
-        # 20-bit register; thresholds gain at most the stochastic span.
+        # 20-bit register; thresholds gain at most the stochastic span
+        # (plus any injected threshold drift).
         spans = np.where(
             params["stochastic_bits"] > 0, 1 << params["stochastic_bits"], 0
         )
+        drift_max = (
+            int(np.abs(faults.threshold_offset).max())
+            if faults is not None and self.n_cores
+            else 0
+        )
         bound = max(
             int(np.abs(weights).sum(axis=1).max()) if weights.size else 0,
-            int(np.abs(params["threshold"]).max() + spans.max()) if self.n_cores else 0,
+            int(np.abs(params["threshold"]).max() + spans.max() + drift_max)
+            if self.n_cores
+            else 0,
             int(np.abs(params["leak"]).max()) if self.n_cores else 0,
             int(np.abs(params["reset_potential"]).max()) if self.n_cores else 0,
             int(params["floor"].max()) if self.n_cores else 0,
@@ -263,6 +300,18 @@ class BatchEngine:
 
         self._weights = weights.astype(self._dtype)
         self._threshold = params["threshold"].astype(self._dtype)[:, None, :]
+        # The fire *comparison* threshold; threshold drift faults shift it
+        # while linear resets keep subtracting the configured threshold.
+        self._threshold_cmp = self._threshold
+        self._force_fire = self._force_silent = None
+        if faults is not None:
+            if drift_max:
+                self._threshold_cmp = (
+                    params["threshold"] + faults.threshold_offset
+                ).astype(self._dtype)[:, None, :]
+            if faults.has_output_faults:
+                self._force_fire = faults.force_fire[:, None, :]
+                self._force_silent = faults.force_silent[:, None, :]
         self._leak = params["leak"].astype(self._dtype)[:, None, :]
         self._reset_potential = params["reset_potential"].astype(self._dtype)[:, None, :]
         self._neg_floor = (-params["floor"]).astype(self._dtype)[:, None, :]
@@ -290,7 +339,7 @@ class BatchEngine:
                     f"route references unknown core {exc.args[0]}"
                 ) from None
             by_delay.setdefault(route.delay, []).append(
-                (src, route.src_neuron, dst, route.dst_axon)
+                (src, route.src_neuron, dst, route.dst_axon, route.src_core)
             )
         self._route_groups = [
             _RouteGroup(delay, rows) for delay, rows in sorted(by_delay.items())
@@ -319,6 +368,8 @@ class BatchEngine:
         # (route, lane) spike deliveries of the most recent run, read by
         # the observability counters after the tick loop finishes.
         self._last_delivered = 0
+        self._last_dropped = 0
+        self._last_duplicated = 0
 
     # ------------------------------------------------------------------
     def run(
@@ -362,6 +413,15 @@ class BatchEngine:
             "engine_spikes_delivered_total",
             help="inter-core spike deliveries scattered through the mailbox",
         ).inc(self._last_delivered)
+        if self._last_dropped or self._last_duplicated:
+            obs.counter(
+                "faults_spikes_dropped_total",
+                help="routed spike deliveries lost to injected faults",
+            ).inc(self._last_dropped)
+            obs.counter(
+                "faults_spikes_duplicated_total",
+                help="routed spike deliveries echoed by injected faults",
+            ).inc(self._last_duplicated)
         return result
 
     def _run(
@@ -396,7 +456,9 @@ class BatchEngine:
             total_spikes=np.zeros(batch, dtype=np.int64),
         )
 
-        delivered = 0
+        delivered = dropped = duplicated = 0
+        dynamic_faults = self._faults is not None and self._faults.has_dynamic
+        lane_keys = self._faults.lane_keys(batch) if dynamic_faults else None
         box_shape = (self.n_cores, batch, CORE_AXONS)
         for tick in range(ticks):
             current = mailbox.pop(tick, None)
@@ -420,25 +482,31 @@ class BatchEngine:
                 potentials += current.astype(self._dtype) @ self._weights
             potentials += self._leak
 
-            fired = potentials >= self._threshold
+            crossed = potentials >= self._threshold_cmp
             for core_index, mask, spans in self._stochastic:
                 offsets = np.empty((batch, spans.size), dtype=np.int64)
                 for lane, generator in enumerate(lane_rngs):
                     offsets[lane] = generator.integers(0, spans)
-                fired[core_index][:, mask] = potentials[core_index][:, mask] >= (
-                    self._threshold[core_index, 0, mask][None, :]
+                crossed[core_index][:, mask] = potentials[core_index][:, mask] >= (
+                    self._threshold_cmp[core_index, 0, mask][None, :]
                     + offsets.astype(self._dtype)
                 )
 
-            np.copyto(potentials, self._reset_potential, where=fired & self._is_hard)
+            np.copyto(potentials, self._reset_potential, where=crossed & self._is_hard)
             np.subtract(
                 potentials,
                 self._threshold,
                 out=potentials,
-                where=fired & self._is_linear,
+                where=crossed & self._is_linear,
             )
             np.maximum(potentials, self._neg_floor, out=potentials)
             np.clip(potentials, POTENTIAL_MIN, POTENTIAL_MAX, out=potentials)
+
+            # Stuck-at faults clamp the *output* spike only; membrane
+            # resets above followed the true comparator result.
+            fired = crossed
+            if self._force_fire is not None:
+                fired = (crossed | self._force_fire) & ~self._force_silent
 
             result.total_spikes += fired.sum(axis=(0, 2))
 
@@ -448,6 +516,30 @@ class BatchEngine:
                 if not emitted.any():
                     continue
                 route_idx, lane_idx = np.nonzero(emitted)
+                if dynamic_faults:
+                    keep, echo = self._faults.spike_outcomes(
+                        lane_keys[lane_idx],
+                        tick,
+                        group.src_core_id[route_idx],
+                        group.src_neuron[route_idx],
+                    )
+                    dropped += int((~keep).sum())
+                    duplicated += int(echo.sum())
+                    for selector, delay in ((keep, group.delay), (echo, group.delay + 1)):
+                        sel = np.flatnonzero(selector)
+                        if sel.size == 0:
+                            continue
+                        delivered += sel.size
+                        slot = mailbox.get(tick + delay)
+                        if slot is None:
+                            slot = np.zeros(box_shape, dtype=bool)
+                            mailbox[tick + delay] = slot
+                        slot[
+                            group.dst_core[route_idx[sel]],
+                            lane_idx[sel],
+                            group.dst_axon[route_idx[sel]],
+                        ] = True
+                    continue
                 delivered += route_idx.size
                 slot = mailbox.get(tick + group.delay)
                 if slot is None:
@@ -466,6 +558,8 @@ class BatchEngine:
         self._potentials = potentials
         self._mailbox = mailbox
         self._last_delivered = delivered
+        self._last_dropped = dropped
+        self._last_duplicated = duplicated
         return result
 
 

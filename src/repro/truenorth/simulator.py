@@ -64,6 +64,12 @@ class Simulator:
         rng: randomness source for stochastic neurons; pass a seed for
             reproducible runs.
         engine: ``"reference"`` (default) or ``"batch"``.
+        faults: optional :class:`repro.faults.FaultPlan` (or an already
+            compiled :class:`repro.faults.compile.CompiledFaults`) to
+            inject. Both engines inject bit-identically from the same
+            plan, and fault hashing never consumes from ``rng``, so a
+            faulted run uses exactly the random stream of the fault-free
+            run.
     """
 
     def __init__(
@@ -71,6 +77,7 @@ class Simulator:
         system: NeurosynapticSystem,
         rng: RngLike = None,
         engine: str = "reference",
+        faults=None,
     ) -> None:
         if engine not in ENGINES:
             raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
@@ -78,11 +85,17 @@ class Simulator:
         self.engine = engine
         self._rng_spec = rng
         self._rng = resolve_rng(rng)
+        self._faults = None
+        if faults is not None:
+            from repro.faults.compile import compile_faults
+
+            self._faults = compile_faults(faults, system)
+        self._lane = 0  # lane index this simulator plays in a batch run
         self._batch_engine = None
         if engine == "batch":
             from repro.truenorth.engine import BatchEngine
 
-            self._batch_engine = BatchEngine(system)
+            self._batch_engine = BatchEngine(system, faults=self._faults)
 
     def run(
         self,
@@ -165,8 +178,21 @@ class Simulator:
 
         router = self.system.router
         cores = self.system.cores
+        faults = self._faults
+        core_faults: Dict[int, object] = {}
+        dynamic_faults = False
+        lane_key = None
+        dropped = duplicated = 0
+        if faults is not None:
+            core_faults = {
+                core.core_id: faults.core_view(core) for core in cores
+            }
+            dynamic_faults = faults.has_dynamic
+            if dynamic_faults:
+                lane_key = faults.lane_keys(self._lane + 1)[self._lane]
         for tick in range(ticks):
-            # 1. External inputs scheduled for this tick.
+            # 1. External inputs scheduled for this tick. Input-port
+            # injections are off-chip and bypass spike-transport faults.
             for name, raster in rasters.items():
                 port = ports[name]
                 for line in np.flatnonzero(raster[tick]):
@@ -179,13 +205,25 @@ class Simulator:
             empty = np.zeros(CORE_AXONS, dtype=bool)
             for core in cores:
                 axon_vector = due.get(core.core_id, empty)
-                fired = core.tick(axon_vector, rng=self._rng)
+                fired = core.tick(
+                    axon_vector,
+                    rng=self._rng,
+                    faults=core_faults.get(core.core_id),
+                )
                 fired_by_core[core.core_id] = fired
                 result.total_spikes += int(fired.sum())
 
             # 3. Route this tick's output spikes forward.
-            for core_id, fired in fired_by_core.items():
-                router.submit(tick, core_id, fired)
+            if dynamic_faults:
+                for core_id, fired in fired_by_core.items():
+                    lost, echoed = faults.route_core_spikes(
+                        router, tick, core_id, fired, lane_key
+                    )
+                    dropped += lost
+                    duplicated += echoed
+            else:
+                for core_id, fired in fired_by_core.items():
+                    router.submit(tick, core_id, fired)
 
             # 4. Record probes.
             for name, probe in probes.items():
@@ -193,6 +231,16 @@ class Simulator:
                 for line, (core_id, neuron) in enumerate(probe.sources):
                     raster_out[tick, line] = fired_by_core[core_id][neuron]
 
+        if dropped or duplicated:
+            obs = get_registry()
+            obs.counter(
+                "faults_spikes_dropped_total",
+                help="routed spike deliveries lost to injected faults",
+            ).inc(dropped)
+            obs.counter(
+                "faults_spikes_duplicated_total",
+                help="routed spike deliveries echoed by injected faults",
+            ).inc(duplicated)
         return result
 
     def run_batch(
@@ -254,9 +302,9 @@ class Simulator:
         )
         for lane, lane_rng in enumerate(lane_rngs):
             lane_inputs = {name: raster[lane] for name, raster in rasters.items()}
-            lane_result = Simulator(self.system, rng=lane_rng).run(
-                ticks, lane_inputs, reset=True
-            )
+            lane_sim = Simulator(self.system, rng=lane_rng, faults=self._faults)
+            lane_sim._lane = lane
+            lane_result = lane_sim.run(ticks, lane_inputs, reset=True)
             for name, raster in lane_result.probe_spikes.items():
                 result.probe_spikes[name][lane] = raster
             result.total_spikes[lane] = lane_result.total_spikes

@@ -63,14 +63,18 @@ class TestEncoderRoundTrip:
     @settings(max_examples=40, deadline=None)
     @given(values=unit_values, seed=st.integers(min_value=0, max_value=2**31))
     def test_stochastic_round_trip_within_binomial_bound(self, values, seed):
-        # 6 standard errors of the binomial estimator plus the half-step:
-        # astronomically unlikely to trip for a correct encoder, and
-        # deterministic per (values, seed) example.
+        # 6 standard errors of the binomial estimator plus the half-step,
+        # with a 5-spike floor: for x near 0 or 1 the normal
+        # approximation under-covers the binomial tail (at x ~ 6e-5 a
+        # correct encoder legitimately lands 2 spikes in 256 ticks, far
+        # past 6 sigma), while P(count deviates by >= 5 spikes) stays
+        # astronomically small there. Deterministic per (values, seed).
         ticks = 256
         encoder = StochasticEncoder(ticks)
         decoded = encoder.decode(encoder.encode(values, rng=seed))
         sigma = np.sqrt(values * (1.0 - values) / ticks)
-        assert np.all(np.abs(decoded - values) <= 6.0 * sigma + 0.5 / ticks)
+        tolerance = np.maximum(6.0 * sigma, 5.0 / ticks) + 0.5 / ticks
+        assert np.all(np.abs(decoded - values) <= tolerance)
 
     @settings(max_examples=40, deadline=None)
     @given(values=unit_values, seed=st.integers(min_value=0, max_value=2**31))

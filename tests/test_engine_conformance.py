@@ -11,6 +11,15 @@ with fixed seeds, comparing full probe rasters and total spike counts.
 import numpy as np
 import pytest
 
+from repro.faults import (
+    DeadCore,
+    DroppedSpikes,
+    DuplicatedSpikes,
+    FaultPlan,
+    RandomStuckNeurons,
+    ThresholdDrift,
+    WeightBitFlips,
+)
 from repro.truenorth.engine import BatchEngine, normalize_batch_inputs
 from repro.truenorth.simulator import Simulator
 from repro.utils.rng import spawn_generators
@@ -24,6 +33,29 @@ from tests.engine_systems import (
 
 CASE_NAMES = [case.name for case in ENGINE_CASES]
 BATCH_SIZES = [1, 7, 32]
+
+#: Fault plans exercised by the conformance tests: one per fault kind
+#: plus a kitchen-sink composite, covering static (chip-level) and
+#: dynamic (per-delivery) categories.
+FAULT_PLANS = {
+    "drop": FaultPlan((DroppedSpikes(0.3),), seed=11),
+    "dup": FaultPlan((DuplicatedSpikes(0.4),), seed=12),
+    "stuck_fire": FaultPlan((RandomStuckNeurons(0.1, mode="fire"),), seed=13),
+    "stuck_silent": FaultPlan((RandomStuckNeurons(0.2, mode="silent"),), seed=14),
+    "dead_core": FaultPlan((DeadCore(0),), seed=15),
+    "bit_flips": FaultPlan((WeightBitFlips(0.2, bit=1),), seed=16),
+    "drift": FaultPlan((ThresholdDrift(4.0),), seed=17),
+    "composite": FaultPlan(
+        (
+            DroppedSpikes(0.25),
+            DuplicatedSpikes(0.2),
+            RandomStuckNeurons(0.05, mode="fire"),
+            WeightBitFlips(0.1, bit=0),
+            ThresholdDrift(2.0),
+        ),
+        seed=18,
+    ),
+}
 
 
 def _case(name):
@@ -129,6 +161,138 @@ class TestBatchRunConformance:
         assert any(
             not np.array_equal(raster[0], raster[lane]) for lane in range(1, 4)
         )
+
+
+class TestFaultConformance:
+    """Fault injection must not break engine equivalence.
+
+    A FaultPlan's decisions are pure functions of (plan seed, fault
+    site) — never of iteration order — so the tick-accurate reference
+    and the vectorized batch engine must stay bit-identical under every
+    fault kind, for single runs and for every lane of a batched run.
+    """
+
+    @pytest.mark.parametrize("plan_name", sorted(FAULT_PLANS))
+    @pytest.mark.parametrize("name", ["pattern_match", "random_stochastic"])
+    def test_faulted_run_is_bit_identical(self, name, plan_name):
+        case = _case(name)
+        plan = FAULT_PLANS[plan_name]
+        reference = Simulator(case.build(), rng=case.sim_seed, faults=plan)
+        batch = Simulator(
+            case.build(), rng=case.sim_seed, engine="batch", faults=plan
+        )
+        inputs = shared_inputs(
+            reference.system, case.ticks, case.input_seed, case.density
+        )
+
+        ref = reference.run(case.ticks, inputs)
+        got = batch.run(case.ticks, inputs)
+
+        assert ref.probe_spikes.keys() == got.probe_spikes.keys()
+        for probe, raster in ref.probe_spikes.items():
+            np.testing.assert_array_equal(raster, got.probe_spikes[probe])
+        assert ref.total_spikes == got.total_spikes
+
+    @pytest.mark.parametrize("name", CASE_NAMES)
+    def test_composite_plan_all_cases(self, name):
+        case = _case(name)
+        plan = FAULT_PLANS["composite"]
+        reference = Simulator(case.build(), rng=case.sim_seed, faults=plan)
+        batch = Simulator(
+            case.build(), rng=case.sim_seed, engine="batch", faults=plan
+        )
+        inputs = shared_inputs(
+            reference.system, case.ticks, case.input_seed, case.density
+        )
+        ref = reference.run(case.ticks, inputs)
+        got = batch.run(case.ticks, inputs)
+        for probe, raster in ref.probe_spikes.items():
+            np.testing.assert_array_equal(raster, got.probe_spikes[probe])
+        assert ref.total_spikes == got.total_spikes
+
+    @pytest.mark.parametrize("batch", BATCH_SIZES)
+    @pytest.mark.parametrize("plan_name", ["drop", "composite"])
+    def test_faulted_batch_run_is_bit_identical(self, plan_name, batch):
+        case = _case("random_stochastic")
+        plan = FAULT_PLANS[plan_name]
+        reference = Simulator(case.build(), rng=case.sim_seed, faults=plan)
+        vectorized = Simulator(
+            case.build(), rng=case.sim_seed, engine="batch", faults=plan
+        )
+        inputs = batched_inputs(
+            reference.system, case.ticks, batch, case.input_seed, case.density
+        )
+
+        ref = reference.run_batch(case.ticks, inputs)
+        got = vectorized.run_batch(case.ticks, inputs)
+
+        for probe, raster in ref.probe_spikes.items():
+            np.testing.assert_array_equal(raster, got.probe_spikes[probe])
+        np.testing.assert_array_equal(ref.total_spikes, got.total_spikes)
+
+    def test_dynamic_fault_lanes_differ(self):
+        """Per-delivery faults are keyed by lane, so lanes de-correlate."""
+        case = _case("pattern_match")
+        plan = FAULT_PLANS["drop"]
+        sim = Simulator(case.build(), rng=case.sim_seed, engine="batch", faults=plan)
+        inputs = shared_inputs(sim.system, case.ticks, case.input_seed, case.density)
+        result = sim.run_batch(case.ticks, inputs, batch=4)
+        raster = result.probe_spikes["out"]
+        assert any(
+            not np.array_equal(raster[0], raster[lane]) for lane in range(1, 4)
+        )
+
+    def test_static_faults_identical_across_lanes(self):
+        """Chip-level faults are lane-independent by definition."""
+        case = _case("pattern_match")
+        plan = FAULT_PLANS["bit_flips"]
+        sim = Simulator(case.build(), rng=case.sim_seed, engine="batch", faults=plan)
+        inputs = shared_inputs(sim.system, case.ticks, case.input_seed, case.density)
+        result = sim.run_batch(case.ticks, inputs, batch=3)
+        raster = result.probe_spikes["out"]
+        for lane in range(1, 3):
+            np.testing.assert_array_equal(raster[0], raster[lane])
+
+    @pytest.mark.parametrize("plan_name", ["stuck_fire", "composite"])
+    def test_faults_change_the_output(self, plan_name):
+        """The plans above actually inject (no silently-clean runs)."""
+        case = _case("pattern_match")
+        plan = FAULT_PLANS[plan_name]
+        inputs = shared_inputs(
+            case.build(), case.ticks, case.input_seed, case.density
+        )
+        clean = Simulator(case.build(), rng=case.sim_seed).run(case.ticks, inputs)
+        faulted = Simulator(case.build(), rng=case.sim_seed, faults=plan).run(
+            case.ticks, inputs
+        )
+        assert clean.total_spikes != faulted.total_spikes
+
+    def test_dead_core_silences_its_neurons(self):
+        case = _case("pattern_match")
+        plan = FAULT_PLANS["dead_core"]
+        sim = Simulator(case.build(), rng=case.sim_seed, faults=plan)
+        inputs = shared_inputs(sim.system, case.ticks, case.input_seed, case.density)
+        result = sim.run(case.ticks, inputs)
+        # Every probe reads core 0 in this single-core case: total
+        # silence is the only conformant outcome.
+        assert result.total_spikes == 0
+
+    @pytest.mark.parametrize("engine", ["reference", "batch"])
+    def test_faulted_same_seed_runs_identical(self, engine):
+        case = _case("random_stochastic")
+        plan = FAULT_PLANS["composite"]
+        inputs = shared_inputs(
+            case.build(), case.ticks, case.input_seed, case.density
+        )
+        results = [
+            Simulator(
+                case.build(), rng=case.sim_seed, engine=engine, faults=plan
+            ).run(case.ticks, inputs)
+            for _ in range(2)
+        ]
+        for probe, raster in results[0].probe_spikes.items():
+            np.testing.assert_array_equal(raster, results[1].probe_spikes[probe])
+        assert results[0].total_spikes == results[1].total_spikes
 
 
 class TestDeterminism:

@@ -1,0 +1,360 @@
+"""Serve-layer resilience: retry, circuit breaker, degraded mode."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    CircuitOpenError,
+    ConfigurationError,
+    TransientScorerError,
+)
+from repro.obs import MetricsRegistry
+from repro.serve import (
+    CircuitBreaker,
+    FlakyModel,
+    InferenceService,
+    ResilientExecutor,
+    RetryPolicy,
+)
+from repro.serve.resilience import CLOSED, HALF_OPEN, OPEN
+
+
+def _double(matrix):
+    return np.asarray(matrix)[:, 0] * 2.0
+
+
+class _FailNTimes:
+    """Raises TransientScorerError for the first ``n`` calls."""
+
+    def __init__(self, n, exc=TransientScorerError):
+        self.n = n
+        self.exc = exc
+        self.calls = 0
+
+    def __call__(self, matrix):
+        self.calls += 1
+        if self.calls <= self.n:
+            raise self.exc(f"boom {self.calls}")
+        return _double(matrix)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially(self):
+        policy = RetryPolicy(max_attempts=4, backoff_ms=10.0, multiplier=2.0)
+        assert policy.backoff_s(0) == pytest.approx(0.010)
+        assert policy.backoff_s(2) == pytest.approx(0.040)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(backoff_ms=-1.0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(multiplier=0.5)
+
+    def test_retryable_classification(self):
+        policy = RetryPolicy()
+        assert policy.is_retryable(TransientScorerError("x"))
+        assert not policy.is_retryable(ValueError("x"))
+
+
+class TestResilientExecutor:
+    def test_recovers_within_budget(self):
+        fn = _FailNTimes(2)
+        sleeps = []
+        executor = ResilientExecutor(
+            fn, retry=RetryPolicy(max_attempts=3, backoff_ms=1.0),
+            sleep=sleeps.append,
+        )
+        out = executor(np.array([[3.0]]))
+        np.testing.assert_array_equal(out, [6.0])
+        assert fn.calls == 3
+        assert sleeps == [pytest.approx(0.001), pytest.approx(0.002)]
+
+    def test_retry_exhaustion_reraises_last_error(self):
+        fn = _FailNTimes(5)
+        executor = ResilientExecutor(
+            fn, retry=RetryPolicy(max_attempts=3, backoff_ms=0.0),
+            sleep=lambda _: None,
+        )
+        with pytest.raises(TransientScorerError, match="boom 3"):
+            executor(np.zeros((1, 1)))
+        assert fn.calls == 3
+
+    def test_non_retryable_fails_immediately(self):
+        fn = _FailNTimes(5, exc=ValueError)
+        executor = ResilientExecutor(
+            fn, retry=RetryPolicy(max_attempts=3, backoff_ms=0.0),
+            sleep=lambda _: None,
+        )
+        with pytest.raises(ValueError):
+            executor(np.zeros((1, 1)))
+        assert fn.calls == 1
+
+    def test_no_retry_policy_means_single_attempt(self):
+        fn = _FailNTimes(1)
+        executor = ResilientExecutor(fn)
+        with pytest.raises(TransientScorerError):
+            executor(np.zeros((1, 1)))
+        assert fn.calls == 1
+
+    def test_retries_counted_in_registry(self):
+        registry = MetricsRegistry()
+        fn = _FailNTimes(2)
+        executor = ResilientExecutor(
+            fn, retry=RetryPolicy(max_attempts=3, backoff_ms=0.0),
+            registry=registry, sleep=lambda _: None,
+        )
+        executor(np.array([[1.0]]))
+        assert registry.snapshot()["counters"]["serve_retries_total"] == 2
+
+
+class TestCircuitBreaker:
+    def test_trips_after_consecutive_failures(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=3, reset_timeout_s=1.0, clock=clock)
+        for _ in range(2):
+            breaker.before_call()
+            breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.before_call()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        with pytest.raises(CircuitOpenError):
+            breaker.before_call()
+
+    def test_success_resets_failure_count(self):
+        breaker = CircuitBreaker(failure_threshold=2, reset_timeout_s=1.0)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_half_open_probe_then_close(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout_s=1.0, clock=clock)
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(1.0)
+        assert breaker.state == HALF_OPEN
+        breaker.before_call()  # takes the single probe slot
+        with pytest.raises(CircuitOpenError, match="half-open"):
+            breaker.before_call()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        breaker.before_call()  # closed again: calls flow
+
+    def test_half_open_failure_reopens_for_full_cooldown(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout_s=1.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(1.0)
+        breaker.before_call()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(0.5)
+        with pytest.raises(CircuitOpenError):
+            breaker.before_call()
+        clock.advance(0.5)
+        assert breaker.state == HALF_OPEN
+
+    def test_state_change_callback_sees_every_transition(self):
+        clock = FakeClock()
+        seen = []
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout_s=1.0, clock=clock,
+            on_state_change=seen.append,
+        )
+        breaker.record_failure()
+        clock.advance(1.0)
+        breaker.before_call()
+        breaker.record_success()
+        assert seen == [OPEN, HALF_OPEN, CLOSED]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(reset_timeout_s=-1.0)
+
+    def test_executor_respects_open_breaker(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout_s=10.0, clock=clock)
+        fn = _FailNTimes(1)
+        executor = ResilientExecutor(
+            fn, retry=RetryPolicy(max_attempts=3, backoff_ms=0.0),
+            breaker=breaker, sleep=lambda _: None,
+        )
+        # first attempt fails and trips the breaker; the retry is then
+        # refused by the breaker without reaching the scorer.
+        with pytest.raises(CircuitOpenError):
+            executor(np.zeros((1, 1)))
+        assert fn.calls == 1
+
+
+class TestFlakyModel:
+    def test_deterministic_failure_sequence(self):
+        base = lambda m: np.asarray(m)[:, 0]  # noqa: E731
+        seqs = []
+        for _ in range(2):
+            flaky = FlakyModel(base, failure_rate=0.5, rng=42)
+            seq = []
+            for _ in range(16):
+                try:
+                    flaky.decision_function(np.ones((1, 1)))
+                    seq.append(True)
+                except TransientScorerError:
+                    seq.append(False)
+            seqs.append(tuple(seq))
+        assert seqs[0] == seqs[1]
+        assert flaky.calls == 16
+        assert flaky.failures == seqs[1].count(False)
+
+    def test_rate_validation(self):
+        with pytest.raises(ConfigurationError):
+            FlakyModel(lambda m: m, failure_rate=1.5)
+
+    def test_passthrough_identity(self):
+        class Model:
+            model_id = "m-1"
+            cacheable = False
+
+            def decision_function(self, m):
+                return np.zeros(len(m))
+
+        flaky = FlakyModel(Model(), failure_rate=0.0)
+        assert flaky.model_id == "m-1"
+        assert flaky.cacheable is False
+        np.testing.assert_array_equal(
+            flaky.decision_function(np.ones((2, 1))), [0.0, 0.0]
+        )
+
+
+class _Scorer:
+    """Minimal healthy scorer for service-level tests."""
+
+    model_id = "resilience-test"
+    cacheable = True
+
+    def decision_function(self, matrix):
+        return np.asarray(matrix)[:, 0] * 10.0
+
+
+class TestServiceIntegration:
+    def test_service_retries_through_transient_faults(self):
+        flaky = FlakyModel(_Scorer(), failure_rate=0.5, rng=3)
+        service = InferenceService(
+            flaky,
+            max_batch_size=4,
+            max_wait_ms=1.0,
+            cache_capacity=0,
+            retry_policy=RetryPolicy(max_attempts=6, backoff_ms=0.1),
+        )
+        with service:
+            scores = [
+                service.score(np.full(3, i, dtype=float), timeout_s=5.0)
+                for i in range(6)
+            ]
+        assert scores == [i * 10.0 for i in range(6)]
+        assert flaky.failures > 0
+
+    def test_degraded_value_served_while_breaker_open(self):
+        class AlwaysDown:
+            model_id = "down"
+            cacheable = True
+
+            def decision_function(self, matrix):
+                raise TransientScorerError("permanently sad")
+
+        service = InferenceService(
+            AlwaysDown(),
+            max_batch_size=4,
+            max_wait_ms=1.0,
+            circuit_breaker=CircuitBreaker(failure_threshold=1, reset_timeout_s=60.0),
+            degraded_value=-1.0,
+        )
+        with service:
+            scores = [
+                service.score(np.full(2, i, dtype=float), timeout_s=5.0)
+                for i in range(4)
+            ]
+            snapshot = service.stats.snapshot()
+        assert scores == [-1.0] * 4
+        assert snapshot["counters"]["degraded"] == 4
+
+    def test_degraded_results_never_cached(self):
+        class DownThenUp:
+            model_id = "flap"
+            cacheable = True
+
+            def __init__(self):
+                self.down = True
+
+            def decision_function(self, matrix):
+                if self.down:
+                    raise TransientScorerError("down")
+                return np.asarray(matrix)[:, 0] * 10.0
+
+        model = DownThenUp()
+        service = InferenceService(
+            model,
+            max_batch_size=4,
+            max_wait_ms=1.0,
+            cache_capacity=64,
+            degraded_value=0.0,
+        )
+        row = np.array([7.0, 7.0])
+        with service:
+            degraded = service.score(row, timeout_s=5.0)
+            model.down = False
+            healthy = service.score(row, timeout_s=5.0)
+        assert degraded == 0.0
+        assert healthy == 70.0  # a cached degraded score would repeat 0.0
+
+    def test_no_degraded_value_fails_requests(self):
+        class AlwaysDown:
+            model_id = "down2"
+            cacheable = True
+
+            def decision_function(self, matrix):
+                raise TransientScorerError("sad")
+
+        service = InferenceService(AlwaysDown(), max_batch_size=2, max_wait_ms=1.0)
+        with service:
+            with pytest.raises(TransientScorerError):
+                service.score(np.zeros(2), timeout_s=5.0)
+
+    def test_breaker_gauge_published(self):
+        registry = MetricsRegistry()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout_s=60.0)
+
+        class AlwaysDown:
+            model_id = "down3"
+            cacheable = True
+
+            def decision_function(self, matrix):
+                raise TransientScorerError("sad")
+
+        service = InferenceService(
+            AlwaysDown(),
+            max_batch_size=2,
+            max_wait_ms=1.0,
+            registry=registry,
+            circuit_breaker=breaker,
+            degraded_value=0.0,
+        )
+        with service:
+            service.score(np.zeros(2), timeout_s=5.0)
+        gauges = registry.snapshot()["gauges"]
+        assert gauges["serve_breaker_state"] == 2.0  # open
