@@ -10,6 +10,14 @@ is amortised across every in-flight request.
 Conformance is asserted before timing: served histograms must be
 bit-identical to direct ``extract_batch`` calls.
 
+The load is timed twice — once with the observability layer fully on
+(hardware counters + flight recorder; the shipping configuration and
+the headline number) and once with it configured off — and the relative
+throughput cost lands in ``BENCH_serve.json`` as
+``obs_overhead_fraction``. The acceptance budget is <=5 %
+(DESIGN.md §12), enforced against the committed baseline by
+``benchmarks/check_regression.py``.
+
 Run standalone (wall-clock timing, machine-readable JSON to
 ``BENCH_serve.json`` at the repo root):
 
@@ -27,6 +35,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.obs import flight, hwcounters
 from repro.serve import (
     InferenceService,
     NApproxCellModel,
@@ -38,12 +47,8 @@ from repro.serve import (
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
-def run_bench(args) -> int:
-    model = NApproxCellModel(window=args.window, engine="batch")
-    rows = random_patch_rows(
-        args.requests, rng=0, duplicate_fraction=args.duplicate_fraction
-    )
-
+def _timed_load(model, rows, args):
+    """One closed-loop service run; returns ``(report, snapshot)``."""
     service = InferenceService(
         model,
         max_batch_size=args.max_batch_size,
@@ -52,21 +57,61 @@ def run_bench(args) -> int:
         cache_capacity=args.cache_capacity,
     )
     with service:
-        # Conformance gate: served results must be bit-identical to the
-        # direct engine call on the same patches.
-        probe = rows[: min(8, len(rows))]
-        served = service.score_many(probe)
-        direct = model(probe)
-        if not np.array_equal(served, direct):
-            print("FAIL: served results differ from direct calls", file=sys.stderr)
-            return 2
-        if service.cache is not None:
-            service.cache.clear()  # the probe must not pre-warm the run
-
         report = closed_loop(
             service, rows, concurrency=args.concurrency, chunk_size=1
         )
         snapshot = service.stats.snapshot()
+    return report, snapshot
+
+
+def run_bench(args) -> int:
+    model = NApproxCellModel(window=args.window, engine="batch")
+    rows = random_patch_rows(
+        args.requests, rng=0, duplicate_fraction=args.duplicate_fraction
+    )
+
+    # Conformance gate: served results must be bit-identical to the
+    # direct engine call on the same patches. The probe service is
+    # discarded so its cache never pre-warms the timed runs.
+    with InferenceService(
+        model, max_batch_size=args.max_batch_size, max_wait_ms=args.max_wait_ms
+    ) as probe_service:
+        probe = rows[: min(8, len(rows))]
+        served = probe_service.score_many(probe)
+        direct = model(probe)
+        if not np.array_equal(served, direct):
+            print("FAIL: served results differ from direct calls", file=sys.stderr)
+            return 2
+
+    # Timed loads, interleaved best-of-N: observability fully on (the
+    # shipping configuration and the headline number) vs hardware
+    # counters and flight recorder configured off — the baseline the
+    # <=5 % obs-overhead budget is measured against. Interleaving and
+    # taking the best of each arm rejects machine noise that a single
+    # pair of runs cannot.
+    on_runs, off_runs = [], []
+    try:
+        for _ in range(args.overhead_repeats):
+            hwcounters.configure(True)
+            flight.configure(True)
+            on_runs.append(_timed_load(model, rows, args))
+            hwcounters.configure(False)
+            flight.configure(False)
+            off_runs.append(_timed_load(model, rows, args))
+    finally:
+        hwcounters.configure(True)
+        flight.configure(True)
+    report, snapshot = max(
+        on_runs, key=lambda pair: pair[0].requests_per_second
+    )
+    report_off, _ = max(
+        off_runs, key=lambda pair: pair[0].requests_per_second
+    )
+    obs_overhead = (
+        1.0 - report.requests_per_second / report_off.requests_per_second
+        if report_off.requests_per_second
+        else 0.0
+    )
 
     seq_rows = rows[: args.sequential_requests]
     started = time.perf_counter()
@@ -93,6 +138,11 @@ def run_bench(args) -> int:
         f"p99 latency {snapshot['latency_ms']['p99']:.1f} ms, "
         f"accounted={report.accounted})"
     )
+    print(
+        f"obs overhead: {obs_overhead * 100:+.1f}% "
+        f"(telemetry off: {report_off.requests_per_second:7.2f} req/s, "
+        f"mean energy {snapshot['energy_nj']['mean']:.1f} nJ/request)"
+    )
 
     payload = {
         "benchmark": "bench_serve",
@@ -112,6 +162,8 @@ def run_bench(args) -> int:
         },
         "sequential_requests_per_second": seq_rate,
         "service_requests_per_second": report.requests_per_second,
+        "telemetry_off_requests_per_second": report_off.requests_per_second,
+        "obs_overhead_fraction": obs_overhead,
         "speedup": speedup,
         "load": report.as_dict(),
         "stats": snapshot,
@@ -120,7 +172,7 @@ def run_bench(args) -> int:
     output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {output}")
 
-    if not report.accounted:
+    if not all(run.accounted for run, _ in on_runs + off_runs):
         print("FAIL: requests lost or failed", file=sys.stderr)
         return 2
     if args.check and speedup < args.min_speedup:
@@ -148,6 +200,11 @@ def main() -> int:
     parser.add_argument(
         "--sequential-requests", type=int, default=24,
         help="requests timed on the sequential baseline (it is slow)",
+    )
+    parser.add_argument(
+        "--overhead-repeats", type=int, default=2,
+        help="interleaved telemetry on/off load pairs; the best of each "
+        "arm feeds the obs_overhead_fraction measurement",
     )
     parser.add_argument(
         "--quick", action="store_true",

@@ -30,6 +30,14 @@ REQUIRED_SAMPLES = (
     "engine_runs_total",
     "engine_lanes_total",
     "engine_spikes_delivered_total",
+    # hardware-counter telemetry (DESIGN.md §12)
+    "hw_spikes_total",
+    "hw_synaptic_events_total",
+    "hw_membrane_updates_total",
+    "hw_router_hops_total",
+    "hw_dropped_spikes_total",
+    "hw_duplicated_spikes_total",
+    "hw_active_core_ticks_total",
     # serving
     "serve_submitted_total",
     "serve_completed_total",
@@ -39,6 +47,9 @@ REQUIRED_SAMPLES = (
     "serve_batch_size_sum",
     "serve_latency_seconds_count",
     "serve_latency_seconds_sum",
+    "serve_request_energy_nj_count",
+    "serve_request_energy_nj_sum",
+    "serve_energy_nanojoules_total",
     # per-span timings
     "span_engine_run_seconds_count",
     "span_serve_model_batch_seconds_count",

@@ -1,0 +1,213 @@
+"""Bench-trajectory regression gate over the committed BENCH_*.json files.
+
+The repo's benchmark payloads are load-bearing: every PR commits
+``BENCH_engine.json`` / ``BENCH_serve.json`` / ``BENCH_faults.json``
+baselines, and this checker compares a fresh run ("current") against
+the committed ones ("baseline"):
+
+- **throughput** (engine ``batch_windows_per_second``, serve
+  ``service_requests_per_second``): fails on a drop of more than
+  ``--max-throughput-regression`` (default 10 %);
+- **observability overhead** (serve ``obs_overhead_fraction``): fails
+  when the current run spends more than ``--max-obs-overhead``
+  (default 5 %) of its throughput on telemetry — this is an absolute
+  budget, not a delta;
+- **fault-free accuracy** (faults ``approaches.*.miss_rate[0]``): fails
+  when any approach's zero-fault miss rate rises by more than
+  ``--max-missrate-increase`` (default 0.05 absolute).
+
+Comparisons only run between payloads of the *same* workload
+configuration; a config mismatch (e.g. a ``--quick`` current run
+against a full-size baseline) is reported and skipped. Missing files —
+no prior baseline on a fresh branch, or a bench that was not re-run —
+warn and pass, so the gate is non-blocking until both sides exist.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_regression.py \
+        --baseline-dir . --current-dir /tmp/bench [--warn-only]
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: The benchmark payloads the gate knows how to compare.
+BENCH_FILES = ("BENCH_engine.json", "BENCH_serve.json", "BENCH_faults.json")
+
+
+def _load(path: Path):
+    """The parsed payload, or ``None`` (with a warning) when unusable."""
+    if not path.is_file():
+        print(f"WARN: {path} missing; skipping")
+        return None
+    try:
+        return json.loads(path.read_text())
+    except ValueError as exc:
+        print(f"WARN: {path} unparseable ({exc}); skipping")
+        return None
+
+
+def _config(payload, keys):
+    """The comparable-configuration fingerprint of a payload."""
+    return {key: payload.get(key) for key in keys}
+
+
+def _check_throughput(name, metric, baseline, current, max_regression):
+    """Failure strings for one higher-is-better throughput metric."""
+    base = baseline.get(metric)
+    cur = current.get(metric)
+    if not isinstance(base, (int, float)) or not isinstance(cur, (int, float)):
+        print(f"WARN: {name}: {metric} absent on one side; skipping")
+        return []
+    if base <= 0:
+        print(f"WARN: {name}: baseline {metric} is {base}; skipping")
+        return []
+    drop = 1.0 - cur / base
+    verdict = "FAIL" if drop > max_regression else "ok"
+    print(
+        f"{verdict}: {name}: {metric} {base:.2f} -> {cur:.2f} "
+        f"({-drop * 100:+.1f}%, floor {-max_regression * 100:.0f}%)"
+    )
+    if drop > max_regression:
+        return [f"{name}: {metric} regressed {drop * 100:.1f}%"]
+    return []
+
+
+def check_engine(baseline, current, args):
+    """Engine throughput: windows/s of the vectorized batch engine."""
+    keys = ("workload", "batch_size")
+    if _config(baseline, keys) != _config(current, keys):
+        print("WARN: BENCH_engine.json: workload configs differ; skipping")
+        return []
+    return _check_throughput(
+        "BENCH_engine.json",
+        "batch_windows_per_second",
+        baseline,
+        current,
+        args.max_throughput_regression,
+    )
+
+
+def check_serve(baseline, current, args):
+    """Serve throughput plus the absolute telemetry-overhead budget."""
+    failures = []
+    overhead = current.get("obs_overhead_fraction")
+    if isinstance(overhead, (int, float)):
+        verdict = "FAIL" if overhead > args.max_obs_overhead else "ok"
+        print(
+            f"{verdict}: BENCH_serve.json: obs_overhead_fraction "
+            f"{overhead * 100:+.1f}% (budget {args.max_obs_overhead * 100:.0f}%)"
+        )
+        if overhead > args.max_obs_overhead:
+            failures.append(
+                f"BENCH_serve.json: obs overhead {overhead * 100:.1f}% "
+                f"exceeds the {args.max_obs_overhead * 100:.0f}% budget"
+            )
+    else:
+        print("WARN: BENCH_serve.json: no obs_overhead_fraction in current run")
+    keys = ("workload", "service")
+    if _config(baseline, keys) != _config(current, keys):
+        print("WARN: BENCH_serve.json: workload configs differ; "
+              "skipping throughput comparison")
+        return failures
+    failures += _check_throughput(
+        "BENCH_serve.json",
+        "service_requests_per_second",
+        baseline,
+        current,
+        args.max_throughput_regression,
+    )
+    return failures
+
+
+def check_faults(baseline, current, args):
+    """Fault-free accuracy: the zero-fault miss rate must not creep up."""
+    keys = ("fault_kind", "rates", "fault_seeds", "ticks", "hidden")
+    if _config(baseline, keys) != _config(current, keys):
+        print("WARN: BENCH_faults.json: sweep configs differ; skipping")
+        return []
+    failures = []
+    base_app = baseline.get("approaches", {})
+    cur_app = current.get("approaches", {})
+    for name in sorted(set(base_app) & set(cur_app)):
+        try:
+            base_miss = float(base_app[name]["miss_rate"][0])
+            cur_miss = float(cur_app[name]["miss_rate"][0])
+        except (KeyError, IndexError, TypeError, ValueError):
+            print(f"WARN: BENCH_faults.json: no miss_rate[0] for {name}")
+            continue
+        rise = cur_miss - base_miss
+        verdict = "FAIL" if rise > args.max_missrate_increase else "ok"
+        print(
+            f"{verdict}: BENCH_faults.json: {name} fault-free miss rate "
+            f"{base_miss:.3f} -> {cur_miss:.3f} "
+            f"(cap +{args.max_missrate_increase:.2f})"
+        )
+        if rise > args.max_missrate_increase:
+            failures.append(
+                f"BENCH_faults.json: {name} fault-free miss rate rose "
+                f"{rise:.3f}"
+            )
+    return failures
+
+
+CHECKS = {
+    "BENCH_engine.json": check_engine,
+    "BENCH_serve.json": check_serve,
+    "BENCH_faults.json": check_faults,
+}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline-dir", default=".",
+        help="directory holding the committed BENCH_*.json baselines",
+    )
+    parser.add_argument(
+        "--current-dir", default=".",
+        help="directory holding the freshly generated BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--max-throughput-regression", type=float, default=0.10,
+        help="allowed fractional throughput drop vs baseline (default 0.10)",
+    )
+    parser.add_argument(
+        "--max-obs-overhead", type=float, default=0.05,
+        help="absolute telemetry-overhead budget (default 0.05)",
+    )
+    parser.add_argument(
+        "--max-missrate-increase", type=float, default=0.05,
+        help="allowed absolute rise of the fault-free miss rate",
+    )
+    parser.add_argument(
+        "--warn-only", action="store_true",
+        help="report failures but always exit 0 (rollout mode)",
+    )
+    args = parser.parse_args()
+
+    failures = []
+    compared = 0
+    for name in BENCH_FILES:
+        baseline = _load(Path(args.baseline_dir) / name)
+        current = _load(Path(args.current_dir) / name)
+        if baseline is None or current is None:
+            continue
+        compared += 1
+        failures += CHECKS[name](baseline, current, args)
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        if args.warn_only:
+            print("warn-only mode: failures reported, exiting 0")
+            return 0
+        return 1
+    print(f"OK: {compared} benchmark payload(s) compared, no regression")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

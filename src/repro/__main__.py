@@ -14,6 +14,7 @@ Usage::
     python -m repro serve --flaky-rate 0.2 --retries 3   # resilience demo
     python -m repro faults            # fault-rate degradation sweep
     python -m repro trace <cmd>       # any command + span trace summary
+    python -m repro profile <cmd>     # any command + hw-counter profile
 
 ``--small`` shrinks the data split for a faster (noisier) run.
 ``--engine`` selects the simulation engine (``batch`` = the vectorized
@@ -28,6 +29,18 @@ Prometheus-style text exposition (``--metrics-output PATH`` writes the
 exposition to a file — the CI ``obs-smoke`` job scrapes it).
 ``trace <cmd>`` runs any other command and then prints the span
 aggregates and the tail of the span ring buffer.
+
+Hardware-counter telemetry (DESIGN.md §12): ``profile <cmd>`` runs any
+other command inside a hardware-counter collection scope and emits a
+JSON profile — spikes, synaptic events, membrane updates, router hops,
+fault drops/echoes — plus the attributed energy (total joules,
+nJ/lane, sustained mW) and a top-N hot-core table
+(``--output PATH`` writes the JSON, ``--top N`` sizes the table). The
+per-core rollup is also published as labeled
+``hw_core_spikes_total{core="..."}`` registry counters. ``serve
+--flight-dump PATH`` arms the flight recorder: the bounded structured
+event log is written to PATH when the run ends and automatically on
+request failure or breaker-open.
 
 Fault injection (DESIGN.md §11, ``docs/FAULT_MODEL.md``): ``faults``
 sweeps a hardware fault rate and reports detection miss-rate
@@ -71,6 +84,8 @@ def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "trace":
         return _trace(argv[1:])
+    if argv and argv[0] == "profile":
+        return _profile(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate tables and figures of the DAC'17 paper.",
@@ -146,6 +161,11 @@ def main(argv=None) -> int:
         "--metrics-output", default=None, metavar="PATH",
         help="write the text exposition to PATH instead of stdout "
         "(implies --metrics)",
+    )
+    serve_group.add_argument(
+        "--flight-dump", default=None, metavar="PATH",
+        help="write the flight-recorder event log to PATH at exit (and "
+        "automatically on request failure or breaker-open)",
     )
     serve_group.add_argument(
         "--flaky-rate", type=float, default=0.0,
@@ -352,6 +372,7 @@ def _serve(args) -> int:
         retry_policy=retry_policy,
         circuit_breaker=circuit_breaker,
         degraded_value=args.degraded_score,
+        flight_dump_path=args.flight_dump,
     )
     timeout_s = None if args.timeout_ms is None else args.timeout_ms / 1e3
     with service:
@@ -387,6 +408,11 @@ def _serve(args) -> int:
     print(json.dumps(payload, indent=2))
     if registry is not None and not args.metrics_output:
         print(exposition, end="")
+    if args.flight_dump:
+        from repro.obs import flight_recorder
+
+        retained = flight_recorder().dump(args.flight_dump, reason="serve_exit")
+        print(f"wrote flight dump ({retained} events) to {args.flight_dump}")
     if not report.accounted:
         print("FAIL: requests lost or failed", file=sys.stderr)
         return 1
@@ -420,6 +446,117 @@ def _trace(argv) -> int:
                 f"{indent}{record.path} {record.duration_s * 1e3:.2f}ms "
                 f"[{record.thread}]"
             )
+    return code
+
+
+def _profile(argv) -> int:
+    """Run ``argv`` inside a hw-counter scope, then emit the profile.
+
+    The profile JSON carries the whole-run hardware counters, the
+    attributed energy (via ``repro.truenorth.energy``), and the top-N
+    hot-core table; the per-core rollup is also published as labeled
+    ``hw_core_spikes_total{core="..."}`` registry counters.
+    """
+    from repro.obs import get_registry, hwcounters
+
+    argv = list(argv)
+    output, top_n = None, 10
+    while argv and argv[0] in ("--output", "--top"):
+        flag = argv.pop(0)
+        if not argv:
+            print(f"profile: {flag} needs a value", file=sys.stderr)
+            return 2
+        if flag == "--output":
+            output = argv.pop(0)
+        else:
+            top_n = int(argv.pop(0))
+    if not argv:
+        print(
+            "usage: python -m repro profile [--output PATH] [--top N] "
+            "<command> [options]",
+            file=sys.stderr,
+        )
+        return 2
+
+    with hwcounters.collect() as collector:
+        code = main(argv)
+
+    totals = collector.totals()
+    registry = get_registry()
+    top_cores = []
+    if collector.runs:
+        ranked = sorted(
+            collector.core_totals().items(),
+            key=lambda kv: (-kv[1]["spikes"], -kv[1]["synaptic_events"], kv[0]),
+        )
+        for core_id, entry in ranked:
+            registry.counter(
+                "hw_core_spikes_total",
+                help="neuron firings per core (profile rollup)",
+                labels={"core": str(core_id)},
+            ).inc(entry["spikes"])
+            registry.counter(
+                "hw_core_synaptic_events_total",
+                help="synaptic events per core (profile rollup)",
+                labels={"core": str(core_id)},
+            ).inc(entry["synaptic_events"])
+        top_cores = [
+            {"core": core_id, **entry} for core_id, entry in ranked[:top_n]
+        ]
+
+    lane_energy = collector.lane_energy_joules()
+    total_joules = float(lane_energy.sum())
+    energy = {
+        "total_joules": total_joules,
+        "mean_nj_per_lane": (
+            total_joules / lane_energy.size * 1e9 if lane_energy.size else 0.0
+        ),
+    }
+    if totals["lane_ticks"]:
+        from repro.truenorth.power import TICK_SECONDS
+
+        # Sustained power while a lane is on the substrate: the exact
+        # attributed energy over the total simulated lane-time.
+        energy["sustained_milliwatts"] = (
+            total_joules / (totals["lane_ticks"] * TICK_SECONDS) * 1e3
+        )
+
+    profile = {
+        "command": argv,
+        "exit_code": code,
+        "runs": len(collector.runs),
+        "lanes": collector.lanes,
+        "hw": totals,
+        "energy": energy,
+        "top_cores": top_cores,
+    }
+
+    print("\n== hardware-counter profile ==")
+    if not collector.runs:
+        print("no engine runs recorded (software-only command?)")
+    for name in ("spikes", "synaptic_events", "membrane_updates",
+                 "router_hops", "dropped_spikes", "duplicated_spikes",
+                 "active_core_ticks"):
+        print(f"{name:24s} {totals[name]:>14,d}")
+    print(f"{'lanes':24s} {collector.lanes:>14,d}  "
+          f"({len(collector.runs)} engine runs)")
+    if lane_energy.size:
+        print(f"energy: {total_joules * 1e9:,.1f} nJ total, "
+              f"{energy['mean_nj_per_lane']:,.1f} nJ/lane, "
+              f"{energy.get('sustained_milliwatts', 0.0):.3f} mW sustained")
+    if top_cores:
+        print(f"top {len(top_cores)} cores by spikes:")
+        print(f"{'core':>8s} {'spikes':>12s} {'syn.events':>12s}")
+        for row in top_cores:
+            print(f"{row['core']:>8d} {row['spikes']:>12,d} "
+                  f"{row['synaptic_events']:>12,d}")
+    if output:
+        with open(output, "w") as handle:
+            json.dump(profile, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote profile to {output}")
+    else:
+        print(json.dumps(profile, indent=2))
     return code
 
 

@@ -18,16 +18,25 @@ Quick start::
     print(get_registry().render_prometheus())
 """
 
+from repro.obs import flight, hwcounters
+from repro.obs.flight import FlightEvent, FlightRecorder, flight_recorder, new_trace_id
+from repro.obs.hwcounters import ActivityCollector, RunActivity, record_run
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
+    DROPPED_SERIES_COUNTER,
     CounterMetric,
     GaugeMetric,
     HistogramMetric,
     MetricsRegistry,
+    escape_label_value,
     get_registry,
+    normalize_labels,
     parse_prometheus,
+    parse_sample_name,
+    render_labels,
     sanitize_metric_name,
     set_registry,
+    unescape_label_value,
 )
 from repro.obs.tracing import (
     SPAN_BUCKETS,
@@ -44,18 +53,32 @@ from repro.obs.tracing import (
 
 __all__ = [
     "DEFAULT_BUCKETS",
+    "DROPPED_SERIES_COUNTER",
     "SPAN_BUCKETS",
+    "ActivityCollector",
     "CounterMetric",
+    "FlightEvent",
+    "FlightRecorder",
     "GaugeMetric",
     "HistogramMetric",
     "MetricsRegistry",
+    "RunActivity",
     "SpanRecord",
     "TraceLog",
     "configure",
     "enabled",
+    "escape_label_value",
+    "flight",
+    "flight_recorder",
     "get_registry",
+    "hwcounters",
+    "new_trace_id",
+    "normalize_labels",
     "observe_span",
     "parse_prometheus",
+    "parse_sample_name",
+    "record_run",
+    "render_labels",
     "sanitize_metric_name",
     "set_registry",
     "span",

@@ -1,0 +1,237 @@
+"""The flight recorder: a bounded structured log of serve lifecycle events.
+
+Metrics aggregate; the flight recorder *narrates*. Every notable moment
+in a request's life — enqueue, cache hit/miss, queue-full rejection,
+batch formation, scoring (joined to the hardware-counter snapshot),
+retries, circuit-breaker transitions, deadline expiries, failures — is
+appended as a :class:`FlightEvent` to a fixed-size ring buffer with
+monotonic sequence numbers and an exact drop counter, so the last few
+thousand events before an incident are always reconstructible.
+
+Events carry a ``trace_id`` (one per request, assigned at submission)
+and an optional ``span_id`` (the enclosing span path when recorded
+inside one), which is how a dump joins back to span timings and request
+futures. The buffer dumps to a single JSON document via :meth:`dump` —
+on demand through ``python -m repro serve --flight-dump PATH`` and
+automatically when a request fails or the breaker opens (DESIGN.md §12).
+
+Recording can be globally disabled with :func:`configure`; a disabled
+:meth:`FlightRecorder.record` costs one attribute read.
+"""
+
+import json
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+# Canonical event kinds emitted by the serving layer. The recorder
+# accepts any string, so subsystems may add their own; these are the
+# ones DESIGN.md §12 documents and tests rely on.
+EVENT_KINDS: Tuple[str, ...] = (
+    "enqueue",
+    "cache_hit",
+    "cache_miss",
+    "queue_full",
+    "expired_queued",
+    "batch_form",
+    "score",
+    "retry",
+    "breaker_transition",
+    "deadline_expired",
+    "request_failed",
+    "degraded",
+    "dump",
+)
+
+
+@dataclass(frozen=True)
+class FlightEvent:
+    """One recorded lifecycle event.
+
+    Attributes:
+        seq: monotonic sequence number (0, 1, 2, ... per recorder).
+        ts: wall-clock timestamp (``time.time()``).
+        kind: event kind (see :data:`EVENT_KINDS`).
+        trace_id: the owning request's trace id (may be empty for
+            events that span requests, e.g. breaker transitions).
+        span_id: slash-joined span path active at record time, or "".
+        thread: name of the recording thread.
+        attrs: free-form JSON-serialisable payload.
+    """
+
+    seq: int
+    ts: float
+    kind: str
+    trace_id: str = ""
+    span_id: str = ""
+    thread: str = ""
+    attrs: Dict = field(default_factory=dict)
+
+    def to_json(self) -> Dict:
+        """The event as a JSON-ready dict."""
+        return {
+            "seq": self.seq,
+            "ts": self.ts,
+            "kind": self.kind,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "thread": self.thread,
+            "attrs": self.attrs,
+        }
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-digit request trace id."""
+    return uuid.uuid4().hex[:16]
+
+
+class FlightRecorder:
+    """Bounded, thread-safe ring buffer of :class:`FlightEvent`\\ s.
+
+    Sequence numbers are assigned under the lock, so the retained
+    events always cover the contiguous range ``[dropped, total)`` —
+    identical semantics to :class:`repro.obs.tracing.TraceLog`.
+
+    Args:
+        maxlen: events kept; older events fall off the far end and are
+            counted in :attr:`dropped`.
+    """
+
+    def __init__(self, maxlen: int = 4096) -> None:
+        if maxlen < 1:
+            raise ValueError(f"maxlen must be >= 1, got {maxlen}")
+        self.maxlen = maxlen
+        self._lock = threading.Lock()
+        self._events: List[FlightEvent] = []
+        self._next_seq = 0
+        self._dropped = 0
+
+    def record(
+        self,
+        kind: str,
+        trace_id: str = "",
+        span_id: str = "",
+        **attrs,
+    ) -> Optional[FlightEvent]:
+        """Append one event; returns it (or ``None`` while disabled)."""
+        if not _enabled:
+            return None
+        thread = threading.current_thread().name
+        ts = time.time()
+        with self._lock:
+            event = FlightEvent(
+                seq=self._next_seq,
+                ts=ts,
+                kind=kind,
+                trace_id=trace_id,
+                span_id=span_id,
+                thread=thread,
+                attrs=attrs,
+            )
+            self._next_seq += 1
+            self._events.append(event)
+            if len(self._events) > self.maxlen:
+                del self._events[0]
+                self._dropped += 1
+        return event
+
+    def events(self) -> List[FlightEvent]:
+        """The retained events, oldest first (a copy)."""
+        with self._lock:
+            return list(self._events)
+
+    @property
+    def total(self) -> int:
+        """Events ever recorded (== the next sequence number)."""
+        with self._lock:
+            return self._next_seq
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted from the far end so far (the drop watermark)."""
+        with self._lock:
+            return self._dropped
+
+    def clear(self) -> None:
+        """Drop every buffered event and reset counters and sequencing."""
+        with self._lock:
+            self._events.clear()
+            self._next_seq = 0
+            self._dropped = 0
+
+    def to_json(self) -> Dict:
+        """The whole buffer as one JSON-ready document."""
+        with self._lock:
+            events = list(self._events)
+            dropped = self._dropped
+            total = self._next_seq
+        return {
+            "dropped": dropped,
+            "total": total,
+            "retained": len(events),
+            "events": [event.to_json() for event in events],
+        }
+
+    def dump(self, path: str, reason: str = "on_demand") -> int:
+        """Write the buffer to ``path`` as a JSON document.
+
+        The dump itself is recorded as a ``dump`` event *after* the
+        snapshot is taken, so a dump never contains itself.
+
+        Args:
+            path: destination file (overwritten).
+            reason: why the dump happened (``"on_demand"``,
+                ``"request_failed"``, ``"breaker_open"``, ...).
+
+        Returns:
+            The number of events written.
+        """
+        document = self.to_json()
+        document["reason"] = reason
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2)
+            handle.write("\n")
+        self.record("dump", reason=reason, path=str(path))
+        return document["retained"]
+
+
+_flight = FlightRecorder(4096)
+_enabled = True
+
+
+def flight_recorder() -> FlightRecorder:
+    """The process-wide flight recorder."""
+    return _flight
+
+
+def configure(enabled: bool) -> None:
+    """Globally enable or disable flight-event recording."""
+    global _enabled
+    _enabled = bool(enabled)
+
+
+def enabled() -> bool:
+    """Whether flight-event recording is currently on."""
+    return _enabled
+
+
+def current_span_path() -> str:
+    """The recording thread's active span path ("" outside any span)."""
+    from repro.obs import tracing
+
+    stack = getattr(tracing._local, "stack", None)
+    return "/".join(stack) if stack else ""
+
+
+__all__ = [
+    "EVENT_KINDS",
+    "FlightEvent",
+    "FlightRecorder",
+    "configure",
+    "current_span_path",
+    "enabled",
+    "flight_recorder",
+    "new_trace_id",
+]

@@ -1,0 +1,374 @@
+"""Hardware-counter telemetry for the neurosynaptic engines.
+
+The paper's claims are resource claims — spikes moved, synaptic events
+charged, milliwatts burned — so both simulation engines populate one
+shared ledger per run (DESIGN.md §12): a :class:`RunActivity` with
+per-lane spike / synaptic-event / router-hop / fault-loss counts,
+per-core rollups, and a per-tick spike series. The counters are defined
+so the two engines agree **bit for bit** on identical seeds:
+
+- *spikes*: neuron firings after stuck-at output clamps, i.e. exactly
+  ``total_spikes``;
+- *synaptic events*: for every delivered axon activation, the number of
+  nonzero entries in that axon's effective weight row (crossbar x LUT,
+  after weight-flip faults) — the events a physical crossbar read would
+  charge;
+- *membrane updates*: every neuron integrates once per tick, so this is
+  the derived ``cores x 256 x ticks`` per lane;
+- *router hops*: spike deliveries deposited into the mailbox — emitted
+  route events minus fault-dropped plus fault-echoed deliveries;
+- *active core ticks*: (core, tick) pairs with at least one firing.
+
+Runs land in the process registry as ``hw_*_total`` counters and in any
+:func:`collect` scope open on the recording thread, which is how the
+serving layer attributes energy to individual requests: wrap the model
+call in ``collect()``, concatenate the per-lane columns, and feed them
+through :func:`repro.truenorth.energy.activity_energy_joules`.
+
+Telemetry can be globally disabled with :func:`configure`; a disabled
+engine skips the per-tick accumulation entirely, which is the baseline
+the ≤5 % obs-overhead budget in ``benchmarks/bench_serve.py`` is
+measured against.
+"""
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.obs.metrics import get_registry
+
+NEURONS_PER_CORE = 256
+"""Neurons integrated per core per tick (mirrors
+``repro.truenorth.types.CORE_NEURONS``; kept literal here so the obs
+layer never imports the engine packages it instruments)."""
+
+HW_COUNTER_HELP: Dict[str, str] = {
+    "hw_spikes_total": "neuron firings counted by the hw-counter ledger",
+    "hw_synaptic_events_total": (
+        "synaptic events: nonzero weight-row entries of delivered axons"
+    ),
+    "hw_membrane_updates_total": (
+        "membrane integrations (cores x 256 neurons x ticks x lanes)"
+    ),
+    "hw_router_hops_total": "inter-core spike deliveries (router hops)",
+    "hw_dropped_spikes_total": "router deliveries lost to injected faults",
+    "hw_duplicated_spikes_total": "router deliveries echoed by injected faults",
+    "hw_active_core_ticks_total": "core-ticks with at least one neuron firing",
+}
+"""Registry counter names bumped by :func:`record_run`, with help text."""
+
+_LANE_FIELDS = (
+    "spikes",
+    "synaptic_events",
+    "router_hops",
+    "dropped_spikes",
+    "duplicated_spikes",
+    "active_core_ticks",
+)
+
+
+@dataclass
+class RunActivity:
+    """The hardware-counter ledger of one engine run.
+
+    Every per-lane array has the lane (batch) index as its leading
+    axis, so ``activity.spikes[i]`` is lane ``i``'s firing count and
+    slicing any field by lane is well defined.
+
+    Attributes:
+        engine: ``"reference"`` or ``"batch"`` (which engine produced it).
+        ticks: ticks simulated.
+        batch: lanes simulated.
+        n_cores: cores in the system.
+        core_ids: global core ids, compiled core order, shape ``(n_cores,)``.
+        spikes: per-lane neuron firings, shape ``(batch,)``.
+        synaptic_events: per-lane synaptic events, shape ``(batch,)``.
+        router_hops: per-lane mailbox deliveries, shape ``(batch,)``.
+        dropped_spikes: per-lane fault-dropped deliveries, ``(batch,)``.
+        duplicated_spikes: per-lane fault-echoed deliveries, ``(batch,)``.
+        active_core_ticks: per-lane active (core, tick) pairs, ``(batch,)``.
+        core_spikes: firings per lane per core, ``(batch, n_cores)``.
+        core_synaptic_events: events per lane per core, ``(batch, n_cores)``.
+        spikes_per_tick: firings per lane per tick, ``(batch, ticks)``.
+    """
+
+    engine: str
+    ticks: int
+    batch: int
+    n_cores: int
+    core_ids: np.ndarray
+    spikes: np.ndarray
+    synaptic_events: np.ndarray
+    router_hops: np.ndarray
+    dropped_spikes: np.ndarray
+    duplicated_spikes: np.ndarray
+    active_core_ticks: np.ndarray
+    core_spikes: np.ndarray
+    core_synaptic_events: np.ndarray
+    spikes_per_tick: np.ndarray
+
+    @property
+    def membrane_updates(self) -> np.ndarray:
+        """Per-lane membrane integrations (derived, engine-independent)."""
+        return np.full(
+            self.batch,
+            self.ticks * self.n_cores * NEURONS_PER_CORE,
+            dtype=np.int64,
+        )
+
+    def lane(self, index: int) -> "RunActivity":
+        """The single-lane ledger of lane ``index`` (copied slices)."""
+        if not 0 <= index < self.batch:
+            raise IndexError(f"lane must be in [0, {self.batch}), got {index}")
+        sel = slice(index, index + 1)
+        return RunActivity(
+            engine=self.engine,
+            ticks=self.ticks,
+            batch=1,
+            n_cores=self.n_cores,
+            core_ids=self.core_ids,
+            spikes=self.spikes[sel].copy(),
+            synaptic_events=self.synaptic_events[sel].copy(),
+            router_hops=self.router_hops[sel].copy(),
+            dropped_spikes=self.dropped_spikes[sel].copy(),
+            duplicated_spikes=self.duplicated_spikes[sel].copy(),
+            active_core_ticks=self.active_core_ticks[sel].copy(),
+            core_spikes=self.core_spikes[sel].copy(),
+            core_synaptic_events=self.core_synaptic_events[sel].copy(),
+            spikes_per_tick=self.spikes_per_tick[sel].copy(),
+        )
+
+    @classmethod
+    def stack(cls, activities: Sequence["RunActivity"]) -> "RunActivity":
+        """Concatenate per-lane ledgers of one logical batch run.
+
+        Used by the reference engine's ``run_batch`` fallback, which
+        simulates lanes sequentially: stacking its single-lane ledgers
+        yields the exact ledger the batch engine produces in one run.
+
+        Raises:
+            ValueError: on an empty sequence or mismatched runs
+                (different ticks, core sets, or tick counts).
+        """
+        if not activities:
+            raise ValueError("need at least one activity to stack")
+        first = activities[0]
+        for other in activities[1:]:
+            if (
+                other.ticks != first.ticks
+                or other.n_cores != first.n_cores
+                or not np.array_equal(other.core_ids, first.core_ids)
+            ):
+                raise ValueError("can only stack activities of identical runs")
+        cat = np.concatenate
+        return cls(
+            engine=first.engine,
+            ticks=first.ticks,
+            batch=sum(a.batch for a in activities),
+            n_cores=first.n_cores,
+            core_ids=first.core_ids,
+            spikes=cat([a.spikes for a in activities]),
+            synaptic_events=cat([a.synaptic_events for a in activities]),
+            router_hops=cat([a.router_hops for a in activities]),
+            dropped_spikes=cat([a.dropped_spikes for a in activities]),
+            duplicated_spikes=cat([a.duplicated_spikes for a in activities]),
+            active_core_ticks=cat([a.active_core_ticks for a in activities]),
+            core_spikes=cat([a.core_spikes for a in activities]),
+            core_synaptic_events=cat(
+                [a.core_synaptic_events for a in activities]
+            ),
+            spikes_per_tick=cat([a.spikes_per_tick for a in activities]),
+        )
+
+    def totals(self) -> Dict[str, int]:
+        """Whole-run counter totals (lane sums), JSON-ready."""
+        out = {name: int(getattr(self, name).sum()) for name in _LANE_FIELDS}
+        out["membrane_updates"] = int(self.membrane_updates.sum())
+        out["lane_ticks"] = self.ticks * self.batch
+        return out
+
+    def lane_energy_joules(self) -> np.ndarray:
+        """Per-lane energy from the exact counters, shape ``(batch,)``.
+
+        Each lane is one request occupying every core for ``ticks``
+        ticks, so it is charged the full static floor plus its own
+        dynamic spike/synapse activity (see
+        :func:`repro.truenorth.energy.activity_energy_joules`).
+        """
+        from repro.truenorth.energy import activity_energy_joules
+
+        return activity_energy_joules(
+            self.spikes, self.synaptic_events, self.ticks, self.n_cores
+        )
+
+    def lane_power_watts(self) -> np.ndarray:
+        """Per-lane sustained power over the run's wall-tick duration."""
+        from repro.truenorth.power import TICK_SECONDS
+
+        if self.ticks <= 0:
+            raise ValueError("the run must cover at least one tick")
+        return self.lane_energy_joules() / (self.ticks * TICK_SECONDS)
+
+    def top_cores(self, n: int = 10) -> List[Dict[str, int]]:
+        """The ``n`` hottest cores by spikes (lane sums), descending.
+
+        Returns:
+            ``[{"core": id, "spikes": s, "synaptic_events": e}, ...]``;
+            synaptic events break ties, core id keeps the order stable.
+        """
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        spikes = self.core_spikes.sum(axis=0)
+        events = self.core_synaptic_events.sum(axis=0)
+        order = sorted(
+            range(self.n_cores),
+            key=lambda i: (-int(spikes[i]), -int(events[i]), int(self.core_ids[i])),
+        )
+        return [
+            {
+                "core": int(self.core_ids[i]),
+                "spikes": int(spikes[i]),
+                "synaptic_events": int(events[i]),
+            }
+            for i in order[:n]
+        ]
+
+
+class ActivityCollector:
+    """Accumulates the :class:`RunActivity` ledgers of a :func:`collect` scope.
+
+    The ``runs`` list holds ledgers in recording order. Lane-indexed
+    helpers concatenate the per-lane columns across runs, so a batch
+    engine run of ``B`` lanes and ``B`` sequential reference runs
+    produce identical series — that alignment is what per-request
+    attribution in the serving layer relies on.
+    """
+
+    def __init__(self) -> None:
+        self.runs: List[RunActivity] = []
+
+    def record(self, activity: RunActivity) -> None:
+        """Append one run's ledger."""
+        self.runs.append(activity)
+
+    @property
+    def lanes(self) -> int:
+        """Total lanes recorded across all runs."""
+        return sum(a.batch for a in self.runs)
+
+    def lane_values(self, name: str) -> np.ndarray:
+        """Per-lane column ``name`` concatenated across runs."""
+        if name not in _LANE_FIELDS and name != "membrane_updates":
+            raise ValueError(f"unknown lane field {name!r}")
+        if not self.runs:
+            return np.zeros(0, dtype=np.int64)
+        return np.concatenate([getattr(a, name) for a in self.runs])
+
+    def lane_energy_joules(self) -> np.ndarray:
+        """Per-lane energy concatenated across runs."""
+        if not self.runs:
+            return np.zeros(0, dtype=np.float64)
+        return np.concatenate([a.lane_energy_joules() for a in self.runs])
+
+    def totals(self) -> Dict[str, int]:
+        """Counter totals summed over every recorded run."""
+        out = {name: 0 for name in _LANE_FIELDS}
+        out["membrane_updates"] = 0
+        out["lane_ticks"] = 0
+        for activity in self.runs:
+            for name, value in activity.totals().items():
+                out[name] += value
+        return out
+
+    def core_totals(self) -> Dict[int, Dict[str, int]]:
+        """Per-core spike/event totals aggregated by global core id."""
+        out: Dict[int, Dict[str, int]] = {}
+        for activity in self.runs:
+            spikes = activity.core_spikes.sum(axis=0)
+            events = activity.core_synaptic_events.sum(axis=0)
+            for i, core_id in enumerate(activity.core_ids):
+                entry = out.setdefault(
+                    int(core_id), {"spikes": 0, "synaptic_events": 0}
+                )
+                entry["spikes"] += int(spikes[i])
+                entry["synaptic_events"] += int(events[i])
+        return out
+
+
+_local = threading.local()
+_enabled = True
+
+
+def configure(enabled: bool) -> None:
+    """Globally enable or disable hardware-counter accumulation."""
+    global _enabled
+    _enabled = bool(enabled)
+
+
+def enabled() -> bool:
+    """Whether the engines should accumulate hardware counters."""
+    return _enabled
+
+
+def _collector_stack() -> List[ActivityCollector]:
+    stack = getattr(_local, "collectors", None)
+    if stack is None:
+        stack = _local.collectors = []
+    return stack
+
+
+@contextmanager
+def collect() -> Iterator[ActivityCollector]:
+    """Collect every run recorded on this thread inside the block.
+
+    Scopes nest: an inner ``collect()`` sees only its own runs, while
+    the enclosing scope sees both (each recorded run is delivered to
+    every collector open on the recording thread).
+    """
+    stack = _collector_stack()
+    collector = ActivityCollector()
+    stack.append(collector)
+    try:
+        yield collector
+    finally:
+        stack.remove(collector)
+
+
+def record_run(activity: RunActivity) -> None:
+    """Publish one run's ledger (called by both engines post-run).
+
+    Bumps the ``hw_*_total`` registry counters and hands the ledger to
+    every :func:`collect` scope open on this thread. A no-op while
+    telemetry is disabled.
+    """
+    if not _enabled:
+        return
+    totals = activity.totals()
+    registry = get_registry()
+    for name, key in (
+        ("hw_spikes_total", "spikes"),
+        ("hw_synaptic_events_total", "synaptic_events"),
+        ("hw_membrane_updates_total", "membrane_updates"),
+        ("hw_router_hops_total", "router_hops"),
+        ("hw_dropped_spikes_total", "dropped_spikes"),
+        ("hw_duplicated_spikes_total", "duplicated_spikes"),
+        ("hw_active_core_ticks_total", "active_core_ticks"),
+    ):
+        registry.counter(name, help=HW_COUNTER_HELP[name]).inc(totals[key])
+    for collector in _collector_stack():
+        collector.record(activity)
+
+
+__all__ = [
+    "HW_COUNTER_HELP",
+    "NEURONS_PER_CORE",
+    "ActivityCollector",
+    "RunActivity",
+    "collect",
+    "configure",
+    "enabled",
+    "record_run",
+]

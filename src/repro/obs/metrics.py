@@ -32,7 +32,11 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 _NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*$")
 _SANITIZE_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+DROPPED_SERIES_COUNTER = "repro_obs_dropped_series_total"
+"""Counter bumped instead of registering a series past the cardinality cap."""
 
 DEFAULT_BUCKETS: Tuple[float, ...] = (
     0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
@@ -49,16 +53,147 @@ def sanitize_metric_name(name: str) -> str:
     return cleaned
 
 
+def escape_label_value(value: str) -> str:
+    """``value`` escaped per the exposition format.
+
+    Backslash, double quote, and newline become ``\\\\``, ``\\"`` and
+    ``\\n`` respectively, so any string — including one spanning lines —
+    stays a single, parseable sample line.
+    """
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def unescape_label_value(value: str) -> str:
+    """The inverse of :func:`escape_label_value`.
+
+    Unknown escape sequences are preserved verbatim (backslash and all),
+    matching the Prometheus text-format reference parser.
+    """
+    out: List[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            if nxt == "\\":
+                out.append("\\")
+                i += 2
+                continue
+            if nxt == '"':
+                out.append('"')
+                i += 2
+                continue
+            if nxt == "n":
+                out.append("\n")
+                i += 2
+                continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+def normalize_labels(labels) -> Tuple[Tuple[str, str], ...]:
+    """``labels`` as a sorted, validated ``((name, value), ...)`` tuple.
+
+    Raises:
+        ValueError: on an exposition-illegal label name.
+    """
+    if not labels:
+        return ()
+    items = []
+    for key in sorted(labels):
+        if not _LABEL_NAME_RE.match(key):
+            raise ValueError(
+                f"label name {key!r} is not exposition-legal "
+                "([a-zA-Z_][a-zA-Z0-9_]*)"
+            )
+        items.append((key, str(labels[key])))
+    return tuple(items)
+
+
+def render_labels(labels: Tuple[Tuple[str, str], ...]) -> str:
+    """``{k="v",...}`` with escaped values, or ``""`` for no labels."""
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{escape_label_value(value)}"' for key, value in labels
+    )
+    return "{" + inner + "}"
+
+
+def parse_sample_name(sample: str) -> Tuple[str, Dict[str, str]]:
+    """Split an exposition sample id into ``(base_name, labels)``.
+
+    The inverse of ``name + render_labels(labels)``: label values are
+    unescaped, so this round-trips everything
+    :meth:`MetricsRegistry.render_prometheus` can emit.
+
+    Raises:
+        ValueError: on malformed label syntax.
+    """
+    brace = sample.find("{")
+    if brace == -1:
+        return sample, {}
+    if not sample.endswith("}"):
+        raise ValueError(f"malformed sample name: {sample!r}")
+    base = sample[:brace]
+    body = sample[brace + 1 : -1]
+    labels: Dict[str, str] = {}
+    i, n = 0, len(body)
+    while i < n:
+        eq = body.find("=", i)
+        if eq == -1 or body[eq + 1 : eq + 2] != '"':
+            raise ValueError(f"malformed labels in sample: {sample!r}")
+        key = body[i:eq]
+        j = eq + 2
+        buf: List[str] = []
+        terminated = False
+        while j < n:
+            ch = body[j]
+            if ch == "\\" and j + 1 < n:
+                nxt = body[j + 1]
+                buf.append({"\\": "\\", '"': '"', "n": "\n"}.get(nxt, "\\" + nxt))
+                j += 2
+                continue
+            if ch == '"':
+                terminated = True
+                break
+            buf.append(ch)
+            j += 1
+        if not terminated:
+            raise ValueError(f"unterminated label value in sample: {sample!r}")
+        labels[key] = "".join(buf)
+        i = j + 1
+        if i < n:
+            if body[i] != ",":
+                raise ValueError(f"malformed labels in sample: {sample!r}")
+            i += 1
+    return base, labels
+
+
 class CounterMetric:
-    """A monotonically increasing count."""
+    """A monotonically increasing count (optionally a labeled series)."""
 
-    __slots__ = ("name", "help", "_lock", "_value")
+    __slots__ = ("name", "help", "labels", "_lock", "_value")
 
-    def __init__(self, name: str, help: str = "") -> None:
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labels: Tuple[Tuple[str, str], ...] = (),
+    ) -> None:
         self.name = name
         self.help = help
+        self.labels = labels
         self._lock = threading.Lock()
         self._value = 0
+
+    @property
+    def sample_name(self) -> str:
+        """The exposition sample id (name plus rendered labels)."""
+        return self.name + render_labels(self.labels)
 
     def inc(self, n: int = 1) -> None:
         """Add ``n`` (>= 0) to the counter."""
@@ -77,19 +212,26 @@ class CounterMetric:
 class GaugeMetric:
     """A set-to-current value, optionally computed by a live callback."""
 
-    __slots__ = ("name", "help", "_lock", "_value", "_fn")
+    __slots__ = ("name", "help", "labels", "_lock", "_value", "_fn")
 
     def __init__(
         self,
         name: str,
         help: str = "",
         fn: Optional[Callable[[], float]] = None,
+        labels: Tuple[Tuple[str, str], ...] = (),
     ) -> None:
         self.name = name
         self.help = help
+        self.labels = labels
         self._lock = threading.Lock()
         self._value = 0.0
         self._fn = fn
+
+    @property
+    def sample_name(self) -> str:
+        """The exposition sample id (name plus rendered labels)."""
+        return self.name + render_labels(self.labels)
 
     def set(self, value: float) -> None:
         """Set the gauge to ``value`` (replaces any bound callback's role)."""
@@ -129,8 +271,8 @@ class HistogramMetric:
     """
 
     __slots__ = (
-        "name", "help", "_lock", "_bounds", "_bucket_counts", "_count",
-        "_sum", "_min", "_max", "_reservoir", "_values",
+        "name", "help", "labels", "_lock", "_bounds", "_bucket_counts",
+        "_count", "_sum", "_min", "_max", "_reservoir", "_values",
     )
 
     def __init__(
@@ -140,6 +282,7 @@ class HistogramMetric:
         buckets: Sequence[float] = DEFAULT_BUCKETS,
         reservoir: int = 2048,
         track_values: bool = False,
+        labels: Tuple[Tuple[str, str], ...] = (),
     ) -> None:
         if reservoir < 1:
             raise ValueError(f"reservoir must be >= 1, got {reservoir}")
@@ -148,6 +291,7 @@ class HistogramMetric:
             raise ValueError(f"duplicate bucket bounds in {buckets}")
         self.name = name
         self.help = help
+        self.labels = labels
         self._lock = threading.Lock()
         self._bounds = bounds
         self._bucket_counts = [0] * (len(bounds) + 1)  # last = +Inf
@@ -186,8 +330,26 @@ class HistogramMetric:
         with self._lock:
             return self._sum
 
+    @property
+    def sample_name(self) -> str:
+        """The exposition sample id (name plus rendered labels)."""
+        return self.name + render_labels(self.labels)
+
     def percentile(self, q: float) -> float:
-        """The ``q``-th percentile of the reservoir (0.0 when empty)."""
+        """The ``q``-th percentile of the reservoir (0.0 when empty).
+
+        ``q`` is clamped into ``[0, 100]`` — out-of-range requests
+        return the reservoir minimum/maximum instead of raising or
+        producing NaN, so dashboards asking for e.g. ``q=99.99`` typos
+        like ``q=9999`` stay finite.
+
+        Raises:
+            ValueError: when ``q`` is NaN (there is no sane clamp).
+        """
+        q = float(q)
+        if math.isnan(q):
+            raise ValueError("percentile q must not be NaN")
+        q = min(100.0, max(0.0, q))
         with self._lock:
             if not self._reservoir:
                 return 0.0
@@ -235,15 +397,22 @@ class HistogramMetric:
         return out
 
     def _exposition_rows(self) -> List[Tuple[str, float]]:
+        suffix = render_labels(self.labels)
+
+        def bucket(le: str) -> str:
+            return f"{self.name}_bucket" + render_labels(
+                self.labels + (("le", le),)
+            )
+
         with self._lock:
             cumulative = np.cumsum(self._bucket_counts).tolist()
             rows = [
-                (f'{self.name}_bucket{{le="{bound:g}"}}', cum)
+                (bucket(f"{bound:g}"), cum)
                 for bound, cum in zip(self._bounds, cumulative[:-1])
             ]
-            rows.append((f'{self.name}_bucket{{le="+Inf"}}', cumulative[-1]))
-            rows.append((f"{self.name}_sum", self._sum))
-            rows.append((f"{self.name}_count", self._count))
+            rows.append((bucket("+Inf"), cumulative[-1]))
+            rows.append((f"{self.name}_sum{suffix}", self._sum))
+            rows.append((f"{self.name}_count{suffix}", self._count))
         return rows
 
 
@@ -253,36 +422,87 @@ class MetricsRegistry:
     Metrics are created lazily by :meth:`counter` / :meth:`gauge` /
     :meth:`histogram` (get-or-create, type-checked), so instrumented
     code never needs registration boilerplate and two call sites naming
-    the same metric share it.
+    the same metric share it. Each call may carry a ``labels`` mapping;
+    every distinct label set is an independent series under the shared
+    base name (one TYPE line, many samples). A cardinality guard caps
+    the distinct label sets per metric at ``max_label_sets``: past the
+    cap, new series are *not* registered — the returned metric is a
+    detached instance whose updates go nowhere, and the
+    ``repro_obs_dropped_series_total`` counter is bumped instead of the
+    registry growing without bound (a runaway label such as a request id
+    cannot take the process down).
+
+    Args:
+        max_label_sets: distinct label sets allowed per metric name.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_label_sets: int = 1000) -> None:
+        if max_label_sets < 1:
+            raise ValueError(
+                f"max_label_sets must be >= 1, got {max_label_sets}"
+            )
+        self.max_label_sets = max_label_sets
         self._lock = threading.Lock()
         self._metrics: "Dict[str, object]" = {}
+        self._kinds: Dict[str, type] = {}
+        self._series_count: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
-    def _get_or_create(self, name: str, kind, factory):
+    def _get_or_create(self, name: str, kind, factory, labels=None):
         if not _NAME_RE.match(name):
             raise ValueError(
                 f"metric name {name!r} is not exposition-legal "
                 "([a-zA-Z_:][a-zA-Z0-9_:]*)"
             )
+        label_items = normalize_labels(labels)
+        key = name + render_labels(label_items)
         with self._lock:
-            metric = self._metrics.get(name)
-            if metric is None:
-                metric = factory()
-                self._metrics[name] = metric
-            elif not isinstance(metric, kind):
+            metric = self._metrics.get(key)
+            if metric is not None:
+                if not isinstance(metric, kind):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{type(metric).__name__}, not {kind.__name__}"
+                    )
+                return metric
+            existing_kind = self._kinds.get(name)
+            if existing_kind is not None and existing_kind is not kind:
                 raise ValueError(
                     f"metric {name!r} already registered as "
-                    f"{type(metric).__name__}, not {kind.__name__}"
+                    f"{existing_kind.__name__}, not {kind.__name__}"
                 )
+            if (
+                label_items
+                and self._series_count.get(name, 0) >= self.max_label_sets
+            ):
+                self._dropped_series_locked().inc()
+                return factory(label_items)  # detached: never registered
+            metric = factory(label_items)
+            self._metrics[key] = metric
+            self._kinds[name] = kind
+            self._series_count[name] = self._series_count.get(name, 0) + 1
             return metric
 
-    def counter(self, name: str, help: str = "") -> CounterMetric:
-        """Get or create the counter ``name``."""
+    def _dropped_series_locked(self) -> CounterMetric:
+        """The cardinality-guard counter (caller holds ``self._lock``)."""
+        dropped = self._metrics.get(DROPPED_SERIES_COUNTER)
+        if dropped is None:
+            dropped = CounterMetric(
+                DROPPED_SERIES_COUNTER,
+                help="label sets refused by the per-metric cardinality cap",
+            )
+            self._metrics[DROPPED_SERIES_COUNTER] = dropped
+            self._kinds[DROPPED_SERIES_COUNTER] = CounterMetric
+            self._series_count[DROPPED_SERIES_COUNTER] = 1
+        return dropped
+
+    def counter(self, name: str, help: str = "", labels=None) -> CounterMetric:
+        """Get or create the counter ``name`` (series per label set)."""
         return self._get_or_create(
-            name, CounterMetric, lambda: CounterMetric(name, help)
+            name,
+            CounterMetric,
+            lambda items: CounterMetric(name, help, labels=items),
+            labels,
         )
 
     def gauge(
@@ -290,10 +510,14 @@ class MetricsRegistry:
         name: str,
         help: str = "",
         fn: Optional[Callable[[], float]] = None,
+        labels=None,
     ) -> GaugeMetric:
         """Get or create the gauge ``name`` (binding ``fn`` if given)."""
         gauge = self._get_or_create(
-            name, GaugeMetric, lambda: GaugeMetric(name, help, fn=fn)
+            name,
+            GaugeMetric,
+            lambda items: GaugeMetric(name, help, fn=fn, labels=items),
+            labels,
         )
         if fn is not None:
             gauge.bind(fn)
@@ -306,30 +530,34 @@ class MetricsRegistry:
         buckets: Sequence[float] = DEFAULT_BUCKETS,
         reservoir: int = 2048,
         track_values: bool = False,
+        labels=None,
     ) -> HistogramMetric:
-        """Get or create the histogram ``name``."""
+        """Get or create the histogram ``name`` (series per label set)."""
         return self._get_or_create(
             name,
             HistogramMetric,
-            lambda: HistogramMetric(
+            lambda items: HistogramMetric(
                 name,
                 help,
                 buckets=buckets,
                 reservoir=reservoir,
                 track_values=track_values,
+                labels=items,
             ),
+            labels,
         )
 
     # ------------------------------------------------------------------
     def names(self) -> List[str]:
-        """All registered metric names, sorted."""
+        """All registered sample ids (labeled series included), sorted."""
         with self._lock:
             return sorted(self._metrics)
 
-    def get(self, name: str):
-        """The metric object behind ``name``, or ``None``."""
+    def get(self, name: str, labels=None):
+        """The metric behind ``name`` (and ``labels``), or ``None``."""
+        key = name + render_labels(normalize_labels(labels))
         with self._lock:
-            return self._metrics.get(name)
+            return self._metrics.get(key)
 
     def _items(self) -> List[Tuple[str, object]]:
         with self._lock:
@@ -362,31 +590,49 @@ class MetricsRegistry:
         }
 
     def render_prometheus(self) -> str:
-        """Prometheus-style text exposition of every metric."""
+        """Prometheus-style text exposition of every metric.
+
+        Series sharing a base name are grouped under one ``# TYPE`` line;
+        label values are escaped per the exposition format
+        (:func:`escape_label_value`), so :func:`parse_prometheus` plus
+        :func:`parse_sample_name` round-trip every emitted sample.
+        """
+        type_names = {
+            CounterMetric: "counter",
+            GaugeMetric: "gauge",
+            HistogramMetric: "histogram",
+        }
+        with self._lock:
+            metrics = sorted(
+                self._metrics.values(), key=lambda m: (m.name, m.labels)
+            )
         lines: List[str] = []
-        for name, metric in self._items():
-            if isinstance(metric, CounterMetric):
+        last_name = None
+        for metric in metrics:
+            if metric.name != last_name:
+                last_name = metric.name
                 if metric.help:
-                    lines.append(f"# HELP {name} {metric.help}")
-                lines.append(f"# TYPE {name} counter")
-                lines.append(f"{name} {metric.value}")
-            elif isinstance(metric, GaugeMetric):
-                if metric.help:
-                    lines.append(f"# HELP {name} {metric.help}")
-                lines.append(f"# TYPE {name} gauge")
-                lines.append(f"{name} {_format_value(metric.value)}")
-            elif isinstance(metric, HistogramMetric):
-                if metric.help:
-                    lines.append(f"# HELP {name} {metric.help}")
-                lines.append(f"# TYPE {name} histogram")
+                    lines.append(f"# HELP {metric.name} {metric.help}")
+                lines.append(
+                    f"# TYPE {metric.name} {type_names[type(metric)]}"
+                )
+            if isinstance(metric, HistogramMetric):
                 for row_name, value in metric._exposition_rows():
                     lines.append(f"{row_name} {_format_value(value)}")
+            elif isinstance(metric, CounterMetric):
+                lines.append(f"{metric.sample_name} {metric.value}")
+            else:
+                lines.append(
+                    f"{metric.sample_name} {_format_value(metric.value)}"
+                )
         return "\n".join(lines) + "\n"
 
     def reset(self) -> None:
         """Drop every registered metric (test isolation)."""
         with self._lock:
             self._metrics.clear()
+            self._kinds.clear()
+            self._series_count.clear()
 
 
 def _format_value(value: float) -> str:
@@ -460,12 +706,18 @@ def parse_prometheus(text: str) -> Dict[str, float]:
 
 __all__: Iterable[str] = [
     "DEFAULT_BUCKETS",
+    "DROPPED_SERIES_COUNTER",
     "CounterMetric",
     "GaugeMetric",
     "HistogramMetric",
     "MetricsRegistry",
+    "escape_label_value",
     "get_registry",
+    "normalize_labels",
     "parse_prometheus",
+    "parse_sample_name",
+    "render_labels",
     "sanitize_metric_name",
     "set_registry",
+    "unescape_label_value",
 ]

@@ -67,6 +67,13 @@ class SpanRecord:
 class TraceLog:
     """Bounded, thread-safe ring buffer of recent :class:`SpanRecord`\\ s.
 
+    Every appended record is stamped with a monotonically increasing
+    sequence number (0, 1, 2, ... in arrival order, assigned under the
+    lock), so a reader can tell exactly what fell off the far end: the
+    retained records always carry the contiguous range
+    ``[dropped, total)`` — ``dropped`` is the watermark below which
+    records were evicted, and is exact by construction.
+
     Args:
         maxlen: entries kept; older spans fall off the far end, so a
             long-running service holds a constant-size trace tail.
@@ -77,32 +84,56 @@ class TraceLog:
             raise ValueError(f"maxlen must be >= 1, got {maxlen}")
         self.maxlen = maxlen
         self._lock = threading.Lock()
-        self._entries: List[SpanRecord] = []
+        self._entries: List[Tuple[int, SpanRecord]] = []
+        self._next_seq = 0
         self._dropped = 0
 
-    def append(self, record: SpanRecord) -> None:
-        """Add a finished span, evicting the oldest past ``maxlen``."""
+    def append(self, record: SpanRecord) -> int:
+        """Add a finished span, evicting the oldest past ``maxlen``.
+
+        Returns:
+            the sequence number assigned to ``record``.
+        """
         with self._lock:
-            self._entries.append(record)
+            seq = self._next_seq
+            self._next_seq += 1
+            self._entries.append((seq, record))
             if len(self._entries) > self.maxlen:
                 del self._entries[0]
                 self._dropped += 1
+            return seq
 
     def entries(self) -> List[SpanRecord]:
         """The retained records, oldest first (a copy)."""
         with self._lock:
+            return [record for _, record in self._entries]
+
+    def records(self) -> List[Tuple[int, SpanRecord]]:
+        """Retained ``(seq, record)`` pairs, oldest first (a copy)."""
+        with self._lock:
             return list(self._entries)
 
     @property
+    def total(self) -> int:
+        """Spans ever appended (== the next sequence number)."""
+        with self._lock:
+            return self._next_seq
+
+    @property
     def dropped(self) -> int:
-        """Spans evicted from the far end of the ring so far."""
+        """Spans evicted from the far end of the ring so far.
+
+        Equals the lowest retained sequence number (the drop
+        watermark) whenever any records are retained.
+        """
         with self._lock:
             return self._dropped
 
     def clear(self) -> None:
-        """Drop every buffered span and reset the dropped counter."""
+        """Drop every buffered span and reset counters and sequencing."""
         with self._lock:
             self._entries.clear()
+            self._next_seq = 0
             self._dropped = 0
 
 

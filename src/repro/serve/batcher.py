@@ -56,6 +56,7 @@ class ServeRequest:
         deadline: absolute :func:`time.monotonic` deadline, or ``None``.
         cache_key: content key when caching is enabled, else ``None``.
         enqueued_at: submission timestamp (for latency accounting).
+        trace_id: flight-recorder trace id assigned at submission.
     """
 
     features: np.ndarray
@@ -63,6 +64,7 @@ class ServeRequest:
     deadline: Optional[float] = None
     cache_key: Optional[bytes] = None
     enqueued_at: float = 0.0
+    trace_id: str = ""
 
     def expired(self, now: float) -> bool:
         """Whether the deadline has passed at time ``now``.

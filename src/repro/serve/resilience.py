@@ -30,6 +30,7 @@ from repro.errors import (
     TransientScorerError,
 )
 from repro.obs import MetricsRegistry
+from repro.obs.flight import flight_recorder
 
 #: Breaker states, in escalation order.
 CLOSED, OPEN, HALF_OPEN = "closed", "open", "half_open"
@@ -147,7 +148,14 @@ class CircuitBreaker:
 
     def _transition(self, state: str) -> None:
         if state != self._state:
+            previous = self._state
             self._state = state
+            flight_recorder().record(
+                "breaker_transition",
+                from_state=previous,
+                to_state=state,
+                failures=self._failures,
+            )
             if self._on_state_change is not None:
                 self._on_state_change(state)
 
@@ -224,12 +232,15 @@ class ResilientExecutor:
         self._registry = registry
         self._sleep = sleep
 
-    def _count_retry(self) -> None:
+    def _count_retry(self, attempt: int, exc: BaseException) -> None:
         if self._registry is not None:
             self._registry.counter(
                 "serve_retries_total",
                 help="scorer calls retried after a transient fault",
             ).inc()
+        flight_recorder().record(
+            "retry", attempt=attempt, error=f"{type(exc).__name__}: {exc}"
+        )
 
     def __call__(self, matrix: np.ndarray) -> np.ndarray:
         """Invoke the protected function with retry and circuit gating.
@@ -255,7 +266,7 @@ class ResilientExecutor:
                     or not self.retry.is_retryable(exc)
                 ):
                     raise
-                self._count_retry()
+                self._count_retry(attempt, exc)
                 delay = self.retry.backoff_s(attempt)
                 if delay > 0:
                     self._sleep(delay)

@@ -37,6 +37,8 @@ from repro.errors import (
     TransientScorerError,
 )
 from repro.obs import MetricsRegistry, observe_span, span
+from repro.obs import hwcounters
+from repro.obs.flight import flight_recorder, new_trace_id
 from repro.serve.batcher import BatchPolicy, MicroBatcher, ServeRequest
 from repro.serve.cache import LruResultCache, content_key
 from repro.serve.resilience import (
@@ -100,6 +102,10 @@ class InferenceService:
             fallback value instead of an exception — counted in
             ``serve_degraded_total`` and **never** written to the
             result cache. Other exception types still fail the batch.
+        flight_dump_path: when set, the process flight recorder is
+            dumped to this path automatically whenever a batch fails or
+            the circuit breaker opens (and on demand via the
+            ``serve --flight-dump`` CLI flag).
     """
 
     def __init__(
@@ -116,6 +122,7 @@ class InferenceService:
         retry_policy: Optional[RetryPolicy] = None,
         circuit_breaker: Optional[CircuitBreaker] = None,
         degraded_value: Optional[float] = None,
+        flight_dump_path: Optional[str] = None,
     ) -> None:
         if queue_capacity < 1:
             raise ConfigurationError(
@@ -148,15 +155,20 @@ class InferenceService:
         self.cache = LruResultCache(cache_capacity) if cache_capacity else None
 
         self._degraded_value = degraded_value
+        self.flight_dump_path = flight_dump_path
         self.circuit_breaker = circuit_breaker
         if circuit_breaker is not None:
             breaker_gauge = self.stats.registry.gauge(
                 "serve_breaker_state",
                 help="circuit breaker state (0 closed, 1 half-open, 2 open)",
             )
-            circuit_breaker._on_state_change = lambda state: breaker_gauge.set(
-                STATE_CODES[state]
-            )
+
+            def _on_breaker_state(state: str) -> None:
+                breaker_gauge.set(STATE_CODES[state])
+                if state == "open":
+                    self._auto_flight_dump("breaker_open")
+
+            circuit_breaker._on_state_change = _on_breaker_state
             breaker_gauge.set(STATE_CODES[circuit_breaker.state])
         self._executor = ResilientExecutor(
             self._batch_fn,
@@ -262,7 +274,9 @@ class InferenceService:
             features=row,
             deadline=None if timeout_s is None else now + timeout_s,
             enqueued_at=now,
+            trace_id=new_trace_id(),
         )
+        recorder = flight_recorder()
         if self.cache is not None:
             request.cache_key = content_key(self.model_id, row)
             hit, value = self.cache.lookup(request.cache_key)
@@ -270,16 +284,29 @@ class InferenceService:
                 self.stats.count("cache_hits")
                 self.stats.count("completed")
                 self.stats.record_latency(self._clock() - now)
+                recorder.record("cache_hit", trace_id=request.trace_id)
                 request.future.set_result(value)
                 return request.future
             self.stats.count("cache_misses")
+            recorder.record("cache_miss", trace_id=request.trace_id)
         try:
             self._queue.put_nowait(request)
         except queue.Full:
             self.stats.count("rejected_queue_full")
+            recorder.record(
+                "queue_full",
+                trace_id=request.trace_id,
+                capacity=self._queue.maxsize,
+            )
             raise QueueFullError(
                 f"request queue is at capacity ({self._queue.maxsize})"
             ) from None
+        recorder.record(
+            "enqueue",
+            trace_id=request.trace_id,
+            deadline_in_s=timeout_s,
+            queue_depth=self._queue.qsize(),
+        )
         return request.future
 
     def score(
@@ -306,9 +333,21 @@ class InferenceService:
     def _expire(self, request: ServeRequest) -> None:
         """Fail a request whose deadline lapsed while it queued."""
         self.stats.count("expired_before_batch")
+        flight_recorder().record(
+            "deadline_expired", trace_id=request.trace_id, phase="queued"
+        )
         request.future.set_exception(
             DeadlineExceededError("deadline expired while queued")
         )
+
+    def _auto_flight_dump(self, reason: str) -> None:
+        """Dump the flight recorder when an incident trigger fires."""
+        if self.flight_dump_path is None:
+            return
+        try:
+            flight_recorder().dump(self.flight_dump_path, reason=reason)
+        except OSError:
+            self.stats.count("flight_dump_errors")
 
     def _worker_loop(self) -> None:
         registry = self.stats.registry
@@ -328,23 +367,52 @@ class InferenceService:
             elif self._stop.is_set() and self._queue.empty():
                 return
 
+    def _fail_batch(
+        self, batch: List[ServeRequest], exc: BaseException, reason: str
+    ) -> None:
+        """Fail every request, narrate it, and trigger the auto-dump."""
+        self.stats.count("failed", len(batch))
+        recorder = flight_recorder()
+        error = f"{type(exc).__name__}: {exc}"
+        for request in batch:
+            recorder.record(
+                "request_failed", trace_id=request.trace_id, error=error
+            )
+            request.future.set_exception(exc)
+        self._auto_flight_dump(reason)
+
     def _run_batch(self, batch: List[ServeRequest]) -> None:
         self.stats.record_batch(len(batch))
         self.stats.count("windows_scored", len(batch))
+        recorder = flight_recorder()
+        trace_ids = [request.trace_id for request in batch]
+        recorder.record("batch_form", size=len(batch), trace_ids=trace_ids)
         matrix = np.stack([request.features for request in batch])
         try:
             with span("serve.model.batch", registry=self.stats.registry):
-                results = np.asarray(self._executor(matrix))
+                with hwcounters.collect() as activity:
+                    results = np.asarray(self._executor(matrix))
         except (CircuitOpenError, TransientScorerError) as exc:
             # Retries exhausted or breaker open: degrade if configured.
             if self._degraded_value is not None:
                 self.stats.count("degraded", len(batch))
+                recorder.record(
+                    "degraded",
+                    size=len(batch),
+                    trace_ids=trace_ids,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
                 now = self._clock()
                 for request in batch:
                     # Degraded values never feed the cache — they are not
                     # the model's answer for this window.
                     if request.expired(now):
                         self.stats.count("expired_after_batch")
+                        recorder.record(
+                            "deadline_expired",
+                            trace_id=request.trace_id,
+                            phase="scored",
+                        )
                         request.future.set_exception(
                             DeadlineExceededError(
                                 "deadline expired during scoring"
@@ -353,32 +421,46 @@ class InferenceService:
                         continue
                     request.future.set_result(self._degraded_value)
                 return
-            self.stats.count("failed", len(batch))
-            for request in batch:
-                request.future.set_exception(exc)
+            self._fail_batch(batch, exc, "request_failed")
             return
         except Exception as exc:  # model failure fails the whole batch
-            self.stats.count("failed", len(batch))
-            for request in batch:
-                request.future.set_exception(exc)
+            self._fail_batch(batch, exc, "request_failed")
             return
         if results.shape[0] != len(batch):
             error = ConfigurationError(
                 f"model returned {results.shape[0]} rows for a batch of "
                 f"{len(batch)}"
             )
-            self.stats.count("failed", len(batch))
-            for request in batch:
-                request.future.set_exception(error)
+            self._fail_batch(batch, error, "request_failed")
             return
 
+        request_energy_nj = self._attribute_energy(activity, len(batch))
+        recorder.record(
+            "score",
+            size=len(batch),
+            trace_ids=trace_ids,
+            hw=activity.totals() if activity.runs else None,
+            energy_nj=(
+                float(request_energy_nj.sum())
+                if request_energy_nj is not None
+                else None
+            ),
+        )
+
         now = self._clock()
-        for request, row in zip(batch, results):
+        for index, (request, row) in enumerate(zip(batch, results)):
             value = float(row) if np.ndim(row) == 0 else np.array(row)
             if self.cache is not None and request.cache_key is not None:
                 self.cache.put(request.cache_key, value)
+            if request_energy_nj is not None:
+                self.stats.record_energy(float(request_energy_nj[index]))
             if request.expired(now):
                 self.stats.count("expired_after_batch")
+                recorder.record(
+                    "deadline_expired",
+                    trace_id=request.trace_id,
+                    phase="scored",
+                )
                 request.future.set_exception(
                     DeadlineExceededError("deadline expired during scoring")
                 )
@@ -386,6 +468,25 @@ class InferenceService:
             self.stats.count("completed")
             self.stats.record_latency(now - request.enqueued_at)
             request.future.set_result(value)
+
+    @staticmethod
+    def _attribute_energy(
+        collector: "hwcounters.ActivityCollector", batch_size: int
+    ) -> Optional[np.ndarray]:
+        """Per-request energy (nJ) from the batch's activity ledgers.
+
+        When the model ran one engine lane per request (the TrueNorth
+        scorer path, chunked or not), lanes map to requests in order and
+        each request is charged its own lane's measured energy.
+        Otherwise the model's total measured energy is split evenly; a
+        model that never touched an engine yields ``None``.
+        """
+        if not collector.runs:
+            return None
+        lane_energy = collector.lane_energy_joules() * 1e9
+        if lane_energy.size == batch_size:
+            return lane_energy
+        return np.full(batch_size, float(lane_energy.sum()) / batch_size)
 
 
 class ServiceBackedScorer:

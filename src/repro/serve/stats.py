@@ -26,6 +26,11 @@ LATENCY_BUCKETS = (
 #: Upper bounds for the batch-size histogram (requests per batch).
 BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
 
+#: Upper bounds for the per-request energy histogram (nanojoules).
+ENERGY_BUCKETS_NJ = (
+    1.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8,
+)
+
 
 class ServiceStats:
     """Counters, batch-size histogram, and a latency reservoir.
@@ -69,6 +74,12 @@ class ServiceStats:
             f"{prefix}_queue_depth",
             help="requests currently waiting in the bounded queue",
         )
+        self._energy = self.registry.histogram(
+            f"{prefix}_request_energy_nj",
+            help="attributed simulated energy per scored request (nJ)",
+            buckets=ENERGY_BUCKETS_NJ,
+            reservoir=latency_window,
+        )
 
     # ------------------------------------------------------------------
     def bind_queue(self, depth_fn: Callable[[], int]) -> None:
@@ -86,6 +97,14 @@ class ServiceStats:
     def record_latency(self, seconds: float) -> None:
         """Record one completed request's submit-to-result latency."""
         self._latency.observe(seconds)
+
+    def record_energy(self, nanojoules: float) -> None:
+        """Attribute ``nanojoules`` of simulated energy to one request."""
+        self._energy.observe(nanojoules)
+        self.registry.counter(
+            f"{self.prefix}_energy_nanojoules_total",
+            help="total simulated energy attributed to scored requests (nJ)",
+        ).inc(nanojoules)
 
     # ------------------------------------------------------------------
     def counter(self, name: str) -> int:
@@ -140,6 +159,7 @@ class ServiceStats:
         hits = counters.get("cache_hits", 0)
         lookups = hits + counters.get("cache_misses", 0)
         latency = self._latency.snapshot()
+        energy = self._energy.snapshot()
         return {
             "counters": counters,
             "queue_depth": self.queue_depth,
@@ -152,8 +172,20 @@ class ServiceStats:
                 "p99": latency["p99"] * 1e3,
                 "max": latency["max"] * 1e3,
             },
+            "energy_nj": {
+                "count": energy["count"],
+                "mean": energy["mean"],
+                "p50": energy["p50"],
+                "p99": energy["p99"],
+                "total": energy["sum"],
+            },
             "spans": summarize_spans(self.registry),
         }
 
 
-__all__ = ["BATCH_SIZE_BUCKETS", "LATENCY_BUCKETS", "ServiceStats"]
+__all__ = [
+    "BATCH_SIZE_BUCKETS",
+    "ENERGY_BUCKETS_NJ",
+    "LATENCY_BUCKETS",
+    "ServiceStats",
+]

@@ -12,6 +12,8 @@ lands on the paper's 16 uW.
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.truenorth.power import CORE_POWER_WATTS, TICK_SECONDS
 from repro.truenorth.simulator import SimulationResult
 
@@ -89,6 +91,63 @@ def estimate_energy(
     )
 
 
+def activity_energy_joules(spikes, synaptic_events, ticks: int, cores: int):
+    """Energy of one run lane from exact hardware counters.
+
+    The per-lane formula behind per-request attribution: a lane occupies
+    every core for ``ticks`` ticks, so it pays the full static floor
+    plus its own dynamic spike and synaptic-event energy.
+
+    Args:
+        spikes: neuron firings — a scalar or a per-lane array.
+        synaptic_events: synaptic events, broadcastable with ``spikes``.
+        ticks: ticks the lane ran for (must be >= 1).
+        cores: cores in the simulated system.
+
+    Returns:
+        Total joules, with the broadcast shape of the activity inputs
+        (a numpy scalar for scalar inputs).
+    """
+    if ticks <= 0:
+        raise ValueError(f"ticks must be >= 1, got {ticks}")
+    if cores < 0:
+        raise ValueError(f"cores must be >= 0, got {cores}")
+    static = STATIC_CORE_WATTS * cores * ticks * TICK_SECONDS
+    return (
+        static
+        + np.asarray(spikes, dtype=np.float64) * SPIKE_EVENT_JOULES
+        + np.asarray(synaptic_events, dtype=np.float64) * SYNAPTIC_EVENT_JOULES
+    )
+
+
+def estimate_energy_from_activity(activity) -> EnergyEstimate:
+    """Whole-run :class:`EnergyEstimate` from a hardware-counter ledger.
+
+    Unlike :func:`estimate_energy`, nothing is heuristic here: the
+    synaptic-event count is the measured one. Static energy is charged
+    per lane (each lane is an independent occupation of the cores), and
+    ``average_watts`` is the sustained draw over one lane's duration.
+
+    Args:
+        activity: a :class:`repro.obs.hwcounters.RunActivity`.
+    """
+    if activity.ticks <= 0:
+        raise ValueError("the run must cover at least one tick")
+    duration = activity.ticks * TICK_SECONDS
+    static = STATIC_CORE_WATTS * activity.n_cores * duration * activity.batch
+    dynamic = (
+        float(activity.spikes.sum()) * SPIKE_EVENT_JOULES
+        + float(activity.synaptic_events.sum()) * SYNAPTIC_EVENT_JOULES
+    )
+    total = static + dynamic
+    return EnergyEstimate(
+        static_joules=static,
+        dynamic_joules=dynamic,
+        total_joules=total,
+        average_watts=total / (duration * activity.batch),
+    )
+
+
 def nominal_energy(cores: int, ticks: int) -> float:
     """The constant-power (Table 2) energy for comparison: 16 uW x time."""
     if cores < 0 or ticks < 0:
@@ -101,6 +160,8 @@ __all__ = [
     "SPIKE_EVENT_JOULES",
     "STATIC_CORE_WATTS",
     "SYNAPTIC_EVENT_JOULES",
+    "activity_energy_joules",
     "estimate_energy",
+    "estimate_energy_from_activity",
     "nominal_energy",
 ]

@@ -44,6 +44,7 @@ import numpy as np
 
 from repro.errors import CompilationError, ConfigurationError
 from repro.obs import get_registry, span
+from repro.obs import hwcounters
 from repro.truenorth.simulator import SimulationResult
 from repro.truenorth.system import NeurosynapticSystem
 from repro.truenorth.types import CORE_AXONS, CORE_NEURONS, POTENTIAL_MAX, POTENTIAL_MIN
@@ -59,12 +60,16 @@ class BatchSimulationResult:
         probe_spikes: per-probe boolean spike rasters of shape
             ``(batch, ticks, probe.width)``.
         total_spikes: per-lane total neuron firings, shape ``(batch,)``.
+        activity: the run's hardware-counter ledger
+            (:class:`repro.obs.hwcounters.RunActivity`), or ``None``
+            when telemetry was disabled for the run.
     """
 
     ticks: int
     batch: int
     probe_spikes: Dict[str, np.ndarray] = field(default_factory=dict)
     total_spikes: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+    activity: Optional[hwcounters.RunActivity] = None
 
     def lane(self, index: int) -> SimulationResult:
         """The single-lane :class:`SimulationResult` of lane ``index``."""
@@ -76,6 +81,7 @@ class BatchSimulationResult:
                 name: raster[index].copy() for name, raster in self.probe_spikes.items()
             },
             total_spikes=int(self.total_spikes[index]),
+            activity=self.activity.lane(index) if self.activity is not None else None,
         )
 
     def lanes(self) -> List[SimulationResult]:
@@ -266,6 +272,12 @@ class BatchEngine:
             )
             for key, value in core.neuron_arrays().items():
                 params[key][i] = value
+        # Hardware-counter support: synaptic events per delivered axon
+        # activation = nonzero entries of that axon's weight row.
+        self._row_nnz = (weights != 0).sum(axis=2).astype(np.int64)
+        self._core_ids = np.array(
+            [core.core_id for core in cores], dtype=np.int64
+        )
 
         # Pick the float dtype in which every reachable value is exact:
         # float32 carries 24 mantissa bits, float64 carries 53. Synaptic
@@ -299,6 +311,9 @@ class BatchEngine:
         self._dtype = np.float32 if bound + CORE_AXONS < 2**23 else np.float64
 
         self._weights = weights.astype(self._dtype)
+        # Float copy of the nnz rows for the tracking matvec: per-tick
+        # event counts are <= 256 * 256 < 2^24, exact in either dtype.
+        self._row_nnz_f = self._row_nnz[:, :, None].astype(self._dtype)
         self._threshold = params["threshold"].astype(self._dtype)[:, None, :]
         # The fire *comparison* threshold; threshold drift faults shift it
         # while linear resets keep subtracting the configured threshold.
@@ -422,6 +437,8 @@ class BatchEngine:
                 "faults_spikes_duplicated_total",
                 help="routed spike deliveries echoed by injected faults",
             ).inc(self._last_duplicated)
+        if result.activity is not None:
+            hwcounters.record_run(result.activity)
         return result
 
     def _run(
@@ -460,6 +477,15 @@ class BatchEngine:
         dynamic_faults = self._faults is not None and self._faults.has_dynamic
         lane_keys = self._faults.lane_keys(batch) if dynamic_faults else None
         box_shape = (self.n_cores, batch, CORE_AXONS)
+        track = hwcounters.enabled()
+        if track:
+            hop_lanes = np.zeros(batch, dtype=np.int64)
+            drop_lanes = np.zeros(batch, dtype=np.int64)
+            dup_lanes = np.zeros(batch, dtype=np.int64)
+            active_lanes = np.zeros(batch, dtype=np.int64)
+            core_spikes = np.zeros((batch, self.n_cores), dtype=np.int64)
+            core_events = np.zeros((batch, self.n_cores), dtype=np.int64)
+            spikes_per_tick = np.zeros((batch, ticks), dtype=np.int64)
         for tick in range(ticks):
             current = mailbox.pop(tick, None)
             if current is None:
@@ -479,7 +505,15 @@ class BatchEngine:
 
             # 2. Integrate, leak, threshold, fire, reset, saturate.
             if current.any():
-                potentials += current.astype(self._dtype) @ self._weights
+                current_f = current.astype(self._dtype)
+                if track:
+                    # Batched matvec against the float nnz rows (exact,
+                    # see __init__) reusing the integration operand —
+                    # cheap enough to stay inside the 5 % obs budget.
+                    core_events += (
+                        (current_f @ self._row_nnz_f)[..., 0].T.astype(np.int64)
+                    )
+                potentials += current_f @ self._weights
             potentials += self._leak
 
             crossed = potentials >= self._threshold_cmp
@@ -508,7 +542,14 @@ class BatchEngine:
             if self._force_fire is not None:
                 fired = (crossed | self._force_fire) & ~self._force_silent
 
-            result.total_spikes += fired.sum(axis=(0, 2))
+            if track:
+                fired_cb = fired.sum(axis=2)  # (n_cores, batch)
+                core_spikes += fired_cb.T
+                spikes_per_tick[:, tick] = fired_cb.sum(axis=0)
+                active_lanes += (fired_cb > 0).sum(axis=0)
+                result.total_spikes += spikes_per_tick[:, tick]
+            else:
+                result.total_spikes += fired.sum(axis=(0, 2))
 
             # 3. Route this tick's output spikes forward.
             for group in self._route_groups:
@@ -525,11 +566,22 @@ class BatchEngine:
                     )
                     dropped += int((~keep).sum())
                     duplicated += int(echo.sum())
+                    if track:
+                        drop_lanes += np.bincount(
+                            lane_idx[~keep], minlength=batch
+                        )
+                        dup_lanes += np.bincount(
+                            lane_idx[echo], minlength=batch
+                        )
                     for selector, delay in ((keep, group.delay), (echo, group.delay + 1)):
                         sel = np.flatnonzero(selector)
                         if sel.size == 0:
                             continue
                         delivered += sel.size
+                        if track:
+                            hop_lanes += np.bincount(
+                                lane_idx[sel], minlength=batch
+                            )
                         slot = mailbox.get(tick + delay)
                         if slot is None:
                             slot = np.zeros(box_shape, dtype=bool)
@@ -541,6 +593,8 @@ class BatchEngine:
                         ] = True
                     continue
                 delivered += route_idx.size
+                if track:
+                    hop_lanes += np.bincount(lane_idx, minlength=batch)
                 slot = mailbox.get(tick + group.delay)
                 if slot is None:
                     slot = np.zeros(box_shape, dtype=bool)
@@ -560,6 +614,23 @@ class BatchEngine:
         self._last_delivered = delivered
         self._last_dropped = dropped
         self._last_duplicated = duplicated
+        if track:
+            result.activity = hwcounters.RunActivity(
+                engine="batch",
+                ticks=ticks,
+                batch=batch,
+                n_cores=self.n_cores,
+                core_ids=self._core_ids,
+                spikes=core_spikes.sum(axis=1),
+                synaptic_events=core_events.sum(axis=1),
+                router_hops=hop_lanes,
+                dropped_spikes=drop_lanes,
+                duplicated_spikes=dup_lanes,
+                active_core_ticks=active_lanes,
+                core_spikes=core_spikes,
+                core_synaptic_events=core_events,
+                spikes_per_tick=spikes_per_tick,
+            )
         return result
 
 

@@ -11,8 +11,9 @@ from typing import Dict, Mapping, Optional
 import numpy as np
 
 from repro.obs import get_registry, span
+from repro.obs import hwcounters
 from repro.truenorth.system import NeurosynapticSystem
-from repro.truenorth.types import CORE_AXONS
+from repro.truenorth.types import CORE_AXONS, CORE_NEURONS
 from repro.utils.rng import RngLike, resolve_rng, spawn_generators
 
 ENGINES = ("reference", "batch")
@@ -28,11 +29,15 @@ class SimulationResult:
             ``(ticks, probe.width)``.
         total_spikes: total number of neuron firings across the system,
             usable for activity-proportional power estimates.
+        activity: the run's hardware-counter ledger
+            (:class:`repro.obs.hwcounters.RunActivity`, batch 1), or
+            ``None`` when telemetry was disabled for the run.
     """
 
     ticks: int
     probe_spikes: Dict[str, np.ndarray] = field(default_factory=dict)
     total_spikes: int = 0
+    activity: Optional[hwcounters.RunActivity] = None
 
     def spike_counts(self, probe: str) -> np.ndarray:
         """Per-line firing counts over the whole run for ``probe``."""
@@ -154,6 +159,8 @@ class Simulator:
         obs.counter(
             "sim_spikes_total", help="neuron firings simulated (all engines)"
         ).inc(result.total_spikes)
+        if result.activity is not None:
+            hwcounters.record_run(result.activity)
         return result
 
     def _run_reference(
@@ -190,6 +197,36 @@ class Simulator:
             dynamic_faults = faults.has_dynamic
             if dynamic_faults:
                 lane_key = faults.lane_keys(self._lane + 1)[self._lane]
+
+        track = hwcounters.enabled()
+        if track:
+            n_cores = len(cores)
+            core_pos = {core.core_id: i for i, core in enumerate(cores)}
+            # Synaptic events per delivered axon activation = nonzero
+            # entries of that axon's effective weight row (post-fault),
+            # matching the batch engine's compiled matrices.
+            row_nnz = np.stack(
+                [
+                    (
+                        (
+                            faults.effective_weights(core)
+                            if faults is not None
+                            else core.effective_weights()
+                        )
+                        != 0
+                    ).sum(axis=1)
+                    for core in cores
+                ]
+            ).astype(np.int64) if n_cores else np.zeros((0, CORE_AXONS), np.int64)
+            # Router hops per firing neuron = routes leaving it; the
+            # dynamic-fault path subtracts drops and adds echoes.
+            fanout = np.zeros((n_cores, CORE_NEURONS), dtype=np.int64)
+            for route in router.routes:
+                fanout[core_pos[route.src_core], route.src_neuron] += 1
+            core_spikes = np.zeros(n_cores, dtype=np.int64)
+            core_events = np.zeros(n_cores, dtype=np.int64)
+            spikes_per_tick = np.zeros(ticks, dtype=np.int64)
+            hops = active_ticks = drop_hops = dup_hops = 0
         for tick in range(ticks):
             # 1. External inputs scheduled for this tick. Input-port
             # injections are off-chip and bypass spike-transport faults.
@@ -203,7 +240,7 @@ class Simulator:
             due = router.collect(tick)
             fired_by_core: Dict[int, np.ndarray] = {}
             empty = np.zeros(CORE_AXONS, dtype=bool)
-            for core in cores:
+            for index, core in enumerate(cores):
                 axon_vector = due.get(core.core_id, empty)
                 fired = core.tick(
                     axon_vector,
@@ -211,7 +248,15 @@ class Simulator:
                     faults=core_faults.get(core.core_id),
                 )
                 fired_by_core[core.core_id] = fired
-                result.total_spikes += int(fired.sum())
+                fired_count = int(fired.sum())
+                result.total_spikes += fired_count
+                if track:
+                    if axon_vector.any():
+                        core_events[index] += int(row_nnz[index][axon_vector].sum())
+                    if fired_count:
+                        core_spikes[index] += fired_count
+                        spikes_per_tick[tick] += fired_count
+                        active_ticks += 1
 
             # 3. Route this tick's output spikes forward.
             if dynamic_faults:
@@ -221,9 +266,19 @@ class Simulator:
                     )
                     dropped += lost
                     duplicated += echoed
+                    if track:
+                        hops += (
+                            int(fanout[core_pos[core_id]][fired].sum())
+                            - lost
+                            + echoed
+                        )
+                        drop_hops += lost
+                        dup_hops += echoed
             else:
                 for core_id, fired in fired_by_core.items():
                     router.submit(tick, core_id, fired)
+                    if track:
+                        hops += int(fanout[core_pos[core_id]][fired].sum())
 
             # 4. Record probes.
             for name, probe in probes.items():
@@ -241,6 +296,23 @@ class Simulator:
                 "faults_spikes_duplicated_total",
                 help="routed spike deliveries echoed by injected faults",
             ).inc(duplicated)
+        if track:
+            result.activity = hwcounters.RunActivity(
+                engine="reference",
+                ticks=ticks,
+                batch=1,
+                n_cores=n_cores,
+                core_ids=np.array([core.core_id for core in cores], dtype=np.int64),
+                spikes=np.array([result.total_spikes], dtype=np.int64),
+                synaptic_events=np.array([core_events.sum()], dtype=np.int64),
+                router_hops=np.array([hops], dtype=np.int64),
+                dropped_spikes=np.array([drop_hops], dtype=np.int64),
+                duplicated_spikes=np.array([dup_hops], dtype=np.int64),
+                active_core_ticks=np.array([active_ticks], dtype=np.int64),
+                core_spikes=core_spikes[None, :],
+                core_synaptic_events=core_events[None, :],
+                spikes_per_tick=spikes_per_tick[None, :],
+            )
         return result
 
     def run_batch(
@@ -300,6 +372,7 @@ class Simulator:
             },
             total_spikes=np.zeros(batch, dtype=np.int64),
         )
+        lane_activities = []
         for lane, lane_rng in enumerate(lane_rngs):
             lane_inputs = {name: raster[lane] for name, raster in rasters.items()}
             lane_sim = Simulator(self.system, rng=lane_rng, faults=self._faults)
@@ -308,6 +381,11 @@ class Simulator:
             for name, raster in lane_result.probe_spikes.items():
                 result.probe_spikes[name][lane] = raster
             result.total_spikes[lane] = lane_result.total_spikes
+            lane_activities.append(lane_result.activity)
+        # Each lane already recorded itself; the stacked ledger exists so
+        # batch-level consumers see one (batch,)-shaped view per engine.
+        if all(activity is not None for activity in lane_activities):
+            result.activity = hwcounters.RunActivity.stack(lane_activities)
         return result
 
 

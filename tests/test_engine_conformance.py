@@ -295,6 +295,121 @@ class TestFaultConformance:
         assert results[0].total_spikes == results[1].total_spikes
 
 
+class TestCounterParity:
+    """The hardware-counter ledger is part of the conformance contract.
+
+    Both engines populate a :class:`repro.obs.RunActivity` per run
+    (DESIGN.md §12); every field — per-lane totals, per-core rollups,
+    the per-tick spike series, and the attributed energy derived from
+    them — must be bit-identical between the tick-accurate reference
+    and the vectorized batch engine, clean and under fault injection.
+    """
+
+    COMPARED_FIELDS = (
+        "spikes",
+        "synaptic_events",
+        "membrane_updates",
+        "router_hops",
+        "dropped_spikes",
+        "duplicated_spikes",
+        "active_core_ticks",
+        "core_spikes",
+        "core_synaptic_events",
+        "spikes_per_tick",
+    )
+
+    @staticmethod
+    def _activities(name, plan, batch):
+        case = _case(name)
+        reference = Simulator(case.build(), rng=case.sim_seed, faults=plan)
+        vectorized = Simulator(
+            case.build(), rng=case.sim_seed, engine="batch", faults=plan
+        )
+        inputs = batched_inputs(
+            reference.system, case.ticks, batch, case.input_seed, case.density
+        )
+        ref = reference.run_batch(case.ticks, inputs)
+        got = vectorized.run_batch(case.ticks, inputs)
+        assert ref.activity is not None and got.activity is not None
+        return ref.activity, got.activity
+
+    def _assert_ledgers_identical(self, ref, got):
+        assert (ref.ticks, ref.batch, ref.n_cores) == (
+            got.ticks,
+            got.batch,
+            got.n_cores,
+        )
+        np.testing.assert_array_equal(ref.core_ids, got.core_ids)
+        for field in self.COMPARED_FIELDS:
+            np.testing.assert_array_equal(
+                getattr(ref, field), getattr(got, field), err_msg=field
+            )
+        np.testing.assert_array_equal(
+            ref.lane_energy_joules(), got.lane_energy_joules()
+        )
+
+    @pytest.mark.parametrize("batch", BATCH_SIZES)
+    @pytest.mark.parametrize("name", CASE_NAMES)
+    def test_clean_counters_bit_identical(self, name, batch):
+        ref, got = self._activities(name, None, batch)
+        self._assert_ledgers_identical(ref, got)
+
+    @pytest.mark.parametrize("plan_name", sorted(FAULT_PLANS))
+    def test_faulted_counters_bit_identical(self, plan_name):
+        ref, got = self._activities(
+            "random_stochastic", FAULT_PLANS[plan_name], 5
+        )
+        self._assert_ledgers_identical(ref, got)
+
+    def test_spikes_field_matches_total_spikes(self):
+        case = _case("pattern_match")
+        sim = Simulator(case.build(), rng=case.sim_seed, engine="batch")
+        inputs = batched_inputs(
+            sim.system, case.ticks, 3, case.input_seed, case.density
+        )
+        result = sim.run_batch(case.ticks, inputs)
+        np.testing.assert_array_equal(
+            result.activity.spikes, result.total_spikes
+        )
+
+    def test_fault_hops_reconcile_with_engine_counters(self):
+        """dropped/duplicated lane sums == the engine's scalar counters."""
+        case = _case("random_stochastic")
+        plan = FAULT_PLANS["composite"]
+        sim = Simulator(
+            case.build(), rng=case.sim_seed, engine="batch", faults=plan
+        )
+        inputs = batched_inputs(
+            sim.system, case.ticks, 7, case.input_seed, case.density
+        )
+        result = sim.run_batch(case.ticks, inputs)
+        activity = result.activity
+        engine = sim._batch_engine
+        assert int(activity.dropped_spikes.sum()) == engine._last_dropped
+        assert int(activity.duplicated_spikes.sum()) == engine._last_duplicated
+        assert int(activity.router_hops.sum()) == engine._last_delivered
+
+    def test_lane_slices_match_single_lane_reference(self):
+        """activity.lane(i) of a batch run == lane i's reference ledger."""
+        case = _case("weighted_sum")
+        batch = 4
+        sim = Simulator(case.build(), rng=case.sim_seed, engine="batch")
+        inputs = batched_inputs(
+            sim.system, case.ticks, batch, case.input_seed, case.density
+        )
+        result = sim.run_batch(case.ticks, inputs)
+
+        lanes = spawn_generators(case.sim_seed, batch)
+        for lane in range(batch):
+            lane_inputs = {name: arr[lane] for name, arr in inputs.items()}
+            ref = Simulator(case.build(), rng=lanes[lane]).run(
+                case.ticks, lane_inputs
+            )
+            self._assert_ledgers_identical(
+                ref.activity, result.activity.lane(lane)
+            )
+
+
 class TestDeterminism:
     """Same seed, same system, same inputs => identical results.
 

@@ -1,0 +1,218 @@
+"""Flight recorder: ring semantics, dumps, and serve auto-dump triggers.
+
+The recorder's contract (DESIGN.md §12): monotonic sequence numbers
+assigned under the lock, a bounded ring retaining exactly the
+contiguous range ``[dropped, total)``, an exact drop counter, and
+single-document JSON dumps that never contain themselves. The service
+integration half: ``flight_dump_path`` makes the dump automatic on
+request failure and on breaker-open.
+"""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import TransientScorerError
+from repro.obs.flight import FlightRecorder, flight_recorder, new_trace_id
+from repro.serve import CircuitBreaker, InferenceService
+
+
+class TestRingSemantics:
+    def test_sequences_are_monotonic_and_contiguous(self):
+        recorder = FlightRecorder(maxlen=8)
+        for i in range(5):
+            recorder.record("enqueue", index=i)
+        assert [e.seq for e in recorder.events()] == list(range(5))
+        assert recorder.total == 5
+        assert recorder.dropped == 0
+
+    def test_eviction_keeps_exact_window(self):
+        recorder = FlightRecorder(maxlen=4)
+        for i in range(11):
+            recorder.record("score", index=i)
+        events = recorder.events()
+        assert recorder.total == 11
+        assert recorder.dropped == 7
+        # Retained events are exactly the contiguous [dropped, total).
+        assert [e.seq for e in events] == [7, 8, 9, 10]
+
+    def test_record_returns_the_event(self):
+        recorder = FlightRecorder(maxlen=2)
+        event = recorder.record("retry", trace_id="t1", attempt=2)
+        assert event.kind == "retry"
+        assert event.trace_id == "t1"
+        assert event.attrs == {"attempt": 2}
+        assert event.thread == threading.current_thread().name
+
+    def test_clear_resets_counters(self):
+        recorder = FlightRecorder(maxlen=2)
+        for _ in range(5):
+            recorder.record("score")
+        recorder.clear()
+        assert recorder.total == 0
+        assert recorder.dropped == 0
+        assert recorder.events() == []
+        assert recorder.record("score").seq == 0
+
+    def test_maxlen_validation(self):
+        with pytest.raises(ValueError, match="maxlen"):
+            FlightRecorder(maxlen=0)
+
+    def test_concurrent_appends_keep_the_contract(self):
+        recorder = FlightRecorder(maxlen=64)
+        per_thread = 50
+        n_threads = 8
+
+        def worker(name):
+            for i in range(per_thread):
+                recorder.record("enqueue", worker=name, index=i)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        total = n_threads * per_thread
+        assert recorder.total == total
+        assert recorder.dropped == total - 64
+        assert [e.seq for e in recorder.events()] == list(
+            range(total - 64, total)
+        )
+
+    def test_new_trace_ids_unique(self):
+        ids = {new_trace_id() for _ in range(64)}
+        assert len(ids) == 64
+        assert all(len(t) == 16 for t in ids)
+
+
+class TestDump:
+    def test_dump_document_shape(self, tmp_path):
+        recorder = FlightRecorder(maxlen=4)
+        for i in range(6):
+            recorder.record("score", trace_id=f"t{i}", index=i)
+        path = tmp_path / "flight.json"
+        written = recorder.dump(str(path), reason="unit_test")
+
+        document = json.loads(path.read_text())
+        assert written == 4
+        assert document["reason"] == "unit_test"
+        assert document["dropped"] == 2
+        assert document["total"] == 6
+        assert document["retained"] == 4
+        assert [e["seq"] for e in document["events"]] == [2, 3, 4, 5]
+        assert document["events"][0]["attrs"] == {"index": 2}
+
+    def test_dump_never_contains_itself(self, tmp_path):
+        recorder = FlightRecorder(maxlen=8)
+        recorder.record("score")
+        path = tmp_path / "flight.json"
+        recorder.dump(str(path))
+        document = json.loads(path.read_text())
+        assert all(e["kind"] != "dump" for e in document["events"])
+        # ... but the dump is on the record for the *next* dump.
+        assert recorder.events()[-1].kind == "dump"
+
+
+class _FailingScorer:
+    """Raises a transient fault on every call."""
+
+    model_id = "flight-test-down"
+    cacheable = False
+
+    def decision_function(self, matrix):
+        raise TransientScorerError("scorer down")
+
+
+class _HealthyScorer:
+    model_id = "flight-test-up"
+    cacheable = False
+
+    def decision_function(self, matrix):
+        return np.asarray(matrix)[:, 0]
+
+
+class TestServeAutoDump:
+    def setup_method(self):
+        flight_recorder().clear()
+
+    def test_auto_dump_on_request_failure(self, tmp_path):
+        path = tmp_path / "failure.json"
+        service = InferenceService(
+            _FailingScorer(),
+            max_batch_size=2,
+            max_wait_ms=0.5,
+            cache_capacity=0,
+            flight_dump_path=str(path),
+        )
+        with service:
+            with pytest.raises(TransientScorerError):
+                service.score(np.zeros(3), timeout_s=5.0)
+        document = json.loads(path.read_text())
+        assert document["reason"] == "request_failed"
+        kinds = [e["kind"] for e in document["events"]]
+        assert "request_failed" in kinds
+        assert "enqueue" in kinds
+        failed = next(
+            e for e in document["events"] if e["kind"] == "request_failed"
+        )
+        assert failed["trace_id"]
+        assert "TransientScorerError" in failed["attrs"]["error"]
+
+    def test_auto_dump_on_breaker_open(self, tmp_path):
+        path = tmp_path / "breaker.json"
+        service = InferenceService(
+            _FailingScorer(),
+            max_batch_size=2,
+            max_wait_ms=0.5,
+            cache_capacity=0,
+            circuit_breaker=CircuitBreaker(
+                failure_threshold=1, reset_timeout_s=60.0
+            ),
+            degraded_value=-1.0,
+            flight_dump_path=str(path),
+        )
+        with service:
+            assert service.score(np.zeros(3), timeout_s=5.0) == -1.0
+        document = json.loads(path.read_text())
+        assert document["reason"] in ("breaker_open", "request_failed")
+        transitions = [
+            e
+            for e in document["events"]
+            if e["kind"] == "breaker_transition"
+        ]
+        assert any(e["attrs"]["to_state"] == "open" for e in transitions)
+
+    def test_no_dump_path_no_file(self, tmp_path):
+        service = InferenceService(
+            _FailingScorer(),
+            max_batch_size=2,
+            max_wait_ms=0.5,
+            cache_capacity=0,
+        )
+        with service:
+            with pytest.raises(TransientScorerError):
+                service.score(np.zeros(3), timeout_s=5.0)
+        assert list(tmp_path.iterdir()) == []
+
+    def test_healthy_run_records_lifecycle(self):
+        service = InferenceService(
+            _HealthyScorer(),
+            max_batch_size=4,
+            max_wait_ms=0.5,
+            cache_capacity=0,
+        )
+        with service:
+            assert service.score(np.full(3, 2.0), timeout_s=5.0) == 2.0
+        kinds = [e.kind for e in flight_recorder().events()]
+        for expected in ("enqueue", "batch_form", "score"):
+            assert expected in kinds
+        score_event = next(
+            e for e in flight_recorder().events() if e.kind == "score"
+        )
+        assert score_event.attrs["size"] == 1
+        assert score_event.attrs["trace_ids"]

@@ -3,17 +3,26 @@
 import math
 import threading
 
+import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.obs import (
+    DROPPED_SERIES_COUNTER,
     CounterMetric,
     GaugeMetric,
     HistogramMetric,
     MetricsRegistry,
+    escape_label_value,
     get_registry,
+    normalize_labels,
     parse_prometheus,
+    parse_sample_name,
+    render_labels,
     sanitize_metric_name,
     set_registry,
+    unescape_label_value,
 )
 
 
@@ -203,6 +212,144 @@ class TestExposition:
     def test_parser_rejects_non_numeric(self):
         with pytest.raises(ValueError):
             parse_prometheus("metric_a not_a_number")
+
+
+class TestLabelEscaping:
+    """Label values must survive the exposition text format verbatim."""
+
+    @pytest.mark.parametrize(
+        "value",
+        [
+            "",
+            "plain",
+            'quo"te',
+            "back\\slash",
+            "new\nline",
+            '\\"\n mixed \\\\ "" \n\n',
+            'trailing backslash \\',
+        ],
+    )
+    def test_escape_unescape_roundtrip(self, value):
+        escaped = escape_label_value(value)
+        assert "\n" not in escaped
+        assert unescape_label_value(escaped) == value
+
+    def test_unknown_escapes_preserved(self):
+        # Reference-parser behavior: \t is not an escape, keep it as-is.
+        assert unescape_label_value("a\\tb") == "a\\tb"
+
+    def test_sample_name_roundtrip(self):
+        labels = normalize_labels({"core": 'we"ird\n\\value', "lane": "3"})
+        sample = "hw_core_spikes_total" + render_labels(labels)
+        base, parsed = parse_sample_name(sample)
+        assert base == "hw_core_spikes_total"
+        assert parsed == {"core": 'we"ird\n\\value', "lane": "3"}
+
+    def test_labeled_series_roundtrip_through_exposition(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "hw_core_spikes_total", labels={"core": 'c"0\n\\'}
+        ).inc(7)
+        text = registry.render_prometheus()
+        # The raw newline must leave as the two-char escape, keeping
+        # every exposition sample on a single line.
+        assert '\\n' in text and 'c\\"0' in text
+        samples = parse_prometheus(text)
+        (sample_id,) = [k for k in samples if k.startswith("hw_core")]
+        base, labels = parse_sample_name(sample_id)
+        assert labels == {"core": 'c"0\n\\'}
+        assert samples[sample_id] == 7
+
+    @settings(max_examples=200, deadline=None)
+    @given(value=st.text())
+    def test_property_roundtrip_any_text(self, value):
+        assert unescape_label_value(escape_label_value(value)) == value
+        sample = "m" + render_labels(normalize_labels({"l": value}))
+        base, labels = parse_sample_name(sample)
+        assert base == "m"
+        assert labels == {"l": value}
+
+    def test_illegal_label_name_rejected(self):
+        with pytest.raises(ValueError, match="label name"):
+            normalize_labels({"bad-name": "x"})
+
+
+class TestCardinalityGuard:
+    def test_series_capped_and_drops_counted(self):
+        registry = MetricsRegistry(max_label_sets=3)
+        for i in range(5):
+            registry.counter("hot", labels={"shard": str(i)}).inc()
+        exposed = [
+            k
+            for k in parse_prometheus(registry.render_prometheus())
+            if k.startswith("hot")
+        ]
+        assert len(exposed) == 3
+        assert registry.get(DROPPED_SERIES_COUNTER).value == 2
+
+    def test_detached_metric_usable_but_unregistered(self):
+        registry = MetricsRegistry(max_label_sets=1)
+        registry.counter("m", labels={"a": "1"}).inc()
+        overflow = registry.counter("m", labels={"a": "2"})
+        overflow.inc(99)  # must not raise ...
+        assert overflow.value == 99
+        # ... and must not appear in the registry.
+        assert registry.get("m", labels={"a": "2"}) is None
+
+    def test_existing_series_unaffected_by_cap(self):
+        registry = MetricsRegistry(max_label_sets=2)
+        first = registry.counter("m", labels={"a": "1"})
+        registry.counter("m", labels={"a": "2"})
+        registry.counter("m", labels={"a": "3"})  # dropped
+        assert registry.counter("m", labels={"a": "1"}) is first
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_label_sets"):
+            MetricsRegistry(max_label_sets=0)
+
+
+class TestPercentileEdges:
+    def test_out_of_range_q_clamps_to_min_max(self):
+        histogram = HistogramMetric("h", buckets=(1.0,))
+        for value in (1.0, 2.0, 3.0):
+            histogram.observe(value)
+        assert histogram.percentile(-50.0) == 1.0
+        assert histogram.percentile(0.0) == 1.0
+        assert histogram.percentile(100.0) == 3.0
+        assert histogram.percentile(9999.0) == 3.0
+
+    def test_never_nan(self):
+        histogram = HistogramMetric("h", buckets=(1.0,))
+        assert histogram.percentile(50.0) == 0.0  # empty reservoir
+        histogram.observe(5.0)
+        for q in (-1e9, -1.0, 0.0, 50.0, 100.0, 1e9):
+            assert not math.isnan(histogram.percentile(q))
+
+    def test_nan_q_rejected(self):
+        histogram = HistogramMetric("h", buckets=(1.0,))
+        histogram.observe(1.0)
+        with pytest.raises(ValueError, match="NaN"):
+            histogram.percentile(float("nan"))
+
+    def test_reservoir_p99_matches_exact(self):
+        """Reservoir-backed p99 == numpy's exact p99 while it all fits."""
+        rng = np.random.default_rng(7)
+        values = rng.lognormal(mean=0.0, sigma=1.5, size=1500)
+        histogram = HistogramMetric("h", buckets=(1.0,), reservoir=2048)
+        for value in values:
+            histogram.observe(float(value))
+        for q in (50.0, 90.0, 99.0):
+            assert histogram.percentile(q) == pytest.approx(
+                float(np.percentile(values, q)), rel=1e-12
+            )
+
+    def test_window_reservoir_tracks_recent_values(self):
+        histogram = HistogramMetric("h", buckets=(1.0,), reservoir=100)
+        for value in range(1000):
+            histogram.observe(float(value))
+        # Only the most recent 100 observations remain.
+        assert histogram.percentile(0.0) == 900.0
+        assert histogram.percentile(100.0) == 999.0
 
 
 class TestProcessRegistry:

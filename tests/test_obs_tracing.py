@@ -126,6 +126,45 @@ class TestTraceLog:
         log.clear()
         assert log.entries() == [] and log.dropped == 0
 
+    def test_concurrent_appends_keep_seqs_contiguous(self):
+        """8 threads hammering append: no lost or duplicated seqs.
+
+        The lock assigns sequence numbers, so after the dust settles the
+        retained records must carry exactly the contiguous range
+        ``[dropped, total)`` and the drop counter must be exact — no
+        interleaving may lose a span silently.
+        """
+        log = TraceLog(maxlen=64)
+        per_thread = 50
+        n_threads = 8
+
+        def worker(name):
+            for i in range(per_thread):
+                log.append(
+                    SpanRecord(
+                        name=f"w{name}.{i}", path=f"w{name}.{i}",
+                        duration_s=0.0, depth=0, thread=f"w{name}",
+                    )
+                )
+
+        threads = [
+            threading.Thread(target=worker, args=(t,))
+            for t in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        total = n_threads * per_thread
+        assert log.total == total
+        assert log.dropped == total - 64
+        seqs = [seq for seq, _ in log.records()]
+        assert seqs == list(range(total - 64, total))
+        # Every retained record is a distinct appended span.
+        names = {record.name for _, record in log.records()}
+        assert len(names) == 64
+
 
 class TestSummarizeSpans:
     def test_aggregates_only_span_histograms(self, registry):
