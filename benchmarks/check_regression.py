@@ -8,6 +8,10 @@ the committed ones ("baseline"):
 - **throughput** (engine ``batch_windows_per_second``, serve
   ``service_requests_per_second``): fails on a drop of more than
   ``--max-throughput-regression`` (default 10 %);
+- **event-engine sparsity win** (engine ``density_sweep``): fails when
+  the current run's best event-over-batch speedup at input density
+  <= 10 % falls below ``--min-event-speedup`` (default 3x) — an
+  absolute floor, like the overhead budget, not a delta;
 - **observability overhead** (serve ``obs_overhead_fraction``): fails
   when the current run spends more than ``--max-obs-overhead``
   (default 5 %) of its throughput on telemetry — this is an absolute
@@ -75,19 +79,55 @@ def _check_throughput(name, metric, baseline, current, max_regression):
     return []
 
 
+def _check_event_sweep(current, min_event_speedup):
+    """Absolute floor on the event engine's sparse-density speedup."""
+    sweep = current.get("density_sweep")
+    if not isinstance(sweep, dict) or not sweep.get("points"):
+        print("WARN: BENCH_engine.json: no density_sweep in current run; "
+              "skipping event-engine gate")
+        return []
+    sparse = [
+        point for point in sweep["points"]
+        if isinstance(point.get("density"), (int, float))
+        and point["density"] <= 0.10
+        and isinstance(point.get("event_speedup"), (int, float))
+    ]
+    if not sparse:
+        print("WARN: BENCH_engine.json: density_sweep has no <=10% points; "
+              "skipping event-engine gate")
+        return []
+    best = max(sparse, key=lambda point: point["event_speedup"])
+    speedup = best["event_speedup"]
+    verdict = "FAIL" if speedup < min_event_speedup else "ok"
+    print(
+        f"{verdict}: BENCH_engine.json: event engine {speedup:.1f}x over "
+        f"batch at density {best['density']:.0%} "
+        f"(floor {min_event_speedup:.1f}x)"
+    )
+    if speedup < min_event_speedup:
+        return [
+            f"BENCH_engine.json: event speedup {speedup:.1f}x at sparse "
+            f"density below the {min_event_speedup:.1f}x floor"
+        ]
+    return []
+
+
 def check_engine(baseline, current, args):
-    """Engine throughput: windows/s of the vectorized batch engine."""
+    """Engine throughput, plus the event engine's sparsity floor."""
+    failures = _check_event_sweep(current, args.min_event_speedup)
     keys = ("workload", "batch_size")
     if _config(baseline, keys) != _config(current, keys):
-        print("WARN: BENCH_engine.json: workload configs differ; skipping")
-        return []
-    return _check_throughput(
+        print("WARN: BENCH_engine.json: workload configs differ; "
+              "skipping throughput comparison")
+        return failures
+    failures += _check_throughput(
         "BENCH_engine.json",
         "batch_windows_per_second",
         baseline,
         current,
         args.max_throughput_regression,
     )
+    return failures
 
 
 def check_serve(baseline, current, args):
@@ -173,6 +213,10 @@ def main() -> int:
     parser.add_argument(
         "--max-throughput-regression", type=float, default=0.10,
         help="allowed fractional throughput drop vs baseline (default 0.10)",
+    )
+    parser.add_argument(
+        "--min-event-speedup", type=float, default=3.0,
+        help="required event-over-batch speedup at <=10%% input density",
     )
     parser.add_argument(
         "--max-obs-overhead", type=float, default=0.05,

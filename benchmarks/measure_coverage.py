@@ -1,0 +1,177 @@
+"""Measure tier-1 line coverage of ``src/repro`` with the stdlib only.
+
+CI enforces coverage through ``pytest-cov`` (see the ``coverage`` job in
+``.github/workflows/ci.yml``), but that plugin is not part of the local
+environment. This script produces the comparable number without any
+third-party dependency: a ``sys.settrace`` tracer records every executed
+line in ``src/repro`` while the tier-1 suite runs in-process, and the
+executable-line universe per file is derived from the compiled code
+objects (``dis.findlinestarts``) — the same line table ``coverage.py``
+starts from. Numbers agree with pytest-cov to within a couple of points
+(import-time statements of modules loaded before tracing starts are the
+main undercount, which errs in the safe direction for setting a floor).
+
+Use it to (re)measure the baseline behind the CI job's
+``--cov-fail-under`` floor:
+
+    PYTHONPATH=src python benchmarks/measure_coverage.py \
+        --json /tmp/coverage.json --fail-under 80
+
+The traced run is several times slower than the plain suite; budget a
+few minutes.
+"""
+
+import argparse
+import dis
+import fnmatch
+import json
+import sys
+import threading
+from pathlib import Path
+from types import CodeType
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_PACKAGE = REPO_ROOT / "src" / "repro"
+
+
+def executable_lines(path: Path) -> set:
+    """Line numbers that carry bytecode, over all nested code objects."""
+    code = compile(path.read_text(), str(path), "exec")
+    lines = set()
+    stack = [code]
+    while stack:
+        obj = stack.pop()
+        lines.update(
+            line for _, line in dis.findlinestarts(obj) if line is not None
+        )
+        stack.extend(
+            const for const in obj.co_consts if isinstance(const, CodeType)
+        )
+    return lines
+
+
+class LineCollector:
+    """A settrace hook that records executed lines under one prefix."""
+
+    def __init__(self, prefix: str):
+        self.prefix = prefix
+        self.executed = {}
+
+    def _local(self, frame, event, arg):
+        if event == "line":
+            self.executed[frame.f_code.co_filename].add(frame.f_lineno)
+        return self._local
+
+    def __call__(self, frame, event, arg):
+        if event != "call":
+            return None
+        filename = frame.f_code.co_filename
+        if not filename.startswith(self.prefix):
+            return None
+        self.executed.setdefault(filename, set())
+        return self._local
+
+    def install(self):
+        threading.settrace(self)
+        sys.settrace(self)
+
+    def uninstall(self):
+        sys.settrace(None)
+        threading.settrace(None)
+
+
+def run_suite(pytest_args) -> "tuple[int, LineCollector]":
+    """Run pytest in-process with line tracing over ``src/repro``."""
+    import pytest
+
+    collector = LineCollector(str(SRC_PACKAGE))
+    collector.install()
+    try:
+        exit_code = pytest.main(list(pytest_args))
+    finally:
+        collector.uninstall()
+    return exit_code, collector
+
+
+def report(collector: LineCollector, omit):
+    """Per-file and total coverage from one traced run."""
+    files = []
+    total_lines = total_covered = 0
+    for path in sorted(SRC_PACKAGE.rglob("*.py")):
+        rel = path.relative_to(REPO_ROOT).as_posix()
+        if any(fnmatch.fnmatch(rel, pattern) for pattern in omit):
+            continue
+        lines = executable_lines(path)
+        covered = collector.executed.get(str(path), set()) & lines
+        total_lines += len(lines)
+        total_covered += len(covered)
+        files.append(
+            {
+                "file": rel,
+                "lines": len(lines),
+                "covered": len(covered),
+                "percent": 100.0 * len(covered) / len(lines) if lines else 100.0,
+            }
+        )
+    percent = 100.0 * total_covered / total_lines if total_lines else 100.0
+    return {
+        "tool": "measure_coverage.py (stdlib settrace)",
+        "percent": percent,
+        "lines": total_lines,
+        "covered": total_covered,
+        "files": files,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--fail-under", type=float, default=None,
+        help="exit non-zero when total coverage is below this percent",
+    )
+    parser.add_argument(
+        "--json", default=None, help="write the full per-file report here"
+    )
+    parser.add_argument(
+        "--omit", action="append", default=[],
+        help="glob of repo-relative files to exclude (repeatable)",
+    )
+    parser.add_argument(
+        "pytest_args", nargs="*", default=None,
+        help="arguments for the in-process pytest run (default: -x -q)",
+    )
+    args = parser.parse_args()
+
+    exit_code, collector = run_suite(args.pytest_args or ["-x", "-q"])
+    if exit_code != 0:
+        print(f"FAIL: pytest exited {exit_code}; no coverage verdict",
+              file=sys.stderr)
+        return exit_code
+
+    result = report(collector, args.omit)
+    width = max(len(entry["file"]) for entry in result["files"])
+    for entry in result["files"]:
+        print(
+            f"{entry['file']:<{width}} {entry['covered']:5d}/{entry['lines']:<5d}"
+            f" {entry['percent']:6.1f}%"
+        )
+    print(
+        f"{'TOTAL':<{width}} {result['covered']:5d}/{result['lines']:<5d}"
+        f" {result['percent']:6.1f}%"
+    )
+    if args.json:
+        Path(args.json).write_text(json.dumps(result, indent=2) + "\n")
+        print(f"wrote {args.json}")
+
+    if args.fail_under is not None and result["percent"] < args.fail_under:
+        print(
+            f"FAIL: coverage {result['percent']:.1f}% "
+            f"< floor {args.fail_under:.1f}%",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,8 +18,9 @@ Usage::
 
 ``--small`` shrinks the data split for a faster (noisier) run.
 ``--engine`` selects the simulation engine (``batch`` = the vectorized
-PR-1 engine, bit-identical to ``reference``) where a command runs the
-simulator; ``--chunk-size`` sets windows per classifier call.
+PR-1 engine, ``event`` = the sparse event-driven engine; both are
+bit-identical to ``reference``) where a command runs the simulator;
+``--chunk-size`` sets windows per classifier call.
 
 Observability (DESIGN.md §10): ``serve --metrics`` publishes the
 service's stats into the process-wide ``repro.obs`` registry and emits
@@ -114,10 +115,11 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--engine",
-        choices=["reference", "batch"],
+        choices=["reference", "batch", "event"],
         default=None,
         help="simulation engine (validate defaults to reference, "
-        "serve to batch; both engines are bit-identical)",
+        "serve to batch; all engines are bit-identical — 'event' skips "
+        "quiescent cores and is fastest at sparse activity)",
     )
     parser.add_argument(
         "--chunk-size", type=int, default=16,

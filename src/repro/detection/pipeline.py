@@ -105,8 +105,9 @@ class TrueNorthBinaryScorer:
         ticks: spike window per evaluated feature vector.
         positive_class: index of the "person" output.
         rng: seed for the stochastic input coding.
-        engine: simulation engine, ``"batch"`` (default) or
-            ``"reference"``.
+        engine: simulation engine, ``"batch"`` (default), ``"event"``
+            (skips quiescent cores — fastest at sparse activity), or
+            ``"reference"``; all three are bit-identical.
         coding: ``"stream"`` (default) draws every window's spike raster
             from one shared random stream, so scores depend on the order
             windows are presented in. ``"content"`` seeds each window's
@@ -188,7 +189,7 @@ class TrueNorthBinaryScorer:
         class readout, and the coding entropy. Two scorers with equal
         ``model_id`` score equal windows identically (given content
         coding); the simulation engine is deliberately excluded because
-        both engines are bit-identical.
+        every engine is bit-identical.
         """
         digest = hashlib.blake2b(digest_size=16)
         for layer in self.deployed_layers():

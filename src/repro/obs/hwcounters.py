@@ -79,7 +79,8 @@ class RunActivity:
     slicing any field by lane is well defined.
 
     Attributes:
-        engine: ``"reference"`` or ``"batch"`` (which engine produced it).
+        engine: ``"reference"``, ``"batch"``, or ``"event"`` (which
+            engine produced it).
         ticks: ticks simulated.
         batch: lanes simulated.
         n_cores: cores in the system.

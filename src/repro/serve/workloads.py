@@ -36,7 +36,8 @@ class NApproxCellModel:
         window: spike window (data ticks) per patch.
         direction_scale: Q of the direction tables.
         magnitude_threshold: T of the magnitude neurons.
-        engine: simulation engine, ``"batch"`` or ``"reference"``.
+        engine: simulation engine, ``"batch"``, ``"event"``, or
+            ``"reference"`` (all bit-identical).
     """
 
     cacheable = True

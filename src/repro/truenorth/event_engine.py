@@ -1,0 +1,411 @@
+"""Event-driven sparse simulation of a :class:`NeurosynapticSystem`.
+
+Spiking workloads are mostly silent: Esser et al. (arXiv:1603.08270)
+report the sparse, event-driven activity that makes TrueNorth
+energy-efficient, and the same sparsity is a throughput opportunity in
+software. The :class:`BatchEngine` pays for every core every tick — one
+stacked matmul over ``(n_cores, B, 256)`` regardless of how many cores
+actually received a spike. This module adds a third engine,
+``Simulator(engine="event")``, that advances only the *active* subset of
+cores per tick and skips quiescent cores entirely, while staying
+bit-identical to the reference engine — rasters, ``total_spikes``, and
+the full :class:`~repro.obs.hwcounters.RunActivity` ledger.
+
+Skip-tick equivalence (the correctness argument, DESIGN.md §13)
+----------------------------------------------------------------
+
+A core may be skipped at tick ``t`` only when the no-input tick map is
+the *identity* on its current state. Per neuron, a reference tick with
+an all-zero axon vector computes::
+
+    p'      = p + leak                      # integration is zero
+    crossed = p' >= threshold_cmp           # fire comparison
+    p''     = reset(p') if crossed else p'
+    p_next  = clip(max(p'', -floor), MIN, MAX)
+
+The engine therefore skips a core iff **every** neuron in **every**
+lane satisfies both
+
+1. ``p + leak < threshold_cmp`` — the neuron cannot fire, so no spike
+   is emitted, routed, probed, or counted; and
+2. ``clip(max(p + leak, -floor), MIN, MAX) == p`` — the membrane
+   potential is a fixed point of the leak/floor/saturation dynamics.
+
+Under (1) and (2) the tick changes nothing, and by induction the state
+stays a fixed point until the router delivers a spike, so skipping any
+number of such ticks is exactly equivalent to simulating them. Cores
+whose state is *not* yet settled (e.g. a nonzero leak still decaying a
+potential toward its floor) remain in the active set and are ticked
+normally until they settle — correctness never depends on a decay
+shortcut.
+
+Two classes of core are pinned permanently active:
+
+- **Stochastic cores** draw a threshold offset from the lane RNG every
+  tick in the reference engine; skipping them would desynchronise the
+  random stream. They are ticked (and draw) every tick, in ascending
+  core order, exactly like the batch engine.
+- **Stuck-fire cores** (fault-injected ``force_fire``) emit spikes
+  every tick by definition, so they are never quiescent.
+
+Everything else — compilation, float-exactness bounds, fault hashing,
+lane seeding — is inherited from :class:`BatchEngine`; the residual
+active-core inner loop is the batch engine's vectorized matvec applied
+to the active slice. With ``B > 1`` a core is skipped only when it is
+quiescent in *every* lane, so the engine shines at small batch sizes
+and realistic (≤10 %) spike densities; ``benchmarks/bench_engine_batch.py
+--sweep`` records the density/speedup curve in ``BENCH_engine.json``.
+"""
+
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.obs import hwcounters
+from repro.truenorth.engine import BatchEngine, BatchSimulationResult
+from repro.truenorth.system import NeurosynapticSystem
+from repro.truenorth.types import CORE_AXONS, CORE_NEURONS, POTENTIAL_MAX, POTENTIAL_MIN
+
+
+class EventEngine(BatchEngine):
+    """Evaluates B input windows, touching only active cores per tick.
+
+    Construction compiles the system exactly like :class:`BatchEngine`
+    (same arrays, same float-exactness guarantees, same fault
+    compilation); only the tick loop differs. State semantics match the
+    batch engine: ``reset=False`` continues this engine's persistent
+    potentials, in-flight mailbox, *and* the per-core settledness used
+    for skipping.
+
+    Args:
+        system: the fully configured system to compile.
+        faults: optional :class:`repro.faults.FaultPlan` (or compiled
+            :class:`repro.faults.compile.CompiledFaults`) to inject,
+            bit-identically to the other engines.
+    """
+
+    engine_name = "event"
+
+    def __init__(self, system: NeurosynapticSystem, faults=None) -> None:
+        super().__init__(system, faults=faults)
+        always = np.zeros(self.n_cores, dtype=bool)
+        for core_index, _, _ in self._stochastic:
+            always[core_index] = True
+        if self._force_fire is not None:
+            always |= self._force_fire[:, 0, :].any(axis=1)
+        #: Cores ticked unconditionally: stochastic (RNG stream parity)
+        #: and stuck-fire (they emit every tick).
+        self._always_active = always
+        # Event-specific persistent state for reset=False continuation.
+        self._cooling: Optional[np.ndarray] = None
+        self._touched_by_tick: Dict[int, np.ndarray] = {}
+        #: (core, tick) pairs actually integrated in the most recent run
+        #: (includes non-firing active cores), read by tests and the
+        #: density-sweep benchmark to verify work really was skipped.
+        self.last_processed_core_ticks = 0
+
+    # ------------------------------------------------------------------
+    def _unsettled(
+        self, potentials: np.ndarray, core_indices: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Per-core mask of cores whose no-input tick is NOT the identity.
+
+        Args:
+            potentials: ``(k, B, 256)`` potentials — the full state when
+                ``core_indices`` is ``None``, else the slice at those
+                compiled core indices.
+            core_indices: compiled core indices the slice corresponds to.
+
+        Returns:
+            ``(k,)`` bool; ``True`` where the core must keep ticking
+            (could fire without input, or its potential still changes).
+        """
+        sel = slice(None) if core_indices is None else core_indices
+        after_leak = potentials + self._leak[sel]
+        can_fire = after_leak >= self._threshold_cmp[sel]
+        settled = (
+            np.clip(
+                np.maximum(after_leak, self._neg_floor[sel]),
+                POTENTIAL_MIN,
+                POTENTIAL_MAX,
+            )
+            == potentials
+        )
+        return (can_fire | ~settled).any(axis=(1, 2))
+
+    # ------------------------------------------------------------------
+    def _run(
+        self,
+        ticks: int,
+        rasters: Mapping[str, np.ndarray],
+        lane_rngs: Sequence[np.random.Generator],
+        reset: bool,
+        batch: int,
+    ) -> BatchSimulationResult:
+        """The event-driven tick loop behind :meth:`run`."""
+        state_shape = (self.n_cores, batch, CORE_NEURONS)
+        if reset or self._potentials is None:
+            potentials = np.zeros(state_shape, dtype=self._dtype)
+            mailbox: Dict[int, np.ndarray] = {}
+            touched_by_tick: Dict[int, np.ndarray] = {}
+            cooling: Optional[np.ndarray] = None
+        else:
+            if self._potentials.shape != state_shape:
+                raise ValueError(
+                    f"reset=False requires the previous batch size "
+                    f"{self._potentials.shape[1]}, got {batch}"
+                )
+            potentials = self._potentials
+            mailbox = self._mailbox
+            touched_by_tick = self._touched_by_tick
+            cooling = self._cooling
+        if cooling is None:
+            # One full settledness pass at run start; afterwards only
+            # processed cores are re-evaluated (skipped cores are at a
+            # fixed point and provably stay there).
+            cooling = self._unsettled(potentials)
+
+        result = BatchSimulationResult(
+            ticks=ticks,
+            batch=batch,
+            probe_spikes={
+                name: np.zeros((batch, ticks, cores.size), dtype=bool)
+                for name, (cores, _) in self._probes.items()
+            },
+            total_spikes=np.zeros(batch, dtype=np.int64),
+        )
+
+        delivered = dropped = duplicated = 0
+        processed_core_ticks = 0
+        dynamic_faults = self._faults is not None and self._faults.has_dynamic
+        lane_keys = self._faults.lane_keys(batch) if dynamic_faults else None
+        box_shape = (self.n_cores, batch, CORE_AXONS)
+        pos_of = np.empty(self.n_cores, dtype=np.int64)
+        track = hwcounters.enabled()
+        if track:
+            hop_lanes = np.zeros(batch, dtype=np.int64)
+            drop_lanes = np.zeros(batch, dtype=np.int64)
+            dup_lanes = np.zeros(batch, dtype=np.int64)
+            active_lanes = np.zeros(batch, dtype=np.int64)
+            core_spikes = np.zeros((batch, self.n_cores), dtype=np.int64)
+            core_events = np.zeros((batch, self.n_cores), dtype=np.int64)
+            spikes_per_tick = np.zeros((batch, ticks), dtype=np.int64)
+        for tick in range(ticks):
+            current = mailbox.pop(tick, None)
+            touched = touched_by_tick.pop(tick, None)
+            if touched is None:
+                touched = np.zeros(self.n_cores, dtype=bool)
+
+            # 1. External inputs scheduled for this tick.
+            for name, raster in rasters.items():
+                table = self._ports[name]
+                if table.line.size == 0:
+                    continue
+                active_lines = raster[:, tick, :]
+                if not active_lines.any():
+                    continue
+                hits = active_lines[:, table.line]
+                lane_idx, pair_idx = np.nonzero(hits)
+                if lane_idx.size == 0:
+                    continue
+                if current is None:
+                    current = np.zeros(box_shape, dtype=bool)
+                cores_hit = table.core[pair_idx]
+                current[cores_hit, lane_idx, table.axon[pair_idx]] = True
+                touched[cores_hit] = True
+
+            # 2. The active set: cores with deliveries, cores whose leak
+            # dynamics have not settled, and the permanently active ones.
+            active = self._always_active | cooling | touched
+            act = np.flatnonzero(active)
+            if act.size == 0:
+                # Every core is at a no-input fixed point: the tick is
+                # the identity (zero spikes, untouched probes/counters).
+                continue
+            pos_of[act] = np.arange(act.size)
+            processed_core_ticks += act.size
+
+            # 3. Integrate, leak, threshold, fire, reset, saturate — on
+            # the active slice only, reusing the batch engine's math.
+            # Only cores that actually received a delivery need the
+            # matvec (cooling/always-active cores have all-zero axons),
+            # and for small delivery sets per-core matvecs against
+            # weight *views* beat the stacked matmul, whose fancy
+            # indexing copies a full 256x256 matrix per core per tick.
+            # Either path sums exactly representable integers, so the
+            # result is bit-identical regardless (see engine dtype
+            # bounds).
+            pot = potentials[act]
+            if current is not None:
+                cur = current[act]
+                hit = np.flatnonzero(cur.any(axis=(1, 2)))
+                if hit.size:
+                    cur_f = cur[hit].astype(self._dtype)
+                    if track:
+                        core_events[:, act[hit]] += (
+                            (cur_f @ self._row_nnz_f[act[hit]])[..., 0]
+                            .T.astype(np.int64)
+                        )
+                    if hit.size * batch <= 32:
+                        for local, row in enumerate(hit):
+                            pot[row] += cur_f[local] @ self._weights[act[row]]
+                    else:
+                        pot[hit] += cur_f @ self._weights[act[hit]]
+            pot += self._leak[act]
+
+            crossed = pot >= self._threshold_cmp[act]
+            for core_index, mask, spans in self._stochastic:
+                position = pos_of[core_index]
+                offsets = np.empty((batch, spans.size), dtype=np.int64)
+                for lane, generator in enumerate(lane_rngs):
+                    offsets[lane] = generator.integers(0, spans)
+                crossed[position][:, mask] = pot[position][:, mask] >= (
+                    self._threshold_cmp[core_index, 0, mask][None, :]
+                    + offsets.astype(self._dtype)
+                )
+
+            np.copyto(pot, self._reset_potential[act], where=crossed & self._is_hard[act])
+            np.subtract(
+                pot,
+                self._threshold[act],
+                out=pot,
+                where=crossed & self._is_linear[act],
+            )
+            np.maximum(pot, self._neg_floor[act], out=pot)
+            np.clip(pot, POTENTIAL_MIN, POTENTIAL_MAX, out=pot)
+
+            fired = crossed
+            if self._force_fire is not None:
+                fired = (crossed | self._force_fire[act]) & ~self._force_silent[act]
+
+            if track:
+                fired_cb = fired.sum(axis=2)  # (active cores, batch)
+                core_spikes[:, act] += fired_cb.T
+                spikes_per_tick[:, tick] = fired_cb.sum(axis=0)
+                active_lanes += (fired_cb > 0).sum(axis=0)
+                result.total_spikes += spikes_per_tick[:, tick]
+            else:
+                result.total_spikes += fired.sum(axis=(0, 2))
+
+            # 4. Route this tick's output spikes forward (active sources
+            # only — skipped cores cannot have fired).
+            for group in self._route_groups:
+                rows = np.flatnonzero(active[group.src_core])
+                if rows.size == 0:
+                    continue
+                emitted = fired[
+                    pos_of[group.src_core[rows]], :, group.src_neuron[rows]
+                ]
+                if not emitted.any():
+                    continue
+                local_idx, lane_idx = np.nonzero(emitted)
+                route_idx = rows[local_idx]
+                if dynamic_faults:
+                    keep, echo = self._faults.spike_outcomes(
+                        lane_keys[lane_idx],
+                        tick,
+                        group.src_core_id[route_idx],
+                        group.src_neuron[route_idx],
+                    )
+                    dropped += int((~keep).sum())
+                    duplicated += int(echo.sum())
+                    if track:
+                        drop_lanes += np.bincount(
+                            lane_idx[~keep], minlength=batch
+                        )
+                        dup_lanes += np.bincount(
+                            lane_idx[echo], minlength=batch
+                        )
+                    for selector, delay in ((keep, group.delay), (echo, group.delay + 1)):
+                        sel = np.flatnonzero(selector)
+                        if sel.size == 0:
+                            continue
+                        delivered += sel.size
+                        if track:
+                            hop_lanes += np.bincount(
+                                lane_idx[sel], minlength=batch
+                            )
+                        self._deposit(
+                            mailbox,
+                            touched_by_tick,
+                            box_shape,
+                            tick + delay,
+                            group.dst_core[route_idx[sel]],
+                            lane_idx[sel],
+                            group.dst_axon[route_idx[sel]],
+                        )
+                    continue
+                delivered += route_idx.size
+                if track:
+                    hop_lanes += np.bincount(lane_idx, minlength=batch)
+                self._deposit(
+                    mailbox,
+                    touched_by_tick,
+                    box_shape,
+                    tick + group.delay,
+                    group.dst_core[route_idx],
+                    lane_idx,
+                    group.dst_axon[route_idx],
+                )
+
+            # 5. Record probes (inactive probe cores stayed silent).
+            for name, (probe_cores, probe_neurons) in self._probes.items():
+                rows = np.flatnonzero(active[probe_cores])
+                if rows.size:
+                    result.probe_spikes[name][:, tick, rows] = fired[
+                        pos_of[probe_cores[rows]], :, probe_neurons[rows]
+                    ].T
+
+            # 6. Write back and re-evaluate settledness for the cores we
+            # just ticked; skipped cores are at a fixed point already.
+            potentials[act] = pot
+            cooling[act] = self._unsettled(pot, act)
+
+        self._potentials = potentials
+        self._mailbox = mailbox
+        self._touched_by_tick = touched_by_tick
+        self._cooling = cooling
+        self._last_delivered = delivered
+        self._last_dropped = dropped
+        self._last_duplicated = duplicated
+        self.last_processed_core_ticks = processed_core_ticks
+        if track:
+            result.activity = hwcounters.RunActivity(
+                engine=self.engine_name,
+                ticks=ticks,
+                batch=batch,
+                n_cores=self.n_cores,
+                core_ids=self._core_ids,
+                spikes=core_spikes.sum(axis=1),
+                synaptic_events=core_events.sum(axis=1),
+                router_hops=hop_lanes,
+                dropped_spikes=drop_lanes,
+                duplicated_spikes=dup_lanes,
+                active_core_ticks=active_lanes,
+                core_spikes=core_spikes,
+                core_synaptic_events=core_events,
+                spikes_per_tick=spikes_per_tick,
+            )
+        return result
+
+    @staticmethod
+    def _deposit(
+        mailbox: Dict[int, np.ndarray],
+        touched_by_tick: Dict[int, np.ndarray],
+        box_shape: Tuple[int, int, int],
+        due: int,
+        dst_core: np.ndarray,
+        lane_idx: np.ndarray,
+        dst_axon: np.ndarray,
+    ) -> None:
+        """Scatter deliveries into the ``due`` slot, marking target cores."""
+        slot = mailbox.get(due)
+        if slot is None:
+            slot = np.zeros(box_shape, dtype=bool)
+            mailbox[due] = slot
+            touched_by_tick[due] = np.zeros(box_shape[0], dtype=bool)
+        slot[dst_core, lane_idx, dst_axon] = True
+        touched_by_tick[due][dst_core] = True
+
+
+__all__ = ["EventEngine"]

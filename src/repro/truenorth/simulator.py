@@ -16,7 +16,7 @@ from repro.truenorth.system import NeurosynapticSystem
 from repro.truenorth.types import CORE_AXONS, CORE_NEURONS
 from repro.utils.rng import RngLike, resolve_rng, spawn_generators
 
-ENGINES = ("reference", "batch")
+ENGINES = ("reference", "batch", "event")
 
 
 @dataclass
@@ -53,25 +53,29 @@ class SimulationResult:
 class Simulator:
     """Runs a system tick by tick, feeding inputs and recording probes.
 
-    Two interchangeable engines back the same API. The ``reference``
+    Three interchangeable engines back the same API. The ``reference``
     engine advances one core at a time through
     :meth:`NeurosynapticCore.tick` and is the tick-accurate ground
     truth. The ``batch`` engine (:mod:`repro.truenorth.engine`) compiles
     the system into stacked arrays and evaluates whole batches of input
-    windows with one matmul per tick; the conformance suite proves its
+    windows with one matmul per tick. The ``event`` engine
+    (:mod:`repro.truenorth.event_engine`) shares that compilation but
+    advances only cores with pending spike deliveries or unsettled leak
+    dynamics, skipping quiescent cores — fastest at sparse activity and
+    small batch sizes. The conformance suite proves all engines'
     rasters bit-identical to the reference. Single-lane :meth:`run`
     results are bit-identical across engines for the same ``rng``;
     :meth:`run_batch` lane ``i`` is bit-identical to a reference run
-    seeded with ``spawn_generators(rng, batch)[i]`` on either engine.
+    seeded with ``spawn_generators(rng, batch)[i]`` on any engine.
 
     Args:
         system: the fully configured system to simulate.
         rng: randomness source for stochastic neurons; pass a seed for
             reproducible runs.
-        engine: ``"reference"`` (default) or ``"batch"``.
+        engine: ``"reference"`` (default), ``"batch"``, or ``"event"``.
         faults: optional :class:`repro.faults.FaultPlan` (or an already
             compiled :class:`repro.faults.compile.CompiledFaults`) to
-            inject. Both engines inject bit-identically from the same
+            inject. Every engine injects bit-identically from the same
             plan, and fault hashing never consumes from ``rng``, so a
             faulted run uses exactly the random stream of the fault-free
             run.
@@ -96,11 +100,17 @@ class Simulator:
 
             self._faults = compile_faults(faults, system)
         self._lane = 0  # lane index this simulator plays in a batch run
+        # The compiled engine backing this simulator (BatchEngine or its
+        # event-driven subclass); None means the reference loop runs.
         self._batch_engine = None
         if engine == "batch":
             from repro.truenorth.engine import BatchEngine
 
             self._batch_engine = BatchEngine(system, faults=self._faults)
+        elif engine == "event":
+            from repro.truenorth.event_engine import EventEngine
+
+            self._batch_engine = EventEngine(system, faults=self._faults)
 
     def run(
         self,

@@ -21,8 +21,18 @@ from repro.corelets.library.pattern_match import (
     gradient_templates,
 )
 from repro.corelets.library.weighted_sum import NeuronMode, WeightedSumCorelet
+from repro.truenorth.simulator import ENGINES
 from repro.truenorth.system import NeurosynapticSystem
 from repro.truenorth.types import NeuronParameters, ResetMode
+
+#: The compiled engines, each differentially tested against "reference".
+COMPILED_ENGINES: Tuple[str, ...] = tuple(
+    engine for engine in ENGINES if engine != "reference"
+)
+
+#: Input spike densities the conformance matrix sweeps: silent, sparse
+#: (the event engine's home turf), realistic, dense, and saturated.
+DENSITIES: Tuple[float, ...] = (0.0, 0.01, 0.1, 0.5, 1.0)
 
 
 @dataclass(frozen=True)
@@ -78,10 +88,15 @@ def _accumulator() -> NeurosynapticSystem:
     )
 
 
-def _random_system(
+def random_system(
     seed: int, n_cores: int, stochastic_fraction: float
 ) -> NeurosynapticSystem:
-    """A randomized chain of cores with mixed reset modes and delays."""
+    """A randomized chain of cores with mixed reset modes and delays.
+
+    A pure function of its arguments (also the generator behind the
+    hypothesis conformance properties): equal seeds build identical
+    systems, so every engine sees the same corelet.
+    """
     system = NeurosynapticSystem(f"random-{seed}")
     rng = np.random.default_rng(seed)
     modes = [ResetMode.RESET, ResetMode.LINEAR, ResetMode.NONE]
@@ -130,17 +145,17 @@ ENGINE_CASES: Tuple[EngineCase, ...] = (
     EngineCase("accumulator", _accumulator, ticks=40),
     EngineCase(
         "random_deterministic",
-        lambda: _random_system(21, n_cores=2, stochastic_fraction=0.0),
+        lambda: random_system(21, n_cores=2, stochastic_fraction=0.0),
         ticks=36,
     ),
     EngineCase(
         "random_stochastic",
-        lambda: _random_system(22, n_cores=3, stochastic_fraction=0.25),
+        lambda: random_system(22, n_cores=3, stochastic_fraction=0.25),
         ticks=36,
     ),
     EngineCase(
         "single_core_stochastic",
-        lambda: _random_system(23, n_cores=1, stochastic_fraction=1.0),
+        lambda: random_system(23, n_cores=1, stochastic_fraction=1.0),
         ticks=32,
     ),
 )
@@ -176,8 +191,11 @@ def batched_inputs(
 
 __all__ = [
     "CASES_BY_NAME",
+    "COMPILED_ENGINES",
+    "DENSITIES",
     "ENGINE_CASES",
     "EngineCase",
     "batched_inputs",
+    "random_system",
     "shared_inputs",
 ]

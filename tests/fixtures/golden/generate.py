@@ -7,51 +7,101 @@ the simulator:
 
 Each fixture freezes the reference engine's probe rasters for one
 scenario of ``tests/engine_systems.py``, stored sparsely as
-``[tick, line]`` spike coordinates. ``test_golden_traces.py`` replays
-the scenarios through both engines against these files, so a regression
-is caught even if both engines drift together. Review a regenerated
-diff as carefully as a code change — it redefines correctness.
+``[tick, line]`` spike coordinates. The reference engine is the single
+source of truth; before a fixture is written, every registered engine
+(``repro.truenorth.simulator.ENGINES``) replays the scenario and must
+reproduce the trace bit for bit, and the verified engine list is
+recorded in the payload. ``test_golden_traces.py`` replays the
+scenarios through every engine against these files, so a regression is
+caught even if all engines drift together — and asserts regeneration
+is idempotent (committed bytes == freshly generated). Review a
+regenerated diff as carefully as a code change — it redefines
+correctness.
 """
 
 import json
 import sys
 from pathlib import Path
+from typing import Dict
 
 GOLDEN_DIR = Path(__file__).resolve().parent
 
 
-def generate() -> None:
-    from repro.truenorth.simulator import Simulator
+def case_payload(case) -> Dict:
+    """The golden payload for one case: reference-generated, all-engine
+    verified.
 
-    from tests.engine_systems import ENGINE_CASES, shared_inputs
+    Raises:
+        AssertionError: if any registered engine disagrees with the
+            reference trace — a fixture must never be written from a
+            divergent simulator.
+    """
+    import numpy as np
 
-    for case in ENGINE_CASES:
-        simulator = Simulator(case.build(), rng=case.sim_seed)
+    from repro.truenorth.simulator import ENGINES, Simulator
+
+    from tests.engine_systems import shared_inputs
+
+    results = {}
+    for engine in ENGINES:
+        simulator = Simulator(case.build(), rng=case.sim_seed, engine=engine)
         inputs = shared_inputs(
             simulator.system, case.ticks, case.input_seed, case.density
         )
-        result = simulator.run(case.ticks, inputs)
-        payload = {
-            "case": case.name,
-            "ticks": case.ticks,
-            "sim_seed": case.sim_seed,
-            "input_seed": case.input_seed,
-            "density": case.density,
-            "total_spikes": result.total_spikes,
-            "probes": {
-                name: {
-                    "width": int(raster.shape[1]),
-                    "spikes": [
-                        [int(t), int(line)] for t, line in zip(*raster.nonzero())
-                    ],
-                }
-                for name, raster in result.probe_spikes.items()
-            },
-        }
-        path = GOLDEN_DIR / f"{case.name}.json"
-        path.write_text(json.dumps(payload, indent=1) + "\n")
-        print(f"wrote {path.relative_to(GOLDEN_DIR.parent.parent.parent)}")
+        results[engine] = simulator.run(case.ticks, inputs)
+
+    reference = results["reference"]
+    for engine, result in results.items():
+        assert result.total_spikes == reference.total_spikes, (
+            f"{case.name}: {engine} disagrees with reference on total_spikes"
+        )
+        assert result.probe_spikes.keys() == reference.probe_spikes.keys()
+        for name, raster in reference.probe_spikes.items():
+            np.testing.assert_array_equal(
+                result.probe_spikes[name],
+                raster,
+                err_msg=f"{case.name}: {engine} disagrees on probe {name!r}",
+            )
+
+    return {
+        "case": case.name,
+        "ticks": case.ticks,
+        "sim_seed": case.sim_seed,
+        "input_seed": case.input_seed,
+        "density": case.density,
+        "verified_engines": list(ENGINES),
+        "total_spikes": reference.total_spikes,
+        "probes": {
+            name: {
+                "width": int(raster.shape[1]),
+                "spikes": [
+                    [int(t), int(line)] for t, line in zip(*raster.nonzero())
+                ],
+            }
+            for name, raster in reference.probe_spikes.items()
+        },
+    }
+
+
+def render(payload: Dict) -> str:
+    """The canonical on-disk encoding (idempotency depends on this)."""
+    return json.dumps(payload, indent=1) + "\n"
+
+
+def generate(out_dir: Path = GOLDEN_DIR, verbose: bool = True) -> Dict[str, str]:
+    """Write every case's fixture into ``out_dir``; return name -> text."""
+    from tests.engine_systems import ENGINE_CASES
+
+    written = {}
+    for case in ENGINE_CASES:
+        text = render(case_payload(case))
+        path = Path(out_dir) / f"{case.name}.json"
+        path.write_text(text)
+        written[case.name] = text
+        if verbose:
+            print(f"wrote {path}")
+    return written
 
 
 if __name__ == "__main__":
-    sys.exit(generate())
+    sys.exit(generate() and None)

@@ -1,15 +1,23 @@
-"""Differential conformance: batch engine vs the tick-accurate reference.
+"""Differential conformance: every compiled engine vs the reference.
 
-The batch engine is only trustworthy if it is *bit-identical* to the
-reference simulator — the software analogue of the paper's >99.5 % HW/SW
-correlation methodology, tightened to exact equality. Every scenario in
+The compiled engines are only trustworthy if they are *bit-identical* to
+the tick-accurate reference simulator — the software analogue of the
+paper's >99.5 % HW/SW correlation methodology, tightened to exact
+equality. The matrix here is three-way: every scenario in
 ``tests/engine_systems.py`` (corelet-built and randomized, deterministic
-and stochastic) is run through both engines at batch sizes 1, 7, and 32
-with fixed seeds, comparing full probe rasters and total spike counts.
+and stochastic) is run through the ``batch`` and ``event`` engines at
+batch sizes 1, 7, and 32 with fixed seeds, across input densities from
+all-silent to saturated, clean and under every fault kind, comparing
+full probe rasters, total spike counts, and the complete
+:class:`repro.obs.hwcounters.RunActivity` ledger against the reference.
+Hypothesis properties extend the fixed scenarios with randomly generated
+corelet systems and spike densities.
 """
 
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
 from repro.faults import (
     DeadCore,
@@ -21,13 +29,17 @@ from repro.faults import (
     WeightBitFlips,
 )
 from repro.truenorth.engine import BatchEngine, normalize_batch_inputs
-from repro.truenorth.simulator import Simulator
+from repro.truenorth.event_engine import EventEngine
+from repro.truenorth.simulator import ENGINES, Simulator
 from repro.utils.rng import spawn_generators
 
 from tests.engine_systems import (
     CASES_BY_NAME,
+    COMPILED_ENGINES,
+    DENSITIES,
     ENGINE_CASES,
     batched_inputs,
+    random_system,
     shared_inputs,
 )
 
@@ -57,56 +69,112 @@ FAULT_PLANS = {
     ),
 }
 
+#: RunActivity fields the counter-parity contract compares bit for bit.
+COMPARED_FIELDS = (
+    "spikes",
+    "synaptic_events",
+    "membrane_updates",
+    "router_hops",
+    "dropped_spikes",
+    "duplicated_spikes",
+    "active_core_ticks",
+    "core_spikes",
+    "core_synaptic_events",
+    "spikes_per_tick",
+)
+
 
 def _case(name):
     return CASES_BY_NAME[name]
 
 
+def assert_results_identical(ref, got):
+    """Probe rasters and spike totals of two runs are bit-identical."""
+    assert ref.probe_spikes.keys() == got.probe_spikes.keys()
+    for probe, raster in ref.probe_spikes.items():
+        np.testing.assert_array_equal(raster, got.probe_spikes[probe])
+    np.testing.assert_array_equal(ref.total_spikes, got.total_spikes)
+
+
+def assert_ledgers_identical(ref, got):
+    """Every compared RunActivity field (and the derived energy) agrees."""
+    assert (ref.ticks, ref.batch, ref.n_cores) == (
+        got.ticks,
+        got.batch,
+        got.n_cores,
+    )
+    np.testing.assert_array_equal(ref.core_ids, got.core_ids)
+    for field in COMPARED_FIELDS:
+        np.testing.assert_array_equal(
+            getattr(ref, field), getattr(got, field), err_msg=field
+        )
+    np.testing.assert_array_equal(
+        ref.lane_energy_joules(), got.lane_energy_joules()
+    )
+
+
 class TestSingleRunConformance:
+    @pytest.mark.parametrize("engine", COMPILED_ENGINES)
     @pytest.mark.parametrize("name", CASE_NAMES)
-    def test_run_is_bit_identical(self, name):
+    def test_run_is_bit_identical(self, name, engine):
         case = _case(name)
         reference = Simulator(case.build(), rng=case.sim_seed)
-        batch = Simulator(case.build(), rng=case.sim_seed, engine="batch")
+        compiled = Simulator(case.build(), rng=case.sim_seed, engine=engine)
         inputs = shared_inputs(
             reference.system, case.ticks, case.input_seed, case.density
         )
 
         ref = reference.run(case.ticks, inputs)
-        got = batch.run(case.ticks, inputs)
+        got = compiled.run(case.ticks, inputs)
+        assert_results_identical(ref, got)
 
-        assert ref.probe_spikes.keys() == got.probe_spikes.keys()
-        for probe, raster in ref.probe_spikes.items():
-            np.testing.assert_array_equal(raster, got.probe_spikes[probe])
-        assert ref.total_spikes == got.total_spikes
-
+    @pytest.mark.parametrize("engine", COMPILED_ENGINES)
     @pytest.mark.parametrize("name", ["comparator", "random_stochastic"])
-    def test_reset_false_continuation_matches(self, name):
+    def test_reset_false_continuation_matches(self, name, engine):
         case = _case(name)
         reference = Simulator(case.build(), rng=case.sim_seed)
-        batch = Simulator(case.build(), rng=case.sim_seed, engine="batch")
+        compiled = Simulator(case.build(), rng=case.sim_seed, engine=engine)
         inputs = shared_inputs(
             reference.system, case.ticks, case.input_seed, case.density
         )
 
-        for sim in (reference, batch):
+        for sim in (reference, compiled):
             sim.run(case.ticks, inputs)
         # The second run continues membrane potentials AND spikes still in
-        # flight in the router mailbox.
+        # flight in the router mailbox (and, for the event engine, the
+        # persisted per-core settledness used for skipping).
         ref = reference.run(case.ticks, inputs, reset=False)
-        got = batch.run(case.ticks, inputs, reset=False)
-        for probe, raster in ref.probe_spikes.items():
-            np.testing.assert_array_equal(raster, got.probe_spikes[probe])
-        assert ref.total_spikes == got.total_spikes
+        got = compiled.run(case.ticks, inputs, reset=False)
+        assert_results_identical(ref, got)
+
+
+class TestDensityMatrix:
+    """Engines agree at every input density, silent through saturated."""
+
+    @pytest.mark.parametrize("density", DENSITIES)
+    @pytest.mark.parametrize("engine", COMPILED_ENGINES)
+    @pytest.mark.parametrize("name", ["pattern_match", "random_stochastic"])
+    def test_density_sweep_bit_identical(self, name, engine, density):
+        case = _case(name)
+        reference = Simulator(case.build(), rng=case.sim_seed)
+        compiled = Simulator(case.build(), rng=case.sim_seed, engine=engine)
+        inputs = shared_inputs(
+            reference.system, case.ticks, case.input_seed, density
+        )
+        ref = reference.run(case.ticks, inputs)
+        got = compiled.run(case.ticks, inputs)
+        assert_results_identical(ref, got)
+        assert_ledgers_identical(ref.activity, got.activity)
 
 
 class TestBatchRunConformance:
+    @pytest.mark.parametrize("engine", COMPILED_ENGINES)
     @pytest.mark.parametrize("batch", BATCH_SIZES)
     @pytest.mark.parametrize("name", CASE_NAMES)
-    def test_run_batch_is_bit_identical(self, name, batch):
+    def test_run_batch_is_bit_identical(self, name, batch, engine):
         case = _case(name)
         reference = Simulator(case.build(), rng=case.sim_seed)
-        vectorized = Simulator(case.build(), rng=case.sim_seed, engine="batch")
+        vectorized = Simulator(case.build(), rng=case.sim_seed, engine=engine)
         inputs = batched_inputs(
             reference.system, case.ticks, batch, case.input_seed, case.density
         )
@@ -115,17 +183,15 @@ class TestBatchRunConformance:
         got = vectorized.run_batch(case.ticks, inputs)
 
         assert ref.batch == got.batch == batch
-        assert ref.probe_spikes.keys() == got.probe_spikes.keys()
-        for probe, raster in ref.probe_spikes.items():
-            np.testing.assert_array_equal(raster, got.probe_spikes[probe])
-        np.testing.assert_array_equal(ref.total_spikes, got.total_spikes)
+        assert_results_identical(ref, got)
 
+    @pytest.mark.parametrize("engine", COMPILED_ENGINES)
     @pytest.mark.parametrize("name", ["weighted_sum", "random_stochastic"])
-    def test_lane_equals_spawned_reference_run(self, name):
+    def test_lane_equals_spawned_reference_run(self, name, engine):
         """Lane i of a batch run == a reference run seeded with spawn[i]."""
         case = _case(name)
         batch = 5
-        vectorized = Simulator(case.build(), rng=case.sim_seed, engine="batch")
+        vectorized = Simulator(case.build(), rng=case.sim_seed, engine=engine)
         inputs = batched_inputs(
             vectorized.system, case.ticks, batch, case.input_seed, case.density
         )
@@ -142,19 +208,21 @@ class TestBatchRunConformance:
                 np.testing.assert_array_equal(raster, single.probe_spikes[probe])
             assert ref.total_spikes == single.total_spikes
 
-    def test_shared_raster_broadcasts_to_every_lane(self):
+    @pytest.mark.parametrize("engine", COMPILED_ENGINES)
+    def test_shared_raster_broadcasts_to_every_lane(self, engine):
         """A 2-D raster feeds every lane; deterministic lanes agree."""
         case = _case("accumulator")
-        sim = Simulator(case.build(), rng=0, engine="batch")
+        sim = Simulator(case.build(), rng=0, engine=engine)
         inputs = shared_inputs(sim.system, case.ticks, case.input_seed, case.density)
         result = sim.run_batch(case.ticks, inputs, batch=4)
         raster = result.probe_spikes["out"]
         for lane in range(1, 4):
             np.testing.assert_array_equal(raster[0], raster[lane])
 
-    def test_stochastic_lanes_are_independent(self):
+    @pytest.mark.parametrize("engine", COMPILED_ENGINES)
+    def test_stochastic_lanes_are_independent(self, engine):
         case = _case("single_core_stochastic")
-        sim = Simulator(case.build(), rng=9, engine="batch")
+        sim = Simulator(case.build(), rng=9, engine=engine)
         inputs = shared_inputs(sim.system, case.ticks, case.input_seed, case.density)
         result = sim.run_batch(case.ticks, inputs, batch=4)
         raster = result.probe_spikes["out"]
@@ -168,56 +236,56 @@ class TestFaultConformance:
 
     A FaultPlan's decisions are pure functions of (plan seed, fault
     site) — never of iteration order — so the tick-accurate reference
-    and the vectorized batch engine must stay bit-identical under every
-    fault kind, for single runs and for every lane of a batched run.
+    and the compiled engines must stay bit-identical under every fault
+    kind, for single runs and for every lane of a batched run. The
+    event engine makes this a sharp test: its evaluation order differs
+    from both other engines, so any order-dependence in fault hashing
+    would show up here.
     """
 
+    @pytest.mark.parametrize("engine", COMPILED_ENGINES)
     @pytest.mark.parametrize("plan_name", sorted(FAULT_PLANS))
     @pytest.mark.parametrize("name", ["pattern_match", "random_stochastic"])
-    def test_faulted_run_is_bit_identical(self, name, plan_name):
+    def test_faulted_run_is_bit_identical(self, name, plan_name, engine):
         case = _case(name)
         plan = FAULT_PLANS[plan_name]
         reference = Simulator(case.build(), rng=case.sim_seed, faults=plan)
-        batch = Simulator(
-            case.build(), rng=case.sim_seed, engine="batch", faults=plan
+        compiled = Simulator(
+            case.build(), rng=case.sim_seed, engine=engine, faults=plan
         )
         inputs = shared_inputs(
             reference.system, case.ticks, case.input_seed, case.density
         )
 
         ref = reference.run(case.ticks, inputs)
-        got = batch.run(case.ticks, inputs)
+        got = compiled.run(case.ticks, inputs)
+        assert_results_identical(ref, got)
 
-        assert ref.probe_spikes.keys() == got.probe_spikes.keys()
-        for probe, raster in ref.probe_spikes.items():
-            np.testing.assert_array_equal(raster, got.probe_spikes[probe])
-        assert ref.total_spikes == got.total_spikes
-
+    @pytest.mark.parametrize("engine", COMPILED_ENGINES)
     @pytest.mark.parametrize("name", CASE_NAMES)
-    def test_composite_plan_all_cases(self, name):
+    def test_composite_plan_all_cases(self, name, engine):
         case = _case(name)
         plan = FAULT_PLANS["composite"]
         reference = Simulator(case.build(), rng=case.sim_seed, faults=plan)
-        batch = Simulator(
-            case.build(), rng=case.sim_seed, engine="batch", faults=plan
+        compiled = Simulator(
+            case.build(), rng=case.sim_seed, engine=engine, faults=plan
         )
         inputs = shared_inputs(
             reference.system, case.ticks, case.input_seed, case.density
         )
         ref = reference.run(case.ticks, inputs)
-        got = batch.run(case.ticks, inputs)
-        for probe, raster in ref.probe_spikes.items():
-            np.testing.assert_array_equal(raster, got.probe_spikes[probe])
-        assert ref.total_spikes == got.total_spikes
+        got = compiled.run(case.ticks, inputs)
+        assert_results_identical(ref, got)
 
+    @pytest.mark.parametrize("engine", COMPILED_ENGINES)
     @pytest.mark.parametrize("batch", BATCH_SIZES)
     @pytest.mark.parametrize("plan_name", ["drop", "composite"])
-    def test_faulted_batch_run_is_bit_identical(self, plan_name, batch):
+    def test_faulted_batch_run_is_bit_identical(self, plan_name, batch, engine):
         case = _case("random_stochastic")
         plan = FAULT_PLANS[plan_name]
         reference = Simulator(case.build(), rng=case.sim_seed, faults=plan)
         vectorized = Simulator(
-            case.build(), rng=case.sim_seed, engine="batch", faults=plan
+            case.build(), rng=case.sim_seed, engine=engine, faults=plan
         )
         inputs = batched_inputs(
             reference.system, case.ticks, batch, case.input_seed, case.density
@@ -225,16 +293,14 @@ class TestFaultConformance:
 
         ref = reference.run_batch(case.ticks, inputs)
         got = vectorized.run_batch(case.ticks, inputs)
+        assert_results_identical(ref, got)
 
-        for probe, raster in ref.probe_spikes.items():
-            np.testing.assert_array_equal(raster, got.probe_spikes[probe])
-        np.testing.assert_array_equal(ref.total_spikes, got.total_spikes)
-
-    def test_dynamic_fault_lanes_differ(self):
+    @pytest.mark.parametrize("engine", COMPILED_ENGINES)
+    def test_dynamic_fault_lanes_differ(self, engine):
         """Per-delivery faults are keyed by lane, so lanes de-correlate."""
         case = _case("pattern_match")
         plan = FAULT_PLANS["drop"]
-        sim = Simulator(case.build(), rng=case.sim_seed, engine="batch", faults=plan)
+        sim = Simulator(case.build(), rng=case.sim_seed, engine=engine, faults=plan)
         inputs = shared_inputs(sim.system, case.ticks, case.input_seed, case.density)
         result = sim.run_batch(case.ticks, inputs, batch=4)
         raster = result.probe_spikes["out"]
@@ -242,11 +308,12 @@ class TestFaultConformance:
             not np.array_equal(raster[0], raster[lane]) for lane in range(1, 4)
         )
 
-    def test_static_faults_identical_across_lanes(self):
+    @pytest.mark.parametrize("engine", COMPILED_ENGINES)
+    def test_static_faults_identical_across_lanes(self, engine):
         """Chip-level faults are lane-independent by definition."""
         case = _case("pattern_match")
         plan = FAULT_PLANS["bit_flips"]
-        sim = Simulator(case.build(), rng=case.sim_seed, engine="batch", faults=plan)
+        sim = Simulator(case.build(), rng=case.sim_seed, engine=engine, faults=plan)
         inputs = shared_inputs(sim.system, case.ticks, case.input_seed, case.density)
         result = sim.run_batch(case.ticks, inputs, batch=3)
         raster = result.probe_spikes["out"]
@@ -277,7 +344,7 @@ class TestFaultConformance:
         # silence is the only conformant outcome.
         assert result.total_spikes == 0
 
-    @pytest.mark.parametrize("engine", ["reference", "batch"])
+    @pytest.mark.parametrize("engine", ENGINES)
     def test_faulted_same_seed_runs_identical(self, engine):
         case = _case("random_stochastic")
         plan = FAULT_PLANS["composite"]
@@ -298,32 +365,22 @@ class TestFaultConformance:
 class TestCounterParity:
     """The hardware-counter ledger is part of the conformance contract.
 
-    Both engines populate a :class:`repro.obs.RunActivity` per run
+    Every engine populates a :class:`repro.obs.RunActivity` per run
     (DESIGN.md §12); every field — per-lane totals, per-core rollups,
     the per-tick spike series, and the attributed energy derived from
     them — must be bit-identical between the tick-accurate reference
-    and the vectorized batch engine, clean and under fault injection.
+    and each compiled engine, clean and under fault injection. For the
+    event engine this doubles as the skip-correctness proof: a
+    wrongly-skipped core would under-count synaptic events, active-core
+    ticks, or router hops even when the rasters happen to agree.
     """
 
-    COMPARED_FIELDS = (
-        "spikes",
-        "synaptic_events",
-        "membrane_updates",
-        "router_hops",
-        "dropped_spikes",
-        "duplicated_spikes",
-        "active_core_ticks",
-        "core_spikes",
-        "core_synaptic_events",
-        "spikes_per_tick",
-    )
-
     @staticmethod
-    def _activities(name, plan, batch):
+    def _activities(name, plan, batch, engine):
         case = _case(name)
         reference = Simulator(case.build(), rng=case.sim_seed, faults=plan)
         vectorized = Simulator(
-            case.build(), rng=case.sim_seed, engine="batch", faults=plan
+            case.build(), rng=case.sim_seed, engine=engine, faults=plan
         )
         inputs = batched_inputs(
             reference.system, case.ticks, batch, case.input_seed, case.density
@@ -333,37 +390,25 @@ class TestCounterParity:
         assert ref.activity is not None and got.activity is not None
         return ref.activity, got.activity
 
-    def _assert_ledgers_identical(self, ref, got):
-        assert (ref.ticks, ref.batch, ref.n_cores) == (
-            got.ticks,
-            got.batch,
-            got.n_cores,
-        )
-        np.testing.assert_array_equal(ref.core_ids, got.core_ids)
-        for field in self.COMPARED_FIELDS:
-            np.testing.assert_array_equal(
-                getattr(ref, field), getattr(got, field), err_msg=field
-            )
-        np.testing.assert_array_equal(
-            ref.lane_energy_joules(), got.lane_energy_joules()
-        )
-
+    @pytest.mark.parametrize("engine", COMPILED_ENGINES)
     @pytest.mark.parametrize("batch", BATCH_SIZES)
     @pytest.mark.parametrize("name", CASE_NAMES)
-    def test_clean_counters_bit_identical(self, name, batch):
-        ref, got = self._activities(name, None, batch)
-        self._assert_ledgers_identical(ref, got)
+    def test_clean_counters_bit_identical(self, name, batch, engine):
+        ref, got = self._activities(name, None, batch, engine)
+        assert_ledgers_identical(ref, got)
 
+    @pytest.mark.parametrize("engine", COMPILED_ENGINES)
     @pytest.mark.parametrize("plan_name", sorted(FAULT_PLANS))
-    def test_faulted_counters_bit_identical(self, plan_name):
+    def test_faulted_counters_bit_identical(self, plan_name, engine):
         ref, got = self._activities(
-            "random_stochastic", FAULT_PLANS[plan_name], 5
+            "random_stochastic", FAULT_PLANS[plan_name], 5, engine
         )
-        self._assert_ledgers_identical(ref, got)
+        assert_ledgers_identical(ref, got)
 
-    def test_spikes_field_matches_total_spikes(self):
+    @pytest.mark.parametrize("engine", COMPILED_ENGINES)
+    def test_spikes_field_matches_total_spikes(self, engine):
         case = _case("pattern_match")
-        sim = Simulator(case.build(), rng=case.sim_seed, engine="batch")
+        sim = Simulator(case.build(), rng=case.sim_seed, engine=engine)
         inputs = batched_inputs(
             sim.system, case.ticks, 3, case.input_seed, case.density
         )
@@ -372,28 +417,30 @@ class TestCounterParity:
             result.activity.spikes, result.total_spikes
         )
 
-    def test_fault_hops_reconcile_with_engine_counters(self):
+    @pytest.mark.parametrize("engine", COMPILED_ENGINES)
+    def test_fault_hops_reconcile_with_engine_counters(self, engine):
         """dropped/duplicated lane sums == the engine's scalar counters."""
         case = _case("random_stochastic")
         plan = FAULT_PLANS["composite"]
         sim = Simulator(
-            case.build(), rng=case.sim_seed, engine="batch", faults=plan
+            case.build(), rng=case.sim_seed, engine=engine, faults=plan
         )
         inputs = batched_inputs(
             sim.system, case.ticks, 7, case.input_seed, case.density
         )
         result = sim.run_batch(case.ticks, inputs)
         activity = result.activity
-        engine = sim._batch_engine
-        assert int(activity.dropped_spikes.sum()) == engine._last_dropped
-        assert int(activity.duplicated_spikes.sum()) == engine._last_duplicated
-        assert int(activity.router_hops.sum()) == engine._last_delivered
+        compiled = sim._batch_engine
+        assert int(activity.dropped_spikes.sum()) == compiled._last_dropped
+        assert int(activity.duplicated_spikes.sum()) == compiled._last_duplicated
+        assert int(activity.router_hops.sum()) == compiled._last_delivered
 
-    def test_lane_slices_match_single_lane_reference(self):
+    @pytest.mark.parametrize("engine", COMPILED_ENGINES)
+    def test_lane_slices_match_single_lane_reference(self, engine):
         """activity.lane(i) of a batch run == lane i's reference ledger."""
         case = _case("weighted_sum")
         batch = 4
-        sim = Simulator(case.build(), rng=case.sim_seed, engine="batch")
+        sim = Simulator(case.build(), rng=case.sim_seed, engine=engine)
         inputs = batched_inputs(
             sim.system, case.ticks, batch, case.input_seed, case.density
         )
@@ -405,20 +452,182 @@ class TestCounterParity:
             ref = Simulator(case.build(), rng=lanes[lane]).run(
                 case.ticks, lane_inputs
             )
-            self._assert_ledgers_identical(
+            assert_ledgers_identical(
                 ref.activity, result.activity.lane(lane)
             )
+
+
+class TestEventEngineEdgeCases:
+    """The sparsity contract at its extremes: silent, skipping, saturated."""
+
+    def test_all_silent_touches_zero_cores(self):
+        """Zero input spikes => zero cores integrated, zero activity."""
+        case = _case("pattern_match")  # deterministic, leak-settled at reset
+        reference = Simulator(case.build(), rng=case.sim_seed)
+        event = Simulator(case.build(), rng=case.sim_seed, engine="event")
+        silent = {
+            name: np.zeros((case.ticks, port.width), dtype=bool)
+            for name, port in event.system.input_ports.items()
+        }
+        ref = reference.run(case.ticks, silent)
+        got = event.run(case.ticks, silent)
+        assert_results_identical(ref, got)
+        assert_ledgers_identical(ref.activity, got.activity)
+        assert got.total_spikes == 0
+        assert int(got.activity.active_core_ticks.sum()) == 0
+        # The engine-internal work counter: not a single (core, tick)
+        # pair was integrated.
+        assert event._batch_engine.last_processed_core_ticks == 0
+
+    def test_stochastic_cores_are_never_skipped(self):
+        """Silent stochastic cores still tick (RNG stream alignment)."""
+        case = _case("single_core_stochastic")
+        event = Simulator(case.build(), rng=case.sim_seed, engine="event")
+        silent = {
+            name: np.zeros((case.ticks, port.width), dtype=bool)
+            for name, port in event.system.input_ports.items()
+        }
+        reference = Simulator(case.build(), rng=case.sim_seed)
+        ref = reference.run(case.ticks, silent)
+        got = event.run(case.ticks, silent)
+        assert_results_identical(ref, got)
+        n_cores = len(event.system.cores)
+        assert (
+            event._batch_engine.last_processed_core_ticks
+            == case.ticks * n_cores
+        )
+
+    def test_sparse_input_actually_skips_work(self):
+        """At 1% density the event engine integrates < 60% of core-ticks.
+
+        Not a timing assertion — a structural one: the speedup the
+        density sweep in ``BENCH_engine.json`` records exists because
+        work is skipped, and this pins that mechanism in tier-1.
+        """
+        case = _case("pattern_match")  # leak-free: quiescence is reachable
+        event = Simulator(case.build(), rng=case.sim_seed, engine="event")
+        inputs = shared_inputs(event.system, case.ticks, case.input_seed, 0.01)
+        event.run(case.ticks, inputs)
+        total = case.ticks * len(event.system.cores)
+        assert 0 < event._batch_engine.last_processed_core_ticks < 0.6 * total
+
+    @pytest.mark.parametrize("batch", [1, 7])
+    def test_saturated_density_matches_batch_engine_exactly(self, batch):
+        """100% input density: every counter equals the batch engine's."""
+        case = _case("random_stochastic")
+        vectorized = Simulator(case.build(), rng=case.sim_seed, engine="batch")
+        event = Simulator(case.build(), rng=case.sim_seed, engine="event")
+        inputs = batched_inputs(
+            vectorized.system, case.ticks, batch, case.input_seed, 1.0
+        )
+        dense = vectorized.run_batch(case.ticks, inputs)
+        sparse = event.run_batch(case.ticks, inputs)
+        assert_results_identical(dense, sparse)
+        assert_ledgers_identical(dense.activity, sparse.activity)
+
+    def test_event_engine_backs_the_simulator_slot(self):
+        """The event engine rides the compiled-engine delegation path."""
+        sim = Simulator(_case("accumulator").build(), rng=0, engine="event")
+        assert isinstance(sim._batch_engine, EventEngine)
+        assert isinstance(sim._batch_engine, BatchEngine)
+
+
+#: Hypothesis search space: small randomized corelet chains. Systems are
+#: pure functions of the drawn seed (see ``random_system``), densities
+#: span silent to saturated, and ticks stay small so each example runs
+#: the slow reference engine too.
+_PROPERTY_SETTINGS = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+_system_seeds = st.integers(min_value=0, max_value=10**6)
+_densities = st.sampled_from(DENSITIES)
+_stochastic_fractions = st.sampled_from([0.0, 0.3])
+
+
+class TestCrossEngineProperties:
+    """Hypothesis: conformance holds for *arbitrary* corelet systems.
+
+    The fixed cases pin known-tricky structures; these properties sample
+    the space of randomized systems (mixed reset modes, leaks, floors,
+    stochastic neurons, multi-delay routing) crossed with input
+    densities from 0 to 100%, asserting the full contract — rasters,
+    totals, and every RunActivity counter — against the reference.
+    """
+
+    @_PROPERTY_SETTINGS
+    @given(
+        seed=_system_seeds,
+        n_cores=st.integers(min_value=1, max_value=2),
+        stochastic_fraction=_stochastic_fractions,
+        density=_densities,
+    )
+    def test_event_outputs_and_counters_match_reference(
+        self, seed, n_cores, stochastic_fraction, density
+    ):
+        ticks = 10
+        reference = Simulator(
+            random_system(seed, n_cores, stochastic_fraction), rng=seed
+        )
+        event = Simulator(
+            random_system(seed, n_cores, stochastic_fraction),
+            rng=seed,
+            engine="event",
+        )
+        inputs = shared_inputs(reference.system, ticks, seed + 1, density)
+        ref = reference.run(ticks, inputs)
+        got = event.run(ticks, inputs)
+        assert_results_identical(ref, got)
+        assert_ledgers_identical(ref.activity, got.activity)
+
+    @_PROPERTY_SETTINGS
+    @given(
+        seed=_system_seeds,
+        density=_densities,
+        plan_name=st.sampled_from(sorted(FAULT_PLANS)),
+    )
+    def test_event_parity_holds_under_every_fault_kind(
+        self, seed, density, plan_name
+    ):
+        ticks = 10
+        plan = FAULT_PLANS[plan_name]
+        reference = Simulator(
+            random_system(seed, 2, 0.2), rng=seed, faults=plan
+        )
+        event = Simulator(
+            random_system(seed, 2, 0.2), rng=seed, engine="event", faults=plan
+        )
+        inputs = shared_inputs(reference.system, ticks, seed + 1, density)
+        ref = reference.run(ticks, inputs)
+        got = event.run(ticks, inputs)
+        assert_results_identical(ref, got)
+        assert_ledgers_identical(ref.activity, got.activity)
+
+    @_PROPERTY_SETTINGS
+    @given(seed=_system_seeds, density=_densities)
+    def test_compiled_engines_agree_batched(self, seed, density):
+        """batch and event agree lane-for-lane on random batched runs."""
+        ticks = 10
+        batch = 3
+        dense = Simulator(random_system(seed, 2, 0.2), rng=seed, engine="batch")
+        sparse = Simulator(random_system(seed, 2, 0.2), rng=seed, engine="event")
+        inputs = batched_inputs(dense.system, ticks, batch, seed + 1, density)
+        got_dense = dense.run_batch(ticks, inputs)
+        got_sparse = sparse.run_batch(ticks, inputs)
+        assert_results_identical(got_dense, got_sparse)
+        assert_ledgers_identical(got_dense.activity, got_sparse.activity)
 
 
 class TestDeterminism:
     """Same seed, same system, same inputs => identical results.
 
-    This is what the SeedSequence-based lane spawning buys: the two
-    engines derive their stochastic streams from the seed alone, never
+    This is what the SeedSequence-based lane spawning buys: every
+    engine derives its stochastic streams from the seed alone, never
     from shared mutable generator state.
     """
 
-    @pytest.mark.parametrize("engine", ["reference", "batch"])
+    @pytest.mark.parametrize("engine", ENGINES)
     @pytest.mark.parametrize("name", ["random_stochastic", "single_core_stochastic"])
     def test_same_seed_runs_identical(self, name, engine):
         case = _case(name)
@@ -435,7 +644,7 @@ class TestDeterminism:
             np.testing.assert_array_equal(raster, results[1].probe_spikes[probe])
         assert results[0].total_spikes == results[1].total_spikes
 
-    @pytest.mark.parametrize("engine", ["reference", "batch"])
+    @pytest.mark.parametrize("engine", ENGINES)
     def test_same_seed_batch_runs_identical(self, engine):
         case = _case("random_stochastic")
         inputs = batched_inputs(
@@ -455,7 +664,7 @@ class TestDeterminism:
 
 
 class TestBatchApiValidation:
-    @pytest.mark.parametrize("engine", ["reference", "batch"])
+    @pytest.mark.parametrize("engine", ENGINES)
     def test_run_batch_rejects_reset_false(self, engine):
         case = _case("accumulator")
         sim = Simulator(case.build(), rng=0, engine=engine)
@@ -466,9 +675,10 @@ class TestBatchApiValidation:
         with pytest.raises(ValueError, match="engine"):
             Simulator(_case("accumulator").build(), engine="warp")
 
-    def test_batch_size_must_be_inferable(self):
+    @pytest.mark.parametrize("engine", COMPILED_ENGINES)
+    def test_batch_size_must_be_inferable(self, engine):
         case = _case("accumulator")
-        sim = Simulator(case.build(), rng=0, engine="batch")
+        sim = Simulator(case.build(), rng=0, engine=engine)
         inputs = shared_inputs(sim.system, 4, 0, 0.5)
         with pytest.raises(ValueError, match="batch"):
             sim.run_batch(4, inputs)
@@ -487,16 +697,18 @@ class TestBatchApiValidation:
                 system, 4, {"in": np.zeros((4, 99), dtype=bool)}, batch=1
             )
 
-    def test_reset_false_with_changed_batch_rejected(self):
+    @pytest.mark.parametrize("engine_cls", [BatchEngine, EventEngine])
+    def test_reset_false_with_changed_batch_rejected(self, engine_cls):
         case = _case("accumulator")
-        engine = BatchEngine(case.build())
+        engine = engine_cls(case.build())
         engine.run(2, {}, spawn_generators(0, 3))
         with pytest.raises(ValueError, match="batch"):
             engine.run(2, {}, spawn_generators(0, 2), reset=False)
 
-    def test_zero_ticks(self):
+    @pytest.mark.parametrize("engine", COMPILED_ENGINES)
+    def test_zero_ticks(self, engine):
         case = _case("accumulator")
-        sim = Simulator(case.build(), rng=0, engine="batch")
+        sim = Simulator(case.build(), rng=0, engine=engine)
         result = sim.run_batch(0, batch=2)
         assert result.probe_spikes["out"].shape == (2, 0, 4)
         np.testing.assert_array_equal(result.total_spikes, [0, 0])

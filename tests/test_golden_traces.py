@@ -1,9 +1,13 @@
-"""Replay the checked-in golden spike traces through both engines.
+"""Replay the checked-in golden spike traces through every engine.
 
-The differential conformance suite proves the two engines agree with
-*each other*; these fixtures pin them to rasters recorded at a known-good
-revision, so a semantic regression is caught even if both engines drift
-together. Regenerate intentionally with
+The differential conformance suite proves the engines agree with *each
+other*; these fixtures pin them to rasters recorded at a known-good
+revision, so a semantic regression is caught even if all engines drift
+together. The generator (``tests/fixtures/golden/generate.py``) emits
+from a single source of truth — the reference engine — and refuses to
+write a fixture any registered engine fails to reproduce; a test here
+asserts regeneration is byte-idempotent against the committed files.
+Regenerate intentionally with
 ``PYTHONPATH=src:. python tests/fixtures/golden/generate.py``.
 """
 
@@ -13,9 +17,10 @@ from pathlib import Path
 import numpy as np
 import pytest
 
-from repro.truenorth.simulator import Simulator
+from repro.truenorth.simulator import ENGINES, Simulator
 
-from tests.engine_systems import CASES_BY_NAME, shared_inputs
+from tests.engine_systems import CASES_BY_NAME, ENGINE_CASES, shared_inputs
+from tests.fixtures.golden.generate import case_payload, render
 
 GOLDEN_DIR = Path(__file__).resolve().parent / "fixtures" / "golden"
 GOLDEN_FILES = sorted(GOLDEN_DIR.glob("*.json"))
@@ -39,7 +44,15 @@ def test_every_case_has_a_golden_trace():
     assert {path.stem for path in GOLDEN_FILES} == set(CASES_BY_NAME)
 
 
-@pytest.mark.parametrize("engine", ["reference", "batch"])
+def test_goldens_were_verified_against_every_registered_engine():
+    """A new engine forces regeneration: stale fixtures fail loudly."""
+    for path in GOLDEN_FILES:
+        assert _load(path)["verified_engines"] == list(ENGINES), (
+            f"{path.name} predates an engine registration; regenerate"
+        )
+
+
+@pytest.mark.parametrize("engine", ENGINES)
 @pytest.mark.parametrize(
     "path", GOLDEN_FILES, ids=[path.stem for path in GOLDEN_FILES]
 )
@@ -64,3 +77,15 @@ def test_engine_reproduces_golden_trace(path, engine):
     for name, raster in expected.items():
         np.testing.assert_array_equal(result.probe_spikes[name], raster)
     assert result.total_spikes == payload["total_spikes"]
+
+
+@pytest.mark.parametrize(
+    "case", ENGINE_CASES, ids=[case.name for case in ENGINE_CASES]
+)
+def test_regeneration_is_idempotent(case):
+    """Committed fixture bytes == a fresh run of the generator."""
+    committed = (GOLDEN_DIR / f"{case.name}.json").read_text()
+    assert render(case_payload(case)) == committed, (
+        f"{case.name}.json is stale; rerun tests/fixtures/golden/generate.py "
+        "and review the diff as a semantic change"
+    )

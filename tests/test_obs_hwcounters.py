@@ -200,18 +200,19 @@ class TestRecordRun:
         assert collector.runs == []
         assert self._saved.get("hw_spikes_total") is None
 
-    def test_disabled_engine_skips_the_ledger(self):
+    @pytest.mark.parametrize("engine", ["batch", "event"])
+    def test_disabled_engine_skips_the_ledger(self, engine):
         case = CASES_BY_NAME["pattern_match"]
         inputs = batched_inputs(
             case.build(), case.ticks, 2, case.input_seed, case.density
         )
         hwcounters.configure(False)
         off = Simulator(
-            case.build(), rng=case.sim_seed, engine="batch"
+            case.build(), rng=case.sim_seed, engine=engine
         ).run_batch(case.ticks, inputs)
         hwcounters.configure(True)
         on = Simulator(
-            case.build(), rng=case.sim_seed, engine="batch"
+            case.build(), rng=case.sim_seed, engine=engine
         ).run_batch(case.ticks, inputs)
         assert off.activity is None
         assert on.activity is not None
@@ -231,7 +232,7 @@ class TestParrotEnergyParity:
         network, _, _ = tiny_parrot
         cells = np.random.default_rng(11).random((4, 64))
         energies = {}
-        for engine in ("batch", "reference"):
+        for engine in ("batch", "event", "reference"):
             extractor = ParrotExtractor(
                 network,
                 ParrotFeatureConfig(spikes=4),
@@ -242,12 +243,16 @@ class TestParrotEnergyParity:
             with hwcounters.collect() as collector:
                 extractor.cell_histograms_batch(cells)
             energies[engine] = collector.lane_energy_joules()
-        assert energies["batch"].shape == (4,)
-        assert energies["reference"].shape == (4,)
-        assert np.all(energies["batch"] > 0)
+        for engine, joules in energies.items():
+            assert joules.shape == (4,), engine
+            assert np.all(joules > 0), engine
         np.testing.assert_allclose(
             energies["batch"], energies["reference"], rtol=0.01
         )
+        # The compiled engines share one ledger implementation and are
+        # counter-parity tested bit for bit, so their derived energies
+        # must agree exactly, not just within tolerance.
+        np.testing.assert_array_equal(energies["event"], energies["batch"])
 
     def test_energy_model_activity_roundtrip(self):
         spikes = np.array([10, 20])

@@ -23,7 +23,7 @@ from repro.serve import (
 )
 
 
-def _small_scorer(coding="content"):
+def _small_scorer(coding="content", engine="batch"):
     network = EednNetwork(
         [
             TrinaryDense(8, 16, rng=0),
@@ -31,7 +31,9 @@ def _small_scorer(coding="content"):
             TrinaryDense(16, 2, rng=1),
         ]
     )
-    return TrueNorthBinaryScorer(network, ticks=8, rng=7, coding=coding)
+    return TrueNorthBinaryScorer(
+        network, ticks=8, rng=7, coding=coding, engine=engine
+    )
 
 
 class _TinyExtractor:
@@ -85,6 +87,86 @@ class TestScorerDifferential:
         assert not scorer.cacheable
         service = InferenceService(scorer, cache_capacity=128)
         assert service.cache is None
+
+
+class TestEventEngineDifferential:
+    """The event engine through the serving stack, vs the batch engine.
+
+    Served scores, cache identity, and attributed energy must match the
+    batch engine byte for byte — the engine choice is an implementation
+    detail the serving layer (and its cache) must be unable to observe.
+    """
+
+    def test_served_scores_bit_identical_to_batch(self):
+        rows = np.random.default_rng(5).random((30, 8))
+        direct_batch = _small_scorer(engine="batch").decision_function(rows)
+        with InferenceService(
+            _small_scorer(engine="event"), max_batch_size=8, max_wait_ms=1.0
+        ) as svc:
+            served_event = svc.score_many(rows)
+        np.testing.assert_array_equal(direct_batch, served_event)
+
+    def test_cache_keys_match_batch_engine(self):
+        """model_id excludes the engine, so caches are shared across it."""
+        batch_scorer = _small_scorer(engine="batch")
+        event_scorer = _small_scorer(engine="event")
+        assert event_scorer.model_id == batch_scorer.model_id
+        assert event_scorer.cacheable and batch_scorer.cacheable
+
+    def test_cache_hits_are_bit_identical(self):
+        scorer = _small_scorer(engine="event")
+        rows = np.random.default_rng(6).random((10, 8))
+        duplicated = np.vstack([rows, rows, rows])
+        direct = _small_scorer(engine="batch").decision_function(duplicated)
+        with InferenceService(scorer, max_batch_size=4) as svc:
+            svc.score_many(rows)  # warm the cache deterministically
+            served = svc.score_many(duplicated)
+            assert svc.stats.counter("cache_hits") == 30
+        np.testing.assert_array_equal(direct, served)
+
+    def test_served_energy_attribution_matches_batch(self):
+        """The service's per-request energy ledger agrees exactly.
+
+        Counter parity makes the per-lane ledgers bit-identical and
+        per-lane energy is independent of micro-batch composition, so
+        the attributed totals must match to the bit even though the two
+        services batch the request stream differently.
+        """
+        rows = np.random.default_rng(8).random((12, 8))
+        totals = {}
+        for engine in ("batch", "event"):
+            with InferenceService(
+                _small_scorer(engine=engine),
+                max_batch_size=4,
+                max_wait_ms=1.0,
+            ) as svc:
+                svc.score_many(rows)
+                snapshot = svc.stats.snapshot()
+            assert snapshot["energy_nj"]["count"] == len(rows)
+            totals[engine] = snapshot["energy_nj"]["total"]
+        assert totals["batch"] > 0
+        assert totals["event"] == totals["batch"]
+
+    def test_detector_through_service_matches_batch(self):
+        image = np.random.default_rng(9).random((40, 40))
+
+        def build(active_scorer):
+            return SlidingWindowDetector(
+                _TinyExtractor(),
+                active_scorer,
+                feature_mode="cells",
+                window_shape=(16, 16),
+                score_threshold=-1e9,
+                chunk_size=5,
+            )
+
+        direct = build(_small_scorer(engine="batch")).detect(image)
+        with InferenceService(
+            _small_scorer(engine="event"), max_batch_size=8, max_wait_ms=1.0
+        ) as svc:
+            served = build(ServiceBackedScorer(svc)).detect(image)
+        assert direct == served
+        assert len(direct) > 0
 
 
 class TestDetectorDifferential:
