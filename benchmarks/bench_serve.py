@@ -37,12 +37,15 @@ import numpy as np
 
 from repro.obs import flight, hwcounters
 from repro.serve import (
+    HardwarePacedModel,
     InferenceService,
     NApproxCellModel,
+    ShardedInferenceService,
     closed_loop,
     random_patch_rows,
     sequential_baseline,
 )
+from repro.truenorth.power import TICK_SECONDS
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -62,6 +65,153 @@ def _timed_load(model, rows, args):
         )
         snapshot = service.stats.snapshot()
     return report, snapshot
+
+
+def run_workers_sweep(args):
+    """Throughput of the sharded worker tier at N ∈ ``--sweep-workers``.
+
+    The workload is device-paced: each micro-batch call holds its
+    worker for ``--sweep-pace-ms`` of wall time, modeling the service
+    interval of one chip assembly per batch — spike-window playback
+    (``window`` ticks at ``TICK_SECONDS`` per tick, the chip's
+    real-time cadence) plus the host-link round trip, which dominates
+    it. Scale-out buys the ability to *overlap* those device intervals
+    across assemblies, and that is exactly what the sweep measures; the
+    pace is chosen to dominate host compute per batch so the numbers
+    stay meaningful on a single-CPU runner (a CPU-bound sweep would
+    measure process contention, not serving architecture).
+
+    Before timing, every shard count is probed for bit-identity against
+    the direct engine call; after timing, the per-N activity ledgers
+    must agree exactly on router/cross-chip hop totals (scale-out
+    replicates the placed model per worker, so cross-chip traffic per
+    request is invariant in N — the "bounded cross-chip traffic"
+    guarantee) and the attributed energy must match across N.
+
+    Returns the ``workers_sweep`` payload dict, or ``None`` on an
+    identity violation (the caller fails the bench).
+    """
+    worker_counts = tuple(
+        int(n) for n in str(args.sweep_workers).split(",") if n.strip()
+    )
+    pace_s = args.sweep_pace_ms / 1e3
+    window_s = args.sweep_window * TICK_SECONDS
+    if pace_s < window_s:
+        print(
+            f"WARN: sweep pace {pace_s * 1e3:.0f} ms is below the "
+            f"real-time spike window ({window_s * 1e3:.0f} ms); batches "
+            "cannot finish faster than the window on hardware",
+        )
+    base = NApproxCellModel(
+        window=args.sweep_window,
+        engine="batch",
+        cores_per_chip=args.cores_per_chip,
+    )
+    rows = random_patch_rows(args.sweep_requests, rng=1)
+    probe = random_patch_rows(8, rng=2)
+    direct = base(probe)
+
+    print(
+        f"workers sweep: pace {pace_s * 1e3:.0f} ms/batch "
+        f"(window {args.sweep_window} at {TICK_SECONDS * 1e3:.0f} ms/tick "
+        f"+ host link), {args.sweep_requests} requests, "
+        f"batch {args.sweep_batch_size}"
+    )
+    points = []
+    for workers in worker_counts:
+        service = ShardedInferenceService(
+            HardwarePacedModel(base, min_batch_seconds=pace_s),
+            workers=workers,
+            max_batch_size=args.sweep_batch_size,
+            max_wait_ms=args.max_wait_ms,
+            queue_capacity=args.queue_capacity,
+            cache_capacity=0,  # unique rows: keep every request on-engine
+        )
+        with service:
+            served = service.score_many(probe)
+            if not np.array_equal(served, direct):
+                print(
+                    f"FAIL: workers={workers} served results differ from "
+                    "direct calls",
+                    file=sys.stderr,
+                )
+                return None
+            report = closed_loop(
+                service, rows, concurrency=args.concurrency, chunk_size=1
+            )
+            snapshot = service.stats.snapshot()
+        if not report.accounted:
+            print(
+                f"FAIL: workers={workers} lost or failed requests",
+                file=sys.stderr,
+            )
+            return None
+        counters = snapshot["counters"]
+        points.append(
+            {
+                "workers": workers,
+                "requests_per_second": report.requests_per_second,
+                "seconds": report.seconds,
+                "mean_batch_size": snapshot["mean_batch_size"],
+                "dispatches": counters.get("dispatches", 0),
+                "router_hops": counters.get("hw_router_hops", 0),
+                "cross_chip_hops": counters.get("hw_cross_chip_hops", 0),
+                "intra_chip_hops": counters.get("hw_intra_chip_hops", 0),
+                "energy_nj_total": snapshot["energy_nj"]["total"],
+                "energy_requests": snapshot["energy_nj"]["count"],
+            }
+        )
+
+    # Cross-N invariants: integer hop ledgers identical, energy equal to
+    # float tolerance (same per-request energies, summed in per-N batch
+    # order), cross-chip traffic per request constant.
+    first = points[0]
+    for point in points[1:]:
+        for key in ("router_hops", "cross_chip_hops", "intra_chip_hops"):
+            if point[key] != first[key]:
+                print(
+                    f"FAIL: workers={point['workers']} {key} "
+                    f"{point[key]} != {first[key]} at workers="
+                    f"{first['workers']}",
+                    file=sys.stderr,
+                )
+                return None
+        if not np.isclose(
+            point["energy_nj_total"], first["energy_nj_total"], rtol=1e-9
+        ):
+            print(
+                f"FAIL: workers={point['workers']} energy "
+                f"{point['energy_nj_total']} != {first['energy_nj_total']}",
+                file=sys.stderr,
+            )
+            return None
+
+    base_rate = points[0]["requests_per_second"]
+    for point in points:
+        point["scaling"] = (
+            point["requests_per_second"] / base_rate if base_rate else 0.0
+        )
+        hops = point["router_hops"]
+        point["cross_chip_fraction"] = (
+            point["cross_chip_hops"] / hops if hops else 0.0
+        )
+        print(
+            f"  workers={point['workers']}: "
+            f"{point['requests_per_second']:7.1f} req/s "
+            f"({point['scaling']:.2f}x vs workers={points[0]['workers']}, "
+            f"cross-chip {point['cross_chip_fraction']:.0%} of "
+            f"{point['router_hops']} hops)"
+        )
+    return {
+        "pace_seconds_per_batch": pace_s,
+        "tick_seconds": TICK_SECONDS,
+        "window": args.sweep_window,
+        "cores_per_chip": args.cores_per_chip,
+        "requests": args.sweep_requests,
+        "batch_size": args.sweep_batch_size,
+        "concurrency": args.concurrency,
+        "points": points,
+    }
 
 
 def run_bench(args) -> int:
@@ -144,6 +294,12 @@ def run_bench(args) -> int:
         f"mean energy {snapshot['energy_nj']['mean']:.1f} nJ/request)"
     )
 
+    sweep = None
+    if args.workers_sweep:
+        sweep = run_workers_sweep(args)
+        if sweep is None:
+            return 2
+
     payload = {
         "benchmark": "bench_serve",
         "workload": {
@@ -168,6 +324,8 @@ def run_bench(args) -> int:
         "load": report.as_dict(),
         "stats": snapshot,
     }
+    if sweep is not None:
+        payload["workers_sweep"] = sweep
     output = Path(args.output) if args.output else REPO_ROOT / "BENCH_serve.json"
     output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {output}")
@@ -207,6 +365,41 @@ def main() -> int:
         "arm feeds the obs_overhead_fraction measurement",
     )
     parser.add_argument(
+        "--workers-sweep", action="store_true",
+        help="also sweep the sharded worker tier (hardware-paced "
+        "workload) and record workers_sweep in the payload",
+    )
+    parser.add_argument(
+        "--sweep-workers", default="1,2,4",
+        help="comma-separated shard counts for --workers-sweep",
+    )
+    parser.add_argument(
+        "--sweep-requests", type=int, default=96,
+        help="requests per shard count in --workers-sweep",
+    )
+    parser.add_argument(
+        "--sweep-window", type=int, default=4,
+        help="spike window for the --workers-sweep model (kept small so "
+        "host compute stays far below the pace)",
+    )
+    parser.add_argument(
+        "--sweep-pace-ms", type=float, default=300.0,
+        help="modeled device service interval per micro-batch during "
+        "--workers-sweep: spike-window playback plus the host-link "
+        "round trip (must dominate host compute for the sweep to "
+        "measure scale-out rather than CPU contention)",
+    )
+    parser.add_argument(
+        "--sweep-batch-size", type=int, default=4,
+        help="micro-batch cap during --workers-sweep (small, so the "
+        "hardware pace dominates host compute per batch)",
+    )
+    parser.add_argument(
+        "--cores-per-chip", type=int, default=8,
+        help="chip capacity for the placed sweep model (22 cores across "
+        "ceil(22/N) chips drives the cross-chip hop accounting)",
+    )
+    parser.add_argument(
         "--quick", action="store_true",
         help="CI smoke setting: window 16, 96 requests, 12 sequential",
     )
@@ -224,6 +417,7 @@ def main() -> int:
         args.window = min(args.window, 16)
         args.requests = min(args.requests, 96)
         args.sequential_requests = min(args.sequential_requests, 12)
+        args.sweep_requests = min(args.sweep_requests, 96)
     args.sequential_requests = min(args.sequential_requests, args.requests)
     return run_bench(args)
 

@@ -35,6 +35,8 @@ REQUIRED_SAMPLES = (
     "hw_synaptic_events_total",
     "hw_membrane_updates_total",
     "hw_router_hops_total",
+    "hw_cross_chip_hops_total",
+    "hw_intra_chip_hops_total",
     "hw_dropped_spikes_total",
     "hw_duplicated_spikes_total",
     "hw_active_core_ticks_total",

@@ -16,6 +16,10 @@ the committed ones ("baseline"):
   when the current run spends more than ``--max-obs-overhead``
   (default 5 %) of its throughput on telemetry — this is an absolute
   budget, not a delta;
+- **worker scale-out** (serve ``workers_sweep``): with
+  ``--min-worker-scaling WORKERS:FLOOR[,...]`` set, fails when the
+  sharded tier's speedup over one worker falls below the floor at any
+  listed shard count — also an absolute floor (off by default);
 - **fault-free accuracy** (faults ``approaches.*.miss_rate[0]``): fails
   when any approach's zero-fault miss rate rises by more than
   ``--max-missrate-increase`` (default 0.05 absolute).
@@ -130,9 +134,64 @@ def check_engine(baseline, current, args):
     return failures
 
 
+def _parse_scaling_floors(spec):
+    """``"2:1.6,4:2.5"`` -> ``{2: 1.6, 4: 2.5}`` (``{}`` on empty spec)."""
+    floors = {}
+    for part in str(spec or "").split(","):
+        part = part.strip()
+        if not part:
+            continue
+        workers, _, floor = part.partition(":")
+        try:
+            floors[int(workers)] = float(floor)
+        except ValueError:
+            raise SystemExit(
+                f"bad --min-worker-scaling entry {part!r} "
+                "(expected WORKERS:FLOOR, e.g. 2:1.6)"
+            )
+    return floors
+
+
+def _check_workers_sweep(current, spec):
+    """Absolute floors on sharded scale-out speedup vs one worker."""
+    floors = _parse_scaling_floors(spec)
+    if not floors:
+        return []
+    sweep = current.get("workers_sweep")
+    if not isinstance(sweep, dict) or not sweep.get("points"):
+        print("WARN: BENCH_serve.json: no workers_sweep in current run; "
+              "skipping worker-scaling gate")
+        return []
+    by_workers = {
+        point.get("workers"): point
+        for point in sweep["points"]
+        if isinstance(point.get("scaling"), (int, float))
+    }
+    failures = []
+    for workers in sorted(floors):
+        floor = floors[workers]
+        point = by_workers.get(workers)
+        if point is None:
+            print(f"WARN: BENCH_serve.json: workers_sweep has no "
+                  f"workers={workers} point; skipping its floor")
+            continue
+        scaling = point["scaling"]
+        verdict = "FAIL" if scaling < floor else "ok"
+        print(
+            f"{verdict}: BENCH_serve.json: workers={workers} scale-out "
+            f"{scaling:.2f}x over workers=1 (floor {floor:.1f}x)"
+        )
+        if scaling < floor:
+            failures.append(
+                f"BENCH_serve.json: workers={workers} scaling "
+                f"{scaling:.2f}x below the {floor:.1f}x floor"
+            )
+    return failures
+
+
 def check_serve(baseline, current, args):
     """Serve throughput plus the absolute telemetry-overhead budget."""
-    failures = []
+    failures = _check_workers_sweep(current, args.min_worker_scaling)
     overhead = current.get("obs_overhead_fraction")
     if isinstance(overhead, (int, float)):
         verdict = "FAIL" if overhead > args.max_obs_overhead else "ok"
@@ -221,6 +280,12 @@ def main() -> int:
     parser.add_argument(
         "--max-obs-overhead", type=float, default=0.05,
         help="absolute telemetry-overhead budget (default 0.05)",
+    )
+    parser.add_argument(
+        "--min-worker-scaling", default="",
+        help="comma-separated WORKERS:FLOOR absolute floors on the "
+        "sharded scale-out sweep, e.g. '2:1.6,4:2.5' (empty = gate off; "
+        "warns and skips when the current payload has no workers_sweep)",
     )
     parser.add_argument(
         "--max-missrate-increase", type=float, default=0.05,

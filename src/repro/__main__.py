@@ -151,6 +151,12 @@ def main(argv=None) -> int:
         help="per-request deadline (unset = none)",
     )
     serve_group.add_argument(
+        "--workers", type=int, default=0,
+        help="shard the model across this many worker processes behind "
+        "the micro-batcher (0 = in-process serving; results are "
+        "bit-identical either way)",
+    )
+    serve_group.add_argument(
         "--duplicate-fraction", type=float, default=0.0,
         help="fraction of requests repeating earlier windows",
     )
@@ -364,18 +370,40 @@ def _serve(args) -> int:
             failure_threshold=args.breaker_failures,
             reset_timeout_s=args.breaker_reset_ms / 1e3,
         )
-    service = InferenceService(
-        scorer,
-        max_batch_size=args.max_batch_size,
-        max_wait_ms=args.max_wait_ms,
-        queue_capacity=args.queue_capacity,
-        cache_capacity=args.cache_capacity,
-        registry=registry,
-        retry_policy=retry_policy,
-        circuit_breaker=circuit_breaker,
-        degraded_value=args.degraded_score,
-        flight_dump_path=args.flight_dump,
-    )
+    if args.workers > 0:
+        from repro.serve import ShardedInferenceService
+
+        if retry_policy is not None or args.degraded_score is not None:
+            print(
+                "note: --retries/--degraded-score apply to in-process "
+                "serving only; sharded workers redispatch on death and "
+                "cool down per-shard breakers instead",
+                file=sys.stderr,
+            )
+        service = ShardedInferenceService(
+            scorer,
+            workers=args.workers,
+            max_batch_size=args.max_batch_size,
+            max_wait_ms=args.max_wait_ms,
+            queue_capacity=args.queue_capacity,
+            cache_capacity=args.cache_capacity,
+            registry=registry,
+            breaker_failure_threshold=args.breaker_failures,
+            breaker_reset_timeout_s=args.breaker_reset_ms / 1e3,
+        )
+    else:
+        service = InferenceService(
+            scorer,
+            max_batch_size=args.max_batch_size,
+            max_wait_ms=args.max_wait_ms,
+            queue_capacity=args.queue_capacity,
+            cache_capacity=args.cache_capacity,
+            registry=registry,
+            retry_policy=retry_policy,
+            circuit_breaker=circuit_breaker,
+            degraded_value=args.degraded_score,
+            flight_dump_path=args.flight_dump,
+        )
     timeout_s = None if args.timeout_ms is None else args.timeout_ms / 1e3
     with service:
         report = closed_loop(

@@ -69,6 +69,15 @@ class CircuitOpenError(ServiceError):
     """
 
 
+class WorkerDiedError(TransientScorerError):
+    """A shard's worker process died while a batch was in flight.
+
+    A transient fault by definition — the sharded service respawns the
+    worker and redispatches the batch; this error only reaches callers
+    when the redispatch budget is exhausted.
+    """
+
+
 __all__ = [
     "CircuitOpenError",
     "CompilationError",
@@ -82,4 +91,5 @@ __all__ = [
     "ServiceError",
     "TrainingError",
     "TransientScorerError",
+    "WorkerDiedError",
 ]

@@ -109,14 +109,17 @@ class CoreFaults:
 class _CoreRoutes:
     """Routes leaving one core, flattened for per-tick fault hashing."""
 
-    __slots__ = ("src_neuron", "dst_core", "dst_axon", "delay")
+    __slots__ = ("src_neuron", "dst_core", "dst_axon", "delay", "crossing")
 
-    def __init__(self, rows: List[Tuple[int, int, int, int]]) -> None:
+    def __init__(
+        self, rows: List[Tuple[int, int, int, int]], crossing: np.ndarray
+    ) -> None:
         arr = np.asarray(rows, dtype=np.int64)
         self.src_neuron = arr[:, 0]
         self.dst_core = arr[:, 1]
         self.dst_axon = arr[:, 2]
         self.delay = arr[:, 3]
+        self.crossing = crossing  # per-route chip-boundary flag
 
 
 class CompiledFaults:
@@ -197,13 +200,21 @@ class CompiledFaults:
         # on the reference path.
         self._routes_by_core: Dict[int, _CoreRoutes] = {}
         if self.has_dynamic:
+            chip_of = getattr(system, "chip_of", lambda _core_id: 0)
             by_core: Dict[int, List[Tuple[int, int, int, int]]] = {}
             for route in system.router.routes:
                 by_core.setdefault(route.src_core, []).append(
                     (route.src_neuron, route.dst_core, route.dst_axon, route.delay)
                 )
             self._routes_by_core = {
-                core_id: _CoreRoutes(rows) for core_id, rows in by_core.items()
+                core_id: _CoreRoutes(
+                    rows,
+                    np.array(
+                        [chip_of(core_id) != chip_of(row[1]) for row in rows],
+                        dtype=bool,
+                    ),
+                )
+                for core_id, rows in by_core.items()
             }
 
     # ------------------------------------------------------------------
@@ -347,7 +358,7 @@ class CompiledFaults:
         core_id: int,
         fired: np.ndarray,
         lane_key: np.uint64,
-    ) -> Tuple[int, int]:
+    ) -> Tuple[int, int, int]:
         """Reference-path routing of one core's output under faults.
 
         Replaces :meth:`~repro.truenorth.router.Router.submit` when
@@ -362,14 +373,17 @@ class CompiledFaults:
             lane_key: this lane's key from :meth:`lane_keys`.
 
         Returns:
-            ``(dropped, duplicated)`` delivery counts for observability.
+            ``(dropped, duplicated, cross_delivered)`` delivery counts
+            for observability; ``cross_delivered`` counts surviving
+            deliveries (echoes included) whose route crosses a chip
+            boundary under the placement captured at compile time.
         """
         routes = self._routes_by_core.get(core_id)
         if routes is None or not fired.any():
-            return 0, 0
+            return 0, 0, 0
         emitted = np.flatnonzero(fired[routes.src_neuron])
         if emitted.size == 0:
-            return 0, 0
+            return 0, 0, 0
         neurons = routes.src_neuron[emitted]
         keep, echo = self.spike_outcomes(
             np.full(emitted.size, lane_key, dtype=np.uint64),
@@ -384,7 +398,9 @@ class CompiledFaults:
             router.inject(int(due[i]), int(dst_core[i]), int(dst_axon[i]))
         for i in np.flatnonzero(echo):
             router.inject(int(due[i]) + 1, int(dst_core[i]), int(dst_axon[i]))
-        return int((~keep).sum()), int(echo.sum())
+        crossing = routes.crossing[emitted]
+        cross_delivered = int(crossing[keep].sum()) + int(crossing[echo].sum())
+        return int((~keep).sum()), int(echo.sum()), cross_delivered
 
 
 def compile_faults(plan: Optional[FaultPlan], system) -> Optional[CompiledFaults]:

@@ -32,7 +32,7 @@ when pipelined, i.e. ~15 cells/s at the 64-spike (6-bit) representation.
 """
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -313,6 +313,10 @@ class NApproxCellRunner:
         engine: simulation engine, ``"reference"`` or ``"batch"``; the
             batch engine evaluates :meth:`extract_batch` patches in one
             vectorized pass with bit-identical histograms.
+        cores_per_chip: when set, place the module across simulated
+            chips of this capacity before compiling the engine, so run
+            ledgers split router hops into intra- vs cross-chip counts.
+            Placement never changes results — only the accounting.
     """
 
     def __init__(
@@ -322,6 +326,7 @@ class NApproxCellRunner:
         magnitude_threshold: int = 4,
         rng: RngLike = 0,
         engine: str = "reference",
+        cores_per_chip: Optional[int] = None,
     ) -> None:
         if window < 1:
             raise ValueError(f"window must be >= 1, got {window}")
@@ -337,6 +342,13 @@ class NApproxCellRunner:
         )
         self.system.add_input_port("gate", [list(self.footprint.gate_targets)])
         self.system.add_output_probe("hist", list(self.footprint.histogram_outputs))
+        self.placement = None
+        if cores_per_chip is not None:
+            from repro.truenorth.placement import apply_best_placement
+
+            self.placement = apply_best_placement(
+                self.system, cores_per_chip=cores_per_chip
+            )
         self._simulator = Simulator(self.system, rng=rng, engine=engine)
         self._encoder = RateEncoder(window)
 

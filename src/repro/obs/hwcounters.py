@@ -54,6 +54,12 @@ HW_COUNTER_HELP: Dict[str, str] = {
         "membrane integrations (cores x 256 neurons x ticks x lanes)"
     ),
     "hw_router_hops_total": "inter-core spike deliveries (router hops)",
+    "hw_cross_chip_hops_total": (
+        "router hops whose route crosses a chip boundary"
+    ),
+    "hw_intra_chip_hops_total": (
+        "router hops delivered within a single chip"
+    ),
     "hw_dropped_spikes_total": "router deliveries lost to injected faults",
     "hw_duplicated_spikes_total": "router deliveries echoed by injected faults",
     "hw_active_core_ticks_total": "core-ticks with at least one neuron firing",
@@ -64,6 +70,7 @@ _LANE_FIELDS = (
     "spikes",
     "synaptic_events",
     "router_hops",
+    "cross_chip_hops",
     "dropped_spikes",
     "duplicated_spikes",
     "active_core_ticks",
@@ -94,6 +101,10 @@ class RunActivity:
         core_spikes: firings per lane per core, ``(batch, n_cores)``.
         core_synaptic_events: events per lane per core, ``(batch, n_cores)``.
         spikes_per_tick: firings per lane per tick, ``(batch, ticks)``.
+        cross_chip_hops: per-lane router hops crossing a chip boundary
+            under the system's applied placement, ``(batch,)``; ``None``
+            (single-chip runs, pre-placement ledgers) normalises to
+            zeros.
     """
 
     engine: str
@@ -110,6 +121,11 @@ class RunActivity:
     core_spikes: np.ndarray
     core_synaptic_events: np.ndarray
     spikes_per_tick: np.ndarray
+    cross_chip_hops: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        if self.cross_chip_hops is None:
+            self.cross_chip_hops = np.zeros(self.batch, dtype=np.int64)
 
     @property
     def membrane_updates(self) -> np.ndarray:
@@ -119,6 +135,15 @@ class RunActivity:
             self.ticks * self.n_cores * NEURONS_PER_CORE,
             dtype=np.int64,
         )
+
+    @property
+    def intra_chip_hops(self) -> np.ndarray:
+        """Per-lane on-chip router hops (derived: hops minus cross-chip).
+
+        Derivation guarantees the intra/cross split always sums to
+        ``router_hops``, faults included, in every engine.
+        """
+        return self.router_hops - self.cross_chip_hops
 
     def lane(self, index: int) -> "RunActivity":
         """The single-lane ledger of lane ``index`` (copied slices)."""
@@ -140,6 +165,7 @@ class RunActivity:
             core_spikes=self.core_spikes[sel].copy(),
             core_synaptic_events=self.core_synaptic_events[sel].copy(),
             spikes_per_tick=self.spikes_per_tick[sel].copy(),
+            cross_chip_hops=self.cross_chip_hops[sel].copy(),
         )
 
     @classmethod
@@ -182,12 +208,14 @@ class RunActivity:
                 [a.core_synaptic_events for a in activities]
             ),
             spikes_per_tick=cat([a.spikes_per_tick for a in activities]),
+            cross_chip_hops=cat([a.cross_chip_hops for a in activities]),
         )
 
     def totals(self) -> Dict[str, int]:
         """Whole-run counter totals (lane sums), JSON-ready."""
         out = {name: int(getattr(self, name).sum()) for name in _LANE_FIELDS}
         out["membrane_updates"] = int(self.membrane_updates.sum())
+        out["intra_chip_hops"] = int(self.intra_chip_hops.sum())
         out["lane_ticks"] = self.ticks * self.batch
         return out
 
@@ -262,7 +290,10 @@ class ActivityCollector:
 
     def lane_values(self, name: str) -> np.ndarray:
         """Per-lane column ``name`` concatenated across runs."""
-        if name not in _LANE_FIELDS and name != "membrane_updates":
+        if name not in _LANE_FIELDS and name not in (
+            "membrane_updates",
+            "intra_chip_hops",
+        ):
             raise ValueError(f"unknown lane field {name!r}")
         if not self.runs:
             return np.zeros(0, dtype=np.int64)
@@ -278,6 +309,7 @@ class ActivityCollector:
         """Counter totals summed over every recorded run."""
         out = {name: 0 for name in _LANE_FIELDS}
         out["membrane_updates"] = 0
+        out["intra_chip_hops"] = 0
         out["lane_ticks"] = 0
         for activity in self.runs:
             for name, value in activity.totals().items():
@@ -354,6 +386,8 @@ def record_run(activity: RunActivity) -> None:
         ("hw_synaptic_events_total", "synaptic_events"),
         ("hw_membrane_updates_total", "membrane_updates"),
         ("hw_router_hops_total", "router_hops"),
+        ("hw_cross_chip_hops_total", "cross_chip_hops"),
+        ("hw_intra_chip_hops_total", "intra_chip_hops"),
         ("hw_dropped_spikes_total", "dropped_spikes"),
         ("hw_duplicated_spikes_total", "duplicated_spikes"),
         ("hw_active_core_ticks_total", "active_core_ticks"),

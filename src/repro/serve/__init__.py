@@ -30,10 +30,13 @@ from repro.serve.resilience import (
 from repro.serve.service import (
     InferenceService,
     ServiceBackedScorer,
+    attribute_batch_energy,
     sequential_baseline,
 )
+from repro.serve.sharding import HashRing, ShardedInferenceService
 from repro.serve.stats import ServiceStats
 from repro.serve.workloads import (
+    HardwarePacedModel,
     NApproxCellModel,
     demo_classifier_workload,
     random_patch_rows,
@@ -43,6 +46,8 @@ __all__ = [
     "BatchPolicy",
     "CircuitBreaker",
     "FlakyModel",
+    "HardwarePacedModel",
+    "HashRing",
     "InferenceService",
     "LoadReport",
     "LruResultCache",
@@ -53,6 +58,8 @@ __all__ = [
     "ServeRequest",
     "ServiceBackedScorer",
     "ServiceStats",
+    "ShardedInferenceService",
+    "attribute_batch_energy",
     "closed_loop",
     "content_key",
     "demo_classifier_workload",

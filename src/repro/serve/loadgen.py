@@ -12,7 +12,7 @@ import queue
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 import numpy as np
 
@@ -85,6 +85,7 @@ def closed_loop(
     chunk_size: int = 1,
     timeout_s: Optional[float] = None,
     result_timeout_s: float = 60.0,
+    clock: Optional[Callable[[], float]] = None,
 ) -> LoadReport:
     """Drive ``rows`` through ``service`` with closed-loop clients.
 
@@ -99,6 +100,10 @@ def closed_loop(
         result_timeout_s: safety limit when waiting on one future — a
             hang here counts the row as failed instead of deadlocking
             the load test.
+        clock: time source for the report's ``seconds``; defaults to
+            the service's own clock so durations and deadlines read one
+            source (single-clock contract), falling back to
+            ``time.perf_counter`` for services without a clock.
 
     Returns:
         A :class:`LoadReport`.
@@ -141,16 +146,18 @@ def closed_loop(
                     with tally.lock:
                         tally.failed += 1
 
+    if clock is None:
+        clock = getattr(service, "clock", None) or time.perf_counter
     threads = [
         threading.Thread(target=client, name=f"loadgen-{i}", daemon=True)
         for i in range(concurrency)
     ]
-    started = time.perf_counter()
+    started = clock()
     for thread in threads:
         thread.start()
     for thread in threads:
         thread.join()
-    seconds = time.perf_counter() - started
+    seconds = clock() - started
 
     return LoadReport(
         requests=matrix.shape[0],

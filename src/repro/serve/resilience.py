@@ -102,6 +102,19 @@ class CircuitBreaker:
       closes the circuit and clears the failure count, failure re-opens
       it for another full cooldown.
 
+    :meth:`before_call` returns an admission *token* (the breaker's
+    transition generation). Passing the token back to
+    :meth:`record_success` / :meth:`record_failure` lets the breaker
+    ignore outcomes of calls admitted before its last transition — a
+    slow call admitted while CLOSED can no longer close the breaker
+    behind a trip, or steal / release the half-open probe slot. Calling
+    the record methods without a token applies the outcome
+    unconditionally (the pre-token behaviour).
+
+    State-change callbacks and flight-recorder events fire *outside*
+    the internal lock, so a callback may safely read ``state`` or call
+    back into the breaker without deadlocking.
+
     Args:
         failure_threshold: consecutive failures that trip the breaker.
         reset_timeout_s: cooldown before a trial call is allowed.
@@ -134,6 +147,17 @@ class CircuitBreaker:
         self._failures = 0
         self._opened_at: Optional[float] = None
         self._probing = False
+        self._generation = 0
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Replace the breaker's time source (service clock injection).
+
+        The service rebinds breakers still on the default
+        ``time.monotonic`` to its own clock so every deadline and
+        cooldown in one service reads a single source.
+        """
+        with self._lock:
+            self._clock = clock
 
     @property
     def state(self) -> str:
@@ -142,68 +166,129 @@ class CircuitBreaker:
         Reading the state promotes an OPEN breaker whose cooldown has
         elapsed to HALF_OPEN, matching what the next call would see.
         """
-        with self._lock:
-            self._maybe_half_open()
-            return self._state
+        events = []
+        try:
+            with self._lock:
+                self._maybe_half_open(events)
+                return self._state
+        finally:
+            self._fire(events)
 
-    def _transition(self, state: str) -> None:
+    def _transition(self, state: str, events: list) -> None:
+        """Move to ``state`` under the lock, deferring notifications.
+
+        Each transition bumps the generation, invalidating tokens of
+        calls admitted before it.
+        """
         if state != self._state:
             previous = self._state
             self._state = state
+            self._generation += 1
+            events.append((previous, state, self._failures))
+
+    def _fire(self, events: list) -> None:
+        """Deliver deferred transition notifications (lock released)."""
+        for previous, state, failures in events:
             flight_recorder().record(
                 "breaker_transition",
                 from_state=previous,
                 to_state=state,
-                failures=self._failures,
+                failures=failures,
             )
             if self._on_state_change is not None:
                 self._on_state_change(state)
 
-    def _maybe_half_open(self) -> None:
+    def _maybe_half_open(self, events: list) -> None:
         if (
             self._state == OPEN
             and self._opened_at is not None
             and self._clock() - self._opened_at >= self.reset_timeout_s
         ):
-            self._transition(HALF_OPEN)
+            self._transition(HALF_OPEN, events)
             self._probing = False
 
-    def before_call(self) -> None:
+    def before_call(self) -> int:
         """Gate one call attempt.
+
+        Returns:
+            An admission token to pass back to :meth:`record_success` /
+            :meth:`record_failure`; stale tokens (admitted before the
+            breaker's last transition) make those calls no-ops.
 
         Raises:
             CircuitOpenError: the breaker is OPEN (cooldown running), or
                 HALF_OPEN with its single trial slot already taken.
         """
-        with self._lock:
-            self._maybe_half_open()
-            if self._state == OPEN:
-                raise CircuitOpenError(
-                    f"circuit open for {self.reset_timeout_s}s after "
-                    f"{self._failures} consecutive failures"
-                )
-            if self._state == HALF_OPEN:
-                if self._probing:
+        events = []
+        try:
+            with self._lock:
+                self._maybe_half_open(events)
+                if self._state == OPEN:
                     raise CircuitOpenError(
-                        "circuit half-open; trial call already in flight"
+                        f"circuit open for {self.reset_timeout_s}s after "
+                        f"{self._failures} consecutive failures"
                     )
-                self._probing = True
+                if self._state == HALF_OPEN:
+                    if self._probing:
+                        raise CircuitOpenError(
+                            "circuit half-open; trial call already in flight"
+                        )
+                    self._probing = True
+                return self._generation
+        finally:
+            self._fire(events)
 
-    def record_success(self) -> None:
-        """Report a successful call (closes a half-open circuit)."""
-        with self._lock:
-            self._failures = 0
-            self._probing = False
-            self._transition(CLOSED)
+    def _is_stale(self, token: Optional[int]) -> bool:
+        return token is not None and token != self._generation
 
-    def record_failure(self) -> None:
-        """Report a failed call (may trip the breaker)."""
+    def record_success(self, token: Optional[int] = None) -> None:
+        """Report a successful call (closes a half-open circuit).
+
+        Args:
+            token: admission token from :meth:`before_call`; a stale
+                token makes this a no-op, so a success from before the
+                last trip cannot close the breaker without a genuine
+                half-open probe.
+        """
+        events = []
+        stale = False
         with self._lock:
-            self._failures += 1
-            self._probing = False
-            if self._state == HALF_OPEN or self._failures >= self.failure_threshold:
-                self._opened_at = self._clock()
-                self._transition(OPEN)
+            if self._is_stale(token):
+                stale = True
+            else:
+                self._failures = 0
+                self._probing = False
+                self._transition(CLOSED, events)
+        if stale:
+            flight_recorder().record("breaker_stale_outcome", outcome="success")
+        self._fire(events)
+
+    def record_failure(self, token: Optional[int] = None) -> None:
+        """Report a failed call (may trip the breaker).
+
+        Args:
+            token: admission token from :meth:`before_call`; a stale
+                token makes this a no-op, so a late failure cannot
+                release the half-open probe slot and admit a second
+                probe.
+        """
+        events = []
+        stale = False
+        with self._lock:
+            if self._is_stale(token):
+                stale = True
+            else:
+                self._failures += 1
+                self._probing = False
+                if (
+                    self._state == HALF_OPEN
+                    or self._failures >= self.failure_threshold
+                ):
+                    self._opened_at = self._clock()
+                    self._transition(OPEN, events)
+        if stale:
+            flight_recorder().record("breaker_stale_outcome", outcome="failure")
+        self._fire(events)
 
 
 class ResilientExecutor:
@@ -251,14 +336,15 @@ class ResilientExecutor:
                 exhausted (or immediately for non-retryable types).
         """
         attempts = self.retry.max_attempts if self.retry is not None else 1
+        token = None
         for attempt in range(attempts):
             if self.breaker is not None:
-                self.breaker.before_call()
+                token = self.breaker.before_call()
             try:
                 result = self._fn(matrix)
             except Exception as exc:
                 if self.breaker is not None:
-                    self.breaker.record_failure()
+                    self.breaker.record_failure(token)
                 last_attempt = attempt == attempts - 1
                 if (
                     last_attempt
@@ -272,7 +358,7 @@ class ResilientExecutor:
                     self._sleep(delay)
                 continue
             if self.breaker is not None:
-                self.breaker.record_success()
+                self.breaker.record_success(token)
             return result
         raise AssertionError("unreachable")  # pragma: no cover
 

@@ -158,6 +158,11 @@ class InferenceService:
         self.flight_dump_path = flight_dump_path
         self.circuit_breaker = circuit_breaker
         if circuit_breaker is not None:
+            # One clock per service: a breaker still on the default
+            # time source follows the injected clock, so cooldowns and
+            # deadlines cannot drift apart under a test clock.
+            if circuit_breaker._clock is time.monotonic and clock is not time.monotonic:
+                circuit_breaker.bind_clock(clock)
             breaker_gauge = self.stats.registry.gauge(
                 "serve_breaker_state",
                 help="circuit breaker state (0 closed, 1 half-open, 2 open)",
@@ -189,6 +194,16 @@ class InferenceService:
         self._stop = threading.Event()
         self._started = False
         self._closed = False
+
+    @property
+    def clock(self) -> Callable[[], float]:
+        """The service's monotonic time source (single-clock contract).
+
+        Everything that compares against a service deadline — the
+        batcher, the breaker cooldown, the load generator — must read
+        this clock, never ``time.monotonic`` directly.
+        """
+        return self._clock
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -435,11 +450,14 @@ class InferenceService:
             return
 
         request_energy_nj = self._attribute_energy(activity, len(batch))
+        hw_totals = activity.totals() if activity.runs else None
+        if hw_totals is not None:
+            self.stats.record_hw_totals(hw_totals)
         recorder.record(
             "score",
             size=len(batch),
             trace_ids=trace_ids,
-            hw=activity.totals() if activity.runs else None,
+            hw=hw_totals,
             energy_nj=(
                 float(request_energy_nj.sum())
                 if request_energy_nj is not None
@@ -473,20 +491,29 @@ class InferenceService:
     def _attribute_energy(
         collector: "hwcounters.ActivityCollector", batch_size: int
     ) -> Optional[np.ndarray]:
-        """Per-request energy (nJ) from the batch's activity ledgers.
+        return attribute_batch_energy(collector, batch_size)
 
-        When the model ran one engine lane per request (the TrueNorth
-        scorer path, chunked or not), lanes map to requests in order and
-        each request is charged its own lane's measured energy.
-        Otherwise the model's total measured energy is split evenly; a
-        model that never touched an engine yields ``None``.
-        """
-        if not collector.runs:
-            return None
-        lane_energy = collector.lane_energy_joules() * 1e9
-        if lane_energy.size == batch_size:
-            return lane_energy
-        return np.full(batch_size, float(lane_energy.sum()) / batch_size)
+
+def attribute_batch_energy(
+    collector: "hwcounters.ActivityCollector", batch_size: int
+) -> Optional[np.ndarray]:
+    """Per-request energy (nJ) from a batch's activity ledgers.
+
+    When the model ran one engine lane per request (the TrueNorth
+    scorer path, chunked or not), lanes map to requests in order and
+    each request is charged its own lane's measured energy. Otherwise
+    the model's total measured energy is split evenly; a model that
+    never touched an engine yields ``None``.
+
+    Shared by the in-process service and the sharded worker tier so
+    both attribute energy identically.
+    """
+    if not collector.runs:
+        return None
+    lane_energy = collector.lane_energy_joules() * 1e9
+    if lane_energy.size == batch_size:
+        return lane_energy
+    return np.full(batch_size, float(lane_energy.sum()) / batch_size)
 
 
 class ServiceBackedScorer:
@@ -541,5 +568,6 @@ __all__ = [
     "BatchFunction",
     "InferenceService",
     "ServiceBackedScorer",
+    "attribute_batch_energy",
     "sequential_baseline",
 ]

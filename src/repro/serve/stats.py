@@ -98,6 +98,20 @@ class ServiceStats:
         """Record one completed request's submit-to-result latency."""
         self._latency.observe(seconds)
 
+    def record_hw_totals(self, totals: Dict[str, int]) -> None:
+        """Fold one batch's activity-ledger totals into the counters.
+
+        Both serving tiers (in-process and sharded workers) call this
+        with :meth:`~repro.obs.hwcounters.ActivityCollector.totals`, so
+        router-hop traffic — including the intra- vs cross-chip split of
+        a placed multi-chip model — is comparable across deployment
+        modes from the same ``serve_hw_*`` counters.
+        """
+        for key in ("router_hops", "cross_chip_hops", "intra_chip_hops"):
+            value = int(totals.get(key, 0))
+            if value:
+                self.count(f"hw_{key}", value)
+
     def record_energy(self, nanojoules: float) -> None:
         """Attribute ``nanojoules`` of simulated energy to one request."""
         self._energy.observe(nanojoules)

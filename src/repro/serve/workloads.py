@@ -13,7 +13,8 @@ Both are content-deterministic, so they compose with the result cache
 and serve bit-identically to direct calls.
 """
 
-from typing import Tuple
+import time
+from typing import Callable, Optional, Tuple
 
 import numpy as np
 
@@ -38,6 +39,12 @@ class NApproxCellModel:
         magnitude_threshold: T of the magnitude neurons.
         engine: simulation engine, ``"batch"``, ``"event"``, or
             ``"reference"`` (all bit-identical).
+        cores_per_chip: when set, the 22-core module is placed across
+            simulated chips of this capacity, so served RunActivity
+            ledgers carry intra- vs cross-chip hop splits. Histograms
+            are unaffected (placement changes accounting only), so the
+            ``model_id`` — and therefore every cache key — stays
+            placement-independent.
     """
 
     cacheable = True
@@ -48,12 +55,14 @@ class NApproxCellModel:
         direction_scale: int = 16,
         magnitude_threshold: int = 4,
         engine: str = "batch",
+        cores_per_chip: Optional[int] = None,
     ) -> None:
         self.runner = NApproxCellRunner(
             window=window,
             direction_scale=direction_scale,
             magnitude_threshold=magnitude_threshold,
             engine=engine,
+            cores_per_chip=cores_per_chip,
         )
         self.model_id = (
             f"napprox-cell-w{window}-q{direction_scale}-t{magnitude_threshold}"
@@ -68,6 +77,71 @@ class NApproxCellModel:
                 f"{arr.shape}"
             )
         return self.runner.extract_batch(arr.reshape(-1, 10, 10))
+
+
+class HardwarePacedModel:
+    """Pace a model to the board's real-time tick cadence.
+
+    A deployed TrueNorth chip advances one tick per millisecond of wall
+    time regardless of host speed; a simulated batch finishes as fast
+    as the CPU allows. This wrapper restores the hardware cadence: each
+    batch call sleeps until at least ``min_batch_seconds`` have elapsed
+    (e.g. ``window * TICK_SECONDS`` for a spike-window workload), which
+    is how the worker-scaling benchmark models N chips serving in
+    parallel — the pace dominates host compute, so worker processes
+    overlap their board time and scale near-linearly even on one CPU.
+
+    Results, cache keys, and activity ledgers are untouched: the wrapper
+    only sleeps after delegating, so served outputs remain bit-identical
+    to the unpaced model's.
+
+    Args:
+        model: the wrapped scorer (callable or ``decision_function``).
+        min_batch_seconds: minimum wall time per batch call.
+        clock: time source for the pacing measurement.
+        sleep: sleep function (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        model,
+        min_batch_seconds: float,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if min_batch_seconds < 0:
+            raise ValueError(
+                f"min_batch_seconds must be >= 0, got {min_batch_seconds}"
+            )
+        self.model = model
+        self.min_batch_seconds = min_batch_seconds
+        self._clock = clock
+        self._sleep = sleep
+        inner = (
+            model.decision_function
+            if hasattr(model, "decision_function")
+            else model
+        )
+        self._inner = inner
+
+    @property
+    def model_id(self):
+        """The wrapped model's identity (pass-through)."""
+        return getattr(self.model, "model_id", None)
+
+    @property
+    def cacheable(self) -> bool:
+        """The wrapped model's cacheability (pass-through)."""
+        return bool(getattr(self.model, "cacheable", True))
+
+    def __call__(self, matrix: np.ndarray) -> np.ndarray:
+        """Score a batch, then hold the call to the hardware cadence."""
+        started = self._clock()
+        result = self._inner(matrix)
+        remaining = self.min_batch_seconds - (self._clock() - started)
+        if remaining > 0:
+            self._sleep(remaining)
+        return result
 
 
 def random_patch_rows(
@@ -134,6 +208,7 @@ def demo_classifier_workload(
 
 
 __all__ = [
+    "HardwarePacedModel",
     "NApproxCellModel",
     "demo_classifier_workload",
     "random_patch_rows",

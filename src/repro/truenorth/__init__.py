@@ -47,8 +47,11 @@ from repro.truenorth.power import (
     system_power_watts,
 )
 from repro.truenorth.placement import (
+    ChipTopology,
     PlacementReport,
+    apply_best_placement,
     best_placement,
+    fabric_hop_cost,
     grouped_placement,
     sequential_placement,
 )
@@ -62,6 +65,7 @@ __all__ = [
     "CORE_AXONS",
     "CORE_NEURONS",
     "CORE_POWER_WATTS",
+    "ChipTopology",
     "ENGINES",
     "EnergyEstimate",
     "InputPort",
@@ -74,7 +78,9 @@ __all__ = [
     "ResetMode",
     "Route",
     "Router",
+    "apply_best_placement",
     "best_placement",
+    "fabric_hop_cost",
     "grouped_placement",
     "sequential_placement",
     "SimulationResult",

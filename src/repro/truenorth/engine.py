@@ -186,10 +186,11 @@ class _RouteGroup:
         "dst_core",
         "dst_axon",
         "src_core_id",
+        "crossing",
     )
 
     def __init__(
-        self, delay: int, rows: List[Tuple[int, int, int, int, int]]
+        self, delay: int, rows: List[Tuple[int, int, int, int, int, int]]
     ) -> None:
         self.delay = delay
         arr = np.asarray(rows, dtype=np.int64)
@@ -198,6 +199,9 @@ class _RouteGroup:
         self.dst_core = arr[:, 2]
         self.dst_axon = arr[:, 3]
         self.src_core_id = arr[:, 4]
+        # Per-route chip-boundary flag under the placement captured at
+        # compile time; feeds the cross-chip hop counters.
+        self.crossing = arr[:, 5].astype(bool)
 
 
 class _PortTable:
@@ -344,7 +348,8 @@ class BatchEngine:
 
         # Routes grouped by delay; deposits are idempotent so order within
         # a group is irrelevant.
-        by_delay: Dict[int, List[Tuple[int, int, int, int]]] = {}
+        by_delay: Dict[int, List[Tuple[int, int, int, int, int, int]]] = {}
+        chip_of = system.chip_of
         for route in system.router.routes:
             try:
                 src = index_of[route.src_core]
@@ -354,7 +359,14 @@ class BatchEngine:
                     f"route references unknown core {exc.args[0]}"
                 ) from None
             by_delay.setdefault(route.delay, []).append(
-                (src, route.src_neuron, dst, route.dst_axon, route.src_core)
+                (
+                    src,
+                    route.src_neuron,
+                    dst,
+                    route.dst_axon,
+                    route.src_core,
+                    int(chip_of(route.src_core) != chip_of(route.dst_core)),
+                )
             )
         self._route_groups = [
             _RouteGroup(delay, rows) for delay, rows in sorted(by_delay.items())
@@ -480,6 +492,7 @@ class BatchEngine:
         track = hwcounters.enabled()
         if track:
             hop_lanes = np.zeros(batch, dtype=np.int64)
+            cross_lanes = np.zeros(batch, dtype=np.int64)
             drop_lanes = np.zeros(batch, dtype=np.int64)
             dup_lanes = np.zeros(batch, dtype=np.int64)
             active_lanes = np.zeros(batch, dtype=np.int64)
@@ -582,6 +595,11 @@ class BatchEngine:
                             hop_lanes += np.bincount(
                                 lane_idx[sel], minlength=batch
                             )
+                            cross_sel = sel[group.crossing[route_idx[sel]]]
+                            if cross_sel.size:
+                                cross_lanes += np.bincount(
+                                    lane_idx[cross_sel], minlength=batch
+                                )
                         slot = mailbox.get(tick + delay)
                         if slot is None:
                             slot = np.zeros(box_shape, dtype=bool)
@@ -595,6 +613,11 @@ class BatchEngine:
                 delivered += route_idx.size
                 if track:
                     hop_lanes += np.bincount(lane_idx, minlength=batch)
+                    cross = group.crossing[route_idx]
+                    if cross.any():
+                        cross_lanes += np.bincount(
+                            lane_idx[cross], minlength=batch
+                        )
                 slot = mailbox.get(tick + group.delay)
                 if slot is None:
                     slot = np.zeros(box_shape, dtype=bool)
@@ -630,6 +653,7 @@ class BatchEngine:
                 core_spikes=core_spikes,
                 core_synaptic_events=core_events,
                 spikes_per_tick=spikes_per_tick,
+                cross_chip_hops=cross_lanes,
             )
         return result
 

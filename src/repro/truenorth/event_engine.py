@@ -184,6 +184,7 @@ class EventEngine(BatchEngine):
         track = hwcounters.enabled()
         if track:
             hop_lanes = np.zeros(batch, dtype=np.int64)
+            cross_lanes = np.zeros(batch, dtype=np.int64)
             drop_lanes = np.zeros(batch, dtype=np.int64)
             dup_lanes = np.zeros(batch, dtype=np.int64)
             active_lanes = np.zeros(batch, dtype=np.int64)
@@ -325,6 +326,11 @@ class EventEngine(BatchEngine):
                             hop_lanes += np.bincount(
                                 lane_idx[sel], minlength=batch
                             )
+                            cross_sel = sel[group.crossing[route_idx[sel]]]
+                            if cross_sel.size:
+                                cross_lanes += np.bincount(
+                                    lane_idx[cross_sel], minlength=batch
+                                )
                         self._deposit(
                             mailbox,
                             touched_by_tick,
@@ -338,6 +344,11 @@ class EventEngine(BatchEngine):
                 delivered += route_idx.size
                 if track:
                     hop_lanes += np.bincount(lane_idx, minlength=batch)
+                    cross = group.crossing[route_idx]
+                    if cross.any():
+                        cross_lanes += np.bincount(
+                            lane_idx[cross], minlength=batch
+                        )
                 self._deposit(
                     mailbox,
                     touched_by_tick,
@@ -385,6 +396,7 @@ class EventEngine(BatchEngine):
                 core_spikes=core_spikes,
                 core_synaptic_events=core_events,
                 spikes_per_tick=spikes_per_tick,
+                cross_chip_hops=cross_lanes,
             )
         return result
 

@@ -229,14 +229,20 @@ class Simulator:
                 ]
             ).astype(np.int64) if n_cores else np.zeros((0, CORE_AXONS), np.int64)
             # Router hops per firing neuron = routes leaving it; the
-            # dynamic-fault path subtracts drops and adds echoes.
+            # dynamic-fault path subtracts drops and adds echoes. The
+            # cross-chip column mirrors it for routes whose endpoints sit
+            # on different chips under the applied placement.
             fanout = np.zeros((n_cores, CORE_NEURONS), dtype=np.int64)
+            cross_fanout = np.zeros((n_cores, CORE_NEURONS), dtype=np.int64)
+            chip_of = self.system.chip_of
             for route in router.routes:
                 fanout[core_pos[route.src_core], route.src_neuron] += 1
+                if chip_of(route.src_core) != chip_of(route.dst_core):
+                    cross_fanout[core_pos[route.src_core], route.src_neuron] += 1
             core_spikes = np.zeros(n_cores, dtype=np.int64)
             core_events = np.zeros(n_cores, dtype=np.int64)
             spikes_per_tick = np.zeros(ticks, dtype=np.int64)
-            hops = active_ticks = drop_hops = dup_hops = 0
+            hops = active_ticks = drop_hops = dup_hops = cross_hops = 0
         for tick in range(ticks):
             # 1. External inputs scheduled for this tick. Input-port
             # injections are off-chip and bypass spike-transport faults.
@@ -271,7 +277,7 @@ class Simulator:
             # 3. Route this tick's output spikes forward.
             if dynamic_faults:
                 for core_id, fired in fired_by_core.items():
-                    lost, echoed = faults.route_core_spikes(
+                    lost, echoed, crossed = faults.route_core_spikes(
                         router, tick, core_id, fired, lane_key
                     )
                     dropped += lost
@@ -284,11 +290,15 @@ class Simulator:
                         )
                         drop_hops += lost
                         dup_hops += echoed
+                        cross_hops += crossed
             else:
                 for core_id, fired in fired_by_core.items():
                     router.submit(tick, core_id, fired)
                     if track:
                         hops += int(fanout[core_pos[core_id]][fired].sum())
+                        cross_hops += int(
+                            cross_fanout[core_pos[core_id]][fired].sum()
+                        )
 
             # 4. Record probes.
             for name, probe in probes.items():
@@ -322,6 +332,7 @@ class Simulator:
                 core_spikes=core_spikes[None, :],
                 core_synaptic_events=core_events[None, :],
                 spikes_per_tick=spikes_per_tick[None, :],
+                cross_chip_hops=np.array([cross_hops], dtype=np.int64),
             )
         return result
 

@@ -66,6 +66,7 @@ class NeurosynapticSystem:
         self._input_ports: Dict[str, InputPort] = {}
         self._output_probes: Dict[str, OutputProbe] = {}
         self._next_core_id = 0
+        self._chip_assignment: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Cores
@@ -162,6 +163,50 @@ class NeurosynapticSystem:
     def output_probes(self) -> Dict[str, OutputProbe]:
         """Registered output probes by name."""
         return dict(self._output_probes)
+
+    # ------------------------------------------------------------------
+    # Chip placement
+    # ------------------------------------------------------------------
+    def apply_placement(self, placement) -> None:
+        """Pin cores to chips for multi-chip hop accounting.
+
+        Engines snapshot the assignment when they compile, so placement
+        must be applied before constructing a simulator or engine.
+
+        Args:
+            placement: a ``PlacementReport`` (its ``assignment`` is used)
+                or a plain ``core_id -> chip index`` mapping. Cores left
+                unassigned default to chip 0.
+        """
+        assignment = getattr(placement, "assignment", placement)
+        checked: Dict[int, int] = {}
+        for core_id, chip in assignment.items():
+            if core_id not in self._cores:
+                raise ConfigurationError(
+                    f"placement names unknown core {core_id}"
+                )
+            if int(chip) < 0:
+                raise ConfigurationError(
+                    f"chip index must be >= 0, got {chip} for core {core_id}"
+                )
+            checked[int(core_id)] = int(chip)
+        self._chip_assignment = checked
+
+    def chip_of(self, core_id: int) -> int:
+        """Chip hosting ``core_id`` (0 when no placement was applied)."""
+        return self._chip_assignment.get(core_id, 0)
+
+    @property
+    def chip_assignment(self) -> Dict[int, int]:
+        """A copy of the applied ``core_id -> chip`` mapping."""
+        return dict(self._chip_assignment)
+
+    @property
+    def chip_count(self) -> int:
+        """Distinct chips occupied by the system's cores."""
+        if not self._cores:
+            return 0
+        return len({self.chip_of(cid) for cid in self._cores})
 
     def reset_state(self) -> None:
         """Zero every core's potentials and drop in-flight spikes."""

@@ -12,6 +12,7 @@ scorer entropy, never on call order or batch composition.
 from types import SimpleNamespace
 
 import numpy as np
+import pytest
 
 from repro.detection.pipeline import SlidingWindowDetector, TrueNorthBinaryScorer
 from repro.eedn import EednNetwork, ThresholdActivation, TrinaryDense
@@ -19,6 +20,7 @@ from repro.serve import (
     InferenceService,
     NApproxCellModel,
     ServiceBackedScorer,
+    ShardedInferenceService,
     random_patch_rows,
 )
 
@@ -199,3 +201,94 @@ class TestDetectorDifferential:
             futures = [svc.submit(row) for row in rows]
             served = np.stack([future.result(timeout=30) for future in futures])
         np.testing.assert_array_equal(direct, served)
+
+
+class TestShardedDifferential:
+    """The multi-process worker tier joins the bit-identity contract.
+
+    Which shard scores a row — and therefore which forked process, over
+    which mp queue — must be unobservable in the results, the cache
+    keys, and the attributed energy.
+    """
+
+    def test_sharded_scores_bit_identical_to_direct(self):
+        scorer = _small_scorer()
+        rows = np.random.default_rng(10).random((30, 8))
+        direct = scorer.decision_function(rows)
+        with ShardedInferenceService(
+            scorer, workers=2, max_batch_size=8, max_wait_ms=1.0
+        ) as svc:
+            served = svc.score_many(rows)
+        np.testing.assert_array_equal(direct, served)
+
+    def test_sharded_matches_in_process_service(self):
+        rows = np.random.default_rng(11).random((24, 8))
+        with InferenceService(
+            _small_scorer(), max_batch_size=8, max_wait_ms=1.0
+        ) as single:
+            expected = single.score_many(rows)
+        with ShardedInferenceService(
+            _small_scorer(), workers=3, max_batch_size=8, max_wait_ms=1.0
+        ) as sharded:
+            got = sharded.score_many(rows)
+        np.testing.assert_array_equal(expected, got)
+
+    def test_sharded_cache_hits_are_bit_identical(self):
+        scorer = _small_scorer()
+        rows = np.random.default_rng(12).random((10, 8))
+        duplicated = np.vstack([rows, rows, rows])
+        direct = scorer.decision_function(duplicated)
+        with ShardedInferenceService(
+            scorer, workers=2, max_batch_size=4
+        ) as svc:
+            svc.score_many(rows)  # warm the shared parent-side cache
+            served = svc.score_many(duplicated)
+            assert svc.stats.counter("cache_hits") == 30
+        np.testing.assert_array_equal(direct, served)
+
+    def test_sharded_energy_attribution_matches_in_process(self):
+        """Worker ledgers re-recorded in the parent attribute the same
+        per-request energy the in-process service measures locally."""
+        rows = np.random.default_rng(13).random((12, 8))
+        snapshots = {}
+        for workers in (0, 2):
+            if workers:
+                service = ShardedInferenceService(
+                    _small_scorer(), workers=workers,
+                    max_batch_size=4, max_wait_ms=1.0,
+                )
+            else:
+                service = InferenceService(
+                    _small_scorer(), max_batch_size=4, max_wait_ms=1.0
+                )
+            with service:
+                service.score_many(rows)
+                snapshots[workers] = service.stats.snapshot()
+        for snapshot in snapshots.values():
+            assert snapshot["energy_nj"]["count"] == len(rows)
+        assert snapshots[0]["energy_nj"]["total"] > 0
+        assert snapshots[2]["energy_nj"]["total"] == pytest.approx(
+            snapshots[0]["energy_nj"]["total"], rel=1e-12
+        )
+
+    def test_detector_through_sharded_service_bit_identical(self):
+        scorer = _small_scorer()
+        image = np.random.default_rng(14).random((40, 40))
+
+        def build(active_scorer):
+            return SlidingWindowDetector(
+                _TinyExtractor(),
+                active_scorer,
+                feature_mode="cells",
+                window_shape=(16, 16),
+                score_threshold=-1e9,
+                chunk_size=5,
+            )
+
+        direct = build(scorer).detect(image)
+        with ShardedInferenceService(
+            scorer, workers=2, max_batch_size=8, max_wait_ms=1.0
+        ) as svc:
+            served = build(ServiceBackedScorer(svc)).detect(image)
+        assert direct == served
+        assert len(direct) > 0

@@ -1,5 +1,7 @@
 """Serve-layer resilience: retry, circuit breaker, degraded mode."""
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -201,6 +203,208 @@ class TestCircuitBreaker:
         with pytest.raises(CircuitOpenError):
             executor(np.zeros((1, 1)))
         assert fn.calls == 1
+
+
+class TestCircuitBreakerRaces:
+    """Regressions for the open -> half-open transition races.
+
+    Before admission tokens, a slow call admitted while CLOSED could
+    report its outcome after the breaker tripped — closing the circuit
+    without a probe, or releasing the half-open probe slot so a second
+    probe slipped through. Every scenario here is driven by an injected
+    clock, so the interleavings are exact, not timing-dependent.
+    """
+
+    def test_stale_success_cannot_close_a_tripped_breaker(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout_s=10.0, clock=clock)
+        stale_token = breaker.before_call()  # admitted while CLOSED
+        breaker.before_call()
+        breaker.record_failure()  # trips to OPEN
+        assert breaker.state == OPEN
+        breaker.record_success(stale_token)  # slow call finishes late
+        assert breaker.state == OPEN  # not closed behind the trip
+        with pytest.raises(CircuitOpenError):
+            breaker.before_call()
+
+    def test_stale_failure_cannot_release_the_probe_slot(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout_s=1.0, clock=clock)
+        slow_token = breaker.before_call()  # admitted while CLOSED
+        breaker.before_call()
+        breaker.record_failure()  # OPEN
+        clock.advance(1.0)
+        probe_token = breaker.before_call()  # the half-open probe
+        # the old slow call now fails; with the stale token it must not
+        # re-open the breaker (stealing the in-flight probe's verdict)
+        breaker.record_failure(slow_token)
+        assert breaker.state == HALF_OPEN
+        with pytest.raises(CircuitOpenError, match="half-open"):
+            breaker.before_call()  # probe slot still held
+        breaker.record_success(probe_token)
+        assert breaker.state == CLOSED
+
+    def test_exactly_one_probe_admitted_under_thread_contention(self):
+        """N threads race at cooldown expiry; exactly one gets through."""
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout_s=1.0, clock=clock)
+        breaker.before_call()
+        breaker.record_failure()
+        clock.advance(1.0)  # cooldown elapsed: next call is the probe
+
+        n_threads = 16
+        barrier = threading.Barrier(n_threads)
+        admitted, refused = [], []
+
+        def contender(i):
+            barrier.wait()
+            try:
+                token = breaker.before_call()
+            except CircuitOpenError:
+                refused.append(i)
+            else:
+                admitted.append((i, token))
+
+        threads = [
+            threading.Thread(target=contender, args=(i,))
+            for i in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(admitted) == 1
+        assert len(refused) == n_threads - 1
+        # the single probe's success closes the breaker for everyone
+        breaker.record_success(admitted[0][1])
+        assert breaker.state == CLOSED
+
+    def test_unconditional_outcomes_keep_legacy_behaviour(self):
+        """record_* without a token still applies regardless of staleness."""
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout_s=10.0)
+        breaker.before_call()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        breaker.record_success()  # tokenless: unconditional close
+        assert breaker.state == CLOSED
+
+    def test_callback_may_read_state_without_deadlocking(self):
+        """Transitions fire outside the lock, so a callback can re-enter."""
+        clock = FakeClock()
+        observed = []
+        breaker = CircuitBreaker(
+            failure_threshold=1,
+            reset_timeout_s=1.0,
+            clock=clock,
+            on_state_change=lambda _s: observed.append(breaker.state),
+        )
+        breaker.before_call()
+        breaker.record_failure()
+        clock.advance(1.0)
+        token = breaker.before_call()
+        breaker.record_success(token)
+        assert observed  # callbacks ran and read state re-entrantly
+        assert breaker.state == CLOSED
+
+    def test_bind_clock_rebinds_the_cooldown_source(self):
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout_s=5.0)
+        clock = FakeClock()
+        breaker.bind_clock(clock)
+        breaker.before_call()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(5.0)  # only the injected clock moves
+        assert breaker.state == HALF_OPEN
+
+
+class TestSingleClockContract:
+    """One monotonic clock across service, batcher, breaker, loadgen.
+
+    The regression: the breaker used to hold its own ``time.monotonic``
+    while a test-injected service clock drove deadlines, so cooldowns
+    and deadlines drifted apart under a fake clock. Now the service
+    rebinds default-clocked breakers and the load generator reads the
+    service clock, making time fully controllable.
+    """
+
+    def test_service_rebinds_default_clocked_breaker(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout_s=3.0)
+        service = InferenceService(
+            _Scorer(), clock=clock, circuit_breaker=breaker
+        )
+        assert breaker._clock is clock
+        assert service.clock is clock
+
+    def test_explicitly_clocked_breaker_is_left_alone(self):
+        service_clock = FakeClock()
+        breaker_clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout_s=3.0, clock=breaker_clock
+        )
+        InferenceService(_Scorer(), clock=service_clock, circuit_breaker=breaker)
+        assert breaker._clock is breaker_clock
+
+    def test_mixed_time_sources_converge_on_the_fake_clock(self):
+        """Deadline expiry and breaker cooldown obey one injected clock."""
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout_s=100.0)
+
+        class DownOnce:
+            model_id = "down-once"
+            cacheable = True
+            calls = 0
+
+            def decision_function(self, matrix):
+                type(self).calls += 1
+                if type(self).calls == 1:
+                    raise TransientScorerError("first call down")
+                return np.asarray(matrix)[:, 0]
+
+        service = InferenceService(
+            DownOnce(),
+            max_batch_size=2,
+            max_wait_ms=0.0,
+            clock=clock,
+            circuit_breaker=breaker,
+        )
+        with service:
+            with pytest.raises(TransientScorerError):
+                service.score(np.zeros(2), timeout_s=50.0)
+            assert breaker.state == OPEN
+            # wall time passes (the worker thread runs) but the fake
+            # clock hasn't moved: the breaker must still be open, and a
+            # 50 s deadline must not expire.
+            with pytest.raises(CircuitOpenError):
+                service.score(np.zeros(2), timeout_s=50.0)
+            clock.advance(100.0)  # cooldown elapses on the fake clock
+            assert breaker.state == HALF_OPEN
+            assert service.score(np.ones(2), timeout_s=50.0) == 1.0
+
+    def test_loadgen_reads_the_service_clock(self):
+        from repro.serve import closed_loop
+
+        clock = FakeClock()
+
+        class AdvancesClock:
+            model_id = "tick"
+            cacheable = False
+
+            def decision_function(self, matrix):
+                clock.advance(2.0)  # simulated scoring time
+                return np.asarray(matrix)[:, 0]
+
+        service = InferenceService(
+            AdvancesClock(), max_batch_size=64, max_wait_ms=0.0, clock=clock
+        )
+        rows = np.ones((6, 2))
+        with service:
+            report = closed_loop(service, rows, concurrency=1, chunk_size=6)
+        assert report.accounted
+        # seconds came from the fake clock (advanced only by the model),
+        # not from wall time, proving loadgen shares the service clock.
+        assert report.seconds >= 2.0
+        assert report.seconds == clock.now
 
 
 class TestFlakyModel:

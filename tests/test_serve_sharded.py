@@ -1,0 +1,279 @@
+"""The sharded (multi-process) serving tier.
+
+Covers the consistent-hash ring, bit-identity with in-process serving,
+the shared parent-side result cache, ledger/energy re-recording across
+the process boundary, per-shard circuit breakers, and worker
+death/respawn. Worker processes are real forks — tests here are
+intentionally small so the suite stays fast.
+"""
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    CircuitOpenError,
+    ConfigurationError,
+    QueueFullError,
+    ServiceClosedError,
+    TransientScorerError,
+)
+from repro.serve import (
+    HashRing,
+    InferenceService,
+    NApproxCellModel,
+    ShardedInferenceService,
+    content_key,
+    random_patch_rows,
+)
+
+
+class _Affine:
+    """Tiny deterministic model (no engine) for fast process tests."""
+
+    model_id = "affine-test"
+    cacheable = True
+
+    def __call__(self, matrix):
+        return np.asarray(matrix)[:, 0] * 10.0 + 1.0
+
+
+class _CrashOnNegative:
+    """Kills its own process when a batch contains a negative value."""
+
+    model_id = "crash-test"
+    cacheable = True
+
+    def __call__(self, matrix):
+        matrix = np.asarray(matrix)
+        if (matrix < 0).any():
+            os.kill(os.getpid(), signal.SIGKILL)
+        return matrix[:, 0] * 2.0
+
+
+class _AlwaysRaises:
+    model_id = "raises-test"
+    cacheable = True
+
+    def __call__(self, matrix):
+        raise RuntimeError("worker-side model failure")
+
+
+def _sharded(model, **kwargs):
+    kwargs.setdefault("workers", 2)
+    kwargs.setdefault("max_batch_size", 8)
+    kwargs.setdefault("max_wait_ms", 1.0)
+    kwargs.setdefault("result_timeout_s", 0.2)
+    return ShardedInferenceService(model, **kwargs)
+
+
+class TestHashRing:
+    def test_routing_is_deterministic(self):
+        ring = HashRing(4)
+        keys = [content_key("m", np.array([float(i)])) for i in range(64)]
+        first = [ring.shard_for(k) for k in keys]
+        second = [HashRing(4).shard_for(k) for k in keys]
+        assert first == second
+
+    def test_covers_every_shard(self):
+        ring = HashRing(4)
+        keys = [content_key("m", np.array([float(i)])) for i in range(256)]
+        assert {ring.shard_for(k) for k in keys} == {0, 1, 2, 3}
+
+    def test_resize_moves_few_keys(self):
+        """Consistent hashing: going 4 -> 5 shards remaps ~1/5 of keys."""
+        keys = [content_key("m", np.array([float(i)])) for i in range(2000)]
+        before = [HashRing(4).shard_for(k) for k in keys]
+        after = [HashRing(5).shard_for(k) for k in keys]
+        moved = sum(1 for a, b in zip(before, after) if a != b)
+        assert moved < len(keys) * 0.45  # naive modulo would move ~80 %
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            HashRing(0)
+        with pytest.raises(ConfigurationError):
+            HashRing(2, replicas=0)
+
+
+class TestShardedService:
+    def test_results_bit_identical_to_in_process(self):
+        rows = np.random.default_rng(0).random((32, 3))
+        with InferenceService(_Affine(), max_batch_size=8) as single:
+            expected = single.score_many(rows)
+        with _sharded(_Affine()) as sharded:
+            got = sharded.score_many(rows)
+        np.testing.assert_array_equal(expected, got)
+
+    def test_routing_uses_the_content_ring(self):
+        service = _sharded(_Affine(), workers=4)
+        rows = np.random.default_rng(1).random((32, 3))
+        for row in rows:
+            shard = service.shard_of(row)
+            key = content_key(service.model_id, row)
+            assert shard == service.ring.shard_for(key)
+        service.close()
+
+    def test_shared_cache_hits_across_shards(self):
+        rows = np.random.default_rng(2).random((8, 3))
+        with _sharded(_Affine(), workers=2) as service:
+            service.score_many(rows)  # warm
+            again = service.score_many(rows)
+            assert service.stats.counter("cache_hits") == 8
+            # hits resolve in the parent: no new dispatches needed
+            assert service.stats.counter("submitted") == 16
+        with InferenceService(_Affine(), max_batch_size=8) as single:
+            expected = single.score_many(rows)
+        np.testing.assert_array_equal(expected, again)
+
+    def test_uncacheable_model_disables_cache(self):
+        class Uncacheable(_Affine):
+            cacheable = False
+
+        service = _sharded(Uncacheable())
+        assert service.cache is None
+        service.close()
+
+    def test_queue_full_rejects_cleanly(self):
+        service = _sharded(_Affine(), workers=1, queue_capacity=1)
+        # never started: requests queue up and the second must bounce
+        service._started = True
+        service.submit(np.zeros(3))
+        with pytest.raises(QueueFullError):
+            service.submit(np.ones(3))
+        service._started = False
+        service._closed = True
+
+    def test_closed_service_rejects_submissions(self):
+        service = _sharded(_Affine())
+        with pytest.raises(ServiceClosedError):
+            service.submit(np.zeros(3))  # not started
+        service.start()
+        service.close()
+        with pytest.raises(ServiceClosedError):
+            service.submit(np.zeros(3))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ShardedInferenceService(_Affine(), workers=0)
+        with pytest.raises(ConfigurationError):
+            _sharded(_Affine(), queue_capacity=0)
+        with pytest.raises(ConfigurationError):
+            _sharded(_Affine(), result_timeout_s=0.0)
+        with pytest.raises(ConfigurationError):
+            _sharded(_Affine(), max_redispatches=-1)
+
+
+class TestWorkerDeath:
+    def test_killed_worker_is_respawned_and_batch_redispatched(self):
+        """SIGKILL mid-batch: the batch still completes on the respawn."""
+        with _sharded(_CrashOnNegative(), workers=1) as service:
+            before = service._shards[0].process.pid
+            os.kill(before, signal.SIGKILL)
+            service._shards[0].process.join(timeout=5.0)
+            score = service.score(np.array([3.0, 0.0, 0.0]), timeout_s=30.0)
+            assert score == 6.0
+            after = service._shards[0].process.pid
+            assert after != before
+            assert service.stats.counter("worker_deaths") == 1
+            assert service.stats.counter("worker_respawns") == 1
+            assert service.stats.counter("redispatches") >= 1
+
+    def test_persistent_crash_exhausts_redispatch_budget(self):
+        """A batch that kills every worker it reaches eventually fails."""
+        with _sharded(
+            _CrashOnNegative(),
+            workers=1,
+            max_redispatches=1,
+            breaker_failure_threshold=0,
+        ) as service:
+            future = service.submit(np.array([-1.0, 0.0, 0.0]))
+            with pytest.raises(TransientScorerError):
+                future.result(timeout=30.0)
+            assert service.stats.counter("worker_deaths") == 2
+            # the shard recovered: clean requests still serve
+            assert service.score(np.array([2.0, 0.0, 0.0])) == 4.0
+
+
+class TestShardBreakers:
+    def test_worker_exception_fails_batch_transiently(self):
+        with _sharded(_AlwaysRaises(), workers=1) as service:
+            with pytest.raises(TransientScorerError, match="RuntimeError"):
+                service.score(np.zeros(3))
+            # worker survived the exception: no death, no respawn
+            assert service.stats.counter("worker_deaths") == 0
+
+    def test_breaker_opens_after_threshold_and_cools_down(self):
+        with _sharded(
+            _AlwaysRaises(),
+            workers=1,
+            breaker_failure_threshold=2,
+            breaker_reset_timeout_s=0.2,
+            cache_capacity=0,
+        ) as service:
+            for i in range(2):
+                with pytest.raises(TransientScorerError):
+                    service.score(np.full(3, float(i)))
+            # breaker now open: next batch fails fast without a dispatch
+            dispatches = service.stats.counter("dispatches")
+            with pytest.raises(CircuitOpenError):
+                service.score(np.full(3, 9.0))
+            assert service.stats.counter("dispatches") == dispatches
+            assert service.stats.counter("breaker_opens") >= 1
+            # after the cooldown, a half-open probe reaches the worker
+            time.sleep(0.3)
+            with pytest.raises(TransientScorerError):
+                service.score(np.full(3, 11.0))
+            assert service.stats.counter("dispatches") == dispatches + 1
+
+    def test_breakers_are_per_shard(self):
+        service = _sharded(_Affine(), workers=3, breaker_failure_threshold=2)
+        breakers = [shard.breaker for shard in service._shards]
+        assert len({id(b) for b in breakers}) == 3
+        assert all(b is not None for b in breakers)
+        assert all(b._clock is service.clock for b in breakers)
+        service.close()
+
+
+class TestEngineWorkloadParity:
+    """The real engine workload across the process boundary."""
+
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return random_patch_rows(12, rng=7)
+
+    def test_engine_scores_ledgers_energy_match(self, rows):
+        with InferenceService(
+            NApproxCellModel(window=8, engine="batch", cores_per_chip=8),
+            max_batch_size=4,
+            max_wait_ms=1.0,
+        ) as single:
+            expected = single.score_many(rows)
+            single_snap = single.stats.snapshot()
+        with _sharded(
+            NApproxCellModel(window=8, engine="batch", cores_per_chip=8),
+            workers=2,
+            max_batch_size=4,
+            result_timeout_s=2.0,
+        ) as sharded:
+            got = sharded.score_many(rows)
+            shard_snap = sharded.stats.snapshot()
+        np.testing.assert_array_equal(expected, got)
+        for key in (
+            "hw_router_hops",
+            "hw_cross_chip_hops",
+            "hw_intra_chip_hops",
+        ):
+            assert (
+                single_snap["counters"][key] == shard_snap["counters"][key]
+            ), key
+        assert shard_snap["counters"]["hw_cross_chip_hops"] > 0
+        assert single_snap["energy_nj"]["count"] == len(rows)
+        assert shard_snap["energy_nj"]["count"] == len(rows)
+        # per-request energies are bit-identical; totals are compared as
+        # sorted multisets because each mode sums in its own batch order
+        assert single_snap["energy_nj"]["total"] == pytest.approx(
+            shard_snap["energy_nj"]["total"], rel=1e-12
+        )
