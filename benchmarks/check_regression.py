@@ -22,7 +22,13 @@ the committed ones ("baseline"):
   listed shard count — also an absolute floor (off by default);
 - **fault-free accuracy** (faults ``approaches.*.miss_rate[0]``): fails
   when any approach's zero-fault miss rate rises by more than
-  ``--max-missrate-increase`` (default 0.05 absolute).
+  ``--max-missrate-increase`` (default 0.05 absolute);
+- **video parity + cache locality** (video ``parity`` and
+  ``motions``): fails when the current run's engine/worker conformance
+  flags are not both true, or when the static-background cache hit
+  rate beats full-motion by less than ``--min-video-cache-separation``
+  (default 0.25) — both absolute invariants; the walk-motion fps is
+  additionally gated against the baseline like the other throughputs.
 
 Comparisons only run between payloads of the *same* workload
 configuration; a config mismatch (e.g. a ``--quick`` current run
@@ -42,7 +48,12 @@ import sys
 from pathlib import Path
 
 #: The benchmark payloads the gate knows how to compare.
-BENCH_FILES = ("BENCH_engine.json", "BENCH_serve.json", "BENCH_faults.json")
+BENCH_FILES = (
+    "BENCH_engine.json",
+    "BENCH_serve.json",
+    "BENCH_faults.json",
+    "BENCH_video.json",
+)
 
 
 def _load(path: Path):
@@ -252,10 +263,57 @@ def check_faults(baseline, current, args):
     return failures
 
 
+def check_video(baseline, current, args):
+    """Video parity flags, cache-locality separation, and walk fps."""
+    failures = []
+    parity = current.get("parity", {})
+    for flag in ("engines_identical", "workers_identical"):
+        value = parity.get(flag)
+        verdict = "ok" if value is True else "FAIL"
+        print(f"{verdict}: BENCH_video.json: parity.{flag} = {value}")
+        if value is not True:
+            failures.append(
+                f"BENCH_video.json: parity.{flag} is {value!r}, not true"
+            )
+    motions = current.get("motions", {})
+    static_hit = motions.get("static", {}).get("cache_hit_rate")
+    full_hit = motions.get("full", {}).get("cache_hit_rate")
+    if isinstance(static_hit, (int, float)) and isinstance(full_hit, (int, float)):
+        separation = static_hit - full_hit
+        floor = args.min_video_cache_separation
+        verdict = "FAIL" if separation < floor else "ok"
+        print(
+            f"{verdict}: BENCH_video.json: static-vs-full cache hit "
+            f"separation {separation:.2f} (floor {floor:.2f})"
+        )
+        if separation < floor:
+            failures.append(
+                f"BENCH_video.json: cache separation {separation:.2f} "
+                f"below the {floor:.2f} floor"
+            )
+    else:
+        print("WARN: BENCH_video.json: motion sweep hit rates absent; "
+              "skipping cache-locality gate")
+    keys = ("workload", "service")
+    if _config(baseline, keys) != _config(current, keys):
+        print("WARN: BENCH_video.json: workload configs differ; "
+              "skipping fps comparison")
+        return failures
+    failures += _check_throughput(
+        "BENCH_video.json (motion=walk)",
+        "fps",
+        baseline.get("motions", {}).get("walk", {}),
+        current.get("motions", {}).get("walk", {}),
+        args.max_throughput_regression,
+    )
+    return failures
+
+
 CHECKS = {
     "BENCH_engine.json": check_engine,
     "BENCH_serve.json": check_serve,
     "BENCH_faults.json": check_faults,
+    "BENCH_video.json": check_video,
 }
 
 
@@ -290,6 +348,11 @@ def main() -> int:
     parser.add_argument(
         "--max-missrate-increase", type=float, default=0.05,
         help="allowed absolute rise of the fault-free miss rate",
+    )
+    parser.add_argument(
+        "--min-video-cache-separation", type=float, default=0.25,
+        help="required static-minus-full cache hit-rate gap in the "
+        "video motion sweep (absolute floor, default 0.25)",
     )
     parser.add_argument(
         "--warn-only", action="store_true",

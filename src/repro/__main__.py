@@ -13,6 +13,7 @@ Usage::
     python -m repro serve --metrics   # + process-wide metrics snapshot
     python -m repro serve --flaky-rate 0.2 --retries 3   # resilience demo
     python -m repro faults            # fault-rate degradation sweep
+    python -m repro video             # streaming video pipeline demo
     python -m repro trace <cmd>       # any command + span trace summary
     python -m repro profile <cmd>     # any command + hw-counter profile
 
@@ -53,6 +54,20 @@ scorer faults, handled by ``--retries``/``--retry-backoff-ms`` and a
 ``--breaker-failures``/``--breaker-reset-ms`` circuit breaker, with
 ``--degraded-score`` serving a sentinel instead of failing while the
 breaker is open.
+
+Streaming video (DESIGN.md §15, ``docs/VIDEO_PIPELINE.md``): ``video``
+streams a synthetic sequence through the frame pipeline — pyramid
+decomposition, window fan-out to the (optionally sharded with
+``--workers``) micro-batching service, NMS reassembly — and reports
+fps, joules/frame, the per-frame LRU hit rate, degraded frames, and
+the FPPI/miss-rate summary. ``--motion {static,walk,full}`` sets the
+scene's temporal locality, ``--deadline-ms`` arms the per-frame budget
+that drops the finest pyramid scales first, and ``--frames``/
+``--video-shape`` size the sequence (``--output`` writes the report
+JSON).
+
+A full per-subcommand reference with runnable examples lives in
+``docs/CLI.md``.
 """
 
 import argparse
@@ -103,9 +118,11 @@ def main(argv=None) -> int:
             "absorbed",
             "serve",
             "faults",
+            "video",
         ],
         help="which artifact to regenerate (or 'serve' for the service "
-        "demo, 'faults' for the fault-rate degradation sweep)",
+        "demo, 'faults' for the fault-rate degradation sweep, 'video' "
+        "for the streaming video pipeline)",
     )
     parser.add_argument(
         "--small", action="store_true", help="use a smaller, faster data split"
@@ -232,6 +249,24 @@ def main(argv=None) -> int:
         "--output", default=None, metavar="PATH",
         help="write the sweep payload as JSON (BENCH_faults.json)",
     )
+    video_group = parser.add_argument_group("video options")
+    video_group.add_argument(
+        "--frames", type=int, default=12, help="frames in the synthetic sequence"
+    )
+    video_group.add_argument(
+        "--motion", choices=["static", "walk", "full"], default="walk",
+        help="scene motion level (static = maximal cross-frame cache "
+        "locality, full = none)",
+    )
+    video_group.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="per-frame scoring budget; late frames drop the finest "
+        "pyramid scales first (unset = no budget)",
+    )
+    video_group.add_argument(
+        "--video-shape", default="240x320", metavar="HxW",
+        help="frame shape in pixels (--small shrinks it to 160x224)",
+    )
     args = parser.parse_args(argv)
     if args.metrics_output:
         args.metrics = True
@@ -286,6 +321,8 @@ def main(argv=None) -> int:
         return _serve(args)
     elif args.experiment == "faults":
         return _faults(args)
+    elif args.experiment == "video":
+        return _video(args)
     return 0
 
 
@@ -445,6 +482,109 @@ def _serve(args) -> int:
         print(f"wrote flight dump ({retained} events) to {args.flight_dump}")
     if not report.accounted:
         print("FAIL: requests lost or failed", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _video(args) -> int:
+    """Stream a synthetic video sequence (exit 0 = every frame scored)."""
+    from repro.serve import InferenceService, ShardedInferenceService
+    from repro.video import (
+        VideoConfig,
+        VideoPipeline,
+        VideoPipelineConfig,
+        build_video_workload,
+        synthesize_sequence,
+    )
+
+    try:
+        height, width = (int(v) for v in args.video_shape.lower().split("x"))
+    except ValueError:
+        print(f"bad --video-shape {args.video_shape!r}, want HxW", file=sys.stderr)
+        return 2
+    if args.small:
+        height, width = min(height, 160), min(width, 224)
+    engine = args.engine or "batch"
+    workload_kwargs = {"engine": engine, "ticks": 6, "hidden": 16}
+    if args.small:
+        workload_kwargs.update(n_train=24, epochs=8)
+    workload = build_video_workload(**workload_kwargs)
+    sequence = synthesize_sequence(
+        VideoConfig(
+            shape=(height, width), n_frames=args.frames, motion=args.motion
+        ),
+        rng=3,
+    )
+
+    registry = None
+    if args.metrics:
+        from repro.obs import get_registry
+
+        registry = get_registry()
+    if args.workers > 0:
+        service = ShardedInferenceService(
+            workload.scorer,
+            workers=args.workers,
+            max_batch_size=args.max_batch_size,
+            max_wait_ms=args.max_wait_ms,
+            queue_capacity=args.queue_capacity,
+            cache_capacity=args.cache_capacity,
+            registry=registry,
+        )
+    else:
+        service = InferenceService(
+            workload.scorer,
+            max_batch_size=args.max_batch_size,
+            max_wait_ms=args.max_wait_ms,
+            queue_capacity=args.queue_capacity,
+            cache_capacity=args.cache_capacity,
+            registry=registry,
+        )
+    with service:
+        pipeline = VideoPipeline(
+            workload.extractor,
+            service,
+            VideoPipelineConfig(
+                feature_scale=workload.feature_scale,
+                deadline_ms=args.deadline_ms,
+            ),
+            registry=registry,
+        )
+        report = pipeline.run(sequence)
+
+    print(
+        f"streamed {len(report.frames)} {height}x{width} frames "
+        f"({args.motion} motion, {engine} engine"
+        + (f", {args.workers} workers" if args.workers else "")
+        + f"): {report.fps:.2f} fps"
+    )
+    print(
+        f"joules/frame {report.joules_per_frame * 1e6:.1f} uJ, "
+        f"cache hit rate {report.cache_hit_rate:.1%}, "
+        f"windows scored {report.windows_scored}, "
+        f"degraded frames {report.degraded_frames}"
+    )
+    if report.curve is not None:
+        print(
+            f"log-average miss rate {report.curve.log_average_miss_rate():.3f} "
+            f"over {report.curve.n_ground_truth} ground-truth boxes"
+        )
+    if args.output:
+        payload = {
+            "engine": engine,
+            "workers": args.workers,
+            "motion": args.motion,
+            "shape": [height, width],
+            "deadline_ms": args.deadline_ms,
+            **report.as_dict(),
+        }
+        with open(args.output, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+    incomplete = [f.index for f in report.frames if f.levels_scored == 0]
+    if incomplete:
+        print(f"FAIL: frames {incomplete} scored no levels", file=sys.stderr)
         return 1
     return 0
 

@@ -19,6 +19,15 @@ from repro.datasets.synthetic_person import (
     DatasetConfig,
     Scene,
     SyntheticPersonDataset,
+    person_silhouette,
+    window_aligned_box,
 )
 
-__all__ = ["Annotation", "DatasetConfig", "Scene", "SyntheticPersonDataset"]
+__all__ = [
+    "Annotation",
+    "DatasetConfig",
+    "Scene",
+    "SyntheticPersonDataset",
+    "person_silhouette",
+    "window_aligned_box",
+]

@@ -138,6 +138,49 @@ def _person_mask(height: int, rng: np.random.Generator) -> np.ndarray:
     return mask
 
 
+def person_silhouette(height: int, rng: RngLike = 0) -> np.ndarray:
+    """A soft [0, 1] upright-person silhouette, ``height`` px tall.
+
+    Public wrapper of the parametric mask the dataset pastes into its
+    scenes; the video synthesiser (``repro.video.synthesis``) draws one
+    mask per person and translates it between frames so a person keeps
+    the same appearance as they move.
+
+    Args:
+        height: silhouette height in pixels (width is ~0.42 * height).
+        rng: randomness for the anatomical jitter.
+    """
+    return _person_mask(height, resolve_rng(rng))
+
+
+def window_aligned_box(top: int, left: int, mask_shape: Tuple[int, int]) -> Annotation:
+    """The INRIA-style ground-truth box of a pasted silhouette.
+
+    Annotations are window-aligned: the box a perfect 64x128 detector
+    would output, i.e. the silhouette inflated to the training-crop
+    proportions (person ~75% of window height, 1:2 aspect) and centered
+    on the person. Shared by :class:`SyntheticPersonDataset` and the
+    video-sequence synthesiser so both produce identical ground truth
+    for identically-placed persons.
+
+    Args:
+        top: silhouette top edge in image pixels.
+        left: silhouette left edge.
+        mask_shape: ``(height, width)`` of the silhouette mask.
+    """
+    mh, mw = mask_shape
+    box_h = mh / _PERSON_WINDOW_FILL
+    box_w = box_h * (WINDOW_WIDTH / WINDOW_HEIGHT)
+    center_x = left + mw / 2.0
+    center_y = top + mh / 2.0
+    return Annotation(
+        x=float(center_x - box_w / 2.0),
+        y=float(center_y - box_h / 2.0),
+        width=float(box_w),
+        height=float(box_h),
+    )
+
+
 def _textured_background(
     shape: Tuple[int, int], config: DatasetConfig, rng: np.random.Generator
 ) -> np.ndarray:
@@ -332,20 +375,7 @@ class SyntheticPersonDataset:
         texture = rng.normal(0.0, 0.02, size=mask.shape)
         region[...] = region * (1.0 - mask) + (person_level + texture) * mask
 
-        # Annotations are window-aligned, INRIA-style: the box a perfect
-        # 64x128 detector would output, i.e. the silhouette inflated to
-        # the training-crop proportions (person ~75% of window height,
-        # 1:2 aspect) and centered on the person.
-        box_h = mh / _PERSON_WINDOW_FILL
-        box_w = box_h * (WINDOW_WIDTH / WINDOW_HEIGHT)
-        center_x = left + mw / 2.0
-        center_y = top + mh / 2.0
-        return Annotation(
-            x=float(center_x - box_w / 2.0),
-            y=float(center_y - box_h / 2.0),
-            width=float(box_w),
-            height=float(box_h),
-        )
+        return window_aligned_box(top, left, mask.shape)
 
 
 def _overlap(a: Tuple[float, float, float, float], b: Tuple[float, float, float, float]) -> float:
@@ -366,4 +396,6 @@ __all__ = [
     "SyntheticPersonDataset",
     "WINDOW_HEIGHT",
     "WINDOW_WIDTH",
+    "person_silhouette",
+    "window_aligned_box",
 ]

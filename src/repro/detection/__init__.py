@@ -32,6 +32,7 @@ from repro.detection.pipeline import (
     SlidingWindowDetector,
     SpikingBinaryScorer,
     TrueNorthBinaryScorer,
+    sliding_window_features,
 )
 
 __all__ = [
@@ -47,4 +48,5 @@ __all__ = [
     "full_hd_cell_count",
     "log_average_miss_rate",
     "non_maximum_suppression",
+    "sliding_window_features",
 ]

@@ -19,6 +19,44 @@ from repro.truenorth.simulator import Simulator
 from repro.utils.rng import RngLike, resolve_rng
 
 
+def sliding_window_features(
+    source: np.ndarray, window_cells: Tuple[int, int]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Every window's flattened feature row from one cell/block grid.
+
+    Windows slide at cell granularity over a ``(gy, gx, F)`` grid; each
+    row is the window's ``(win_y, win_x, F)`` patch flattened in
+    row-major order. This is the shared scanning core of
+    :class:`SlidingWindowDetector` and the frame pipeline in
+    ``repro.video`` — both fan the same rows out, so a served video
+    frame scores bit-identically to a direct detector scan.
+
+    Args:
+        source: ``(gy, gx, F)`` grid of per-cell (or per-block) features.
+        window_cells: ``(win_y, win_x)`` window extent in grid units.
+
+    Returns:
+        ``(features (n, win_y * win_x * F), positions (n, 2))`` where
+        positions are ``(cell_y, cell_x)`` of each window's top-left
+        cell; both empty when the window does not fit.
+    """
+    win_y, win_x = window_cells
+    gy, gx = source.shape[:2]
+    feature_length = win_y * win_x * int(np.prod(source.shape[2:], dtype=int))
+    ny = gy - win_y + 1
+    nx = gx - win_x + 1
+    if ny < 1 or nx < 1:
+        return np.zeros((0, feature_length)), np.zeros((0, 2), dtype=int)
+    view = np.lib.stride_tricks.sliding_window_view(
+        source, (win_y, win_x), axis=(0, 1)
+    )
+    # view: (ny, nx, F, win_y, win_x) -> (ny, nx, win_y, win_x, F)
+    features = np.ascontiguousarray(np.moveaxis(view, 2, -1)).reshape(ny * nx, -1)
+    ys, xs = np.meshgrid(np.arange(ny), np.arange(nx), indexing="ij")
+    positions = np.stack([ys.ravel(), xs.ravel()], axis=1)
+    return features, positions
+
+
 @dataclass(frozen=True)
 class Detection:
     """One detector output.
@@ -414,21 +452,7 @@ class SlidingWindowDetector:
             )
             win_y = (wy - self.block_size) // self.block_stride + 1
             win_x = (wx - self.block_size) // self.block_stride + 1
-
-        gy, gx = source.shape[:2]
-        ny = gy - win_y + 1
-        nx = gx - win_x + 1
-        if ny < 1 or nx < 1:
-            return np.zeros((0, self._feature_length())), np.zeros((0, 2), dtype=int)
-
-        view = np.lib.stride_tricks.sliding_window_view(source, (win_y, win_x), axis=(0, 1))
-        # view: (ny, nx, F, win_y, win_x) -> (ny, nx, win_y, win_x, F)
-        features = np.ascontiguousarray(np.moveaxis(view, 2, -1)).reshape(
-            ny * nx, -1
-        )
-        ys, xs = np.meshgrid(np.arange(ny), np.arange(nx), indexing="ij")
-        positions = np.stack([ys.ravel(), xs.ravel()], axis=1)
-        return features, positions
+        return sliding_window_features(source, (win_y, win_x))
 
     def _scan(
         self, image: np.ndarray, collect_features: bool
@@ -499,4 +523,5 @@ __all__ = [
     "SlidingWindowDetector",
     "SpikingBinaryScorer",
     "TrueNorthBinaryScorer",
+    "sliding_window_features",
 ]

@@ -1,0 +1,498 @@
+"""The frame-level streaming pipeline: pyramid -> cells -> serve -> NMS.
+
+Each frame is decomposed into an image pyramid, every level's cell grid
+is swept into detection-window feature rows
+(:func:`~repro.detection.pipeline.sliding_window_features`), the rows
+are pooled to the deployable feature width and fanned out as individual
+requests to an :class:`~repro.serve.InferenceService` (or its sharded
+variant), and the thresholded scores are reassembled into per-frame
+detections through the paper's greedy NMS.
+
+Levels are scored **coarsest first**. That ordering is what makes the
+per-frame deadline budget degrade gracefully: when the budget runs out
+mid-frame, the levels not yet scored are exactly the finest (most
+expensive) pyramid scales, so a late frame loses small-person
+resolution instead of missing the frame entirely. Degraded frames are
+counted on the ``video_degraded_frames_total`` registry counter and in
+each :class:`FrameResult`.
+
+Per-frame economics come from :class:`~repro.serve.ServiceStats`
+deltas: cache hits/misses bracket each frame to give the frame's LRU
+hit rate (the cross-frame temporal-locality signal), and the attributed
+energy counter gives joules/frame through the existing
+energy-attribution layer — no separate accounting path.
+"""
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.detection.evaluate import DetectionCurve, evaluate_detections
+from repro.detection.nms import non_maximum_suppression
+from repro.detection.pipeline import Detection, sliding_window_features
+from repro.detection.pyramid import ImagePyramid
+from repro.obs import MetricsRegistry, get_registry, span
+from repro.video.synthesis import VideoSequence
+
+
+@dataclass(frozen=True)
+class VideoPipelineConfig:
+    """Knobs of the streaming frame pipeline.
+
+    Attributes:
+        window_shape: detection window in pixels (the paper's 128x64).
+        scale_factor: pyramid step between levels.
+        max_levels: pyramid depth cap (6 scales for the paper's full-HD
+            deployment).
+        pool: cells averaged per pooled feature, ``(y, x)`` — the same
+            reduction the fault sweep uses to fit the 128-input
+            deployment budget.
+        bin_merge: adjacent orientation bins summed per merged bin.
+        feature_scale: multiplier mapping pooled counts into the [0, 1]
+            firing-probability range content coding expects (see
+            :func:`~repro.video.workload.calibrated_feature_scale`).
+        score_threshold: minimum served margin to emit a detection.
+        nms_epsilon: NMS overlap threshold (0.2 in the paper).
+        deadline_ms: per-frame scoring budget; ``None`` disables
+            degradation. The budget is checked between levels, so at
+            least :attr:`min_levels` coarse levels always score.
+        min_levels: levels always scored regardless of the deadline
+            (>= 1 — a frame never goes completely dark).
+        timeout_s: optional per-request serve deadline forwarded to
+            ``submit`` (distinct from the frame budget).
+        max_inflight: window rows fanned out per ``score_many`` call.
+            Full-frame pyramid levels hold more windows than the serve
+            queue (256 slots by default), so the fan-out is chunked;
+            chunking never changes scores, only submission pacing.
+    """
+
+    window_shape: Tuple[int, int] = (128, 64)
+    scale_factor: float = 1.2
+    max_levels: int = 6
+    pool: Tuple[int, int] = (4, 2)
+    bin_merge: int = 3
+    feature_scale: float = 1.0
+    score_threshold: float = 0.0
+    nms_epsilon: float = 0.2
+    deadline_ms: Optional[float] = None
+    min_levels: int = 1
+    timeout_s: Optional[float] = None
+    max_inflight: int = 128
+
+
+@dataclass
+class FrameResult:
+    """Everything measured while streaming one frame.
+
+    Attributes:
+        index: frame position in the sequence.
+        detections: NMS survivors mapped back to frame pixels.
+        levels_total: pyramid levels the frame decomposes into.
+        levels_scored: levels actually scored (== ``levels_total``
+            unless the deadline degraded the frame).
+        levels_dropped: finest levels skipped by the deadline budget.
+        degraded: whether the frame lost at least one level.
+        windows_scored: feature rows fanned out to the service.
+        cache_hits: serve LRU hits attributed to this frame.
+        cache_misses: serve LRU misses attributed to this frame.
+        energy_joules: simulated energy attributed to this frame.
+        seconds: wall-clock scoring time of the frame.
+    """
+
+    index: int
+    detections: List[Detection] = field(default_factory=list)
+    levels_total: int = 0
+    levels_scored: int = 0
+    levels_dropped: int = 0
+    degraded: bool = False
+    windows_scored: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    energy_joules: float = 0.0
+    seconds: float = 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """LRU hits / lookups for this frame (0.0 before any lookup)."""
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    def detections_key(self) -> Tuple:
+        """A hashable, bit-exact summary of the frame's detections.
+
+        Used by the bench and tests to assert per-frame detections are
+        identical across engines and worker counts.
+        """
+        return tuple(
+            (d.x, d.y, d.width, d.height, d.score) for d in self.detections
+        )
+
+
+@dataclass
+class VideoReport:
+    """Aggregate view of one streamed sequence.
+
+    Attributes:
+        frames: per-frame results in order.
+        curve: FPPI/miss-rate curve over the sequence (``None`` when the
+            sequence carries no ground truth).
+        seconds: total wall-clock scoring time.
+    """
+
+    frames: List[FrameResult]
+    curve: Optional[DetectionCurve] = None
+    seconds: float = 0.0
+
+    @property
+    def fps(self) -> float:
+        """Frames per second over the whole run."""
+        return len(self.frames) / self.seconds if self.seconds > 0 else 0.0
+
+    @property
+    def degraded_frames(self) -> int:
+        """Frames that lost at least one pyramid level to the deadline."""
+        return sum(1 for f in self.frames if f.degraded)
+
+    @property
+    def windows_scored(self) -> int:
+        """Total feature rows fanned out across the sequence."""
+        return sum(f.windows_scored for f in self.frames)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Aggregate LRU hit rate across every frame's lookups."""
+        hits = sum(f.cache_hits for f in self.frames)
+        lookups = hits + sum(f.cache_misses for f in self.frames)
+        return hits / lookups if lookups else 0.0
+
+    @property
+    def joules_per_frame(self) -> float:
+        """Mean attributed energy per frame."""
+        if not self.frames:
+            return 0.0
+        return sum(f.energy_joules for f in self.frames) / len(self.frames)
+
+    def as_dict(self) -> dict:
+        """JSON-ready payload (the ``BENCH_video.json`` per-run shape)."""
+        payload = {
+            "frames": len(self.frames),
+            "fps": self.fps,
+            "seconds": self.seconds,
+            "joules_per_frame": self.joules_per_frame,
+            "cache_hit_rate": self.cache_hit_rate,
+            "degraded_frames": self.degraded_frames,
+            "windows_scored": self.windows_scored,
+            "per_frame": [
+                {
+                    "index": f.index,
+                    "detections": len(f.detections),
+                    "levels_scored": f.levels_scored,
+                    "levels_dropped": f.levels_dropped,
+                    "cache_hit_rate": f.cache_hit_rate,
+                    "energy_joules": f.energy_joules,
+                }
+                for f in self.frames
+            ],
+        }
+        if self.curve is not None:
+            payload["log_average_miss_rate"] = self.curve.log_average_miss_rate()
+            payload["miss_rate_at_1_fppi"] = self.curve.miss_rate_at(1.0)
+        return payload
+
+
+def pool_feature_rows(
+    features: np.ndarray,
+    window_cells: Tuple[int, int],
+    n_bins: int,
+    pool: Tuple[int, int] = (4, 2),
+    bin_merge: int = 3,
+) -> np.ndarray:
+    """Reduce raw window rows to the deployable pooled feature width.
+
+    The same reduction as the fault sweep's ``pooled_window_features``
+    — orientation bins summed in groups of ``bin_merge``, then cells
+    average-pooled — but vectorised over already-swept window rows so
+    the streaming pipeline pools a whole pyramid level at once. The
+    defaults turn a ``(16, 8, 18)`` window grid into ``4 * 4 * 6 = 96``
+    features, fitting the 128-input deployment budget of
+    :func:`~repro.eedn.mapping.deploy_dense_network`.
+
+    Args:
+        features: ``(n, wy * wx * n_bins)`` raw window rows.
+        window_cells: ``(wy, wx)`` window extent in cells.
+        n_bins: orientation bins per cell.
+        pool: cells averaged per pooled feature, ``(y, x)``.
+        bin_merge: adjacent bins summed per merged bin (must divide
+            ``n_bins``).
+
+    Returns:
+        ``(n, (wy // py) * (wx // px) * (n_bins // bin_merge))`` pooled
+        rows.
+    """
+    wy, wx = window_cells
+    py, px = pool
+    if n_bins % bin_merge:
+        raise ValueError(f"bin_merge {bin_merge} must divide n_bins {n_bins}")
+    n = features.shape[0]
+    grid = features.reshape(n, wy, wx, n_bins)
+    if bin_merge > 1:
+        grid = grid.reshape(n, wy, wx, n_bins // bin_merge, bin_merge).sum(axis=-1)
+    ny, nx = wy // py, wx // px
+    pooled = (
+        grid[:, : ny * py, : nx * px]
+        .reshape(n, ny, py, nx, px, grid.shape[3])
+        .mean(axis=(2, 4))
+    )
+    return pooled.reshape(n, -1)
+
+
+def _chunked(rows: np.ndarray, size: int):
+    """Yield ``rows`` in contiguous blocks of at most ``size``."""
+    for start in range(0, rows.shape[0], size):
+        yield rows[start : start + size]
+
+
+class VideoPipeline:
+    """Stream frames through a serving tier and reassemble detections.
+
+    Args:
+        extractor: cell-grid descriptor (``cell_grid(image)`` plus a
+            ``config`` with ``cell_size``/``n_bins``), shared with the
+            still-image detector.
+        service: a **started** :class:`~repro.serve.InferenceService`
+            or :class:`~repro.serve.ShardedInferenceService` whose model
+            scores pooled window rows.
+        config: pipeline knobs; see :class:`VideoPipelineConfig`.
+        registry: metrics registry for the ``video_*`` counters
+            (defaults to the process-wide ``repro.obs`` registry).
+        clock: monotonic time source for the frame deadline and fps
+            accounting (defaults to the service's clock, keeping the
+            single-clock contract; injectable for deterministic
+            degradation tests).
+    """
+
+    def __init__(
+        self,
+        extractor,
+        service,
+        config: VideoPipelineConfig = VideoPipelineConfig(),
+        registry: Optional[MetricsRegistry] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if config.min_levels < 1:
+            raise ValueError(
+                f"min_levels must be >= 1, got {config.min_levels}"
+            )
+        if config.max_inflight < 1:
+            raise ValueError(
+                f"max_inflight must be >= 1, got {config.max_inflight}"
+            )
+        self.extractor = extractor
+        self.service = service
+        self.config = config
+        self.registry = registry if registry is not None else get_registry()
+        self._clock = clock or getattr(service, "clock", time.monotonic)
+        descriptor_config = extractor.config
+        self.cell_size = int(descriptor_config.cell_size)
+        self.n_bins = int(getattr(descriptor_config, "n_bins", 18))
+        self.window_cells = (
+            config.window_shape[0] // self.cell_size,
+            config.window_shape[1] // self.cell_size,
+        )
+
+    # ------------------------------------------------------------------
+    def process_frame(self, image: np.ndarray, index: int = 0) -> FrameResult:
+        """Stream one frame: pyramid, fan-out, NMS, accounting.
+
+        Args:
+            image: 2-D grayscale frame in ``[0, 1]``.
+            index: frame position (carried into the result).
+
+        Returns:
+            The frame's :class:`FrameResult`.
+        """
+        config = self.config
+        started = self._clock()
+        deadline = (
+            None
+            if config.deadline_ms is None
+            else started + config.deadline_ms / 1e3
+        )
+        stats = self.service.stats
+        hits0 = stats.counter("cache_hits")
+        misses0 = stats.counter("cache_misses")
+        energy0 = float(stats.counter("energy_nanojoules"))
+
+        pyramid = ImagePyramid(
+            image,
+            window_shape=config.window_shape,
+            scale_factor=config.scale_factor,
+            max_levels=config.max_levels,
+        )
+        levels = pyramid.levels()  # finest (scale 1) first
+        result = FrameResult(index=index, levels_total=len(levels))
+        window_h, window_w = config.window_shape
+
+        boxes: List[np.ndarray] = []
+        scores: List[float] = []
+        # Coarsest first: when the deadline interrupts the frame, the
+        # unscored remainder is exactly the finest (priciest) scales.
+        for level in reversed(levels):
+            if (
+                deadline is not None
+                and result.levels_scored >= config.min_levels
+                and self._clock() >= deadline
+            ):
+                result.levels_dropped += 1
+                continue
+            with span("video.level", scale=level.scale, registry=self.registry):
+                grid = np.asarray(
+                    self.extractor.cell_grid(level.image), dtype=np.float64
+                )
+                raw, positions = sliding_window_features(grid, self.window_cells)
+                result.levels_scored += 1
+                if raw.shape[0] == 0:
+                    continue
+                rows = np.clip(
+                    pool_feature_rows(
+                        raw,
+                        self.window_cells,
+                        self.n_bins,
+                        pool=config.pool,
+                        bin_merge=config.bin_merge,
+                    )
+                    * config.feature_scale,
+                    0.0,
+                    1.0,
+                )
+                level_scores = np.concatenate(
+                    [
+                        np.asarray(
+                            self.service.score_many(
+                                chunk, timeout_s=config.timeout_s
+                            ),
+                            dtype=np.float64,
+                        )
+                        for chunk in _chunked(rows, config.max_inflight)
+                    ]
+                )
+            result.windows_scored += int(rows.shape[0])
+            for hit in np.where(level_scores > config.score_threshold)[0]:
+                cy, cx = positions[hit]
+                boxes.append(
+                    np.array(
+                        [
+                            cx * self.cell_size * level.scale,
+                            cy * self.cell_size * level.scale,
+                            window_w * level.scale,
+                            window_h * level.scale,
+                        ]
+                    )
+                )
+                scores.append(float(level_scores[hit]))
+
+        if boxes:
+            box_arr = np.stack(boxes)
+            score_arr = np.asarray(scores)
+            with span("video.nms", candidates=len(boxes), registry=self.registry):
+                kept = non_maximum_suppression(
+                    box_arr, score_arr, epsilon=config.nms_epsilon
+                )
+            result.detections = [
+                Detection(
+                    x=float(box_arr[i, 0]),
+                    y=float(box_arr[i, 1]),
+                    width=float(box_arr[i, 2]),
+                    height=float(box_arr[i, 3]),
+                    score=float(score_arr[i]),
+                )
+                for i in kept
+            ]
+
+        result.degraded = result.levels_dropped > 0
+        result.cache_hits = int(stats.counter("cache_hits") - hits0)
+        result.cache_misses = int(stats.counter("cache_misses") - misses0)
+        result.energy_joules = (
+            float(stats.counter("energy_nanojoules")) - energy0
+        ) * 1e-9
+        result.seconds = self._clock() - started
+        self._record_frame(result)
+        return result
+
+    def run(
+        self,
+        sequence,
+        ground_truth: Optional[Sequence[np.ndarray]] = None,
+    ) -> VideoReport:
+        """Stream a whole sequence and evaluate it.
+
+        Args:
+            sequence: a :class:`~repro.video.synthesis.VideoSequence`,
+                or any iterable of frames (2-D arrays or objects with
+                an ``image`` attribute).
+            ground_truth: optional per-frame ``(m, 4)`` annotation
+                boxes; defaults to the sequence's own ground truth when
+                it is a :class:`VideoSequence`. The FPPI/miss-rate
+                curve is computed whenever any frame is annotated.
+
+        Returns:
+            The sequence's :class:`VideoReport`.
+        """
+        if ground_truth is None and isinstance(sequence, VideoSequence):
+            ground_truth = sequence.ground_truth()
+        frames = list(sequence)
+        started = self._clock()
+        results = [
+            self.process_frame(getattr(frame, "image", frame), index)
+            for index, frame in enumerate(frames)
+        ]
+        seconds = self._clock() - started
+
+        curve = None
+        if ground_truth is not None and any(
+            np.asarray(t).shape[0] for t in ground_truth
+        ):
+            detections_per_frame = []
+            for result in results:
+                if result.detections:
+                    detections_per_frame.append(
+                        (
+                            np.stack([d.as_box() for d in result.detections]),
+                            np.array([d.score for d in result.detections]),
+                        )
+                    )
+                else:
+                    detections_per_frame.append((np.zeros((0, 4)), np.zeros(0)))
+            curve = evaluate_detections(detections_per_frame, list(ground_truth))
+        return VideoReport(frames=results, curve=curve, seconds=seconds)
+
+    # ------------------------------------------------------------------
+    def _record_frame(self, result: FrameResult) -> None:
+        """Publish one frame's counters into the metrics registry."""
+        self.registry.counter(
+            "video_frames_total", help="frames streamed through the pipeline"
+        ).inc()
+        self.registry.counter(
+            "video_windows_scored_total",
+            help="window rows fanned out to the serving tier",
+        ).inc(result.windows_scored)
+        if result.degraded:
+            self.registry.counter(
+                "video_degraded_frames_total",
+                help="frames that lost pyramid levels to the deadline budget",
+            ).inc()
+            self.registry.counter(
+                "video_levels_dropped_total",
+                help="finest pyramid levels skipped by the deadline budget",
+            ).inc(result.levels_dropped)
+
+
+__all__ = [
+    "FrameResult",
+    "VideoPipeline",
+    "VideoPipelineConfig",
+    "VideoReport",
+    "pool_feature_rows",
+]

@@ -39,6 +39,24 @@ class TestCli:
         assert payload["load"]["completed"] == 24
         assert payload["stats"]["counters"]["submitted"] == 24
 
+    def test_video_smoke(self, capsys, tmp_path):
+        output = tmp_path / "video.json"
+        assert main([
+            "video", "--small", "--frames", "2", "--motion", "static",
+            "--engine", "event", "--output", str(output),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "2 160x224 frames" in out
+        assert "cache hit rate" in out
+        payload = json.loads(output.read_text())
+        assert payload["engine"] == "event"
+        assert payload["motion"] == "static"
+        assert len(payload["per_frame"]) == 2
+        assert payload["degraded_frames"] == 0
+
+    def test_video_bad_shape_rejected(self, capsys):
+        assert main(["video", "--video-shape", "huge"]) == 2
+
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["fig7"])

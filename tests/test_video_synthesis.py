@@ -1,0 +1,100 @@
+"""Tests for the synthetic video generator (repro.video.synthesis)."""
+
+import numpy as np
+import pytest
+
+from repro.video import MOTION_LEVELS, VideoConfig, synthesize_sequence
+
+
+def _config(motion, **overrides):
+    base = dict(
+        shape=(120, 160), n_frames=4, motion=motion, person_height=60,
+        walk_speed=6,
+    )
+    base.update(overrides)
+    return VideoConfig(**base)
+
+
+class TestMotionLevels:
+    def test_static_frames_byte_identical(self):
+        sequence = synthesize_sequence(_config("static"), rng=1)
+        first = sequence[0].image
+        for scene in sequence:
+            assert np.array_equal(scene.image, first)
+
+    def test_static_annotations_fixed(self):
+        sequence = synthesize_sequence(_config("static"), rng=1)
+        first = sequence[0].annotations[0].as_array()
+        for scene in sequence:
+            assert np.array_equal(scene.annotations[0].as_array(), first)
+
+    def test_walk_annotations_translate(self):
+        config = _config("walk")
+        sequence = synthesize_sequence(config, rng=1)
+        xs = [scene.annotations[0].as_array()[0] for scene in sequence]
+        deltas = np.abs(np.diff(xs))
+        assert np.all(deltas > 0)
+        # Linear trajectory: every step is the walk speed, except when
+        # the person wraps around the frame edge.
+        span = sequence[0].image.shape[1]
+        assert all(
+            np.isclose(d, config.walk_speed) or d > span / 2 for d in deltas
+        )
+
+    def test_walk_background_mostly_static(self):
+        sequence = synthesize_sequence(_config("walk"), rng=1)
+        a, b = sequence[0].image, sequence[1].image
+        changed = np.mean(a != b)
+        assert 0.0 < changed < 0.5
+
+    def test_full_motion_changes_everywhere(self):
+        sequence = synthesize_sequence(_config("full"), rng=1)
+        a, b = sequence[0].image, sequence[1].image
+        assert np.mean(a != b) > 0.9
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("motion", MOTION_LEVELS)
+    def test_same_seed_is_byte_identical(self, motion):
+        one = synthesize_sequence(_config(motion), rng=7)
+        two = synthesize_sequence(_config(motion), rng=7)
+        for scene_a, scene_b in zip(one, two):
+            assert np.array_equal(scene_a.image, scene_b.image)
+            assert len(scene_a.annotations) == len(scene_b.annotations)
+
+    def test_different_seed_differs(self):
+        one = synthesize_sequence(_config("static"), rng=7)
+        two = synthesize_sequence(_config("static"), rng=8)
+        assert not np.array_equal(one[0].image, two[0].image)
+
+
+class TestSequenceContainer:
+    def test_len_iter_getitem(self):
+        sequence = synthesize_sequence(_config("static", n_frames=3), rng=1)
+        assert len(sequence) == 3
+        assert len(list(sequence)) == 3
+        assert sequence[2] is list(sequence)[2]
+
+    def test_frames_in_unit_range(self):
+        sequence = synthesize_sequence(_config("full"), rng=1)
+        for scene in sequence:
+            assert scene.image.min() >= 0.0
+            assert scene.image.max() <= 1.0
+
+    def test_ground_truth_shapes(self):
+        sequence = synthesize_sequence(_config("walk", n_people=2), rng=1)
+        truth = sequence.ground_truth()
+        assert len(truth) == len(sequence)
+        for boxes in truth:
+            assert boxes.ndim == 2
+            assert boxes.shape[1] == 4
+
+
+class TestValidation:
+    def test_unknown_motion_rejected(self):
+        with pytest.raises(ValueError, match="motion"):
+            synthesize_sequence(_config("jitter"))
+
+    def test_bad_frame_count_rejected(self):
+        with pytest.raises(ValueError, match="n_frames"):
+            synthesize_sequence(_config("static", n_frames=0))
