@@ -12,10 +12,13 @@ the committed ones ("baseline"):
   the current run's best event-over-batch speedup at input density
   <= 10 % falls below ``--min-event-speedup`` (default 3x) — an
   absolute floor, like the overhead budget, not a delta;
-- **observability overhead** (serve ``obs_overhead_fraction``): fails
-  when the current run spends more than ``--max-obs-overhead``
-  (default 5 %) of its throughput on telemetry — this is an absolute
-  budget, not a delta;
+- **observability overhead** (serve ``obs_overhead_fraction`` and the
+  sharded worker tier's ``sharded_obs_overhead_fraction``, which adds
+  cross-process span and metrics-delta shipping): fails when the
+  current run spends more than ``--max-obs-overhead`` (default 5 %) of
+  its throughput on telemetry — this is an absolute budget, not a
+  delta; the sharded field warns and passes when absent (older
+  payloads predate it);
 - **worker scale-out** (serve ``workers_sweep``): with
   ``--min-worker-scaling WORKERS:FLOOR[,...]`` set, fails when the
   sharded tier's speedup over one worker falls below the floor at any
@@ -203,20 +206,22 @@ def _check_workers_sweep(current, spec):
 def check_serve(baseline, current, args):
     """Serve throughput plus the absolute telemetry-overhead budget."""
     failures = _check_workers_sweep(current, args.min_worker_scaling)
-    overhead = current.get("obs_overhead_fraction")
-    if isinstance(overhead, (int, float)):
-        verdict = "FAIL" if overhead > args.max_obs_overhead else "ok"
-        print(
-            f"{verdict}: BENCH_serve.json: obs_overhead_fraction "
-            f"{overhead * 100:+.1f}% (budget {args.max_obs_overhead * 100:.0f}%)"
-        )
-        if overhead > args.max_obs_overhead:
-            failures.append(
-                f"BENCH_serve.json: obs overhead {overhead * 100:.1f}% "
-                f"exceeds the {args.max_obs_overhead * 100:.0f}% budget"
+    for field in ("obs_overhead_fraction", "sharded_obs_overhead_fraction"):
+        overhead = current.get(field)
+        if isinstance(overhead, (int, float)):
+            verdict = "FAIL" if overhead > args.max_obs_overhead else "ok"
+            print(
+                f"{verdict}: BENCH_serve.json: {field} "
+                f"{overhead * 100:+.1f}% "
+                f"(budget {args.max_obs_overhead * 100:.0f}%)"
             )
-    else:
-        print("WARN: BENCH_serve.json: no obs_overhead_fraction in current run")
+            if overhead > args.max_obs_overhead:
+                failures.append(
+                    f"BENCH_serve.json: {field} {overhead * 100:.1f}% "
+                    f"exceeds the {args.max_obs_overhead * 100:.0f}% budget"
+                )
+        else:
+            print(f"WARN: BENCH_serve.json: no {field} in current run")
     keys = ("workload", "service")
     if _config(baseline, keys) != _config(current, keys):
         print("WARN: BENCH_serve.json: workload configs differ; "

@@ -15,7 +15,9 @@ Usage::
     python -m repro faults            # fault-rate degradation sweep
     python -m repro video             # streaming video pipeline demo
     python -m repro trace <cmd>       # any command + span trace summary
+    python -m repro trace --export t.json <cmd>   # + Chrome trace JSON
     python -m repro profile <cmd>     # any command + hw-counter profile
+    python -m repro slo <cmd>         # any command + latency/energy SLOs
 
 ``--small`` shrinks the data split for a faster (noisier) run.
 ``--engine`` selects the simulation engine (``batch`` = the vectorized
@@ -30,7 +32,18 @@ histogram, cache hit rate, and per-span timings, plus a
 Prometheus-style text exposition (``--metrics-output PATH`` writes the
 exposition to a file — the CI ``obs-smoke`` job scrapes it).
 ``trace <cmd>`` runs any other command and then prints the span
-aggregates and the tail of the span ring buffer.
+aggregates and the tail of the span ring buffer; ``--export PATH``
+additionally stitches the run's spans and flight events into
+per-request traces (``docs/OBSERVABILITY.md``) and writes Chrome
+trace-event JSON for ``chrome://tracing`` / Perfetto, and video runs
+get the per-stage/per-level frame latency breakdown. ``slo <cmd>``
+(DESIGN.md §16) runs any other command with metrics forced on and then
+evaluates the declared latency and joules-per-request objectives over
+the run's histograms — compliance, error-budget burn rate, met/violated
+— publishing ``slo_*`` series back into the registry and emitting a
+schema-validated JSON report (``--objectives PATH`` loads custom
+objectives, ``--output PATH`` writes the report, ``--check`` gates the
+exit code).
 
 Hardware-counter telemetry (DESIGN.md §12): ``profile <cmd>`` runs any
 other command inside a hardware-counter collection scope and emits a
@@ -102,6 +115,8 @@ def main(argv=None) -> int:
         return _trace(argv[1:])
     if argv and argv[0] == "profile":
         return _profile(argv[1:])
+    if argv and argv[0] == "slo":
+        return _slo(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate tables and figures of the DAC'17 paper.",
@@ -590,11 +605,35 @@ def _video(args) -> int:
 
 
 def _trace(argv) -> int:
-    """Run ``argv`` as a normal command, then print the span summary."""
-    from repro.obs import summarize_spans, trace_log
+    """Run ``argv`` as a normal command, then print the span summary.
 
+    ``--export PATH`` additionally assembles the run's spans and flight
+    events into per-request traces and writes them as Chrome
+    trace-event JSON (open in ``chrome://tracing`` or Perfetto); for
+    video runs the per-stage/per-level latency breakdown from the
+    ``video_stage_seconds`` histograms is printed too.
+    """
+    from repro.obs import summarize_spans, trace_log
+    from repro.obs.traces import (
+        assemble_traces,
+        export_chrome_trace,
+        frame_stage_breakdown,
+    )
+
+    argv = list(argv)
+    export = None
+    while argv and argv[0] == "--export":
+        argv.pop(0)
+        if not argv:
+            print("trace: --export needs a value", file=sys.stderr)
+            return 2
+        export = argv.pop(0)
     if not argv:
-        print("usage: python -m repro trace <command> [options]", file=sys.stderr)
+        print(
+            "usage: python -m repro trace [--export PATH] <command> "
+            "[options]",
+            file=sys.stderr,
+        )
         return 2
     code = main(argv)
     spans = summarize_spans()
@@ -616,6 +655,115 @@ def _trace(argv) -> int:
                 f"{indent}{record.path} {record.duration_s * 1e3:.2f}ms "
                 f"[{record.thread}]"
             )
+    breakdown = frame_stage_breakdown()
+    if breakdown:
+        print("== frame stage breakdown (video_stage_seconds) ==")
+        for stage in sorted(breakdown):
+            for level in sorted(breakdown[stage]):
+                data = breakdown[stage][level]
+                print(
+                    f"{stage:>8s} level={level:>5s} "
+                    f"count={data['count']:6d} "
+                    f"mean={data['mean'] * 1e3:8.2f}ms "
+                    f"p99={data['p99'] * 1e3:8.2f}ms"
+                )
+    if export:
+        traces = assemble_traces()
+        events = export_chrome_trace(export, traces)
+        print(
+            f"wrote {len(traces)} traces ({events} trace events) to {export}"
+        )
+    return code
+
+
+def _slo(argv) -> int:
+    """Run ``argv`` with metrics on, then judge the run against SLOs.
+
+    The wrapped command is forced onto the process-wide registry
+    (``--metrics`` is appended when absent), then each declared
+    objective — latency and joules-per-request alike — is evaluated
+    from the run's histograms: compliance, error-budget burn rate, and
+    a met/violated verdict. The verdicts are published back into the
+    registry (``slo_burn_rate{slo=...}`` et al. — a ``--metrics-output``
+    exposition file is rewritten to include them), printed as a table,
+    and emitted as schema-validated JSON (``--output PATH`` writes it;
+    ``--objectives PATH`` loads custom objectives; ``--check`` exits
+    nonzero when any objective is violated).
+    """
+    from repro.obs import get_registry
+    from repro.obs.slo import (
+        default_objectives,
+        evaluate_objectives,
+        format_report,
+        load_objectives,
+        publish_results,
+        report_json,
+        validate_report,
+    )
+
+    argv = list(argv)
+    objectives_path, output, check = None, None, False
+    while argv and argv[0] in ("--objectives", "--output", "--check"):
+        flag = argv.pop(0)
+        if flag == "--check":
+            check = True
+            continue
+        if not argv:
+            print(f"slo: {flag} needs a value", file=sys.stderr)
+            return 2
+        if flag == "--objectives":
+            objectives_path = argv.pop(0)
+        else:
+            output = argv.pop(0)
+    if not argv:
+        print(
+            "usage: python -m repro slo [--objectives PATH] [--output PATH] "
+            "[--check] <command> [options]",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        objectives = (
+            load_objectives(objectives_path)
+            if objectives_path
+            else default_objectives()
+        )
+    except (OSError, ValueError) as exc:
+        print(f"slo: {exc}", file=sys.stderr)
+        return 2
+    if "--metrics" not in argv and "--metrics-output" not in argv:
+        argv.append("--metrics")
+
+    code = main(argv)
+
+    registry = get_registry()
+    results = evaluate_objectives(registry, objectives)
+    publish_results(results, registry)
+    if "--metrics-output" in argv:
+        # The wrapped command wrote its exposition before the verdicts
+        # existed; rewrite it so the scraped file carries the
+        # slo_burn_rate / slo_*_total series alongside the run metrics.
+        index = argv.index("--metrics-output") + 1
+        if index < len(argv):
+            try:
+                with open(argv[index], "w") as handle:
+                    handle.write(registry.render_prometheus())
+            except OSError as exc:
+                print(f"slo: could not rewrite {argv[index]}: {exc}",
+                      file=sys.stderr)
+    report = report_json(results)
+    validate_report(report)
+    print("\n" + format_report(results))
+    if output:
+        with open(output, "w") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote SLO report to {output}")
+    else:
+        print(json.dumps(report, indent=2))
+    if check and not report["met_all"] and code == 0:
+        print("FAIL: at least one objective violated", file=sys.stderr)
+        return 1
     return code
 
 

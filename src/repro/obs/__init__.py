@@ -1,9 +1,12 @@
 """``repro.obs`` — the process-wide observability layer.
 
 One lightweight, thread-safe subsystem behind every number this repo
-reports (DESIGN.md §10): counters/gauges/histograms in a
+reports (DESIGN.md §10, §16): counters/gauges/histograms in a
 :class:`MetricsRegistry`, nestable :func:`span` wall-clock tracing with
-a bounded ring-buffer :class:`TraceLog`, a JSON ``snapshot()`` and a
+a bounded ring-buffer :class:`TraceLog`, fork-safe trace/span ids
+(:mod:`repro.obs.ids`), cross-process trace assembly and Chrome
+trace-event export (:mod:`repro.obs.traces`), declarative latency and
+energy SLOs (:mod:`repro.obs.slo`), a JSON ``snapshot()`` and a
 Prometheus-style text exposition. The simulator, batch engine,
 detection pipeline, and serving stack all instrument through this
 package; ``repro.serve.ServiceStats`` is a thin facade over a registry.
@@ -18,9 +21,10 @@ Quick start::
     print(get_registry().render_prometheus())
 """
 
-from repro.obs import flight, hwcounters
+from repro.obs import flight, hwcounters, ids, slo, traces
 from repro.obs.flight import FlightEvent, FlightRecorder, flight_recorder, new_trace_id
 from repro.obs.hwcounters import ActivityCollector, RunActivity, record_run
+from repro.obs.ids import configure_namespace, id_namespace, new_span_id
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     DROPPED_SERIES_COUNTER,
@@ -28,8 +32,10 @@ from repro.obs.metrics import (
     GaugeMetric,
     HistogramMetric,
     MetricsRegistry,
+    diff_states,
     escape_label_value,
     get_registry,
+    naming_violations,
     normalize_labels,
     parse_prometheus,
     parse_sample_name,
@@ -38,16 +44,22 @@ from repro.obs.metrics import (
     set_registry,
     unescape_label_value,
 )
+from repro.obs.slo import SLObjective, SLOResult, default_objectives, evaluate_objectives
+from repro.obs.traces import RequestTrace, assemble_traces, to_chrome_trace
 from repro.obs.tracing import (
     SPAN_BUCKETS,
+    SpanHandle,
     SpanRecord,
     TraceLog,
     configure,
+    current_span_id,
+    current_trace_id,
     enabled,
     observe_span,
     span,
     span_metric_name,
     summarize_spans,
+    trace_context,
     trace_log,
 )
 
@@ -62,16 +74,31 @@ __all__ = [
     "GaugeMetric",
     "HistogramMetric",
     "MetricsRegistry",
+    "RequestTrace",
     "RunActivity",
+    "SLOResult",
+    "SLObjective",
+    "SpanHandle",
     "SpanRecord",
     "TraceLog",
+    "assemble_traces",
     "configure",
+    "configure_namespace",
+    "current_span_id",
+    "current_trace_id",
+    "default_objectives",
+    "diff_states",
     "enabled",
     "escape_label_value",
+    "evaluate_objectives",
     "flight",
     "flight_recorder",
     "get_registry",
     "hwcounters",
+    "id_namespace",
+    "ids",
+    "naming_violations",
+    "new_span_id",
     "new_trace_id",
     "normalize_labels",
     "observe_span",
@@ -81,8 +108,12 @@ __all__ = [
     "render_labels",
     "sanitize_metric_name",
     "set_registry",
+    "slo",
     "span",
     "span_metric_name",
     "summarize_spans",
+    "to_chrome_trace",
+    "trace_context",
     "trace_log",
+    "traces",
 ]

@@ -22,9 +22,10 @@ Recording can be globally disabled with :func:`configure`; a disabled
 import json
 import threading
 import time
-import uuid
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
+
+from repro.obs.ids import new_trace_id
 
 # Canonical event kinds emitted by the serving layer. The recorder
 # accepts any string, so subsystems may add their own; these are the
@@ -80,11 +81,6 @@ class FlightEvent:
             "thread": self.thread,
             "attrs": self.attrs,
         }
-
-
-def new_trace_id() -> str:
-    """A fresh 16-hex-digit request trace id."""
-    return uuid.uuid4().hex[:16]
 
 
 class FlightRecorder:

@@ -396,6 +396,58 @@ class HistogramMetric:
             out["p99"] = 0.0
         return out
 
+    def export_state(self) -> Dict:
+        """The raw distribution state as a picklable dict.
+
+        Carries per-bucket (non-cumulative) counts, the running
+        count/sum/min/max, the percentile reservoir, and the exact
+        value table when tracked — everything :meth:`merge_state`
+        needs to fold this histogram into another one with identical
+        bounds. Shard workers ship these across the fork boundary.
+        """
+        with self._lock:
+            return {
+                "bounds": list(self._bounds),
+                "bucket_counts": list(self._bucket_counts),
+                "count": self._count,
+                "sum": self._sum,
+                "min": self._min,
+                "max": self._max,
+                "reservoir": list(self._reservoir),
+                "reservoir_maxlen": self._reservoir.maxlen,
+                "values": dict(self._values) if self._values is not None else None,
+            }
+
+    def merge_state(self, state: Dict) -> None:
+        """Fold an exported (or diffed) histogram state into this one.
+
+        Raises:
+            ValueError: when ``state`` was exported from a histogram
+                with different bucket bounds — merging those would
+                silently misbucket, so it is refused.
+        """
+        bounds = tuple(float(b) for b in state["bounds"])
+        if bounds != self._bounds:
+            raise ValueError(
+                f"cannot merge histogram {self.name!r}: bucket bounds "
+                f"{bounds} != {self._bounds}"
+            )
+        with self._lock:
+            for index, count in enumerate(state["bucket_counts"]):
+                self._bucket_counts[index] += count
+            self._count += state["count"]
+            self._sum += state["sum"]
+            if state["count"]:
+                if state["min"] < self._min:
+                    self._min = state["min"]
+                if state["max"] > self._max:
+                    self._max = state["max"]
+            self._reservoir.extend(state["reservoir"])
+            values = state.get("values")
+            if values is not None and self._values is not None:
+                for value, count in values.items():
+                    self._values[value] += count
+
     def _exposition_rows(self) -> List[Tuple[str, float]]:
         suffix = render_labels(self.labels)
 
@@ -589,6 +641,85 @@ class MetricsRegistry:
             "histograms": histograms,
         }
 
+    def export_state(self) -> Dict:
+        """Every registered series as one picklable document.
+
+        Each series record carries ``kind``, ``name``, ``labels`` (as a
+        list of ``[name, value]`` pairs), ``help``, and its raw payload:
+        the counter/gauge ``value`` or the histogram's
+        :meth:`HistogramMetric.export_state` under ``state``. This is
+        the wire format shard workers ship to the parent (after
+        :func:`diff_states` against the previous export) and the input
+        to :meth:`merge_state`.
+        """
+        series: List[Dict] = []
+        for _, metric in self._items():
+            record: Dict = {
+                "name": metric.name,
+                "labels": [list(pair) for pair in metric.labels],
+                "help": metric.help,
+            }
+            if isinstance(metric, CounterMetric):
+                record["kind"] = "counter"
+                record["value"] = metric.value
+            elif isinstance(metric, GaugeMetric):
+                record["kind"] = "gauge"
+                record["value"] = metric.value
+            elif isinstance(metric, HistogramMetric):
+                record["kind"] = "histogram"
+                record["state"] = metric.export_state()
+            else:  # pragma: no cover - no other kinds exist
+                continue
+            series.append(record)
+        return {"series": series}
+
+    def merge_state(self, state: Dict, extra_labels=None) -> int:
+        """Fold an exported state (usually a delta) into this registry.
+
+        Counters are incremented by the shipped value, gauges set to it,
+        histograms merged bucket-by-bucket (bounds must match). When
+        ``extra_labels`` is given (e.g. ``{"shard": "0"}``) every merged
+        series lands under its original labels *plus* those — which is
+        how worker-side ``serve_hw_*`` and ``span_*`` series appear in
+        the parent exposition with a ``shard`` label. Merging goes
+        through the normal get-or-create path, so the per-metric
+        cardinality guard applies to merged series exactly as it does
+        to locally created ones.
+
+        Returns:
+            the number of series records merged.
+        """
+        extra = dict(extra_labels) if extra_labels else {}
+        merged = 0
+        for record in state["series"]:
+            labels = {name: value for name, value in record["labels"]}
+            labels.update(extra)
+            label_arg = labels or None
+            kind = record["kind"]
+            help_text = record.get("help", "")
+            if kind == "counter":
+                self.counter(record["name"], help=help_text, labels=label_arg).inc(
+                    record["value"]
+                )
+            elif kind == "gauge":
+                self.gauge(record["name"], help=help_text, labels=label_arg).set(
+                    record["value"]
+                )
+            elif kind == "histogram":
+                hist_state = record["state"]
+                self.histogram(
+                    record["name"],
+                    help=help_text,
+                    buckets=hist_state["bounds"],
+                    reservoir=hist_state["reservoir_maxlen"],
+                    track_values=hist_state.get("values") is not None,
+                    labels=label_arg,
+                ).merge_state(hist_state)
+            else:
+                raise ValueError(f"unknown series kind {kind!r}")
+            merged += 1
+        return merged
+
     def render_prometheus(self) -> str:
         """Prometheus-style text exposition of every metric.
 
@@ -668,6 +799,146 @@ def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
         return previous
 
 
+def _series_key(record: Dict) -> Tuple:
+    return (
+        record["kind"],
+        record["name"],
+        tuple(tuple(pair) for pair in record["labels"]),
+    )
+
+
+def diff_states(new: Dict, old: Dict) -> Dict:
+    """The delta that takes exported state ``old`` to ``new``.
+
+    Counters and histogram counts/sums/buckets subtract; series whose
+    delta is zero are omitted entirely, so repeated shipping of an idle
+    registry costs nothing. Gauges are not cumulative — a changed gauge
+    ships its *new absolute* value, an unchanged one is omitted. The
+    delta reservoir is the tail of the new reservoir (the most recent
+    ``count_delta`` observations), which is exact until the ring wraps
+    and a best-effort recent sample after that.
+
+    The result is itself a valid :meth:`MetricsRegistry.merge_state`
+    input: merging every delta in order reproduces merging the final
+    state once (histogram min/max ship as running values and fold
+    idempotently).
+    """
+    old_index = {_series_key(record): record for record in old["series"]}
+    series: List[Dict] = []
+    for record in new["series"]:
+        previous = old_index.get(_series_key(record))
+        kind = record["kind"]
+        if kind == "counter":
+            delta = record["value"] - (previous["value"] if previous else 0)
+            if delta:
+                series.append({**record, "value": delta})
+        elif kind == "gauge":
+            if previous is None or previous["value"] != record["value"]:
+                series.append(dict(record))
+        elif kind == "histogram":
+            state = record["state"]
+            prev_state = previous["state"] if previous else None
+            prev_count = prev_state["count"] if prev_state else 0
+            count_delta = state["count"] - prev_count
+            if not count_delta:
+                continue
+            if prev_state is None:
+                series.append(dict(record))
+                continue
+            reservoir = state["reservoir"]
+            delta_state = {
+                "bounds": list(state["bounds"]),
+                "bucket_counts": [
+                    now - before
+                    for now, before in zip(
+                        state["bucket_counts"], prev_state["bucket_counts"]
+                    )
+                ],
+                "count": count_delta,
+                "sum": state["sum"] - prev_state["sum"],
+                "min": state["min"],
+                "max": state["max"],
+                "reservoir": reservoir[max(0, len(reservoir) - count_delta):],
+                "reservoir_maxlen": state["reservoir_maxlen"],
+                "values": (
+                    {
+                        value: count - prev_state["values"].get(value, 0)
+                        for value, count in state["values"].items()
+                        if count - prev_state["values"].get(value, 0)
+                    }
+                    if state.get("values") is not None
+                    else None
+                ),
+            }
+            series.append({**record, "state": delta_state})
+        else:
+            raise ValueError(f"unknown series kind {kind!r}")
+    return {"series": series}
+
+
+METRIC_BASE_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+"""Convention for base metric names: lowercase snake_case, no colons."""
+
+COUNTER_SUFFIXES: Tuple[str, ...] = ("_total",)
+"""Counters are monotone accumulations and must say so."""
+
+HISTOGRAM_SUFFIXES: Tuple[str, ...] = (
+    "_seconds", "_nj", "_joules", "_bytes", "_size", "_ratio",
+)
+"""Histograms carry their unit (or dimension, for ``_size``)."""
+
+GAUGE_SUFFIXES: Tuple[str, ...] = (
+    "_depth", "_state", "_shards", "_seconds", "_ratio", "_rate",
+    "_watts", "_joules", "_fraction", "_bytes",
+)
+"""Gauges end in a unit or the dimension noun they measure."""
+
+
+def naming_violations(registry: MetricsRegistry) -> List[str]:
+    """Convention violations among ``registry``'s base metric names.
+
+    Checks every registered base name against
+    :data:`METRIC_BASE_NAME_RE` and the per-kind unit-suffix lists, and
+    every label name against the exposition-internal convention (no
+    uppercase). Returns human-readable ``"name: problem"`` strings —
+    empty means the registry is clean. ``tests/test_obs_naming.py``
+    runs this over a fully exercised registry so new series cannot
+    drift from the existing exposition style.
+    """
+    suffixes = {
+        CounterMetric: COUNTER_SUFFIXES,
+        HistogramMetric: HISTOGRAM_SUFFIXES,
+        GaugeMetric: GAUGE_SUFFIXES,
+    }
+    problems: List[str] = []
+    seen_names = set()
+    with registry._lock:
+        items = sorted(registry._metrics.items())
+    for _, metric in items:
+        for label_name, _ in metric.labels:
+            if not re.match(r"^[a-z][a-z0-9_]*$", label_name):
+                problems.append(
+                    f"{metric.sample_name}: label {label_name!r} is not "
+                    "lowercase snake_case"
+                )
+        if metric.name in seen_names:
+            continue
+        seen_names.add(metric.name)
+        if not METRIC_BASE_NAME_RE.match(metric.name):
+            problems.append(
+                f"{metric.name}: not lowercase snake_case "
+                f"({METRIC_BASE_NAME_RE.pattern})"
+            )
+            continue
+        allowed = suffixes[type(metric)]
+        if not metric.name.endswith(allowed):
+            kind = type(metric).__name__.replace("Metric", "").lower()
+            problems.append(
+                f"{metric.name}: {kind} must end in one of {allowed}"
+            )
+    return problems
+
+
 def parse_prometheus(text: str) -> Dict[str, float]:
     """``{sample_name: value}`` parsed back from an exposition text.
 
@@ -705,14 +976,20 @@ def parse_prometheus(text: str) -> Dict[str, float]:
 
 
 __all__: Iterable[str] = [
+    "COUNTER_SUFFIXES",
     "DEFAULT_BUCKETS",
     "DROPPED_SERIES_COUNTER",
+    "GAUGE_SUFFIXES",
+    "HISTOGRAM_SUFFIXES",
+    "METRIC_BASE_NAME_RE",
     "CounterMetric",
     "GaugeMetric",
     "HistogramMetric",
     "MetricsRegistry",
+    "diff_states",
     "escape_label_value",
     "get_registry",
+    "naming_violations",
     "normalize_labels",
     "parse_prometheus",
     "parse_sample_name",

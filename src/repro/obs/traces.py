@@ -1,0 +1,333 @@
+"""Per-request trace assembly and Chrome trace-event export.
+
+Spans (:class:`~repro.obs.tracing.SpanRecord`) and flight events
+(:class:`~repro.obs.flight.FlightEvent`) are recorded flat, in arrival
+order, possibly in different processes — shard workers ship their span
+records back to the parent, which appends them to the process trace
+log. This module stitches those flat streams back into one
+:class:`RequestTrace` per ``trace_id``:
+
+- a record whose own ``trace_id`` matches is claimed directly
+  (per-request events: enqueue, cache hit, deadline expiry);
+- a record carrying a ``trace_ids`` attr list is claimed by *every*
+  trace in the list (batch-scoped spans and events: ``batch_form``,
+  ``score``, ``serve.shard.execute``, the worker-side scoring span) —
+  micro-batching means one span legitimately belongs to many requests.
+
+Inside a trace the spans form a tree over ``span_id``/``parent_id``
+(edges may cross process boundaries: the worker scoring span's parent
+is the parent process's dispatch span), which :func:`to_chrome_trace`
+exports as Chrome trace-event JSON — load it in ``chrome://tracing``
+or Perfetto to see every request's life across the fleet on one
+timeline. ``python -m repro trace <cmd> --export PATH`` writes it.
+
+:func:`frame_stage_breakdown` is the video-pipeline view: per-stage
+(extract / pool / serve / nms) latency summaries per pyramid level,
+read from the labeled ``video_stage_seconds`` histograms.
+"""
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.obs.flight import FlightEvent, flight_recorder
+from repro.obs.metrics import HistogramMetric, MetricsRegistry, get_registry
+from repro.obs.tracing import SpanRecord, trace_log
+
+VIDEO_STAGE_METRIC = "video_stage_seconds"
+"""Labeled histogram (``stage``, ``level``) behind the frame breakdown."""
+
+
+@dataclass
+class RequestTrace:
+    """Everything recorded about one traced request.
+
+    Attributes:
+        trace_id: the request's id, minted at submission.
+        spans: spans claimed by this trace, in arrival order.
+        events: flight events claimed by this trace, in arrival order.
+    """
+
+    trace_id: str
+    spans: List[SpanRecord] = field(default_factory=list)
+    events: List[FlightEvent] = field(default_factory=list)
+
+    @property
+    def pids(self) -> Tuple[int, ...]:
+        """Distinct process ids the trace's spans ran in, sorted."""
+        return tuple(sorted({record.pid for record in self.spans}))
+
+    def children_of(self, span_id: str) -> List[SpanRecord]:
+        """Spans naming ``span_id`` as their parent."""
+        return [
+            record
+            for record in self.spans
+            if span_id and record.parent_id == span_id
+        ]
+
+    def roots(self) -> List[SpanRecord]:
+        """Spans whose parent is absent from this trace (tree roots)."""
+        known = {record.span_id for record in self.spans if record.span_id}
+        return [
+            record
+            for record in self.spans
+            if not record.parent_id or record.parent_id not in known
+        ]
+
+    def span_tree(self) -> List[Dict]:
+        """The span forest as nested JSON-ready dicts.
+
+        Each node carries the span's identity and timing plus its
+        ``children`` — the shape ``python -m repro trace`` prints and
+        tests assert the cross-process parent/child edge on.
+        """
+
+        def node(record: SpanRecord) -> Dict:
+            return {
+                "name": record.name,
+                "span_id": record.span_id,
+                "parent_id": record.parent_id,
+                "pid": record.pid,
+                "duration_s": record.duration_s,
+                "children": [
+                    node(child) for child in self.children_of(record.span_id)
+                ],
+            }
+
+        return [node(record) for record in self.roots()]
+
+
+def _claimants(trace_id: str, attrs: Dict) -> List[str]:
+    owners: List[str] = []
+    if trace_id:
+        owners.append(trace_id)
+    for claimed in attrs.get("trace_ids") or ():
+        if claimed and claimed not in owners:
+            owners.append(claimed)
+    return owners
+
+
+def assemble_traces(
+    spans: Optional[Sequence[SpanRecord]] = None,
+    events: Optional[Sequence[FlightEvent]] = None,
+) -> List[RequestTrace]:
+    """Group flat span/event streams into one trace per request.
+
+    Args:
+        spans: span records to stitch; defaults to the process trace
+            log's retained entries (worker-shipped spans included).
+        events: flight events to stitch; defaults to the process
+            flight recorder's retained events.
+
+    Returns:
+        Traces ordered by first appearance. Records carrying neither a
+        ``trace_id`` nor a ``trace_ids`` attr belong to no request and
+        are left out.
+    """
+    if spans is None:
+        spans = trace_log().entries()
+    if events is None:
+        events = flight_recorder().events()
+    traces: Dict[str, RequestTrace] = {}
+    for record in spans:
+        for owner in _claimants(record.trace_id, record.attrs):
+            traces.setdefault(owner, RequestTrace(owner)).spans.append(record)
+    for event in events:
+        for owner in _claimants(event.trace_id, event.attrs):
+            traces.setdefault(owner, RequestTrace(owner)).events.append(event)
+    return list(traces.values())
+
+
+def to_chrome_trace(traces: Iterable[RequestTrace]) -> Dict:
+    """``traces`` as a Chrome trace-event JSON document.
+
+    Spans become complete (``ph: "X"``) events with microsecond
+    ``ts``/``dur``; flight events become instant (``ph: "i"``) events;
+    process/thread metadata events name each pid and map thread names
+    onto stable integer tids. Batch-scoped spans shared by several
+    traces are emitted once. Load the result in ``chrome://tracing``
+    or https://ui.perfetto.dev.
+    """
+    out: List[Dict] = []
+    tids: Dict[Tuple[int, str], int] = {}
+    named_pids: Dict[int, str] = {}
+
+    def tid_for(pid: int, thread: str) -> int:
+        key = (pid, thread)
+        if key not in tids:
+            tids[key] = len(tids) + 1
+            out.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": pid,
+                    "tid": tids[key],
+                    "args": {"name": thread},
+                }
+            )
+        return tids[key]
+
+    def name_pid(pid: int, parent_pid: int) -> None:
+        if pid in named_pids:
+            return
+        role = "serve parent" if pid == parent_pid else "shard worker"
+        named_pids[pid] = role
+        out.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"{role} (pid {pid})"},
+            }
+        )
+
+    parent_pid = os.getpid()
+    seen_spans = set()
+    seen_events = set()
+    for trace in traces:
+        for record in trace.spans:
+            key = record.span_id or id(record)
+            if key in seen_spans:
+                continue
+            seen_spans.add(key)
+            pid = record.pid or parent_pid
+            name_pid(pid, parent_pid)
+            args = {
+                "trace_id": record.trace_id,
+                "span_id": record.span_id,
+                "parent_id": record.parent_id,
+                "path": record.path,
+                "depth": record.depth,
+            }
+            args.update(record.attrs)
+            out.append(
+                {
+                    "ph": "X",
+                    "name": record.name,
+                    "cat": record.path.split("/", 1)[0],
+                    "pid": pid,
+                    "tid": tid_for(pid, record.thread),
+                    "ts": record.start_ts * 1e6,
+                    "dur": record.duration_s * 1e6,
+                    "args": args,
+                }
+            )
+        for event in trace.events:
+            if event.seq in seen_events:
+                continue
+            seen_events.add(event.seq)
+            name_pid(parent_pid, parent_pid)
+            out.append(
+                {
+                    "ph": "i",
+                    "s": "t",
+                    "name": event.kind,
+                    "cat": "flight",
+                    "pid": parent_pid,
+                    "tid": tid_for(parent_pid, event.thread),
+                    "ts": event.ts * 1e6,
+                    "args": {"trace_id": event.trace_id, **event.attrs},
+                }
+            )
+    return {"traceEvents": out, "displayTimeUnit": "ms"}
+
+
+def validate_chrome_trace(document: Dict) -> None:
+    """Raise ``ValueError`` unless ``document`` is a valid export.
+
+    Checks the containered trace-event format: a ``traceEvents`` list
+    whose entries carry a known phase, integer ``pid``/``tid``, and
+    numeric non-negative ``ts`` (plus ``dur`` for complete events).
+    Shared by the export tests and the CI smoke.
+    """
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("traceEvents must be a list")
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if event.get("ph") not in ("X", "i", "M", "B", "E", "C"):
+            raise ValueError(f"{where}: unknown phase {event.get('ph')!r}")
+        if not isinstance(event.get("name"), str):
+            raise ValueError(f"{where}: name must be a string")
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                raise ValueError(f"{where}: {key} must be an integer")
+        if event["ph"] == "M":
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            raise ValueError(f"{where}: ts must be a non-negative number")
+        if event["ph"] == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(
+                    f"{where}: dur must be a non-negative number"
+                )
+
+
+def export_chrome_trace(
+    path: str, traces: Optional[Iterable[RequestTrace]] = None
+) -> int:
+    """Assemble (if needed), validate, and write Chrome trace JSON.
+
+    Args:
+        path: destination file (overwritten).
+        traces: traces to export; ``None`` assembles from the process
+            trace log and flight recorder.
+
+    Returns:
+        The number of trace events written.
+    """
+    if traces is None:
+        traces = assemble_traces()
+    document = to_chrome_trace(traces)
+    validate_chrome_trace(document)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    return len(document["traceEvents"])
+
+
+def frame_stage_breakdown(
+    registry: Optional[MetricsRegistry] = None,
+) -> Dict[str, Dict[str, Dict]]:
+    """Per-stage, per-pyramid-level latency summaries for video frames.
+
+    Reads every ``video_stage_seconds{stage=..., level=...}`` histogram
+    series the pipeline recorded and returns
+    ``{stage: {level: {count, sum, mean, p50, p99, max}}}`` — the
+    extract / pool / serve / nms split per pyramid level that
+    ``python -m repro trace video ...`` prints.
+    """
+    reg = registry if registry is not None else get_registry()
+    out: Dict[str, Dict[str, Dict]] = {}
+    with reg._lock:
+        series = [
+            metric
+            for metric in reg._metrics.values()
+            if isinstance(metric, HistogramMetric)
+            and metric.name == VIDEO_STAGE_METRIC
+        ]
+    for metric in series:
+        labels = dict(metric.labels)
+        stage = labels.get("stage", "?")
+        level = labels.get("level", "?")
+        data = metric.snapshot()
+        out.setdefault(stage, {})[level] = {
+            key: data[key]
+            for key in ("count", "sum", "mean", "p50", "p99", "max")
+        }
+    return out
+
+
+__all__ = [
+    "VIDEO_STAGE_METRIC",
+    "RequestTrace",
+    "assemble_traces",
+    "export_chrome_trace",
+    "frame_stage_breakdown",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+]

@@ -20,16 +20,28 @@ places:
 - the process-wide :class:`TraceLog` ring buffer of the most recent
   :class:`SpanRecord` entries, for ``python -m repro trace <cmd>``.
 
+Spans also participate in distributed tracing: each span is minted a
+``span_id`` (fork-safe, see :mod:`repro.obs.ids`) and records the
+``span_id`` of its enclosing span as ``parent_id``, and a
+:func:`trace_context` block stamps every span inside it with the
+request's ``trace_id``. Ids cross the shard-worker process boundary
+explicitly (the parent ships its ids in the work message, the worker
+passes them to :func:`span` / :func:`observe_span`), which is how
+:mod:`repro.obs.traces` reassembles one tree per request from records
+minted in different processes.
+
 Tracing can be globally disabled with :func:`configure`; a disabled
 ``span`` costs one attribute read and no timestamps.
 """
 
+import os
 import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro.obs.ids import new_span_id
 from repro.obs.metrics import (
     MetricsRegistry,
     get_registry,
@@ -54,6 +66,15 @@ class SpanRecord:
         depth: number of enclosing spans on this thread (0 = root).
         thread: name of the thread that ran the span.
         attrs: keyword attributes passed at the call site.
+        trace_id: owning request's trace id ("" outside any
+            :func:`trace_context`).
+        span_id: this span's own id ("" for externally timed spans
+            that did not mint one).
+        parent_id: the enclosing span's id ("" for roots).
+        start_ts: wall-clock start (``time.time()``), 0.0 when the span
+            was timed externally via :func:`observe_span`.
+        pid: id of the process that ran the span (how assembled traces
+            distinguish parent-side from shard-side work).
     """
 
     name: str
@@ -62,6 +83,29 @@ class SpanRecord:
     depth: int
     thread: str
     attrs: Dict = field(default_factory=dict)
+    trace_id: str = ""
+    span_id: str = ""
+    parent_id: str = ""
+    start_ts: float = 0.0
+    pid: int = 0
+
+
+class SpanHandle:
+    """What :func:`span` yields: the live span's identity.
+
+    Exposes the minted ``span_id`` (and the effective ``trace_id``) so
+    the body can hand them to child work in another thread or process —
+    the sharded serve tier ships ``handle.span_id`` to workers so
+    worker-side spans can name it as their ``parent_id``.
+    """
+
+    __slots__ = ("name", "span_id", "trace_id", "parent_id")
+
+    def __init__(self, name: str, span_id: str, trace_id: str, parent_id: str) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.trace_id = trace_id
+        self.parent_id = parent_id
 
 
 class TraceLog:
@@ -158,6 +202,53 @@ def enabled() -> bool:
     return _enabled
 
 
+def _id_stack() -> List[str]:
+    ids: Optional[List[str]] = getattr(_local, "ids", None)
+    if ids is None:
+        ids = _local.ids = []
+    return ids
+
+
+def current_trace_id() -> str:
+    """The thread's active request trace id ("" outside any context)."""
+    return getattr(_local, "trace_id", "")
+
+
+def current_span_id() -> str:
+    """The innermost active span's id on this thread ("" outside spans)."""
+    ids = getattr(_local, "ids", None)
+    return ids[-1] if ids else ""
+
+
+@contextmanager
+def trace_context(trace_id: str) -> Iterator[str]:
+    """Stamp every span opened in this block with ``trace_id``.
+
+    Nestable; the previous trace id is restored on exit. Used by the
+    serve dispatch loop (per-batch, with the batch's request trace ids
+    as span attrs) and the video pipeline (per-frame).
+    """
+    previous = getattr(_local, "trace_id", "")
+    _local.trace_id = trace_id
+    try:
+        yield trace_id
+    finally:
+        _local.trace_id = previous
+
+
+def reset_thread_state() -> None:
+    """Forget this thread's span nesting and trace context.
+
+    Forked shard workers call this right after fork: the surviving
+    thread inherits the parent's span stack and trace context, which
+    would otherwise prefix every worker span path with whatever the
+    parent happened to be doing at fork time.
+    """
+    _local.stack = []
+    _local.ids = []
+    _local.trace_id = ""
+
+
 def span_metric_name(name: str) -> str:
     """Registry histogram name for span ``name``."""
     return f"span_{sanitize_metric_name(name)}_seconds"
@@ -169,6 +260,10 @@ def observe_span(
     registry: Optional[MetricsRegistry] = None,
     path: Optional[str] = None,
     depth: int = 0,
+    trace_id: str = "",
+    span_id: str = "",
+    parent_id: str = "",
+    start_ts: float = 0.0,
     **attrs,
 ) -> None:
     """Record one externally timed span (the low-level hook).
@@ -191,34 +286,63 @@ def observe_span(
             depth=depth,
             thread=threading.current_thread().name,
             attrs=attrs,
+            trace_id=trace_id or current_trace_id(),
+            span_id=span_id,
+            parent_id=parent_id,
+            start_ts=start_ts,
+            pid=os.getpid(),
         )
     )
 
 
 @contextmanager
-def span(name: str, registry: Optional[MetricsRegistry] = None, **attrs):
-    """Time a block of work as a nestable named span."""
+def span(
+    name: str,
+    registry: Optional[MetricsRegistry] = None,
+    parent_id: Optional[str] = None,
+    **attrs,
+) -> Iterator[Optional[SpanHandle]]:
+    """Time a block of work as a nestable named span.
+
+    Yields a :class:`SpanHandle` carrying the minted ``span_id`` (or
+    ``None`` while tracing is disabled). ``parent_id`` overrides the
+    thread-local nesting parent — shard workers pass the parent
+    process's dispatch span id here to stitch the cross-process tree.
+    """
     if not _enabled:
-        yield
+        yield None
         return
-    stack: List[str] = getattr(_local, "stack", None)
+    stack: Optional[List[str]] = getattr(_local, "stack", None)
     if stack is None:
         stack = _local.stack = []
+    ids = _id_stack()
+    span_id = new_span_id()
+    effective_parent = parent_id if parent_id is not None else (
+        ids[-1] if ids else ""
+    )
     stack.append(name)
+    ids.append(span_id)
     path = "/".join(stack)
     depth = len(stack) - 1
+    handle = SpanHandle(name, span_id, current_trace_id(), effective_parent)
+    start_ts = time.time()
     started = time.perf_counter()
     try:
-        yield
+        yield handle
     finally:
         duration = time.perf_counter() - started
         stack.pop()
+        ids.pop()
         observe_span(
             name,
             duration,
             registry=registry,
             path=path,
             depth=depth,
+            trace_id=handle.trace_id or current_trace_id(),
+            span_id=span_id,
+            parent_id=effective_parent,
+            start_ts=start_ts,
             **attrs,
         )
 
@@ -243,13 +367,18 @@ def summarize_spans(registry: Optional[MetricsRegistry] = None) -> Dict[str, Dic
 
 __all__ = [
     "SPAN_BUCKETS",
+    "SpanHandle",
     "SpanRecord",
     "TraceLog",
     "configure",
+    "current_span_id",
+    "current_trace_id",
     "enabled",
     "observe_span",
+    "reset_thread_state",
     "span",
     "span_metric_name",
     "summarize_spans",
+    "trace_context",
     "trace_log",
 ]

@@ -36,7 +36,7 @@ from repro.errors import (
     ServiceClosedError,
     TransientScorerError,
 )
-from repro.obs import MetricsRegistry, observe_span, span
+from repro.obs import MetricsRegistry, observe_span, span, trace_context
 from repro.obs import hwcounters
 from repro.obs.flight import flight_recorder, new_trace_id
 from repro.serve.batcher import BatchPolicy, MicroBatcher, ServeRequest
@@ -292,36 +292,38 @@ class InferenceService:
             trace_id=new_trace_id(),
         )
         recorder = flight_recorder()
-        if self.cache is not None:
-            request.cache_key = content_key(self.model_id, row)
-            hit, value = self.cache.lookup(request.cache_key)
-            if hit:
-                self.stats.count("cache_hits")
-                self.stats.count("completed")
-                self.stats.record_latency(self._clock() - now)
-                recorder.record("cache_hit", trace_id=request.trace_id)
-                request.future.set_result(value)
-                return request.future
-            self.stats.count("cache_misses")
-            recorder.record("cache_miss", trace_id=request.trace_id)
-        try:
-            self._queue.put_nowait(request)
-        except queue.Full:
-            self.stats.count("rejected_queue_full")
-            recorder.record(
-                "queue_full",
-                trace_id=request.trace_id,
-                capacity=self._queue.maxsize,
-            )
-            raise QueueFullError(
-                f"request queue is at capacity ({self._queue.maxsize})"
-            ) from None
-        recorder.record(
-            "enqueue",
-            trace_id=request.trace_id,
-            deadline_in_s=timeout_s,
-            queue_depth=self._queue.qsize(),
-        )
+        with trace_context(request.trace_id):
+            with span("serve.submit", registry=self.stats.registry):
+                if self.cache is not None:
+                    request.cache_key = content_key(self.model_id, row)
+                    hit, value = self.cache.lookup(request.cache_key)
+                    if hit:
+                        self.stats.count("cache_hits")
+                        self.stats.count("completed")
+                        self.stats.record_latency(self._clock() - now)
+                        recorder.record("cache_hit", trace_id=request.trace_id)
+                        request.future.set_result(value)
+                        return request.future
+                    self.stats.count("cache_misses")
+                    recorder.record("cache_miss", trace_id=request.trace_id)
+                try:
+                    self._queue.put_nowait(request)
+                except queue.Full:
+                    self.stats.count("rejected_queue_full")
+                    recorder.record(
+                        "queue_full",
+                        trace_id=request.trace_id,
+                        capacity=self._queue.maxsize,
+                    )
+                    raise QueueFullError(
+                        f"request queue is at capacity ({self._queue.maxsize})"
+                    ) from None
+                recorder.record(
+                    "enqueue",
+                    trace_id=request.trace_id,
+                    deadline_in_s=timeout_s,
+                    queue_depth=self._queue.qsize(),
+                )
         return request.future
 
     def score(
@@ -404,7 +406,11 @@ class InferenceService:
         recorder.record("batch_form", size=len(batch), trace_ids=trace_ids)
         matrix = np.stack([request.features for request in batch])
         try:
-            with span("serve.model.batch", registry=self.stats.registry):
+            with span(
+                "serve.model.batch",
+                registry=self.stats.registry,
+                trace_ids=trace_ids,
+            ):
                 with hwcounters.collect() as activity:
                     results = np.asarray(self._executor(matrix))
         except (CircuitOpenError, TransientScorerError) as exc:

@@ -59,7 +59,7 @@ from repro.errors import (
     TransientScorerError,
     WorkerDiedError,
 )
-from repro.obs import MetricsRegistry, hwcounters, span
+from repro.obs import MetricsRegistry, hwcounters, span, trace_context
 from repro.obs.flight import flight_recorder, new_trace_id
 from repro.serve.batcher import BatchPolicy, MicroBatcher, ServeRequest
 from repro.serve.cache import LruResultCache, content_key
@@ -115,29 +115,67 @@ class HashRing:
 def _worker_main(shard_index, model, in_queue, out_queue):
     """Score batches for one shard inside a forked worker process.
 
-    Protocol: dispatch messages are ``(batch_id, matrix, telemetry)``;
-    ``None`` means shut down. Replies are
-    ``("ok", batch_id, results, runs)`` with the raw activity ledgers,
-    or ``("err", batch_id, type_name, message)`` — exceptions are
+    Protocol: dispatch messages are ``(batch_id, matrix, telemetry,
+    trace_ids, parent_span_id, tracing_on)``; ``None`` means shut down.
+    Replies are ``("ok", batch_id, results, runs, spans, metrics_delta)``
+    with the raw activity ledgers, the span records completed since the
+    previous reply, and the worker registry's state delta (the same
+    ship-raw-merge-in-parent pattern the hw ledgers use), or
+    ``("err", batch_id, type_name, message)`` — exceptions are
     flattened to strings so they pickle regardless of type.
+
+    The worker's spans run under the parent's trace context: the
+    scoring span names the parent dispatch span as its ``parent_id``
+    and carries the batch's request trace ids, which is how
+    :func:`repro.obs.traces.assemble_traces` stitches one tree per
+    request across the process boundary.
     """
     # The fork inherits the parent's metrics registry mid-use (and its
     # lock state, if another parent thread held it at fork time); swap
-    # in a fresh private registry before touching any instrument.
+    # in a fresh private registry before touching any instrument. The
+    # fork also inherits the forking thread's span stack and the
+    # parent's id pool: reset the one, namespace the other so ids
+    # minted here can never collide with parent-minted ids.
     from repro.obs import metrics as obs_metrics
+    from repro.obs import tracing
+    from repro.obs.ids import configure_namespace
 
+    configure_namespace(f"s{shard_index}")
     obs_metrics.set_registry(MetricsRegistry())
+    tracing.reset_thread_state()
+    tracing.trace_log().clear()
+    registry = obs_metrics.get_registry()
+    shipped_state = registry.export_state()
+    shipped_seq = 0
     batch_fn = _resolve_batch_fn(model)
     while True:
         message = in_queue.get()
         if message is None:
             return
-        batch_id, matrix, telemetry = message
+        batch_id, matrix, telemetry, trace_ids, parent_span_id, tracing_on = message
         hwcounters.configure(telemetry)
+        tracing.configure(tracing_on)
         try:
-            with hwcounters.collect() as activity:
-                results = np.asarray(batch_fn(matrix))
-            out_queue.put(("ok", batch_id, results, list(activity.runs)))
+            with tracing.span(
+                "serve.shard.worker.score",
+                registry=registry,
+                parent_id=parent_span_id,
+                shard=shard_index,
+                trace_ids=trace_ids,
+            ):
+                with hwcounters.collect() as activity:
+                    results = np.asarray(batch_fn(matrix))
+            spans: list = []
+            for seq, record in tracing.trace_log().records():
+                if seq >= shipped_seq:
+                    spans.append(record)
+                    shipped_seq = seq + 1
+            state = registry.export_state()
+            delta = obs_metrics.diff_states(state, shipped_state)
+            shipped_state = state
+            out_queue.put(
+                ("ok", batch_id, results, list(activity.runs), spans, delta)
+            )
         except Exception as exc:  # flatten: arbitrary types may not pickle
             out_queue.put(("err", batch_id, type(exc).__name__, str(exc)))
 
@@ -459,40 +497,42 @@ class ShardedInferenceService:
         # cache disabled.
         request.cache_key = content_key(self.model_id, row)
         recorder = flight_recorder()
-        if self.cache is not None:
-            hit, value = self.cache.lookup(request.cache_key)
-            if hit:
-                self.stats.count("cache_hits")
-                self.stats.count("completed")
-                self.stats.record_latency(self._clock() - now)
-                recorder.record("cache_hit", trace_id=request.trace_id)
-                request.future.set_result(value)
-                return request.future
-            self.stats.count("cache_misses")
-            recorder.record("cache_miss", trace_id=request.trace_id)
+        with trace_context(request.trace_id):
+            with span("serve.submit", registry=self.stats.registry):
+                if self.cache is not None:
+                    hit, value = self.cache.lookup(request.cache_key)
+                    if hit:
+                        self.stats.count("cache_hits")
+                        self.stats.count("completed")
+                        self.stats.record_latency(self._clock() - now)
+                        recorder.record("cache_hit", trace_id=request.trace_id)
+                        request.future.set_result(value)
+                        return request.future
+                    self.stats.count("cache_misses")
+                    recorder.record("cache_miss", trace_id=request.trace_id)
 
-        shard = self._shards[self.ring.shard_for(request.cache_key)]
-        try:
-            shard.requests.put_nowait(request)
-        except queue.Full:
-            self.stats.count("rejected_queue_full")
-            recorder.record(
-                "queue_full",
-                trace_id=request.trace_id,
-                shard=shard.index,
-                capacity=shard.requests.maxsize,
-            )
-            raise QueueFullError(
-                f"shard {shard.index} queue is at capacity "
-                f"({shard.requests.maxsize})"
-            ) from None
-        recorder.record(
-            "enqueue",
-            trace_id=request.trace_id,
-            shard=shard.index,
-            deadline_in_s=timeout_s,
-            queue_depth=shard.requests.qsize(),
-        )
+                shard = self._shards[self.ring.shard_for(request.cache_key)]
+                try:
+                    shard.requests.put_nowait(request)
+                except queue.Full:
+                    self.stats.count("rejected_queue_full")
+                    recorder.record(
+                        "queue_full",
+                        trace_id=request.trace_id,
+                        shard=shard.index,
+                        capacity=shard.requests.maxsize,
+                    )
+                    raise QueueFullError(
+                        f"shard {shard.index} queue is at capacity "
+                        f"({shard.requests.maxsize})"
+                    ) from None
+                recorder.record(
+                    "enqueue",
+                    trace_id=request.trace_id,
+                    shard=shard.index,
+                    deadline_in_s=timeout_s,
+                    queue_depth=shard.requests.qsize(),
+                )
         return request.future
 
     def score(
@@ -527,12 +567,13 @@ class ShardedInferenceService:
         )
 
     def _dispatch_loop(self, shard: _Shard) -> None:
-        registry = self.stats.registry
         while True:
             batch = shard.batcher.collect(block_s=0.02)
             if batch:
-                with span("serve.shard.execute", registry=registry):
-                    self._run_batch(shard, batch)
+                # The execute span lives inside _run_batch so it can
+                # carry the batch's trace ids and hand its span id to
+                # the worker as the cross-process parent.
+                self._run_batch(shard, batch)
             elif self._stop.is_set() and shard.requests.empty():
                 return
 
@@ -548,21 +589,40 @@ class ShardedInferenceService:
             )
             request.future.set_exception(exc)
 
-    def _round_trip(self, shard: _Shard, matrix: np.ndarray):
+    def _round_trip(
+        self,
+        shard: _Shard,
+        matrix: np.ndarray,
+        trace_ids: List[str],
+        parent_span_id: str,
+    ):
         """One send/receive cycle with death detection and respawn.
 
         Returns the worker's reply tuple, or raises
         :class:`WorkerDiedError` once the redispatch budget is spent.
         Each redispatch goes to a freshly spawned worker over fresh
         queues, so a reply can only belong to the batch just sent.
+        The trace context (request trace ids plus the dispatch span's
+        id) rides along so worker spans join the request trees.
         """
+        from repro.obs import tracing
+
         for attempt in range(self.max_redispatches + 1):
             shard.batch_counter += 1
             batch_id = shard.batch_counter
             self.stats.count("dispatches")
             if attempt > 0:
                 self.stats.count("redispatches")
-            shard.in_queue.put((batch_id, matrix, hwcounters.enabled()))
+            shard.in_queue.put(
+                (
+                    batch_id,
+                    matrix,
+                    hwcounters.enabled(),
+                    trace_ids,
+                    parent_span_id,
+                    tracing.enabled(),
+                )
+            )
             while True:
                 try:
                     reply = shard.out_queue.get(
@@ -593,6 +653,29 @@ class ShardedInferenceService:
             "times on one batch"
         )
 
+    def _absorb_worker_telemetry(
+        self, shard: _Shard, worker_spans, metrics_delta
+    ) -> None:
+        """Fold a worker reply's spans and metrics delta into the parent.
+
+        Shipped span records are appended to the parent trace log (so
+        assembled traces and ``python -m repro trace`` see the whole
+        fleet) and the worker registry's delta is merged into the
+        parent registry with a ``shard`` label — closing the gap where
+        ``_worker_main``'s fresh private registry made worker-side
+        series invisible to ``serve --workers N --metrics``.
+        """
+        from repro.obs import tracing
+
+        if worker_spans:
+            log = tracing.trace_log()
+            for record in worker_spans:
+                log.append(record)
+        if metrics_delta and metrics_delta["series"]:
+            self.stats.registry.merge_state(
+                metrics_delta, extra_labels={"shard": str(shard.index)}
+            )
+
     def _run_batch(self, shard: _Shard, batch: List[ServeRequest]) -> None:
         self.stats.record_batch(len(batch))
         self.stats.count("windows_scored", len(batch))
@@ -613,13 +696,24 @@ class ShardedInferenceService:
             except CircuitOpenError as exc:
                 self._fail_batch(batch, exc)
                 return
-        try:
-            reply = self._round_trip(shard, matrix)
-        except WorkerDiedError as exc:
-            if shard.breaker is not None:
-                shard.breaker.record_failure(token)
-            self._fail_batch(batch, exc)
-            return
+        with span(
+            "serve.shard.execute",
+            registry=self.stats.registry,
+            shard=shard.index,
+            trace_ids=trace_ids,
+        ) as execute_span:
+            try:
+                reply = self._round_trip(
+                    shard,
+                    matrix,
+                    trace_ids,
+                    execute_span.span_id if execute_span is not None else "",
+                )
+            except WorkerDiedError as exc:
+                if shard.breaker is not None:
+                    shard.breaker.record_failure(token)
+                self._fail_batch(batch, exc)
+                return
 
         if reply[0] == "err":
             _, _, type_name, message = reply
@@ -631,7 +725,8 @@ class ShardedInferenceService:
             return
         if shard.breaker is not None:
             shard.breaker.record_success(token)
-        _, _, results, runs = reply
+        _, _, results, runs, worker_spans, metrics_delta = reply
+        self._absorb_worker_telemetry(shard, worker_spans, metrics_delta)
         results = np.asarray(results)
         if results.shape[0] != len(batch):
             self._fail_batch(
@@ -651,7 +746,7 @@ class ShardedInferenceService:
                 hwcounters.record_run(run)
         hw_totals = activity.totals() if activity.runs else None
         if hw_totals is not None:
-            self.stats.record_hw_totals(hw_totals)
+            self.stats.record_hw_totals(hw_totals, shard=shard.index)
         request_energy_nj = attribute_batch_energy(activity, len(batch))
         recorder.record(
             "score",

@@ -98,19 +98,30 @@ class ServiceStats:
         """Record one completed request's submit-to-result latency."""
         self._latency.observe(seconds)
 
-    def record_hw_totals(self, totals: Dict[str, int]) -> None:
+    def record_hw_totals(
+        self, totals: Dict[str, int], shard: Optional[int] = None
+    ) -> None:
         """Fold one batch's activity-ledger totals into the counters.
 
         Both serving tiers (in-process and sharded workers) call this
         with :meth:`~repro.obs.hwcounters.ActivityCollector.totals`, so
         router-hop traffic — including the intra- vs cross-chip split of
         a placed multi-chip model — is comparable across deployment
-        modes from the same ``serve_hw_*`` counters.
+        modes from the same ``serve_hw_*`` counters. When ``shard`` is
+        given the totals are additionally attributed to a
+        ``{shard="<n>"}``-labeled series, so the parent exposition
+        breaks hop traffic down per worker while the unlabeled fleet
+        totals stay comparable with the in-process tier.
         """
         for key in ("router_hops", "cross_chip_hops", "intra_chip_hops"):
             value = int(totals.get(key, 0))
             if value:
                 self.count(f"hw_{key}", value)
+                if shard is not None:
+                    self.registry.counter(
+                        f"{self.prefix}_hw_{key}_total",
+                        labels={"shard": str(shard)},
+                    ).inc(value)
 
     def record_energy(self, nanojoules: float) -> None:
         """Attribute ``nanojoules`` of simulated energy to one request."""

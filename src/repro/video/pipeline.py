@@ -24,8 +24,9 @@ energy-attribution layer — no separate accounting path.
 """
 
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -33,7 +34,15 @@ from repro.detection.evaluate import DetectionCurve, evaluate_detections
 from repro.detection.nms import non_maximum_suppression
 from repro.detection.pipeline import Detection, sliding_window_features
 from repro.detection.pyramid import ImagePyramid
-from repro.obs import MetricsRegistry, get_registry, span
+from repro.obs import (
+    SPAN_BUCKETS,
+    MetricsRegistry,
+    get_registry,
+    new_trace_id,
+    span,
+    trace_context,
+)
+from repro.obs.traces import VIDEO_STAGE_METRIC
 from repro.video.synthesis import VideoSequence
 
 
@@ -88,6 +97,9 @@ class FrameResult:
 
     Attributes:
         index: frame position in the sequence.
+        trace_id: the frame's trace id — every ``video.*`` span the
+            frame records carries it, so ``repro.obs.traces`` can
+            assemble the frame's own trace tree.
         detections: NMS survivors mapped back to frame pixels.
         levels_total: pyramid levels the frame decomposes into.
         levels_scored: levels actually scored (== ``levels_total``
@@ -102,6 +114,7 @@ class FrameResult:
     """
 
     index: int
+    trace_id: str = ""
     detections: List[Detection] = field(default_factory=list)
     levels_total: int = 0
     levels_scored: int = 0
@@ -303,8 +316,32 @@ class VideoPipeline:
         )
 
     # ------------------------------------------------------------------
+    @contextmanager
+    def _stage(self, stage: str, level) -> "Iterator[None]":
+        """Time one frame stage into ``video_stage_seconds``.
+
+        The histogram is labeled ``{stage=..., level=...}`` so
+        :func:`repro.obs.traces.frame_stage_breakdown` can split frame
+        latency into extract / pool / serve / nms per pyramid level.
+        """
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.registry.histogram(
+                VIDEO_STAGE_METRIC,
+                help="frame latency per pipeline stage and pyramid level",
+                buckets=SPAN_BUCKETS,
+                labels={"stage": stage, "level": str(level)},
+            ).observe(time.perf_counter() - started)
+
     def process_frame(self, image: np.ndarray, index: int = 0) -> FrameResult:
         """Stream one frame: pyramid, fan-out, NMS, accounting.
+
+        The whole frame runs under its own trace id (returned on
+        ``FrameResult.trace_id``), and each pyramid level's extract /
+        pool / serve work — plus the frame-level NMS — is timed into
+        the ``video_stage_seconds{stage=..., level=...}`` histograms.
 
         Args:
             image: 2-D grayscale frame in ``[0, 1]``.
@@ -332,84 +369,102 @@ class VideoPipeline:
             max_levels=config.max_levels,
         )
         levels = pyramid.levels()  # finest (scale 1) first
-        result = FrameResult(index=index, levels_total=len(levels))
+        result = FrameResult(
+            index=index, trace_id=new_trace_id(), levels_total=len(levels)
+        )
         window_h, window_w = config.window_shape
 
         boxes: List[np.ndarray] = []
         scores: List[float] = []
-        # Coarsest first: when the deadline interrupts the frame, the
-        # unscored remainder is exactly the finest (priciest) scales.
-        for level in reversed(levels):
-            if (
-                deadline is not None
-                and result.levels_scored >= config.min_levels
-                and self._clock() >= deadline
-            ):
-                result.levels_dropped += 1
-                continue
-            with span("video.level", scale=level.scale, registry=self.registry):
-                grid = np.asarray(
-                    self.extractor.cell_grid(level.image), dtype=np.float64
-                )
-                raw, positions = sliding_window_features(grid, self.window_cells)
-                result.levels_scored += 1
-                if raw.shape[0] == 0:
+        with trace_context(result.trace_id), span(
+            "video.frame", index=index, registry=self.registry
+        ):
+            # Coarsest first: when the deadline interrupts the frame,
+            # the unscored remainder is exactly the finest (priciest)
+            # scales.
+            for level_index, level in reversed(list(enumerate(levels))):
+                if (
+                    deadline is not None
+                    and result.levels_scored >= config.min_levels
+                    and self._clock() >= deadline
+                ):
+                    result.levels_dropped += 1
                     continue
-                rows = np.clip(
-                    pool_feature_rows(
-                        raw,
-                        self.window_cells,
-                        self.n_bins,
-                        pool=config.pool,
-                        bin_merge=config.bin_merge,
-                    )
-                    * config.feature_scale,
-                    0.0,
-                    1.0,
-                )
-                level_scores = np.concatenate(
-                    [
-                        np.asarray(
-                            self.service.score_many(
-                                chunk, timeout_s=config.timeout_s
-                            ),
+                with span(
+                    "video.level", scale=level.scale, registry=self.registry
+                ):
+                    with self._stage("extract", level_index):
+                        grid = np.asarray(
+                            self.extractor.cell_grid(level.image),
                             dtype=np.float64,
                         )
-                        for chunk in _chunked(rows, config.max_inflight)
-                    ]
-                )
-            result.windows_scored += int(rows.shape[0])
-            for hit in np.where(level_scores > config.score_threshold)[0]:
-                cy, cx = positions[hit]
-                boxes.append(
-                    np.array(
-                        [
-                            cx * self.cell_size * level.scale,
-                            cy * self.cell_size * level.scale,
-                            window_w * level.scale,
-                            window_h * level.scale,
-                        ]
+                        raw, positions = sliding_window_features(
+                            grid, self.window_cells
+                        )
+                    result.levels_scored += 1
+                    if raw.shape[0] == 0:
+                        continue
+                    with self._stage("pool", level_index):
+                        rows = np.clip(
+                            pool_feature_rows(
+                                raw,
+                                self.window_cells,
+                                self.n_bins,
+                                pool=config.pool,
+                                bin_merge=config.bin_merge,
+                            )
+                            * config.feature_scale,
+                            0.0,
+                            1.0,
+                        )
+                    with self._stage("serve", level_index):
+                        level_scores = np.concatenate(
+                            [
+                                np.asarray(
+                                    self.service.score_many(
+                                        chunk, timeout_s=config.timeout_s
+                                    ),
+                                    dtype=np.float64,
+                                )
+                                for chunk in _chunked(
+                                    rows, config.max_inflight
+                                )
+                            ]
+                        )
+                result.windows_scored += int(rows.shape[0])
+                for hit in np.where(level_scores > config.score_threshold)[0]:
+                    cy, cx = positions[hit]
+                    boxes.append(
+                        np.array(
+                            [
+                                cx * self.cell_size * level.scale,
+                                cy * self.cell_size * level.scale,
+                                window_w * level.scale,
+                                window_h * level.scale,
+                            ]
+                        )
                     )
-                )
-                scores.append(float(level_scores[hit]))
+                    scores.append(float(level_scores[hit]))
 
-        if boxes:
-            box_arr = np.stack(boxes)
-            score_arr = np.asarray(scores)
-            with span("video.nms", candidates=len(boxes), registry=self.registry):
-                kept = non_maximum_suppression(
-                    box_arr, score_arr, epsilon=config.nms_epsilon
-                )
-            result.detections = [
-                Detection(
-                    x=float(box_arr[i, 0]),
-                    y=float(box_arr[i, 1]),
-                    width=float(box_arr[i, 2]),
-                    height=float(box_arr[i, 3]),
-                    score=float(score_arr[i]),
-                )
-                for i in kept
-            ]
+            if boxes:
+                box_arr = np.stack(boxes)
+                score_arr = np.asarray(scores)
+                with span(
+                    "video.nms", candidates=len(boxes), registry=self.registry
+                ), self._stage("nms", "frame"):
+                    kept = non_maximum_suppression(
+                        box_arr, score_arr, epsilon=config.nms_epsilon
+                    )
+                result.detections = [
+                    Detection(
+                        x=float(box_arr[i, 0]),
+                        y=float(box_arr[i, 1]),
+                        width=float(box_arr[i, 2]),
+                        height=float(box_arr[i, 3]),
+                        score=float(score_arr[i]),
+                    )
+                    for i in kept
+                ]
 
         result.degraded = result.levels_dropped > 0
         result.cache_hits = int(stats.counter("cache_hits") - hits0)

@@ -38,6 +38,7 @@ SERVE = {
     "service": {"max_batch_size": 8},
     "service_requests_per_second": 50.0,
     "obs_overhead_fraction": 0.02,
+    "sharded_obs_overhead_fraction": 0.03,
 }
 FAULTS = {
     "fault_kind": "drop",
@@ -122,6 +123,17 @@ class TestFailPaths:
         assert _run(tmp_path, {"serve": SERVE}, current) == 1
         assert "budget" in capsys.readouterr().err
 
+    def test_sharded_obs_overhead_shares_the_budget(self, tmp_path, capsys):
+        # The in-process arm is within budget, but the worker tier's
+        # span/delta shipping blows it: the gate fails on the sharded
+        # field alone.
+        current = {
+            "serve": {**SERVE, "sharded_obs_overhead_fraction": 0.12}
+        }
+        assert _run(tmp_path, {"serve": SERVE}, current) == 1
+        err = capsys.readouterr().err
+        assert "sharded_obs_overhead_fraction" in err
+
     def test_missrate_rise_fails(self, tmp_path):
         bad = json.loads(json.dumps(FAULTS))
         bad["approaches"]["Parrot"]["miss_rate"][0] = 0.30
@@ -146,6 +158,17 @@ class TestWarnAndPass:
         captured = capsys.readouterr()
         assert "regressed" in captured.err
         assert "warn-only" in captured.out
+
+    def test_payload_without_sharded_overhead_warns_and_passes(
+        self, tmp_path, capsys
+    ):
+        # Payloads generated before the sharded obs arm existed lack
+        # the field; the gate must warn, not fail.
+        old = {k: v for k, v in SERVE.items()
+               if k != "sharded_obs_overhead_fraction"}
+        assert _run(tmp_path, {"serve": SERVE}, {"serve": old}) == 0
+        out = capsys.readouterr().out
+        assert "no sharded_obs_overhead_fraction" in out
 
     def test_missing_baseline_passes(self, tmp_path, capsys):
         assert _run(tmp_path, {}, {"engine": ENGINE}) == 0

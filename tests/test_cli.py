@@ -65,3 +65,105 @@ class TestCli:
         with pytest.raises(SystemExit) as excinfo:
             main(["--help"])
         assert excinfo.value.code == 0
+
+
+class TestTraceCommand:
+    def test_trace_export_writes_valid_chrome_trace(self, capsys, tmp_path):
+        from repro.obs import flight_recorder, trace_log
+        from repro.obs.traces import validate_chrome_trace
+
+        trace_log().clear()
+        flight_recorder().clear()
+        export = tmp_path / "trace.json"
+        assert main([
+            "trace", "--export", str(export),
+            "serve", "--requests", "12", "--concurrency", "2",
+            "--chunk-size", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "span timings" in out
+        assert f"wrote" in out and str(export) in out
+        document = json.loads(export.read_text())
+        validate_chrome_trace(document)
+        assert any(e["ph"] == "X" for e in document["traceEvents"])
+
+    def test_trace_export_needs_a_value(self, capsys):
+        assert main(["trace", "--export"]) == 2
+
+    def test_trace_without_command_is_usage_error(self, capsys):
+        assert main(["trace"]) == 2
+
+
+class TestSloCommand:
+    def test_slo_evaluates_a_real_serve_run(self, capsys, tmp_path):
+        output = tmp_path / "slo.json"
+        assert main([
+            "slo", "--output", str(output),
+            "serve", "--requests", "16", "--concurrency", "2",
+            "--chunk-size", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "SLO verdicts" in out
+        assert "serve_latency_fast" in out
+        assert "serve_energy_per_request" in out
+        from repro.obs.slo import validate_report
+
+        report = json.loads(output.read_text())
+        validate_report(report)
+        signals = {o["objective"]["signal"] for o in report["objectives"]}
+        assert signals == {"latency", "energy"}
+        assert all(o["total"] > 0 for o in report["objectives"])
+
+    def test_slo_publishes_burn_rate_series(self, capsys):
+        from repro.obs import get_registry
+
+        assert main([
+            "slo", "serve", "--requests", "8", "--concurrency", "2",
+            "--chunk-size", "2",
+        ]) == 0
+        exposition = get_registry().render_prometheus()
+        assert 'slo_burn_rate{slo="serve_latency_fast"}' in exposition
+        assert 'slo_requests_total{slo="serve_energy_per_request"}' in (
+            exposition
+        )
+
+    def test_slo_rewrites_the_metrics_exposition_file(self, capsys, tmp_path):
+        """A ``--metrics-output`` file written by the wrapped command is
+        rewritten after publication, so the scraped exposition (what the
+        CI slo-smoke job reads) carries the burn-rate series."""
+        prom = tmp_path / "metrics.prom"
+        assert main([
+            "slo", "serve", "--requests", "8", "--concurrency", "2",
+            "--chunk-size", "2", "--metrics-output", str(prom),
+        ]) == 0
+        exposition = prom.read_text()
+        assert 'slo_burn_rate{slo="serve_latency_fast"}' in exposition
+        assert "serve_latency_seconds_count" in exposition
+
+    def test_slo_custom_objectives_and_check_gate(self, capsys, tmp_path):
+        objectives = tmp_path / "objectives.json"
+        objectives.write_text(json.dumps([
+            {
+                "name": "impossible",
+                "signal": "latency",
+                "metric": "serve_latency_seconds",
+                "threshold": 1e-07,
+                "target": 0.999,
+            }
+        ]))
+        code = main([
+            "slo", "--objectives", str(objectives), "--check",
+            "serve", "--requests", "8", "--concurrency", "2",
+            "--chunk-size", "2",
+        ])
+        assert code == 1
+        out = capsys.readouterr()
+        assert "impossible" in out.out
+        assert "objective violated" in out.err
+
+    def test_slo_without_command_is_usage_error(self, capsys):
+        assert main(["slo"]) == 2
+
+    def test_slo_bad_objectives_file_is_usage_error(self, capsys, tmp_path):
+        missing = tmp_path / "none.json"
+        assert main(["slo", "--objectives", str(missing), "serve"]) == 2

@@ -14,6 +14,7 @@ from repro.obs import (
     GaugeMetric,
     HistogramMetric,
     MetricsRegistry,
+    diff_states,
     escape_label_value,
     get_registry,
     normalize_labels,
@@ -365,3 +366,202 @@ class TestProcessRegistry:
     def test_set_registry_type_checked(self):
         with pytest.raises(TypeError):
             set_registry(object())
+
+
+class TestStateShipping:
+    """export_state / diff_states / merge_state — the worker wire format."""
+
+    def _source(self):
+        registry = MetricsRegistry()
+        registry.counter("engine_runs_total", help="runs").inc(3)
+        registry.gauge("serve_queue_depth").set(7.0)
+        hist = registry.histogram(
+            "serve_latency_seconds", buckets=(0.01, 0.1, 1.0)
+        )
+        for value in (0.005, 0.05, 0.5):
+            hist.observe(value)
+        registry.counter(
+            "serve_hw_router_hops_total", labels={"chip": "0"}
+        ).inc(42)
+        return registry
+
+    def test_export_merge_round_trip(self):
+        source = self._source()
+        destination = MetricsRegistry()
+        merged = destination.merge_state(source.export_state())
+        assert merged == 4
+        assert destination.render_prometheus() == source.render_prometheus()
+
+    def test_merge_applies_extra_labels(self):
+        source = self._source()
+        destination = MetricsRegistry()
+        destination.merge_state(source.export_state(), extra_labels={"shard": "2"})
+        assert (
+            destination.get("engine_runs_total", labels={"shard": "2"}).value
+            == 3
+        )
+        relabeled = destination.get(
+            "serve_hw_router_hops_total", labels={"chip": "0", "shard": "2"}
+        )
+        assert relabeled is not None and relabeled.value == 42
+        # original label sets are not present without the extra label
+        assert destination.get("engine_runs_total") is None
+
+    def test_diff_omits_unchanged_series(self):
+        source = self._source()
+        before = source.export_state()
+        delta = diff_states(source.export_state(), before)
+        assert delta["series"] == []
+
+    def test_diff_carries_only_the_increment(self):
+        source = self._source()
+        before = source.export_state()
+        source.counter("engine_runs_total").inc(2)
+        source.histogram(
+            "serve_latency_seconds", buckets=(0.01, 0.1, 1.0)
+        ).observe(0.02)
+        delta = diff_states(source.export_state(), before)
+        by_name = {record["name"]: record for record in delta["series"]}
+        assert set(by_name) == {"engine_runs_total", "serve_latency_seconds"}
+        assert by_name["engine_runs_total"]["value"] == 2
+        hist_delta = by_name["serve_latency_seconds"]["state"]
+        assert hist_delta["count"] == 1
+        assert hist_delta["reservoir"] == [0.02]
+        assert hist_delta["bucket_counts"] == [0, 1, 0, 0]  # + overflow
+
+    def test_gauge_ships_absolute_value_on_change(self):
+        source = self._source()
+        before = source.export_state()
+        source.gauge("serve_queue_depth").set(1.0)
+        delta = diff_states(source.export_state(), before)
+        (record,) = delta["series"]
+        assert record["kind"] == "gauge" and record["value"] == 1.0
+
+    def test_incremental_deltas_reproduce_final_state(self):
+        """Merging every delta in order == merging the final state once."""
+        source = self._source()
+        shipped = source.export_state()
+        incremental = MetricsRegistry()
+        incremental.merge_state(diff_states(shipped, {"series": []}))
+        for round_values in ((0.002, 0.3), (0.07,)):
+            for value in round_values:
+                source.histogram(
+                    "serve_latency_seconds", buckets=(0.01, 0.1, 1.0)
+                ).observe(value)
+                source.counter("engine_runs_total").inc()
+            state = source.export_state()
+            incremental.merge_state(diff_states(state, shipped))
+            shipped = state
+        oneshot = MetricsRegistry()
+        oneshot.merge_state(source.export_state())
+        assert (
+            incremental.render_prometheus() == oneshot.render_prometheus()
+        )
+
+    def test_histogram_merge_adds_buckets_and_folds_extrema(self):
+        left = HistogramMetric("h_seconds", buckets=(1.0, 10.0))
+        right = HistogramMetric("h_seconds", buckets=(1.0, 10.0))
+        for value in (0.5, 5.0):
+            left.observe(value)
+        for value in (20.0, 0.1):
+            right.observe(value)
+        left.merge_state(right.export_state())
+        snap = left.snapshot()
+        assert snap["count"] == 4
+        assert snap["min"] == 0.1 and snap["max"] == 20.0
+        assert snap["buckets"] == {"1.0": 2, "10.0": 3, "+Inf": 4}
+
+    def test_histogram_merge_rejects_mismatched_bounds(self):
+        left = HistogramMetric("h_seconds", buckets=(1.0, 10.0))
+        right = HistogramMetric("h_seconds", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError, match="bounds"):
+            left.merge_state(right.export_state())
+
+    def test_empty_histogram_merge_keeps_extrema_untouched(self):
+        left = HistogramMetric("h_seconds", buckets=(1.0,))
+        left.observe(0.25)
+        empty = HistogramMetric("h_seconds", buckets=(1.0,))
+        left.merge_state(empty.export_state())
+        snap = left.snapshot()
+        assert snap["count"] == 1
+        assert snap["min"] == 0.25 and snap["max"] == 0.25
+
+    def test_merge_respects_the_cardinality_guard(self):
+        source = MetricsRegistry()
+        source.counter("hot_total").inc(5)
+        destination = MetricsRegistry(max_label_sets=2)
+        state = source.export_state()
+        for shard in range(4):
+            destination.merge_state(state, extra_labels={"shard": str(shard)})
+        exposed = [
+            name
+            for name in parse_prometheus(destination.render_prometheus())
+            if name.startswith("hot_total")
+        ]
+        assert len(exposed) == 2
+        assert destination.get(DROPPED_SERIES_COUNTER).value == 2
+
+    def test_round_trip_under_concurrency(self):
+        """8 writer threads + live delta shipping lose no updates."""
+        source = MetricsRegistry()
+        destination = MetricsRegistry()
+        stop = threading.Event()
+        per_thread, threads_n = 400, 8
+
+        def writer(index):
+            counter = source.counter("engine_runs_total")
+            hist = source.histogram(
+                "serve_latency_seconds", buckets=(0.01, 0.1, 1.0)
+            )
+            labeled = source.counter(
+                "serve_hw_router_hops_total", labels={"chip": str(index % 2)}
+            )
+            for _ in range(per_thread):
+                counter.inc()
+                hist.observe(0.5)
+                labeled.inc(2)
+
+        workers = [
+            threading.Thread(target=writer, args=(i,))
+            for i in range(threads_n)
+        ]
+        shipped = {"series": []}
+        for worker in workers:
+            worker.start()
+        try:
+            # ship deltas concurrently with the writers, like a worker
+            # shipping after every batch
+            while any(worker.is_alive() for worker in workers):
+                state = source.export_state()
+                destination.merge_state(
+                    diff_states(state, shipped), extra_labels={"shard": "0"}
+                )
+                shipped = state
+        finally:
+            stop.set()
+            for worker in workers:
+                worker.join()
+        state = source.export_state()
+        destination.merge_state(
+            diff_states(state, shipped), extra_labels={"shard": "0"}
+        )
+        total = threads_n * per_thread
+        assert (
+            destination.get("engine_runs_total", labels={"shard": "0"}).value
+            == total
+        )
+        merged_hist = destination.get(
+            "serve_latency_seconds", labels={"shard": "0"}
+        )
+        snap = merged_hist.snapshot()
+        assert snap["count"] == total
+        assert snap["sum"] == pytest.approx(total * 0.5)
+        assert snap["buckets"]["1.0"] == total
+        hops = sum(
+            destination.get(
+                "serve_hw_router_hops_total",
+                labels={"chip": str(chip), "shard": "0"},
+            ).value
+            for chip in (0, 1)
+        )
+        assert hops == total * 2

@@ -1,0 +1,200 @@
+"""The declarative SLO engine (``repro.obs.slo``).
+
+Objective validation, conservative bucket-based compliance, burn-rate
+math over latency *and* joules-per-request signals, registry
+publication of the verdicts, and the schema-validated report the CI
+``slo-smoke`` job consumes.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.slo import (
+    REPORT_SCHEMA,
+    SLObjective,
+    default_objectives,
+    evaluate_objectives,
+    format_report,
+    load_objectives,
+    publish_results,
+    report_json,
+    validate_report,
+)
+
+LATENCY_SLO = SLObjective(
+    name="lat",
+    signal="latency",
+    metric="serve_latency_seconds",
+    threshold=0.1,
+    target=0.9,
+)
+ENERGY_SLO = SLObjective(
+    name="joules",
+    signal="energy",
+    metric="serve_request_energy_nj",
+    threshold=1e-6,  # 1 uJ = 1000 nJ
+    target=0.5,
+)
+
+
+def _latency_registry(values, buckets=(0.01, 0.1, 1.0)):
+    registry = MetricsRegistry()
+    hist = registry.histogram("serve_latency_seconds", buckets=buckets)
+    for value in values:
+        hist.observe(value)
+    return registry
+
+
+class TestObjectiveValidation:
+    def test_rejects_unknown_signal(self):
+        with pytest.raises(ValueError, match="signal"):
+            SLObjective("x", "throughput", "m", 1.0, 0.9)
+
+    def test_rejects_degenerate_target(self):
+        for target in (0.0, 1.0, -0.5):
+            with pytest.raises(ValueError, match="target"):
+                SLObjective("x", "latency", "m", 1.0, target)
+
+    def test_rejects_nonpositive_threshold(self):
+        with pytest.raises(ValueError, match="threshold"):
+            SLObjective("x", "latency", "m", 0.0, 0.9)
+
+    def test_error_budget(self):
+        assert LATENCY_SLO.error_budget == pytest.approx(0.1)
+
+    def test_defaults_cover_latency_and_energy(self):
+        signals = {o.signal for o in default_objectives()}
+        assert signals == {"latency", "energy"}
+
+
+class TestEvaluation:
+    def test_compliance_from_cumulative_buckets(self):
+        registry = _latency_registry([0.005] * 8 + [0.5] * 2)
+        (result,) = evaluate_objectives(registry, [LATENCY_SLO])
+        assert result.total == 10 and result.good == 8
+        assert result.compliance == pytest.approx(0.8)
+        assert result.effective_bound == pytest.approx(0.1)
+        assert not result.met
+
+    def test_burn_rate_is_bad_fraction_over_budget(self):
+        registry = _latency_registry([0.005] * 8 + [0.5] * 2)
+        (result,) = evaluate_objectives(registry, [LATENCY_SLO])
+        # 20% bad over a 10% budget = burning 2x
+        assert result.burn_rate == pytest.approx(2.0)
+        assert result.budget_remaining == pytest.approx(-1.0)
+
+    def test_met_when_within_target(self):
+        registry = _latency_registry([0.005] * 99 + [0.5])
+        (result,) = evaluate_objectives(registry, [LATENCY_SLO])
+        assert result.met and result.burn_rate == pytest.approx(0.1)
+
+    def test_idle_metric_violates_nothing(self):
+        (result,) = evaluate_objectives(MetricsRegistry(), [LATENCY_SLO])
+        assert result.total == 0
+        assert result.compliance == 1.0
+        assert result.burn_rate == 0.0
+        assert result.met
+        assert math.isnan(result.effective_bound)
+
+    def test_energy_threshold_converts_joules_to_nanojoules(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram(
+            "serve_request_energy_nj", buckets=(100.0, 1000.0, 1e6)
+        )
+        for value in (50.0, 900.0, 2e5):  # nJ observations
+            hist.observe(value)
+        (result,) = evaluate_objectives(registry, [ENERGY_SLO])
+        # 1 uJ threshold -> the 1000 nJ bucket bound; 2 of 3 under it
+        assert result.effective_bound == pytest.approx(1000.0)
+        assert result.good == 2 and result.total == 3
+
+    def test_threshold_below_every_bound_counts_nothing_good(self):
+        registry = _latency_registry([0.005], buckets=(1.0, 2.0))
+        (result,) = evaluate_objectives(registry, [LATENCY_SLO])
+        assert result.good == 0 and result.total == 1
+        assert math.isnan(result.effective_bound)
+
+    def test_labeled_series_summed_when_unlabeled_absent(self):
+        registry = MetricsRegistry()
+        for shard in ("0", "1"):
+            registry.histogram(
+                "serve_latency_seconds",
+                buckets=(0.01, 0.1, 1.0),
+                labels={"shard": shard},
+            ).observe(0.005)
+        (result,) = evaluate_objectives(registry, [LATENCY_SLO])
+        assert result.total == 2 and result.good == 2
+
+
+class TestPublication:
+    def test_burn_rate_series_land_in_the_registry(self):
+        registry = _latency_registry([0.005] * 8 + [0.5] * 2)
+        results = evaluate_objectives(registry, [LATENCY_SLO])
+        publish_results(results, registry)
+        labels = {"slo": "lat"}
+        assert registry.get("slo_requests_total", labels=labels).value == 10
+        assert registry.get("slo_bad_requests_total", labels=labels).value == 2
+        assert registry.get(
+            "slo_burn_rate", labels=labels
+        ).value == pytest.approx(2.0)
+
+
+class TestReport:
+    def _results(self):
+        registry = _latency_registry([0.005] * 8 + [0.5] * 2)
+        return evaluate_objectives(registry, [LATENCY_SLO, ENERGY_SLO])
+
+    def test_report_round_trips_json_and_validates(self):
+        report = report_json(self._results())
+        validate_report(json.loads(json.dumps(report)))
+        assert report["schema"] == REPORT_SCHEMA
+        assert report["met_all"] is False
+        assert len(report["objectives"]) == 2
+
+    def test_validation_rejects_drifted_documents(self):
+        report = report_json(self._results())
+        for mutate in (
+            lambda d: d.pop("schema"),
+            lambda d: d.update(schema="other/v9"),
+            lambda d: d["objectives"][0].pop("burn_rate"),
+            lambda d: d["objectives"][0].update(good=999),
+            lambda d: d["objectives"][0].update(compliance=1.5),
+        ):
+            broken = json.loads(json.dumps(report))
+            mutate(broken)
+            with pytest.raises(ValueError):
+                validate_report(broken)
+
+    def test_format_report_names_every_objective(self):
+        text = format_report(self._results())
+        assert "lat" in text and "joules" in text
+        assert "VIOLATED" in text
+
+    def test_load_objectives(self, tmp_path):
+        path = tmp_path / "objectives.json"
+        path.write_text(
+            json.dumps(
+                [
+                    {
+                        "name": "p99_fast",
+                        "signal": "latency",
+                        "metric": "serve_latency_seconds",
+                        "threshold": 0.5,
+                        "target": 0.99,
+                    }
+                ]
+            )
+        )
+        (objective,) = load_objectives(str(path))
+        assert objective.name == "p99_fast"
+        assert objective.threshold == 0.5
+
+    def test_load_objectives_rejects_malformed_files(self, tmp_path):
+        path = tmp_path / "objectives.json"
+        for payload in ("{}", "[]", '[{"name": "x"}]', '["nope"]'):
+            path.write_text(payload)
+            with pytest.raises(ValueError):
+                load_objectives(str(path))

@@ -1,0 +1,213 @@
+"""Per-request trace assembly and Chrome trace-event export.
+
+Stitching flat span/flight streams (possibly minted in different
+processes) into per-request trees, batch-span multi-ownership via the
+``trace_ids`` attr, the Chrome trace-event document shape, and the
+video frame stage breakdown.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.obs import MetricsRegistry, span, trace_context, trace_log
+from repro.obs.flight import FlightEvent, flight_recorder
+from repro.obs.tracing import SpanRecord
+from repro.obs.traces import (
+    VIDEO_STAGE_METRIC,
+    RequestTrace,
+    assemble_traces,
+    export_chrome_trace,
+    frame_stage_breakdown,
+    to_chrome_trace,
+    validate_chrome_trace,
+)
+
+
+def _record(name, trace_id="", span_id="", parent_id="", pid=0, **attrs):
+    return SpanRecord(
+        name=name,
+        path=name,
+        duration_s=0.001,
+        depth=0,
+        thread="t",
+        attrs=attrs,
+        trace_id=trace_id,
+        span_id=span_id,
+        parent_id=parent_id,
+        start_ts=100.0,
+        pid=pid or os.getpid(),
+    )
+
+
+def _event(kind, trace_id="", seq=0, **attrs):
+    return FlightEvent(
+        seq=seq, ts=100.0, kind=kind, trace_id=trace_id, thread="t",
+        attrs=attrs,
+    )
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    trace_log().clear()
+    flight_recorder().clear()
+    yield
+    trace_log().clear()
+    flight_recorder().clear()
+
+
+class TestAssembly:
+    def test_spans_group_by_own_trace_id(self):
+        spans = [
+            _record("a", trace_id="t1", span_id="s1"),
+            _record("b", trace_id="t2", span_id="s2"),
+            _record("c", trace_id="t1", span_id="s3", parent_id="s1"),
+        ]
+        traces = assemble_traces(spans=spans, events=[])
+        assert [t.trace_id for t in traces] == ["t1", "t2"]
+        assert [r.name for r in traces[0].spans] == ["a", "c"]
+
+    def test_batch_spans_claimed_by_every_listed_trace(self):
+        batch = _record("batch", span_id="sb", trace_ids=["t1", "t2"])
+        traces = assemble_traces(spans=[batch], events=[])
+        assert {t.trace_id for t in traces} == {"t1", "t2"}
+        assert all(t.spans == [batch] for t in traces)
+
+    def test_events_attach_to_their_trace(self):
+        spans = [_record("a", trace_id="t1", span_id="s1")]
+        events = [
+            _event("enqueue", trace_id="t1", seq=0),
+            _event("batch_form", seq=1, trace_ids=["t1"]),
+            _event("unrelated", trace_id="t9", seq=2),
+        ]
+        (t1, t9) = assemble_traces(spans=spans, events=events)
+        assert [e.kind for e in t1.events] == ["enqueue", "batch_form"]
+        assert t9.trace_id == "t9"
+
+    def test_unowned_records_are_dropped(self):
+        traces = assemble_traces(spans=[_record("anon")], events=[])
+        assert traces == []
+
+    def test_defaults_read_the_process_log(self):
+        with trace_context("t-live"):
+            with span("live.work"):
+                pass
+        traces = assemble_traces()
+        assert any(
+            t.trace_id == "t-live" and t.spans[0].name == "live.work"
+            for t in traces
+        )
+
+
+class TestSpanTree:
+    def test_tree_follows_parent_ids_across_pids(self):
+        """The cross-process edge: a worker-pid span parented under a
+        dispatcher-pid span lands as its child in the tree."""
+        parent = _record(
+            "execute", span_id="sp", trace_ids=["t1"], pid=1000
+        )
+        child = _record(
+            "score", trace_id="t1", span_id="sc", parent_id="sp", pid=2000
+        )
+        (trace,) = assemble_traces(spans=[parent, child], events=[])
+        assert trace.pids == (1000, 2000)
+        (root,) = trace.roots()
+        assert root.name == "execute"
+        (tree,) = trace.span_tree()
+        assert tree["name"] == "execute" and tree["pid"] == 1000
+        (subtree,) = tree["children"]
+        assert subtree["name"] == "score" and subtree["pid"] == 2000
+
+    def test_orphans_become_roots(self):
+        orphan = _record(
+            "score", trace_id="t1", span_id="sc", parent_id="missing"
+        )
+        (trace,) = assemble_traces(spans=[orphan], events=[])
+        assert trace.roots() == [orphan]
+
+
+class TestChromeExport:
+    def _trace(self):
+        return RequestTrace(
+            trace_id="t1",
+            spans=[
+                _record("execute", span_id="sp", trace_ids=["t1"], pid=os.getpid()),
+                _record("score", trace_id="t1", span_id="sc", parent_id="sp",
+                        pid=os.getpid() + 1),
+            ],
+            events=[_event("enqueue", trace_id="t1", seq=5)],
+        )
+
+    def test_document_shape_validates(self):
+        document = to_chrome_trace([self._trace()])
+        validate_chrome_trace(document)
+        phases = [e["ph"] for e in document["traceEvents"]]
+        assert phases.count("X") == 2 and phases.count("i") == 1
+        assert "M" in phases  # process/thread metadata present
+
+    def test_worker_processes_are_named(self):
+        document = to_chrome_trace([self._trace()])
+        names = {
+            e["args"]["name"]
+            for e in document["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert any("serve parent" in n for n in names)
+        assert any("shard worker" in n for n in names)
+
+    def test_shared_batch_spans_emitted_once(self):
+        batch = _record("batch", span_id="sb", trace_ids=["t1", "t2"])
+        traces = assemble_traces(spans=[batch], events=[])
+        document = to_chrome_trace(traces)
+        xs = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        assert len(xs) == 1
+
+    def test_timestamps_are_microseconds(self):
+        document = to_chrome_trace([self._trace()])
+        (x, _) = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        assert x["ts"] == pytest.approx(100.0 * 1e6)
+        assert x["dur"] == pytest.approx(0.001 * 1e6)
+
+    def test_validation_rejects_malformed_documents(self):
+        with pytest.raises(ValueError, match="list"):
+            validate_chrome_trace({})
+        with pytest.raises(ValueError, match="phase"):
+            validate_chrome_trace({"traceEvents": [{"ph": "?"}]})
+        with pytest.raises(ValueError, match="dur"):
+            validate_chrome_trace(
+                {
+                    "traceEvents": [
+                        {"ph": "X", "name": "a", "pid": 1, "tid": 1, "ts": 0}
+                    ]
+                }
+            )
+
+    def test_export_writes_valid_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        count = export_chrome_trace(str(path), [self._trace()])
+        document = json.loads(path.read_text())
+        validate_chrome_trace(document)
+        assert count == len(document["traceEvents"]) > 0
+
+
+class TestFrameStageBreakdown:
+    def test_reads_labeled_stage_histograms(self):
+        registry = MetricsRegistry()
+        for stage, level, value in (
+            ("extract", "0", 0.010),
+            ("extract", "0", 0.030),
+            ("serve", "1", 0.200),
+        ):
+            registry.histogram(
+                VIDEO_STAGE_METRIC, labels={"stage": stage, "level": level}
+            ).observe(value)
+        breakdown = frame_stage_breakdown(registry)
+        assert set(breakdown) == {"extract", "serve"}
+        extract0 = breakdown["extract"]["0"]
+        assert extract0["count"] == 2
+        assert extract0["mean"] == pytest.approx(0.020)
+        assert breakdown["serve"]["1"]["count"] == 1
+
+    def test_empty_registry_gives_empty_breakdown(self):
+        assert frame_stage_breakdown(MetricsRegistry()) == {}

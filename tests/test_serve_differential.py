@@ -292,3 +292,32 @@ class TestShardedDifferential:
             served = build(ServiceBackedScorer(svc)).detect(image)
         assert direct == served
         assert len(direct) > 0
+
+    def test_worker_telemetry_is_shard_labeled_in_parent_exposition(self):
+        """Shard-side ``serve_hw_*`` counters and worker span series
+        appear in the parent's exposition with a ``shard`` label, and
+        the labeled hop totals sum exactly to the unlabeled fleet
+        counters the parity tests compare against."""
+        rows = np.random.default_rng(15).random((12, 8))
+        with ShardedInferenceService(
+            _small_scorer(), workers=2, max_batch_size=4, max_wait_ms=1.0
+        ) as svc:
+            svc.score_many(rows)
+            registry = svc.stats.registry
+            exposition = registry.render_prometheus()
+        assert 'serve_hw_router_hops_total{shard="' in exposition
+        assert (
+            'span_serve_shard_worker_score_seconds_count{shard="'
+            in exposition
+        )
+        unlabeled = registry.get("serve_hw_router_hops_total").value
+        labeled_series = [
+            registry.get(
+                "serve_hw_router_hops_total", labels={"shard": str(index)}
+            )
+            for index in range(2)
+        ]
+        labeled = sum(
+            metric.value for metric in labeled_series if metric is not None
+        )
+        assert labeled == unlabeled > 0

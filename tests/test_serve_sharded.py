@@ -277,3 +277,99 @@ class TestEngineWorkloadParity:
         assert single_snap["energy_nj"]["total"] == pytest.approx(
             shard_snap["energy_nj"]["total"], rel=1e-12
         )
+
+
+class TestShardedTracing:
+    """Distributed tracing and telemetry across the fork boundary."""
+
+    @pytest.fixture(autouse=True)
+    def clean_obs_state(self):
+        from repro.obs import flight_recorder, trace_log
+
+        trace_log().clear()
+        flight_recorder().clear()
+        yield
+        trace_log().clear()
+        flight_recorder().clear()
+
+    def test_one_assembled_trace_per_request_crosses_the_fork(self):
+        """Every request yields one trace whose span tree spans the
+        parent (submit, dispatch/execute) and the worker process
+        (score), stitched over explicit parent ids."""
+        from repro.obs.traces import (
+            assemble_traces,
+            to_chrome_trace,
+            validate_chrome_trace,
+        )
+
+        rows = np.random.default_rng(5).random((6, 3))
+        with _sharded(_Affine(), cache_capacity=0) as service:
+            service.score_many(rows)
+        traces = [
+            trace
+            for trace in assemble_traces()
+            if any(event.kind == "enqueue" for event in trace.events)
+        ]
+        assert len(traces) == 6
+        for trace in traces:
+            names = {record.name for record in trace.spans}
+            assert {
+                "serve.submit",
+                "serve.shard.execute",
+                "serve.shard.worker.score",
+            } <= names
+            assert len(trace.pids) == 2  # parent + the scoring worker
+            execute = next(
+                r for r in trace.spans if r.name == "serve.shard.execute"
+            )
+            score = next(
+                r for r in trace.spans if r.name == "serve.shard.worker.score"
+            )
+            # the cross-process parent/child edge
+            assert score.parent_id == execute.span_id
+            assert score.pid != execute.pid and execute.pid == os.getpid()
+            # worker ids are namespaced per shard; parent ids are bare
+            assert score.span_id.split("-")[0] == f"s{score.attrs['shard']}"
+            assert "-" not in execute.span_id
+            # the tree roots in the parent and nests the worker span
+            tree_names = {node["name"] for node in trace.span_tree()}
+            assert "serve.shard.worker.score" not in tree_names
+        document = to_chrome_trace(traces)
+        validate_chrome_trace(document)
+
+    def test_worker_metrics_merge_with_shard_labels(self):
+        """Worker-side registry deltas land in the parent registry
+        labeled per shard, alongside the parent's unlabeled series."""
+        rows = np.random.default_rng(6).random((16, 3))
+        with _sharded(_Affine(), cache_capacity=0) as service:
+            service.score_many(rows)
+            registry = service.stats.registry
+        shard_series = [
+            registry.get(
+                "span_serve_shard_worker_score_seconds",
+                labels={"shard": str(index)},
+            )
+            for index in range(2)
+        ]
+        present = [metric for metric in shard_series if metric is not None]
+        assert present, "no shard-labeled worker span histogram merged"
+        assert sum(metric.snapshot()["count"] for metric in present) > 0
+        exposition = registry.render_prometheus()
+        assert 'span_serve_shard_worker_score_seconds_count{shard="' in (
+            exposition
+        )
+
+    def test_worker_spans_ship_even_when_tracing_off(self):
+        """With tracing disabled nothing ships and nothing breaks."""
+        from repro.obs import tracing
+        from repro.obs.traces import assemble_traces
+
+        tracing.configure(False)
+        try:
+            rows = np.random.default_rng(7).random((4, 3))
+            with _sharded(_Affine(), cache_capacity=0) as service:
+                got = service.score_many(rows)
+            assert got.shape == (4,)
+            assert all(not t.spans for t in assemble_traces())
+        finally:
+            tracing.configure(True)
